@@ -1,0 +1,68 @@
+"""C2 -- Contribution #2: the generalized BG reduction
+ASM(n, t, x) -> ASM(t+1, t, x).
+
+Reproduced claim (paper Section 5.2): any colorless task solvable in
+ASM(n, t, x) is solvable in ASM(t+1, t, x) -- "the case x = 1 does
+correspond to the BG simulation".  The bench runs the composed reduction
+(Section 3 inside Section 4 with t+1 simulators) and checks the x = 1
+degenerate case is the classic BG shape.
+"""
+
+import pytest
+
+from repro.algorithms import GroupedKSetFromXCons, KSetReadWrite
+from repro.core import generalized_bg_reduce
+from repro.model import ASM
+from repro.runtime import CrashPlan
+from repro.tasks import KSetAgreementTask
+
+from .harness import cost_row, header, run_once, write_report
+
+
+def build(n, x, t):
+    src = GroupedKSetFromXCons(n=n, x=x)
+    src.resilience = t
+    return generalized_bg_reduce(src), src.k
+
+
+def test_c2_cost(benchmark):
+    g, k = build(6, 2, 4)
+    result = benchmark.pedantic(
+        lambda: run_once(g, list(range(g.n)), max_steps=40_000_000),
+        rounds=2, iterations=1)
+    verdict = KSetAgreementTask(k).validate_run(list(range(g.n)), result)
+    assert verdict.ok
+
+
+def test_c2_report():
+    lines = header(
+        "C2: generalized BG reduction ASM(n,t,x) -> ASM(t+1,t,x) "
+        "(paper contribution #2 / Section 5.2)")
+    lines.append("x = 1 degenerates to the classic BG simulation:")
+    classic = generalized_bg_reduce(KSetReadWrite(n=6, t=2, k=3), x=1)
+    assert classic.model() == ASM(3, 2, 1)
+    res = run_once(classic, [1, 2, 3])
+    verdict = KSetAgreementTask(3).validate_run([1, 2, 3], res)
+    assert verdict.ok
+    lines.append(cost_row("  ASM(6,2,1) -> ASM(3,2,1)", res))
+    lines.append("")
+    lines.append("x > 1 reductions (run wait-free, with t crashes):")
+    for n, x, t in ((6, 2, 4), (6, 3, 4)):
+        g, k = build(n, x, t)
+        assert g.model() == ASM(t + 1, t, x)
+        res = run_once(g, list(range(t + 1)), max_steps=40_000_000)
+        verdict = KSetAgreementTask(k).validate_run(
+            list(range(t + 1)), res)
+        assert verdict.ok, verdict.explain()
+        lines.append(cost_row(
+            f"  ASM({n},{t},{x}) -> ASM({t + 1},{t},{x}), k={k}", res))
+        victims = {v: 5 + 3 * v for v in range(t)}
+        res = run_once(g, list(range(t + 1)),
+                       crash_plan=CrashPlan.at_own_step(victims),
+                       max_steps=40_000_000)
+        verdict = KSetAgreementTask(k).validate_run(
+            list(range(t + 1)), res)
+        assert verdict.ok, verdict.explain()
+        lines.append(cost_row(
+            f"  ... same, with {t} simulator crashes", res))
+    write_report("contribution2_generalized_bg", lines)

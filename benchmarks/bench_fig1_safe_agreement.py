@@ -1,0 +1,72 @@
+"""FIG1 -- Figure 1: the safe-agreement object type.
+
+Reproduced claims:
+* termination + agreement + validity when no simulator crashes while
+  executing sa_propose();
+* one crash inside sa_propose() permanently blocks all deciders (the
+  property the whole BG construction must confine with mutex1).
+
+The benchmark times a full propose+decide round among n simulators; the
+report tabulates outcome and step cost as n grows, plus the crash matrix.
+"""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.memory import ObjectStore
+from repro.runtime import (CrashPlan, SeededRandomAdversary, run_processes)
+
+from .harness import header, write_report
+
+
+def participant(factory, i, value):
+    inst = factory.instance("bench")
+    yield from inst.propose(i, value)
+    decided = yield from inst.decide(i)
+    return decided
+
+
+def round_of(n, seed=0, crash_plan=None):
+    factory = SafeAgreementFactory(n)
+    store = ObjectStore()
+    store.add_all(factory.shared_objects())
+    return run_processes(
+        {i: participant(factory, i, f"v{i}") for i in range(n)},
+        store, adversary=SeededRandomAdversary(seed),
+        crash_plan=crash_plan, max_steps=200_000)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_fig1_round_cost(benchmark, n):
+    result = benchmark(lambda: round_of(n))
+    assert len(result.decided_values) == 1
+
+
+def test_fig1_report():
+    lines = header(
+        "FIG1: safe-agreement (paper Figure 1)",
+        "termination/agreement/validity per n; crash-in-propose matrix")
+    lines.append(f"{'n':>4} {'steps':>7} {'decided':>8} {'values':>7}")
+    for n in (2, 4, 8, 16, 32):
+        res = round_of(n)
+        assert len(res.decided_values) == 1
+        lines.append(f"{n:>4} {res.steps:>7} {len(res.decisions):>8} "
+                     f"{len(res.decided_values):>7}")
+    lines.append("")
+    lines.append("crash scenarios (n = 4, p0 is the victim):")
+    scenarios = [
+        ("no crash", None, "all decide"),
+        ("before any step", CrashPlan.initially_dead([0]), "others decide"),
+        ("mid-propose (after (v,1) write)", CrashPlan.at_own_step({0: 2}),
+         "others BLOCK forever"),
+        ("after propose completes", CrashPlan.at_own_step({0: 4}),
+         "others decide"),
+    ]
+    for label, plan, expect in scenarios:
+        res = round_of(4, crash_plan=plan)
+        outcome = ("all decide" if len(res.decisions) == 4 else
+                   "others BLOCK forever" if res.deadlocked else
+                   "others decide")
+        assert outcome == expect, (label, res.summary())
+        lines.append(f"  {label:<34} -> {outcome}   [{res.summary()}]")
+    write_report("fig1_safe_agreement", lines)

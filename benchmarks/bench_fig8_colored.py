@@ -1,0 +1,77 @@
+"""FIG8 -- Figure 8 + Section 5.5: colored-task simulation.
+
+Reproduced claims: under the side conditions (x' > 1,
+floor(t/x) >= floor(t'/x'), n >= max(n', (n'-t')+t)), the execution of a
+colored-task algorithm (strong renaming from test&set) is simulated with
+*distinct* decisions allocated to the simulators via T&S[j], and every
+correct simulator eventually claims one.
+"""
+
+import pytest
+
+from repro.algorithms import RenamingFromTAS, run_algorithm
+from repro.core import colored_simulation_possible, simulate_colored
+from repro.model import ASM
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import DistinctValuesTask
+
+from .harness import header, run_once, write_report
+
+
+def build(n, t, n_prime, t_prime, x_prime):
+    return simulate_colored(RenamingFromTAS(n, t=t), n_prime=n_prime,
+                            t_prime=t_prime, x_prime=x_prime)
+
+
+@pytest.mark.parametrize("shape", [(6, 3, 4, 1, 2), (8, 4, 5, 2, 3)])
+def test_fig8_colored_cost(benchmark, shape):
+    n, t, n_p, t_p, x_p = shape
+    sim = build(n, t, n_p, t_p, x_p)
+    result = benchmark(lambda: run_once(sim, [None] * n_p))
+    values = list(result.decisions.values())
+    assert len(values) == len(set(values)) == n_p
+
+
+def test_fig8_report():
+    lines = header(
+        "FIG8: colored-task simulation (paper Section 5.5, Figure 8)",
+        "renaming in ASM(n,t,2) simulated in ASM(n',t',x'); decisions",
+        "must be pairwise distinct (the colored requirement)")
+    lines.append(f"{'source':>14} {'target':>14} {'crashes':>8} "
+                 f"{'decided':>8} {'distinct?':>9}")
+    task = DistinctValuesTask()
+    cases = [
+        (6, 3, 4, 1, 2, {}),
+        (6, 3, 4, 1, 2, {2: 8}),
+        (8, 4, 5, 2, 3, {}),
+        (8, 4, 5, 2, 3, {1: 5, 3: 9}),
+    ]
+    for n, t, n_p, t_p, x_p, crashes in cases:
+        sim = build(n, t, n_p, t_p, x_p)
+        res = run_algorithm(
+            sim, [None] * n_p,
+            adversary=SeededRandomAdversary(1),
+            crash_plan=CrashPlan.at_own_step(dict(crashes)),
+            max_steps=5_000_000)
+        verdict = task.validate_run([None] * n_p, res,
+                                    require_liveness=False)
+        assert verdict.ok, verdict.explain()
+        assert res.decided_pids == res.correct_pids
+        lines.append(
+            f"  ASM({n},{t},2) -> ASM({n_p},{t_p},{x_p}) "
+            f"{len(crashes):>8} {len(res.decisions):>8} "
+            f"{'yes':>9}")
+    lines.append("")
+    lines.append("side-condition frontier (paper's three conditions):")
+    probes = [
+        (ASM(6, 3, 2), ASM(4, 1, 1), "x' = 1"),
+        (ASM(8, 1, 2), ASM(6, 4, 2), "floor(t/x) < floor(t'/x')"),
+        (ASM(4, 3, 2), ASM(4, 1, 2), "n < (n'-t') + t"),
+        (ASM(6, 3, 2), ASM(4, 1, 2), "all satisfied"),
+    ]
+    for src_m, dst_m, why in probes:
+        ok = colored_simulation_possible(src_m, dst_m)
+        lines.append(f"  {str(src_m):>14} -> {str(dst_m):<14} "
+                     f"{'POSSIBLE' if ok else 'refused':<9} ({why})")
+        assert ok == (why == "all satisfied")
+    write_report("fig8_colored", lines)

@@ -1,0 +1,29 @@
+"""INDEX -- collect all benchmark reports into one index file.
+
+Run last (pytest collects alphabetically, but the file regenerates the
+index from whatever reports exist), producing
+``benchmarks/results/INDEX.md`` with the first line of every report.
+"""
+
+import os
+
+from .harness import RESULTS_DIR, write_report
+
+
+def test_build_results_index():
+    """Aggregate benchmarks/results/*.txt into INDEX.md."""
+    if not os.path.isdir(RESULTS_DIR):
+        return
+    entries = []
+    for name in sorted(os.listdir(RESULTS_DIR)):
+        if not name.endswith(".txt"):
+            continue
+        with open(os.path.join(RESULTS_DIR, name)) as handle:
+            title = handle.readline().strip()
+        entries.append(f"* `{name}` — {title}")
+    lines = ["# Benchmark results index", ""]
+    lines += entries or ["(no reports yet — run `pytest benchmarks/ -q`)"]
+    path = os.path.join(RESULTS_DIR, "INDEX.md")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    assert os.path.exists(path)

@@ -1,0 +1,92 @@
+"""REL -- Section 1.3: the related-results landscape, regenerated.
+
+The paper positions its theorem among four closed-form neighbors; all
+are reproduced here (formulas checked over grids + the grouping
+construction executed):
+
+* Borowsky-Gafni: (n,k) from (m,l) iff n/k <= m/l;
+* Herlihy-Rajsbaum: k_min = l*floor((t+1)/m) + min(l, (t+1) mod m);
+* Mostefaoui-Raynal-Travers: sync rounds = floor(t/(m*floor(k/l)+(k%l)))+1;
+* Gafni: floor(t/t') synchronous rounds simulatable asynchronously.
+"""
+
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.core import (GroupedKSetFromSetObjects,
+                        bg_set_hierarchy_implementable,
+                        gafni_simulatable_rounds, grouping_outputs,
+                        herlihy_rajsbaum_min_k, mrt_sync_rounds)
+from repro.runtime import SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+from .harness import header, run_once, write_report
+
+
+@pytest.mark.parametrize("n,m,ell", [(8, 4, 2), (9, 3, 1)])
+def test_rel_grouping_cost(benchmark, n, m, ell):
+    algo = GroupedKSetFromSetObjects(n, m, ell)
+    result = benchmark(lambda: run_once(algo, list(range(n))))
+    verdict = KSetAgreementTask(algo.k).validate_run(
+        list(range(n)), result)
+    assert verdict.ok
+
+
+def test_rel_report():
+    lines = header(
+        "REL: the Section 1.3 related-results landscape")
+
+    lines.append("Borowsky-Gafni hierarchy -- (n,k) implementable from "
+                 "(m,l) iff n/k <= m/l:")
+    lines.append("  (n,k) \\ (m,l)   (3,1)  (4,2)  (6,2)")
+    for n, k in ((6, 2), (6, 3), (8, 2)):
+        row = [f"  ({n},{k})        "]
+        for m, ell in ((3, 1), (4, 2), (6, 2)):
+            ok = bg_set_hierarchy_implementable(n, k, m, ell)
+            row.append(f"{'yes' if ok else ' - ':>7}")
+        lines.append("".join(row))
+    lines.append("")
+
+    lines.append("grouping construction, executed (outputs <= "
+                 "floor(n/m)*l + min(l, n mod m)):")
+    for n, m, ell in ((6, 3, 1), (7, 3, 2), (8, 4, 2), (9, 3, 1)):
+        algo = GroupedKSetFromSetObjects(n, m, ell)
+        res = run_once(algo, list(range(n)), seed=2)
+        k = grouping_outputs(n, m, ell)
+        distinct = len(res.decided_values)
+        assert distinct <= k
+        lines.append(f"  n={n} (m,l)=({m},{ell}): bound k={k}, "
+                     f"measured distinct={distinct}")
+    lines.append("")
+
+    lines.append("Herlihy-Rajsbaum k_min(t, m, l) "
+                 "(rows t, cols (m,l)):")
+    shapes = [(1, 1), (2, 1), (3, 1), (3, 2)]
+    lines.append("   t  " + "".join(f"{f'({m},{l})':>7}"
+                                    for m, l in shapes))
+    for t in range(0, 7):
+        cells = [f"{herlihy_rajsbaum_min_k(t, m, l):>7}"
+                 for m, l in shapes]
+        lines.append(f"  {t:>2}  " + "".join(cells))
+    lines.append("  ((m,1) columns reproduce the paper's floor(t/m)+1 "
+                 "frontier)")
+    lines.append("")
+
+    lines.append("Mostefaoui-Raynal-Travers synchronous rounds "
+                 "(t = 6):")
+    for k, m, ell in ((1, 1, 1), (2, 1, 1), (1, 2, 1), (2, 3, 2)):
+        lines.append(f"  k={k}, (m,l)=({m},{ell}): "
+                     f"{mrt_sync_rounds(6, k, m, ell)} rounds")
+    lines.append("")
+
+    lines.append("Gafni's dividing power (rounds of a t-resilient "
+                 "synchronous algorithm simulatable with t' crashes):")
+    lines.append("   t\\t'   1    2    3")
+    for t in (3, 6, 9):
+        lines.append("  " + f"{t:>3}  " + "".join(
+            f"{gafni_simulatable_rounds(t, tp):>5}" for tp in (1, 2, 3)))
+    lines.append("")
+    lines.append("asynchrony DIVIDES rounds by t'; consensus number x "
+                 "MULTIPLIES tolerable crashes by x -- the two faces the "
+                 "paper's title alludes to.")
+    write_report("related_landscape", lines)

@@ -1,0 +1,84 @@
+"""TAB1 -- Section 5.4: the equivalence-class partition (t' = 8 example).
+
+Reproduced claims, analytically AND empirically:
+* the paper's verbatim partition for t' = 8:
+  x=1 ~ ASM(n,8,1); x=2 ~ ASM(n,4,1); x in 3..4 ~ ASM(n,2,1);
+  x in 5..8 ~ ASM(n,1,1); x in 9..n ~ ASM(n,0,1);
+* each class's canonical resilience is *achieved*: k-set agreement with
+  k = index+1 runs to completion in a representative model of the class
+  under t' crashes, while k = index is refused by the construction.
+"""
+
+import pytest
+
+from repro.algorithms import KSetReadWrite
+from repro.core import (equivalence_classes, kset_solvable, partition_table,
+                        simulate_with_xcons)
+from repro.model import ASM
+from repro.runtime import CrashPlan
+from repro.tasks import KSetAgreementTask
+
+from .harness import header, run_once, write_report
+
+N, T_PRIME = 12, 8
+
+#: The paper's worked partition for t' = 8 (Section 5.4), verbatim.
+PAPER_CLASSES = {
+    (1, 1): 8,
+    (2, 2): 4,
+    (3, 4): 2,
+    (5, 8): 1,
+    (9, 12): 0,
+}
+
+
+def representative_run(x, index):
+    """Solve (index+1)-set agreement in ASM(n, 8, x) via the paper's
+    construction, under 8 crashes, and return the run result."""
+    k = index + 1
+    src = KSetReadWrite(n=N, t=index, k=k)
+    alg = src if x == 1 else simulate_with_xcons(src, t_prime=T_PRIME, x=x)
+    victims = {v: 3 + 2 * v for v in range(T_PRIME)}
+    return run_once(alg, list(range(N)),
+                    crash_plan=CrashPlan.at_own_step(victims),
+                    max_steps=20_000_000), k
+
+
+@pytest.mark.parametrize("x,index", [(2, 4), (4, 2), (8, 1)])
+def test_tab1_class_representative_cost(benchmark, x, index):
+    result, k = benchmark.pedantic(
+        lambda: representative_run(x, index), rounds=2, iterations=1)
+    verdict = KSetAgreementTask(k).validate_run(list(range(N)), result)
+    assert verdict.ok, verdict.explain()
+
+
+def test_tab1_report():
+    lines = header(
+        "TAB1: equivalence classes of ASM(n, t'=8, x) "
+        "(paper Section 5.4 worked example)",
+        f"n = {N}; empirical column: (index+1)-set agreement solved in a",
+        "class representative under 8 crashes via the Section 4 "
+        "construction")
+    # analytic partition must equal the paper's verbatim table.
+    computed = {c.x_range: c.canonical_t
+                for c in equivalence_classes(N, T_PRIME)}
+    assert computed == PAPER_CLASSES
+    lines.append(partition_table(N, T_PRIME))
+    lines.append("")
+    lines.append(f"{'class (x range)':>16} {'canonical':>12} "
+                 f"{'k solved':>9} {'steps':>9} {'k refused':>10}")
+    for cls in equivalence_classes(N, T_PRIME):
+        x = cls.x_range[0]
+        index = cls.index
+        res, k = representative_run(x, index)
+        verdict = KSetAgreementTask(k).validate_run(list(range(N)), res)
+        assert verdict.ok, f"x={x}: {verdict.explain()}"
+        refused = "-"
+        if index >= 1:
+            # the construction cannot be instantiated at k = index
+            assert not kset_solvable(ASM(N, T_PRIME, x), index)
+            refused = f"k={index}"
+        lo, hi = cls.x_range
+        lines.append(f"{f'{lo}..{hi}':>16} {f'ASM(n,{index},1)':>12} "
+                     f"{f'k={k}':>9} {res.steps:>9} {refused:>10}")
+    write_report("table_equivalence_classes", lines)

@@ -1,0 +1,86 @@
+"""TAB2 -- Section 5.4: the model hierarchy / solvability frontier.
+
+Reproduced claims:
+* a task with set consensus number k is solvable in ASM(n, t', x) iff
+  k > floor(t'/x) -- swept over a (t', x) grid, with the possibility side
+  executed via the Section 4 construction;
+* the frontier's closed forms: t'_max = k*x - 1 for fixed x, and
+  x_min = ceil((t'+1)/k) for fixed t'.
+"""
+
+import pytest
+
+from repro.algorithms import KSetReadWrite
+from repro.core import (kset_solvable, max_xcons_resilience,
+                        min_x_for_resilience, simulate_with_xcons)
+from repro.model import ASM
+from repro.runtime import CrashPlan
+from repro.tasks import KSetAgreementTask
+
+from .harness import header, run_once, write_report
+
+N = 9
+
+
+def solver(t_prime, x, k):
+    src = KSetReadWrite(n=N, t=t_prime // x, k=k)
+    return src if x == 1 else simulate_with_xcons(src, t_prime=t_prime,
+                                                  x=x)
+
+
+@pytest.mark.parametrize("t_prime,x", [(4, 2), (6, 3)])
+def test_tab2_frontier_point_cost(benchmark, t_prime, x):
+    k = t_prime // x + 1
+    alg = solver(t_prime, x, k)
+    result = benchmark.pedantic(
+        lambda: run_once(alg, list(range(N)), max_steps=20_000_000),
+        rounds=2, iterations=1)
+    verdict = KSetAgreementTask(k).validate_run(list(range(N)), result)
+    assert verdict.ok
+
+
+def test_tab2_report():
+    lines = header(
+        "TAB2: solvability frontier -- k-set agreement in ASM(n, t', x)",
+        f"n = {N}.  Cell = smallest solvable k (the set-consensus class",
+        "boundary); paper: k > floor(t'/x).  Starred cells were executed",
+        "via the Section 4 construction under t' crashes.")
+    xs = list(range(1, 5))
+    lines.append("  t'\\x " + "".join(f"{x:>6}" for x in xs))
+    executed = set()
+    for t_prime in range(0, 8):
+        row = [f"{t_prime:>5} "]
+        for x in xs:
+            k_min = t_prime // x + 1
+            # analytic check both sides of the frontier:
+            assert kset_solvable(ASM(N, t_prime, x), k_min)
+            if k_min > 1:
+                assert not kset_solvable(ASM(N, t_prime, x), k_min - 1)
+            star = ""
+            if (t_prime, x) in ((2, 1), (3, 2), (5, 2), (6, 3), (7, 4)):
+                alg = solver(t_prime, x, k_min)
+                victims = {v: 3 + 2 * v for v in range(t_prime)}
+                res = run_once(alg, list(range(N)),
+                               crash_plan=CrashPlan.at_own_step(victims),
+                               max_steps=20_000_000)
+                verdict = KSetAgreementTask(k_min).validate_run(
+                    list(range(N)), res)
+                assert verdict.ok, f"(t'={t_prime}, x={x})"
+                star = "*"
+                executed.add((t_prime, x))
+            row.append(f"{f'{k_min}{star}':>6}")
+        lines.append("".join(row))
+    lines.append("")
+    lines.append(f"executed cells: {sorted(executed)}")
+    lines.append("")
+    lines.append("closed forms (spot checks):")
+    for k, x in ((2, 3), (3, 2), (1, 4)):
+        t_max = max_xcons_resilience(k, x)
+        assert kset_solvable(ASM(t_max + 2, t_max, x), k)
+        assert not kset_solvable(ASM(t_max + 3, t_max + 1, x), k)
+        lines.append(f"  k={k}, x={x}: max t' = k*x - 1 = {t_max}")
+    for k, t_prime in ((3, 8), (2, 5)):
+        x_min = min_x_for_resilience(k, t_prime)
+        lines.append(f"  k={k}, t'={t_prime}: min x = ceil((t'+1)/k) = "
+                     f"{x_min}")
+    write_report("table_hierarchy", lines)

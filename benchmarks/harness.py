@@ -1,0 +1,64 @@
+"""Shared benchmark harness.
+
+Every benchmark in this directory reproduces one artifact of the paper
+(an algorithm figure, a worked table, or a lemma bound) -- see the
+experiment index in DESIGN.md Section 4.  Each bench
+
+* times a representative workload with pytest-benchmark, and
+* regenerates the paper's table/series and writes it (plus the measured
+  cost profile) to ``benchmarks/results/<experiment>.txt``, which
+  EXPERIMENTS.md embeds.
+
+Absolute timings are not comparable to the paper (it reports none -- it
+is a theory paper); the reproduced content is the *shape*: who
+terminates, what agreement holds, where the solvability frontier and the
+blocking bounds fall.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.algorithms import Algorithm, run_algorithm
+from repro.analysis import collect_stats
+from repro.runtime import (CrashPlan, RoundRobinAdversary, RunResult,
+                           SeededRandomAdversary)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_once(algorithm: Algorithm,
+             inputs: Sequence[Any],
+             seed: Optional[int] = 0,
+             crash_plan: Optional[CrashPlan] = None,
+             max_steps: int = 5_000_000,
+             enforce_model: bool = True) -> RunResult:
+    """One run with a seeded adversary (None = round robin)."""
+    adversary = (RoundRobinAdversary() if seed is None
+                 else SeededRandomAdversary(seed))
+    return run_algorithm(algorithm, inputs, adversary=adversary,
+                         crash_plan=crash_plan, max_steps=max_steps,
+                         enforce_model=enforce_model)
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    """Persist a reproduced table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+def cost_row(label: str, result: RunResult) -> str:
+    """One formatted cost line for a run."""
+    return f"{label:<44} {collect_stats(result).row()}"
+
+
+def header(title: str, *subtitle: str) -> List[str]:
+    lines = [title, "=" * len(title)]
+    lines.extend(subtitle)
+    lines.append("")
+    return lines

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The BG simulation and the 1-resilient consensus impossibility story.
+
+The classic use of the BG simulation (paper Section 1.1): if consensus
+were solvable 1-resiliently among ANY number n of processes, BG would
+turn that algorithm into a wait-free 2-process consensus algorithm --
+which FLP/LA/Herlihy rule out.  Hence no 1-resilient consensus exists.
+
+This script shows the operational half of that argument:
+
+1. the BG reduction at work on a task that IS 1-resiliently solvable
+   (2-set agreement): 2 wait-free simulators solve it, one may crash;
+2. the mechanism the impossibility hinges on: one crash inside a
+   safe-agreement blocks it forever -- agreement cannot be both safe and
+   live for the simulators, which is exactly what a hypothetical
+   1-resilient consensus algorithm would contradict.
+
+Run:  python examples/bg_reduction.py
+"""
+
+from repro import (CrashPlan, KSetAgreementTask, KSetReadWrite, bg_reduce,
+                   run_algorithm)
+from repro.agreement import SafeAgreementFactory
+from repro.memory import ObjectStore
+from repro.runtime import run_processes
+
+
+def part1_bg_at_work() -> None:
+    print("1. BG reduction: 5-process 1-resilient 2-set agreement")
+    print("   simulated wait-free by 2 processes")
+    src = KSetReadWrite(n=5, t=1, k=2)
+    bg = bg_reduce(src)                      # ASM(2, 1, 1), wait-free
+    print(f"   source {src.model()}  ->  target {bg.model()}")
+
+    inputs = [100, 200]
+    res = run_algorithm(bg, inputs)
+    print(f"   no crash : {res.summary()}")
+    assert KSetAgreementTask(2).validate_run(inputs, res).ok
+
+    res = run_algorithm(bg, inputs,
+                        crash_plan=CrashPlan.at_own_step({0: 9}))
+    print(f"   one crash: {res.summary()}")
+    verdict = KSetAgreementTask(2).validate_run(inputs, res)
+    assert verdict.ok
+    print("   the surviving simulator finishes alone: t-resilience has")
+    print("   become wait-freedom, the BG slogan.")
+
+
+def part2_the_obstruction() -> None:
+    print()
+    print("2. Why consensus can't ride the same reduction: the")
+    print("   safe-agreement obstruction")
+    factory = SafeAgreementFactory(2)
+    store = ObjectStore()
+    store.add_all(factory.shared_objects())
+
+    def simulator(i):
+        inst = factory.instance("critical")
+        yield from inst.propose(i, f"view-of-q{i}")
+        decided = yield from inst.decide(i)
+        return decided
+
+    res = run_processes({0: simulator(0), 1: simulator(1)}, store,
+                        crash_plan=CrashPlan.at_own_step({0: 2}))
+    print(f"   q0 crashes between its (v,1) write and stabilization:")
+    print(f"   {res.summary()}")
+    assert res.deadlocked and res.blocked_pids == {1}
+    print("   q1 is blocked FOREVER -- safe agreement trades wait-freedom")
+    print("   for safety.  A 1-resilient n-process consensus algorithm")
+    print("   would let 2 wait-free simulators decide anyway (via BG),")
+    print("   contradicting the 2-process consensus impossibility.")
+    print("   Conclusion (paper Section 1.1): for every n, consensus is")
+    print("   not 1-resiliently solvable in read/write memory.")
+
+
+if __name__ == "__main__":
+    part1_bg_at_work()
+    part2_the_obstruction()

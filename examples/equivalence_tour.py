@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A tour of the floor(t/x) equivalence calculus (paper Section 5.4).
+
+Prints the paper's worked partition for t' = 8, the multiplicative bands,
+the "useless boost" phenomena, and the set-consensus solvability
+frontier -- then spot-checks two classes by actually running the paper's
+construction.
+
+Run:  python examples/equivalence_tour.py
+"""
+
+from repro import (ASM, KSetAgreementTask, KSetReadWrite, equivalent,
+                   kset_solvable, multiplicative_band, partition_table,
+                   run_algorithm, simulate_with_xcons, useless_boost)
+from repro.runtime import CrashPlan
+
+
+def banner(text: str) -> None:
+    print()
+    print(text)
+    print("-" * len(text))
+
+
+def main() -> None:
+    banner("The Section 5.4 worked example (t' = 8)")
+    print(partition_table(12, 8))
+
+    banner("Multiplicative bands: ASM(n, t', x) ~ ASM(n, t, 1)")
+    for t in (1, 2, 3):
+        for x in (2, 3):
+            lo, hi = multiplicative_band(t, x)
+            print(f"  t={t}, x={x}:  t' in [{lo}..{hi}]")
+
+    banner("Increasing the consensus number can be useless")
+    print("  ASM(n, 8, 5) -> ASM(n, 8, 8): boost x by 3 ...",
+          "USELESS" if useless_boost(8, 5, 3) else "useful")
+    print("  ASM(n, 8, 4) -> ASM(n, 8, 5): boost x by 1 ...",
+          "USELESS" if useless_boost(8, 4, 1) else "useful")
+    print("  (floor(8/5)=floor(8/8)=1, but floor(8/4)=2 != floor(8/5)=1)")
+
+    banner("The paper's flagship example: ASM(n, t, t) ~ ASM(n, 1, 1)")
+    for n, t in ((6, 3), (9, 5), (12, 8)):
+        assert equivalent(ASM(n, t, t), ASM(n, 1, 1))
+        print(f"  ASM({n}, {t}, {t}) ~ ASM({n}, 1, 1)  "
+              f"-> consensus unsolvable in both "
+              f"(index {t // t} >= 1)")
+
+    banner("Solvability frontier: k-set agreement in ASM(9, t', x)")
+    print("  t'\\x " + "".join(f"{x:>4}" for x in range(1, 5)))
+    for t_prime in range(0, 7):
+        cells = []
+        for x in range(1, 5):
+            k_min = next(k for k in range(1, 10)
+                         if kset_solvable(ASM(9, t_prime, x), k))
+            cells.append(f"{k_min:>4}")
+        print(f"  {t_prime:>4} " + "".join(cells))
+    print("  (cell = smallest solvable k; the paper: k > floor(t'/x))")
+
+    banner("Spot-check two classes by execution")
+    for x, index in ((2, 4), (4, 2)):
+        k = index + 1
+        src = KSetReadWrite(n=12, t=index, k=k)
+        alg = simulate_with_xcons(src, t_prime=8, x=x)
+        victims = {v: 3 + 2 * v for v in range(8)}
+        res = run_algorithm(alg, list(range(12)),
+                            crash_plan=CrashPlan.at_own_step(victims),
+                            max_steps=20_000_000)
+        verdict = KSetAgreementTask(k).validate_run(list(range(12)), res)
+        assert verdict.ok, verdict.explain()
+        print(f"  ASM(12, 8, {x}): {k}-set agreement solved under 8 "
+              f"crashes ({res.steps} steps, "
+              f"{len(res.decisions)} deciders)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: the multiplicative power of consensus numbers in 60 lines.
+
+We take the classic t-resilient k-set agreement algorithm for the plain
+read/write model, ASM(n, t, 1), and -- via the paper's Section 4
+simulation -- run it in ASM(n, t', x), where it survives t' = t*x + (x-1)
+crashes: consensus-number-x objects multiply the tolerable failures by x.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (ASM, CrashPlan, KSetAgreementTask, KSetReadWrite,
+                   SeededRandomAdversary, run_algorithm,
+                   simulate_with_xcons)
+
+N, T, X = 6, 1, 3
+T_PRIME = T * X + (X - 1)          # = 5: the top of the multiplicative band
+
+
+def main() -> None:
+    # 1. A 1-resilient 2-set agreement algorithm for the read/write model.
+    source = KSetReadWrite(n=N, t=T, k=T + 1)
+    print(f"source      : {source.name}  designed for {source.model()}")
+
+    # 2. Lift it into ASM(6, 5, 3) with the Section 4 simulation: the
+    #    simulators cooperate through x-safe-agreement objects built from
+    #    consensus-number-3 objects and test&set.
+    lifted = simulate_with_xcons(source, t_prime=T_PRIME, x=X)
+    print(f"lifted      : runs in {lifted.model()}  "
+          f"(band: {T * X} <= t' <= {T * X + X - 1})")
+
+    # 3. Crash t' = 5 of the 6 processes mid-run -- five times the
+    #    failures the source was designed for.
+    inputs = [10, 20, 30, 40, 50, 60]
+    crash_plan = CrashPlan.at_own_step({v: 4 + 3 * v for v in range(T_PRIME)})
+    result = run_algorithm(lifted, inputs,
+                           adversary=SeededRandomAdversary(7),
+                           crash_plan=crash_plan,
+                           max_steps=5_000_000)
+
+    print(f"run         : {result.summary()}")
+
+    # 4. Validate the task: every survivor decided, decisions are
+    #    proposed values, and at most k = 2 distinct values were decided.
+    verdict = KSetAgreementTask(T + 1).validate_run(inputs, result)
+    print(f"task verdict: {verdict.explain()}")
+    assert verdict.ok
+
+    # 5. The calculus view: both models sit in the same equivalence
+    #    class because floor(t/1) == floor(t'/x).
+    from repro import equivalent
+    assert equivalent(ASM(N, T, 1), ASM(N, T_PRIME, X))
+    print(f"equivalence : {ASM(N, T, 1)} ~ {ASM(N, T_PRIME, X)}   "
+          f"(floor(t/x) = {T} on both sides)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Anatomy of a BG simulation run, drawn as ASCII timelines.
+
+Records full traces of (1) a plain k-set agreement run and (2) the same
+algorithm under the Section 4 simulation, then renders one lane per
+process so you can *see* the paper's machinery: the burst of agreement
+traffic per simulated snapshot, the spin lanes of processes waiting on a
+dead agreement, and the crash/decide markers.
+
+Run:  python examples/trace_anatomy.py
+"""
+
+from repro.algorithms import KSetReadWrite, run_algorithm
+from repro.analysis.timeline import lane_summary, render_timeline
+from repro.core import simulate_with_xcons
+from repro.runtime import CrashPlan, SeededRandomAdversary
+
+
+def section(title: str) -> None:
+    print()
+    print("#", title)
+
+
+def main() -> None:
+    src = KSetReadWrite(n=4, t=1, k=2)
+
+    section("1. The source algorithm, bare: ASM(4, 1, 1), one crash")
+    res = run_algorithm(src, [4, 3, 2, 1],
+                        adversary=SeededRandomAdversary(2),
+                        crash_plan=CrashPlan.at_own_step({0: 2}),
+                        record_trace=True)
+    print(render_timeline(res.trace))
+    print(f"-> {res.summary()}")
+
+    section("2. The same task under the Section 4 simulation: "
+            "ASM(4, 3, 2), three crashes")
+    sim = simulate_with_xcons(src, t_prime=3, x=2)
+    res = run_algorithm(sim, [4, 3, 2, 1],
+                        adversary=SeededRandomAdversary(2),
+                        crash_plan=CrashPlan.at_own_step(
+                            {0: 6, 1: 11, 2: 16}),
+                        record_trace=True)
+    print(render_timeline(res.trace, width=76))
+    print(f"-> {res.summary()}")
+    print()
+    print("what to look for: 't' bursts are the X_T&S owner elections,")
+    print("'p' the XCONS subset scans, 'w'/'r' the X_SAFE_AG publishes")
+    print("and reads; after each X the dead owners' obligations are")
+    print("picked up by survivors; '.' lanes are threads waiting on")
+    print("agreements (read-only, detectable).")
+
+    section("3. Per-process op mix of the simulated run")
+    mix = lane_summary(res.trace)
+    for pid in sorted(mix):
+        ops = ", ".join(f"{glyph}x{count}"
+                        for glyph, count in sorted(mix[pid].items()))
+        print(f"  q{pid}: {ops}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro: The Multiplicative Power of Consensus Numbers (Imbs & Raynal,
+PODC 2010), reproduced as a runnable library.
+
+The package provides:
+
+* ``repro.runtime``    -- a deterministic cooperative-step simulator of
+  asynchronous crash-prone shared-memory systems;
+* ``repro.memory`` / ``repro.objects`` -- the shared-object substrate
+  (registers, snapshots, consensus-number-x objects, test&set, ...);
+* ``repro.agreement``  -- safe-agreement (Fig. 1) and the paper's new
+  x-safe-agreement (Figs. 5-6);
+* ``repro.bg``         -- the generic BG-simulation machinery (Figs. 2-4);
+* ``repro.core``       -- the paper's results: the Section 3 and Section 4
+  simulations, the colored variant (Sec. 5.5), the floor(t/x) equivalence
+  calculus (Sec. 5.4) and transfer chains (Fig. 7);
+* ``repro.algorithms`` / ``repro.tasks`` -- concrete algorithms and
+  decision-task specifications;
+* ``repro.analysis``   -- linearizability checking and lemma certificates.
+
+Quickstart::
+
+    from repro import ASM, KSetReadWrite, simulate_with_xcons, run_algorithm
+    src = KSetReadWrite(n=6, t=2, k=3)          # ASM(6, 2, 1)
+    alg = simulate_with_xcons(src, t_prime=5, x=2)   # ASM(6, 5, 2)
+    result = run_algorithm(alg, [10, 20, 30, 40, 50, 60])
+"""
+
+from .algorithms import (Algorithm, ConsensusFromXCons,
+                         ConsensusReadWriteFailureFree,
+                         GroupedKSetFromXCons, IdentityAlgorithm,
+                         KSetReadWrite, OmegaConsensus,
+                         OmegaXClusterConsensus, RenamingFromTAS,
+                         SplitterGridRenaming, WriteThenSnapshot,
+                         run_algorithm)
+from .detectors import OmegaLeader, OmegaX
+from .core import (ASM, ModelViolation, SimulationAlgorithm, bg_reduce,
+                   canonical, consensus_solvable,
+                   equivalence_certificate, equivalence_classes,
+                   equivalent, generalized_bg_reduce, in_band,
+                   kset_solvable, multiplicative_band, partition_table,
+                   plan_transfer, resilience_index, simulate_colored,
+                   simulate_in_read_write, simulate_with_xcons, stronger,
+                   task_solvable, transfer_algorithm,
+                   transfer_impossibility, useless_boost)
+from .runtime import (CrashPlan, PriorityAdversary, RoundRobinAdversary,
+                      RunResult, SeededRandomAdversary, run_processes)
+from .tasks import (ConsensusTask, DistinctValuesTask, KSetAgreementTask,
+                    RenamingTask, Task, TaskVerdict)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm", "ConsensusFromXCons", "ConsensusReadWriteFailureFree",
+    "GroupedKSetFromXCons", "IdentityAlgorithm", "KSetReadWrite",
+    "OmegaConsensus", "OmegaXClusterConsensus",
+    "RenamingFromTAS", "SplitterGridRenaming", "WriteThenSnapshot",
+    "run_algorithm",
+    "OmegaLeader", "OmegaX",
+    "ASM", "ModelViolation", "SimulationAlgorithm", "bg_reduce",
+    "canonical", "consensus_solvable", "equivalence_certificate",
+    "equivalence_classes",
+    "equivalent", "generalized_bg_reduce", "in_band", "kset_solvable",
+    "multiplicative_band", "partition_table", "plan_transfer",
+    "resilience_index", "simulate_colored", "simulate_in_read_write",
+    "simulate_with_xcons", "stronger", "task_solvable",
+    "transfer_algorithm", "transfer_impossibility", "useless_boost",
+    "CrashPlan", "PriorityAdversary", "RoundRobinAdversary", "RunResult",
+    "SeededRandomAdversary", "run_processes",
+    "ConsensusTask", "DistinctValuesTask", "KSetAgreementTask",
+    "RenamingTask", "Task", "TaskVerdict",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``classes N T``   -- print the equivalence-class partition of
+  ASM(N, T, x) for x = 1..N (paper Section 5.4).
+* ``band T X``      -- the multiplicative band of t' for ASM(n, t', X)
+  ~ ASM(n, T, 1).
+* ``solve N T X K`` -- decide solvability of K-set agreement in
+  ASM(N, T, X) and, on the possible side, run the paper's construction.
+* ``demo``          -- a one-minute tour (runs the quickstart scenario).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (kset_solvable, multiplicative_band, partition_table,
+                   simulate_with_xcons)
+from .model import ASM
+
+
+def cmd_classes(args: argparse.Namespace) -> int:
+    """Print the Section 5.4 equivalence-class partition."""
+    print(partition_table(args.n, args.t))
+    return 0
+
+
+def cmd_band(args: argparse.Namespace) -> int:
+    """Print the multiplicative band of t' for the given (t, x)."""
+    lo, hi = multiplicative_band(args.t, args.x)
+    print(f"ASM(n, t', {args.x}) ~ ASM(n, {args.t}, 1)  iff  "
+          f"{lo} <= t' <= {hi}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    """Decide solvability; on the possible side run the construction."""
+    model = ASM(args.n, args.t, args.x)
+    possible = kset_solvable(model, args.k)
+    print(f"{args.k}-set agreement in {model}: "
+          f"{'SOLVABLE' if possible else 'IMPOSSIBLE'} "
+          f"(floor(t/x) = {model.resilience_index}, need k > that)")
+    if not possible:
+        return 1
+    from .algorithms import KSetReadWrite, run_algorithm
+    from .tasks import KSetAgreementTask
+    t0 = model.resilience_index
+    src = KSetReadWrite(n=args.n, t=t0, k=max(args.k, t0 + 1))
+    alg = src if args.x == 1 else simulate_with_xcons(
+        src, t_prime=args.t, x=args.x)
+    result = run_algorithm(alg, list(range(args.n)),
+                           max_steps=20_000_000)
+    verdict = KSetAgreementTask(args.k).validate_run(
+        list(range(args.n)), result)
+    print(f"construction executed: {result.summary()}")
+    print(f"task verdict: {verdict.explain()}")
+    return 0 if verdict.ok else 1
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """A one-minute tour of the headline result."""
+    from .algorithms import KSetReadWrite, run_algorithm
+    from .runtime import CrashPlan
+    from .tasks import KSetAgreementTask
+    n, t, x = 6, 1, 3
+    t_prime = t * x + x - 1
+    src = KSetReadWrite(n=n, t=t, k=t + 1)
+    lifted = simulate_with_xcons(src, t_prime=t_prime, x=x)
+    print(f"{src.name} in {src.model()} lifted to {lifted.model()}")
+    plan = CrashPlan.at_own_step({v: 4 + 3 * v for v in range(t_prime)})
+    result = run_algorithm(lifted, list(range(n)), crash_plan=plan,
+                           max_steps=5_000_000)
+    print(f"with {t_prime} crashes: {result.summary()}")
+    ok = KSetAgreementTask(t + 1).validate_run(
+        list(range(n)), result).ok
+    print(f"2-set agreement: {'preserved' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Multiplicative Power of Consensus Numbers -- "
+                    "reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classes", help="Section 5.4 partition table")
+    p.add_argument("n", type=int)
+    p.add_argument("t", type=int)
+    p.set_defaults(func=cmd_classes)
+
+    p = sub.add_parser("band", help="multiplicative band of t'")
+    p.add_argument("t", type=int)
+    p.add_argument("x", type=int)
+    p.set_defaults(func=cmd_band)
+
+    p = sub.add_parser("solve", help="solvability of k-set agreement")
+    p.add_argument("n", type=int)
+    p.add_argument("t", type=int)
+    p.add_argument("x", type=int)
+    p.add_argument("k", type=int)
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("demo", help="one-minute tour")
+    p.set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Agreement object types of the paper: safe-agreement (Figure 1),
+x_compete (Figure 5) and x-safe-agreement (Figure 6)."""
+
+from .adopt_commit import ADOPT, COMMIT, AdoptCommit, adopt_commit_specs
+from .base import AgreementFactory, AgreementInstance
+from .safe_agreement import (MEANINGLESS, STABLE, UNSTABLE,
+                             SafeAgreementFactory, SafeAgreementInstance)
+from .x_compete import x_compete
+from .x_safe_agreement import (XSafeAgreementFactory,
+                               XSafeAgreementInstance, set_list)
+
+__all__ = [
+    "ADOPT", "COMMIT", "AdoptCommit", "adopt_commit_specs",
+    "AgreementFactory", "AgreementInstance",
+    "MEANINGLESS", "STABLE", "UNSTABLE",
+    "SafeAgreementFactory", "SafeAgreementInstance",
+    "x_compete",
+    "XSafeAgreementFactory", "XSafeAgreementInstance", "set_list",
+]

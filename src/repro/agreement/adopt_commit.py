@@ -1,0 +1,70 @@
+"""Adopt-commit objects (Gafni 1998).
+
+The wait-free read/write building block of indulgent consensus: every
+invoker proposes a value and obtains (COMMIT, v) or (ADOPT, v) with
+
+* Validity     -- the output value was proposed;
+* Convergence  -- if all proposals equal v, every output is (COMMIT, v);
+* Coherence    -- if any output is (COMMIT, v), every output's value is v;
+* Termination  -- wait-free.
+
+Implementation: the classic two-phase construction over two snapshot
+objects.  Phase 1 publishes the proposal and checks unanimity; phase 2
+publishes the phase-1 verdict and commits only if nobody disagreed.
+
+Instances live in two snapshot families keyed by the instance key, so
+round-based algorithms get one fresh object per round for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, List, Tuple
+
+from ..memory.base import BOTTOM
+from ..memory.families import SnapshotFamily
+from ..runtime.ops import ObjectProxy
+
+#: Outcome tags.
+COMMIT = "commit"
+ADOPT = "adopt"
+
+
+class AdoptCommit:
+    """View of one adopt-commit object (state in two snapshot families)."""
+
+    def __init__(self, key: Hashable, n: int,
+                 phase1_name: str = "AC1",
+                 phase2_name: str = "AC2") -> None:
+        self.key = key
+        self.n = n
+        self.a = ObjectProxy(phase1_name)
+        self.b = ObjectProxy(phase2_name)
+
+    def propose(self, pid: int, value: Any) -> Generator:
+        """``(outcome, value) = yield from ac.propose(pid, v)``."""
+        # Phase 1: publish, then check unanimity among published values.
+        yield self.a.write(self.key, pid, value)
+        seen = yield self.a.snapshot(self.key)
+        values = {repr(e): e for e in seen if e is not BOTTOM}
+        if len(values) == 1:
+            verdict: Tuple[str, Any] = (COMMIT, value)
+        else:
+            verdict = (ADOPT, value)
+        # Phase 2: publish the verdict; commit only without dissent.
+        yield self.b.write(self.key, pid, verdict)
+        verdicts = [e for e in (yield self.b.snapshot(self.key))
+                    if e is not BOTTOM]
+        committed = [v for tag, v in verdicts if tag == COMMIT]
+        if committed and all(tag == COMMIT for tag, _ in verdicts):
+            return (COMMIT, committed[0])
+        if committed:
+            return (ADOPT, committed[0])
+        return (ADOPT, value)
+
+
+def adopt_commit_specs(n: int, phase1_name: str = "AC1",
+                       phase2_name: str = "AC2") -> List:
+    """Object specs backing all AdoptCommit instances of a run."""
+    from ..memory.specs import make_spec
+    return [make_spec("snapshot_family", phase1_name, size=n),
+            make_spec("snapshot_family", phase2_name, size=n)]

@@ -1,0 +1,52 @@
+"""Common interface of the agreement object types used by the simulations.
+
+Both the BG safe-agreement (Figure 1) and the paper's new x-safe-agreement
+(Figure 6) are one-shot objects offering ``propose`` then ``decide``, with:
+
+* Termination -- conditional on how many participants crash mid-propose
+  (one crash kills a safe-agreement; x crashes of *owners* are needed to
+  kill an x-safe-agreement),
+* Agreement -- at most one value is decided,
+* Validity -- a decided value is a proposed value.
+
+Protocol instances are *views*: the state lives in family objects of the
+shared store, keyed by the instance key, so any number of simulators can
+construct a view of the same logical object.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Hashable
+
+
+class AgreementInstance(ABC):
+    """View of one one-shot agreement object in the shared store."""
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+
+    @abstractmethod
+    def propose(self, sim_id: int, value: Any) -> Generator:
+        """Generator: propose ``value`` on behalf of simulator ``sim_id``.
+
+        Must be invoked at most once per simulator, before ``decide``.
+        Yields target-model operations; returns None.
+        """
+
+    @abstractmethod
+    def decide(self, sim_id: int) -> Generator:
+        """Generator: return the decided value (may busy-wait)."""
+
+
+class AgreementFactory(ABC):
+    """Creates agreement instance views and declares the shared objects they
+    need, so a simulation algorithm can list them in its object specs."""
+
+    @abstractmethod
+    def instance(self, key: Hashable) -> AgreementInstance:
+        """View of the agreement object named ``key``."""
+
+    @abstractmethod
+    def shared_objects(self) -> list:
+        """Fresh shared objects backing all instances (one set per run)."""

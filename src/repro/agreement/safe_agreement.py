@@ -1,0 +1,96 @@
+"""The safe-agreement object type (paper Figure 1, from [BGLR 2001]).
+
+Built from a snapshot object ``SM`` with one entry per simulator, each entry
+a (value, level) pair with level 0 = meaningless, 1 = unstable, 2 = stable:
+
+* ``sa_propose(v)``: write (v, 1); snapshot; if some entry is stable, cancel
+  own value (level 0) else make it stable (level 2).
+* ``sa_decide()``: snapshot until no entry is unstable; return the stable
+  value of the smallest simulator id.
+
+Termination of ``sa_decide`` holds provided no simulator crashes *between*
+its level-1 write and its level-0/2 overwrite -- the window the BG
+simulation protects with mutex1 so that one simulator crash can block at
+most one simulated process (paper, Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, List, Tuple
+
+from ..memory.base import BOTTOM
+from ..memory.families import SnapshotFamily
+from ..runtime.ops import ObjectProxy, wait_until
+from .base import AgreementFactory, AgreementInstance
+
+#: Entry levels (paper, Section 3.1).
+MEANINGLESS, UNSTABLE, STABLE = 0, 1, 2
+
+
+def _level(entry: Any) -> int:
+    return MEANINGLESS if entry is BOTTOM else entry[1]
+
+
+def _no_unstable(snap: Tuple[Any, ...]) -> bool:
+    return all(_level(e) != UNSTABLE for e in snap)
+
+
+class SafeAgreementInstance(AgreementInstance):
+    """View of one safe-agreement object stored in a SnapshotFamily."""
+
+    def __init__(self, family_name: str, key: Hashable,
+                 n_simulators: int) -> None:
+        super().__init__(key)
+        self.sm = ObjectProxy(family_name)
+        self.n = n_simulators
+
+    def propose(self, sim_id: int, value: Any) -> Generator:
+        # (01) SM[i] <- (v, 1)
+        yield self.sm.write(self.key, sim_id, (value, UNSTABLE))
+        # (02) sm_i <- SM.snapshot()
+        snap = yield self.sm.snapshot(self.key)
+        # (03) stable elsewhere? cancel : stabilize
+        if any(_level(e) == STABLE for e in snap):
+            yield self.sm.write(self.key, sim_id, (value, MEANINGLESS))
+        else:
+            yield self.sm.write(self.key, sim_id, (value, STABLE))
+
+    def activity_probe(self):
+        """Read-only (invocation, predicate) pair that fires once any
+        simulator has started proposing on this instance.  Used by the
+        translator's busy-wait protocol (see repro.bg.translate)."""
+        return (self.sm.snapshot(self.key),
+                lambda snap: any(e is not BOTTOM for e in snap))
+
+    def decide(self, sim_id: int) -> Generator:
+        # (04) repeat snapshot until no unstable entry
+        snap = yield from wait_until(
+            lambda: self.sm.snapshot(self.key), _no_unstable)
+        # (05) smallest id with a stable value
+        for entry in snap:
+            if _level(entry) == STABLE:
+                return entry[0]
+        raise AssertionError(
+            f"safe_agreement[{self.key!r}]: decide invoked before propose "
+            f"completed (no stable entry)")
+
+
+class SafeAgreementFactory(AgreementFactory):
+    """Factory of safe-agreement views over one SnapshotFamily."""
+
+    def __init__(self, n_simulators: int,
+                 family_name: str = "SAFE_AG") -> None:
+        self.n_simulators = n_simulators
+        self.family_name = family_name
+
+    def instance(self, key: Hashable) -> SafeAgreementInstance:
+        return SafeAgreementInstance(self.family_name, key,
+                                     self.n_simulators)
+
+    def shared_objects(self) -> List:
+        return [SnapshotFamily(self.family_name, self.n_simulators)]
+
+    def object_specs(self) -> List:
+        from ..memory.specs import make_spec
+        return [make_spec("snapshot_family", self.family_name,
+                          size=self.n_simulators)]

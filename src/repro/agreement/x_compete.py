@@ -1,0 +1,35 @@
+"""The x_compete() operation (paper Figure 5).
+
+Dynamically elects the owners of an x-safe-agreement object: at most x
+invokers obtain True, and if at most x simulators invoke it, every correct
+invoker obtains True.  Implemented from an array ``TS[1..x]`` of one-shot
+test&set objects: scan the array, stopping at the first object won.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Hashable
+
+from ..runtime.ops import ObjectProxy
+
+
+def x_compete(tas_family: ObjectProxy, key: Hashable, x: int,
+              sim_id: int) -> Generator:
+    """``winner = yield from x_compete(ts, key, x, i)``.
+
+    ``tas_family`` is a :class:`~repro.memory.families.TASFamily` proxy;
+    slot ``ell`` of the instance is the family key ``(key, ell)``.
+
+    Properties (proved as part of Theorem 2):
+    * at most x invokers return True (x objects, one winner each);
+    * a process that returns False saw x losses, so x distinct winners
+      exist -- hence if <= x processes invoke, no correct one loses.
+    """
+    if x < 1:
+        raise ValueError("x must be >= 1")
+    # (01)-(04): scan TS[0..x-1] until a win or the array is exhausted.
+    for ell in range(x):
+        winner = yield tas_family.test_and_set((key, ell))
+        if winner:
+            return True
+    return False

@@ -1,0 +1,130 @@
+"""The x-safe-agreement object type (paper Section 4.2, Figure 6).
+
+The core novelty of the reverse simulation.  Compared with safe-agreement:
+
+* Termination is weakened/strengthened to: if at most (x-1) processes crash
+  while executing ``x_sa_propose()``, every correct ``x_sa_decide()``
+  returns.  Killing one object therefore costs the adversary x crashes, so
+  t' simulator crashes can block at most ⌊t'/x⌋ simulated processes
+  (Lemma 7) -- the multiplicative phenomenon itself.
+* Ownership is *dynamic*: the first (at most) x invokers win the
+  ``X_T&S`` competition (Figure 5) and become the object's owners.  Owners
+  cooperate through the statically-ported consensus objects
+  ``XCONS[1..m]``: scanning the fixed list ``SET_LIST[1..m]`` of size-x
+  subsets of simulators and proposing to every object whose port set
+  contains them.  Whatever the actual owner set S is, there is an ``ell``
+  with S ⊆ SET_LIST[ell]; from that object on, all owners carry the same
+  value, which the first finisher publishes in the register ``X_SAFE_AG``.
+
+Shared state per instance (all keyed by the instance key in families):
+
+* ``X_T&S``  -> TASFamily keys ``(key, 0..x-1)``
+* ``XCONS``  -> XConsFamily keys ``(key, ell)`` with ports SET_LIST[ell]
+* ``X_SAFE_AG`` -> RegisterFamily key ``key``
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Generator, Hashable, List, Sequence, Tuple
+
+from ..memory.base import BOTTOM
+from ..memory.families import RegisterFamily, TASFamily, XConsFamily
+from ..runtime.ops import ObjectProxy, wait_until
+from .base import AgreementFactory, AgreementInstance
+from .x_compete import x_compete
+
+
+def set_list(n_simulators: int, x: int) -> List[Tuple[int, ...]]:
+    """The paper's SET_LIST[1..m]: all size-x subsets of simulator ids, in
+    a deterministic (lexicographic) order that every simulator scans
+    identically.  m = C(n_simulators, x)."""
+    if not 1 <= x <= n_simulators:
+        raise ValueError(
+            f"need 1 <= x <= n_simulators, got x={x}, n={n_simulators}")
+    return list(combinations(range(n_simulators), x))
+
+
+class XSafeAgreementInstance(AgreementInstance):
+    """View of one x-safe-agreement object."""
+
+    def __init__(self, key: Hashable, x: int,
+                 subsets: Sequence[Tuple[int, ...]],
+                 tas_name: str, xcons_name: str, reg_name: str) -> None:
+        super().__init__(key)
+        self.x = x
+        self.subsets = subsets
+        self.tas = ObjectProxy(tas_name)
+        self.xcons = ObjectProxy(xcons_name)
+        self.reg = ObjectProxy(reg_name)
+
+    def propose(self, sim_id: int, value: Any) -> Generator:
+        # (01) compete for ownership.
+        owner = yield from x_compete(self.tas, self.key, self.x, sim_id)
+        if not owner:
+            # At least x simulators invoked propose; x owners exist.
+            return
+        # (03)-(06) scan SET_LIST, funneling through every consensus object
+        # whose port set contains us.
+        res = value
+        for ell, subset in enumerate(self.subsets):
+            if sim_id in subset:
+                res = yield self.xcons.propose(self.key, ell, res)
+        # (07) publish the decided value.
+        yield self.reg.write(self.key, res)
+
+    def activity_probe(self):
+        """Read-only (invocation, predicate) pair that fires once any
+        simulator has started proposing on this instance (every propose
+        begins by competing on TS slot 0).  Used by the translator's
+        busy-wait protocol (see repro.bg.translate)."""
+        return (self.tas.peek((self.key, 0)),
+                lambda winner: winner is not None)
+
+    def decide(self, sim_id: int) -> Generator:
+        # (09)-(10) wait until X_SAFE_AG is written, then return it.
+        value = yield from wait_until(
+            lambda: self.reg.read(self.key),
+            lambda v: v is not BOTTOM)
+        return value
+
+
+class XSafeAgreementFactory(AgreementFactory):
+    """Factory of x-safe-agreement views over one (TAS, XCons, Register)
+    family triple shared by all instances."""
+
+    def __init__(self, n_simulators: int, x: int,
+                 prefix: str = "XSA") -> None:
+        if x < 1:
+            raise ValueError("x must be >= 1")
+        self.n_simulators = n_simulators
+        self.x = x
+        self.subsets = set_list(n_simulators, x)
+        self.tas_name = f"{prefix}_TS"
+        self.xcons_name = f"{prefix}_XCONS"
+        self.reg_name = f"{prefix}_REG"
+
+    @property
+    def m(self) -> int:
+        return len(self.subsets)
+
+    def instance(self, key: Hashable) -> XSafeAgreementInstance:
+        return XSafeAgreementInstance(
+            key, self.x, self.subsets,
+            self.tas_name, self.xcons_name, self.reg_name)
+
+    def shared_objects(self) -> List:
+        return [
+            TASFamily(self.tas_name),
+            XConsFamily(self.xcons_name, self.subsets),
+            RegisterFamily(self.reg_name),
+        ]
+
+    def object_specs(self) -> List:
+        from ..memory.specs import make_spec
+        return [
+            make_spec("tas_family", self.tas_name),
+            make_spec("xcons_family", self.xcons_name,
+                      subsets=tuple(self.subsets)),
+            make_spec("register_family", self.reg_name),
+        ]

@@ -1,0 +1,21 @@
+"""Concrete algorithms: the inputs the paper's simulations quantify over."""
+
+from .consensus_from_xcons import (ConsensusFromXCons, GroupedKSetFromXCons,
+                                   group_of, groups)
+from .kset_rw import ConsensusReadWriteFailureFree, KSetReadWrite
+from .omega_consensus import OmegaConsensus, OmegaXClusterConsensus
+from .protocol import Algorithm, run_algorithm
+from .renaming_tas import RenamingFromTAS
+from .splitter_renaming import (ImmediateSnapshotRenaming,
+                                SplitterGridRenaming)
+from .trivial import IdentityAlgorithm, WriteThenSnapshot
+
+__all__ = [
+    "Algorithm", "run_algorithm",
+    "ConsensusFromXCons", "GroupedKSetFromXCons", "group_of", "groups",
+    "ConsensusReadWriteFailureFree", "KSetReadWrite",
+    "OmegaConsensus", "OmegaXClusterConsensus",
+    "ImmediateSnapshotRenaming",
+    "RenamingFromTAS", "SplitterGridRenaming",
+    "IdentityAlgorithm", "WriteThenSnapshot",
+]

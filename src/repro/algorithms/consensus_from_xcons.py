@@ -1,0 +1,79 @@
+"""Consensus and k-set agreement from consensus-number-x objects.
+
+Two wait-free algorithms living at the "possibility" frontier of the
+paper's calculus:
+
+* :class:`ConsensusFromXCons` -- for n <= x, one x-ported consensus object
+  solves consensus outright (objects of consensus number x are universal in
+  systems of at most x processes, paper Section 1.1).
+* :class:`GroupedKSetFromXCons` -- for any n, partition the processes into
+  ⌈n/x⌉ statically-defined groups of size <= x, give each group one
+  consensus object: at most ⌈n/x⌉ distinct decisions, wait-free.  This
+  witnesses that ⌈n/x⌉-set agreement is wait-free solvable in
+  ASM(n, n-1, x), matching the paper's k > ⌊t/x⌋ solvability bound at
+  t = n-1 (⌈n/x⌉ >= ⌊(n-1)/x⌋ + 1 always holds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy
+from .protocol import Algorithm
+
+CONS = "cons"
+
+
+def group_of(pid: int, x: int) -> int:
+    """Index of pid's group in the size-x partition (0-based)."""
+    return pid // x
+
+
+def groups(n: int, x: int) -> List[List[int]]:
+    """Partition 0..n-1 into ⌈n/x⌉ blocks of size <= x."""
+    return [list(range(start, min(start + x, n)))
+            for start in range(0, n, x)]
+
+
+class ConsensusFromXCons(Algorithm):
+    """Wait-free consensus for n <= x processes: propose to one object."""
+
+    def __init__(self, n: int, x: int) -> None:
+        super().__init__(n, resilience=n - 1)
+        if x < n:
+            raise ValueError(
+                f"one consensus object serves at most x processes; "
+                f"need x >= n, got x={x}, n={n}")
+        self.x = x
+        self.name = f"consensus_from_xcons(n={n}, x={x})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [make_spec("xcons", CONS, ports=range(self.n))]
+
+    def program(self, pid: int, value: Any) -> Generator:
+        cons = ObjectProxy(CONS)
+        decided = yield cons.propose(value)
+        return decided
+
+
+class GroupedKSetFromXCons(Algorithm):
+    """Wait-free ⌈n/x⌉-set agreement from per-group consensus objects."""
+
+    def __init__(self, n: int, x: int) -> None:
+        super().__init__(n, resilience=n - 1)
+        if not 1 <= x <= n:
+            raise ValueError(f"need 1 <= x <= n, got x={x}, n={n}")
+        self.x = x
+        self.k = -(-n // x)  # ceil(n/x): max distinct decisions
+        self.name = f"grouped_kset(n={n}, x={x}, k={self.k})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [make_spec("xcons", f"{CONS}[{g}]", ports=members)
+                for g, members in enumerate(groups(self.n, self.x))]
+
+    def program(self, pid: int, value: Any) -> Generator:
+        g = group_of(pid, self.x)
+        cons = ObjectProxy(f"{CONS}[{g}]")
+        decided = yield cons.propose(value)
+        return decided

@@ -1,0 +1,67 @@
+"""t-resilient k-set agreement in the read/write model, for t < k.
+
+The classic algorithm ("it is trivial to solve k-set agreement in
+asynchronous read/write systems prone to t < k crashes", paper Section 1.1,
+after Chaudhuri 1993): write your input, snapshot until at least n - t
+inputs are visible, decide the minimum value seen.
+
+Why at most t + 1 <= k distinct values are decided: every snapshot with
+n - t non-⊥ entries misses at most t entries, so it contains at least one
+of the t + 1 smallest written inputs; its minimum is therefore one of those
+t + 1 values.
+
+This is the canonical *colorless* task algorithm fed to both simulations in
+the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..memory.base import BOTTOM
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy, wait_until
+from .protocol import Algorithm
+
+MEM = "mem"
+
+
+class KSetReadWrite(Algorithm):
+    """k-set agreement via write + snapshot-until-(n-t), decide min."""
+
+    def __init__(self, n: int, t: int, k: int) -> None:
+        super().__init__(n, resilience=t)
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}")
+        if t >= k:
+            raise ValueError(
+                f"this algorithm requires t < k (k-set agreement is "
+                f"impossible in ASM(n, t, 1) for t >= k); got t={t}, k={k}")
+        self.k = k
+        self.name = f"kset_rw(n={n}, t={t}, k={k})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [make_spec("snapshot", MEM, size=self.n)]
+
+    def program(self, pid: int, value: Any) -> Generator:
+        mem = ObjectProxy(MEM)
+        threshold = self.n - self.resilience
+        yield mem.write(pid, value)
+        snap = yield from wait_until(
+            lambda: mem.snapshot(),
+            lambda s: sum(1 for e in s if e is not BOTTOM) >= threshold)
+        return min(e for e in snap if e is not BOTTOM)
+
+
+class ConsensusReadWriteFailureFree(KSetReadWrite):
+    """Consensus in ASM(n, 0, 1): the degenerate t = 0 instance.
+
+    With no crashes every process waits for all n inputs and decides the
+    global minimum -- the failure-free read/write model solves consensus,
+    which is why Section 5.4 can place ASM(n, 8, x >= 9) in the same class
+    as ASM(n, 0, 1).
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, t=0, k=1)
+        self.name = f"consensus_rw_t0(n={n})"

@@ -1,0 +1,176 @@
+"""Indulgent consensus from Ω (the Section 1.3 boosting, x = 1 instance).
+
+Consensus is unsolvable in ASM(n, t, 1) for every t >= 1 (the paper's
+running impossibility).  Enriching the model with the leader oracle Ω
+makes it wait-free solvable -- failure detectors boost computability
+exactly as Section 1.3 recounts (Ω = Ω1 is the weakest such oracle;
+Guerraoui-Kuznetsov generalize to Ωx).
+
+The algorithm is the classic round-based *indulgent* scheme:
+
+round r:
+  1. exit if the decision register is set;
+  2. wait until the CURRENT leader's round-r proposal is visible (writing
+     our own if we are the leader) -- re-querying Ω while waiting, so a
+     crashed or demoted leader cannot block us;
+  3. adopt the leader proposal and run the round's adopt-commit object;
+     COMMIT -> write the decision register and decide; ADOPT -> carry the
+     value to round r+1.
+
+Safety (agreement + validity) comes from adopt-commit *alone* and holds
+even while Ω misbehaves -- that is indulgence.  Termination needs Ω's
+eventual guarantee: once all correct processes see the same correct
+leader forever, that leader's proposal reaches everyone within one round
+and the round's adopt-commit is unanimous.
+
+The same skeleton with coordinator *sets* and per-subset consensus
+objects gives the Ωx variant -- see OmegaXClusterConsensus.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Generator, List
+
+from ..agreement.adopt_commit import COMMIT, AdoptCommit, adopt_commit_specs
+from ..memory.base import BOTTOM
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy
+from .protocol import Algorithm
+
+OMEGA = "omega"
+LEAD = "LEAD"      # register family: (round, leader) -> proposal
+DEC = "DEC"        # decision register
+
+
+class OmegaConsensus(Algorithm):
+    """Wait-free consensus in ASM(n, n-1, 1) + Ω."""
+
+    def __init__(self, n: int, stabilize_after: int = 0,
+                 max_rounds: int = 10_000) -> None:
+        super().__init__(n, resilience=n - 1)
+        self.stabilize_after = stabilize_after
+        self.max_rounds = max_rounds
+        self.name = f"omega_consensus(n={n}, stab={stabilize_after})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [
+            make_spec("omega", OMEGA, stabilize_after=self.stabilize_after),
+            make_spec("register_family", LEAD),
+            make_spec("register", DEC),
+        ] + adopt_commit_specs(self.n)
+
+    def program(self, pid: int, value: Any) -> Generator:
+        omega = ObjectProxy(OMEGA)
+        lead = ObjectProxy(LEAD)
+        dec = ObjectProxy(DEC)
+        est = value
+        for r in range(self.max_rounds):
+            # (1) fast exit on a published decision.
+            decided = yield dec.read()
+            if decided is not BOTTOM:
+                return decided
+            # (2) obtain the round-r proposal of a current leader.
+            while True:
+                leader = yield omega.query()
+                if leader == pid:
+                    yield lead.write((r, pid), est)
+                    proposal = est
+                    break
+                proposal = yield lead.read((r, leader))
+                if proposal is not BOTTOM:
+                    break
+                decided = yield dec.read()
+                if decided is not BOTTOM:
+                    return decided
+            # (3) one adopt-commit round on the adopted proposal.
+            outcome, est = yield from AdoptCommit((r,), self.n).propose(
+                pid, proposal)
+            if outcome == COMMIT:
+                yield dec.write(est)
+                return est
+        raise AssertionError(
+            f"omega_consensus: no decision within {self.max_rounds} "
+            f"rounds -- Omega never stabilized?")
+
+
+class OmegaXClusterConsensus(Algorithm):
+    """Wait-free consensus in ASM(n, n-1, x) + Ωx.
+
+    The Ωx generalization of the same skeleton: the oracle outputs a
+    *set* S of x processes.  Members of S funnel their estimates through
+    the round's x-consensus object for S (one statically-ported object
+    per (round, size-x subset), exactly the SET_LIST indexing of the
+    paper's Figure 6) and publish the result; everybody adopts a
+    published coordinator value and runs the round's adopt-commit.
+
+    Once Ωx stabilizes on a set S* containing a correct process, that
+    process publishes S*'s agreed value every round, so some round
+    becomes unanimous and commits.  Safety is adopt-commit's, so wrong
+    oracle outputs never violate agreement.  This is the operational
+    face of "Ωx boosts consensus-number-x objects" (Section 1.3).
+    """
+
+    def __init__(self, n: int, x: int, stabilize_after: int = 0,
+                 max_rounds: int = 10_000) -> None:
+        super().__init__(n, resilience=n - 1)
+        if not 1 <= x <= n:
+            raise ValueError(f"need 1 <= x <= n, got x={x}")
+        self.x = x
+        self.subsets = list(combinations(range(n), x))
+        self.stabilize_after = stabilize_after
+        self.max_rounds = max_rounds
+        self.name = (f"omega_x_consensus(n={n}, x={x}, "
+                     f"stab={stabilize_after})")
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [
+            make_spec("omega_x", OMEGA, x=self.x,
+                      stabilize_after=self.stabilize_after),
+            make_spec("register_family", LEAD),
+            make_spec("register", DEC),
+            make_spec("xcons_family", "RCONS",
+                      subsets=tuple(self.subsets)),
+        ] + adopt_commit_specs(self.n)
+
+    def program(self, pid: int, value: Any) -> Generator:
+        omega = ObjectProxy(OMEGA)
+        lead = ObjectProxy(LEAD)
+        dec = ObjectProxy(DEC)
+        rcons = ObjectProxy("RCONS")
+        subset_index = {s: i for i, s in enumerate(self.subsets)}
+        est = value
+        for r in range(self.max_rounds):
+            decided = yield dec.read()
+            if decided is not BOTTOM:
+                return decided
+            while True:
+                coord = yield omega.query()
+                ell = subset_index.get(tuple(sorted(coord)))
+                if ell is None:        # oracle answered nonsense
+                    continue
+                if pid in coord:
+                    # coordinators agree through the subset's consensus
+                    # object for this round, then publish.
+                    agreed = yield rcons.propose(r, ell, est)
+                    yield lead.write((r, pid), agreed)
+                    proposal = agreed
+                    break
+                proposal = BOTTOM
+                for member in coord:
+                    proposal = yield lead.read((r, member))
+                    if proposal is not BOTTOM:
+                        break
+                if proposal is not BOTTOM:
+                    break
+                decided = yield dec.read()
+                if decided is not BOTTOM:
+                    return decided
+            outcome, est = yield from AdoptCommit((r,), self.n).propose(
+                pid, proposal)
+            if outcome == COMMIT:
+                yield dec.write(est)
+                return est
+        raise AssertionError(
+            f"omega_x_consensus: no decision within {self.max_rounds} "
+            f"rounds -- Omega_x never stabilized?")

@@ -1,0 +1,107 @@
+"""The Algorithm abstraction.
+
+An :class:`Algorithm` packages everything the paper means by "an algorithm
+A solving a task T in ASM(n, t, x)":
+
+* ``n`` processes and the resilience ``t`` it is designed for,
+* the shared objects it uses (as declarative specs, so a BG-style
+  simulation can translate them instead of materializing them),
+* a ``program(pid, input)`` factory returning the process generator.
+
+Both hand-written algorithms (`repro.algorithms.*`) and the outputs of the
+simulations (`repro.core.*`) implement this interface, which is what makes
+the paper's Figure 7 equivalence chains *composable*: a simulation takes an
+Algorithm for the source model and returns an Algorithm for the target
+model.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Generator, List, Optional, Sequence
+
+from ..model import ASM, ModelViolation
+from ..memory.specs import ObjectSpec, build_store
+from ..runtime.adversary import Adversary
+from ..runtime.crash import CrashPlan
+from ..runtime.run import RunResult, run_processes
+
+
+class Algorithm(ABC):
+    """A distributed algorithm for some ASM(n, t, x) model."""
+
+    #: Human-readable identifier (used in bench output).
+    name: str = "algorithm"
+
+    def __init__(self, n: int, resilience: int) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0 <= resilience < n:
+            raise ValueError(
+                f"resilience must satisfy 0 <= t < n, got t={resilience}, "
+                f"n={n}")
+        self.n = n
+        self.resilience = resilience
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def object_specs(self) -> List[ObjectSpec]:
+        """Declarative list of the shared objects the algorithm uses."""
+
+    @abstractmethod
+    def program(self, pid: int, value: Any) -> Generator:
+        """Process generator for ``pid`` with input ``value``."""
+
+    # ------------------------------------------------------------------
+    def build_store(self):
+        """Fresh store with one object per spec (one store per run)."""
+        return build_store(self.object_specs())
+
+    def consensus_power(self) -> float:
+        """Largest consensus number among the algorithm's objects: the x
+        its model must provide.  1 for pure read/write algorithms."""
+        cns = [spec.consensus_number for spec in self.object_specs()]
+        return max(cns, default=1)
+
+    def model(self) -> ASM:
+        """The weakest ASM model this algorithm is designed for."""
+        x = self.consensus_power()
+        if x != math.inf:
+            x = int(x)
+        return ASM(self.n, self.resilience, x)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} in {self.model()}>"
+
+
+def run_algorithm(algorithm: Algorithm,
+                  inputs: Sequence[Any],
+                  adversary: Optional[Adversary] = None,
+                  crash_plan: Optional[CrashPlan] = None,
+                  max_steps: int = 1_000_000,
+                  record_trace: bool = False,
+                  enforce_model: bool = True) -> RunResult:
+    """Execute an algorithm on the given input vector.
+
+    ``enforce_model`` validates that the store conforms to the algorithm's
+    ASM model and that the crash plan stays within its resilience; pass
+    False to deliberately over-crash (e.g. to demonstrate that a t-resilient
+    algorithm loses liveness beyond t failures).
+    """
+    if len(inputs) != algorithm.n:
+        raise ValueError(
+            f"{algorithm.name} has n={algorithm.n} processes, got "
+            f"{len(inputs)} inputs")
+    store = algorithm.build_store()
+    plan = crash_plan or CrashPlan.none()
+    if enforce_model:
+        model = algorithm.model()
+        model.validate_store(store)
+        model.validate_crashes(len(plan))
+    programs = {pid: algorithm.program(pid, inputs[pid])
+                for pid in range(algorithm.n)
+                }
+    return run_processes(programs, store, adversary=adversary,
+                         crash_plan=plan, max_steps=max_steps,
+                         record_trace=record_trace)

@@ -1,0 +1,52 @@
+"""Colored tasks: adaptive strong renaming from test&set.
+
+A *colored* task forbids two processes from deciding the same value (paper
+Sections 2.1 and 5.5); renaming is the canonical example.  With test&set
+objects (available whenever x >= 2, paper Section 4.3 citing [19]) strong
+renaming is wait-free solvable: scan a T&S array and decide the index of
+the first object won.  Names are adaptive: with p participants the names
+decided are a subset of {0..p-1}... more precisely each winner's name is
+bounded by the number of processes that started before it finished.
+
+This is the colored algorithm the Section 5.5 simulation (`repro.core.
+colored`) is exercised with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy
+from .protocol import Algorithm
+
+SLOTS = "slots"
+
+
+class RenamingFromTAS(Algorithm):
+    """Wait-free strong renaming: decide the first T&S slot you win.
+
+    Each of the n slots is won by at most one process and every correct
+    process wins some slot (it can lose a slot only to a distinct winner,
+    and there are n slots for <= n processes), so decided names are distinct
+    values in {0..n-1}: a colored task, solvable in any ASM(n, t, x>=2).
+    """
+
+    consensus_number_needed = 2
+
+    def __init__(self, n: int, t: int = None) -> None:
+        super().__init__(n, resilience=n - 1 if t is None else t)
+        self.name = f"renaming_tas(n={n})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [make_spec("tas", f"{SLOTS}[{s}]") for s in range(self.n)]
+
+    def program(self, pid: int, value: Any) -> Generator:
+        for s in range(self.n):
+            slot = ObjectProxy(f"{SLOTS}[{s}]")
+            won = yield slot.test_and_set()
+            if won:
+                return s
+        raise AssertionError(
+            f"p{pid} lost all {self.n} slots to {self.n} distinct winners "
+            f"-- more winners than processes")

@@ -1,0 +1,122 @@
+"""Wait-free renaming in pure read/write memory (Moir-Anderson grid).
+
+The paper cites renaming as *the* colored task and notes it is solvable
+wait-free with 2n-1 names in read/write memory (Section 2.2, Attiya et
+al.).  This module provides the classic constructive algorithm family:
+a grid of *splitters*.
+
+A splitter (Lamport/Moir-Anderson) is built from two registers X, Y:
+
+    X := pid
+    if Y: return RIGHT
+    Y := True
+    if X == pid: return STOP
+    return DOWN
+
+Among the k processes that enter one splitter, at most one STOPs, at
+most k-1 go RIGHT and at most k-1 go DOWN.  Processes walk a triangular
+grid; each splitter's coordinates encode a name, and every process stops
+within n-1 moves, so names fit in the triangle of size n(n+1)/2.
+
+(The optimal 2n-1-name algorithms are substantially more involved; the
+grid is the standard teaching construction and suffices as the
+read/write colored-task witness.  Tight renaming from test&set -- n
+names, needs x >= 2 -- lives in `repro.algorithms.renaming_tas`.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Tuple
+
+from ..memory.base import BOTTOM
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy
+from .protocol import Algorithm
+
+#: Splitter outcomes.
+STOP, RIGHT, DOWN = "stop", "right", "down"
+
+X = "SPL_X"   # register family: (r, d) -> last entrant
+Y = "SPL_Y"   # register family: (r, d) -> True once occupied
+
+
+def splitter(x: ObjectProxy, y: ObjectProxy, key: Tuple[int, int],
+             pid: int) -> Generator:
+    """``outcome = yield from splitter(x, y, (r, d), pid)``."""
+    yield x.write(key, pid)
+    occupied = yield y.read(key)
+    if occupied is not BOTTOM:
+        return RIGHT
+    yield y.write(key, True)
+    last = yield x.read(key)
+    if last == pid:
+        return STOP
+    return DOWN
+
+
+def grid_name(r: int, d: int, n: int) -> int:
+    """Triangular numbering of the grid position (row r, depth d)."""
+    diag = r + d
+    return diag * (diag + 1) // 2 + d
+
+
+class SplitterGridRenaming(Algorithm):
+    """Wait-free renaming with n(n+1)/2 names from registers only."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, resilience=n - 1)
+        self.namespace = n * (n + 1) // 2
+        self.name = f"splitter_grid_renaming(n={n})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [make_spec("register_family", X),
+                make_spec("register_family", Y)]
+
+    def program(self, pid: int, value: Any) -> Generator:
+        x, y = ObjectProxy(X), ObjectProxy(Y)
+        r = d = 0
+        while True:
+            outcome = yield from splitter(x, y, (r, d), pid)
+            if outcome == STOP:
+                return grid_name(r, d, self.n)
+            if outcome == RIGHT:
+                r += 1
+            else:
+                d += 1
+            if r + d >= self.n:
+                raise AssertionError(
+                    f"p{pid} walked off the grid: more than n-1 moves, "
+                    f"impossible with n processes")
+
+
+class ImmediateSnapshotRenaming(Algorithm):
+    """Wait-free renaming from ONE immediate snapshot.
+
+    The participating-set route to renaming: take an immediate snapshot;
+    with view V of size s, decide the name
+
+        s·(s-1)/2 + rank of own id in V.
+
+    Distinctness: two processes with |V| = s have the *same* view
+    (containment: equal-size comparable sets are equal), so their ranks
+    differ; different sizes map to disjoint name blocks.  Names live in
+    0 .. n(n+1)/2 - 1, matching the splitter grid's namespace but in a
+    single (wait-free) object access pattern.
+    """
+
+    def __init__(self, n: int, t: int = None) -> None:
+        super().__init__(n, resilience=n - 1 if t is None else t)
+        self.namespace = n * (n + 1) // 2
+        self.name = f"immediate_snapshot_renaming(n={n})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        from ..memory.immediate_snapshot import ImmediateSnapshot
+        return ImmediateSnapshot("ISR", self.n).object_specs()
+
+    def program(self, pid: int, value: Any) -> Generator:
+        from ..memory.immediate_snapshot import ImmediateSnapshot
+        view = yield from ImmediateSnapshot(
+            "ISR", self.n).write_snapshot(pid, pid)
+        size = len(view)
+        rank = sorted(view).index(pid)
+        return size * (size - 1) // 2 + rank

@@ -1,0 +1,57 @@
+"""Trivial tasks: the bottom of the set-consensus hierarchy.
+
+"Class n contains the trivial tasks that can be solved asynchronously in a
+crash-prone read/write shared memory system" (paper Section 1.1).  These
+algorithms are used as base cases in tests and as minimal simulated
+workloads when exercising the BG machinery itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..memory.base import BOTTOM
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy
+from .protocol import Algorithm
+
+MEM = "mem"
+
+
+class IdentityAlgorithm(Algorithm):
+    """Decide your own input, no communication: solvable wait-free in
+    ASM(n, n-1, 1) (a trivial colored-or-colorless task)."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, resilience=n - 1)
+        self.name = f"identity(n={n})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return []
+
+    def program(self, pid: int, value: Any) -> Generator:
+        return value
+        yield  # pragma: no cover - makes this a generator function
+
+
+class WriteThenSnapshot(Algorithm):
+    """Write the input, take one snapshot, decide (own input, #values seen).
+
+    A minimal exerciser of the write/snapshot simulation path: its decision
+    depends on the snapshot content, so divergent simulators would be
+    caught by the agreement checks in the tests.
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, resilience=n - 1)
+        self.name = f"write_then_snapshot(n={n})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [make_spec("snapshot", MEM, size=self.n)]
+
+    def program(self, pid: int, value: Any) -> Generator:
+        mem = ObjectProxy(MEM)
+        yield mem.write(pid, value)
+        snap = yield mem.snapshot()
+        seen = sum(1 for e in snap if e is not BOTTOM)
+        return (value, seen)

@@ -1,0 +1,15 @@
+"""Verification and measurement: linearizability checking, blocking
+certificates for the paper's lemmas, run statistics."""
+
+from .certificates import BlockingCertificate, blocking_certificate
+from .linearizability import (OpRecord, RegisterSpec, SequentialSpec,
+                              SnapshotSpec, check_linearizable,
+                              check_snapshot_history)
+from .stats import RunStats, collect_stats
+
+__all__ = [
+    "BlockingCertificate", "blocking_certificate",
+    "OpRecord", "RegisterSpec", "SequentialSpec", "SnapshotSpec",
+    "check_linearizable", "check_snapshot_history",
+    "RunStats", "collect_stats",
+]

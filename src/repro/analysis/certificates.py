@@ -1,0 +1,124 @@
+"""Run certificates: measuring the paper's lemmas on actual executions.
+
+The blocking lemmas are the quantitative heart of the paper:
+
+* Lemma 1 (Section 3): the crash of a simulator blocks at most x simulated
+  processes; hence t simulator crashes block at most t·x.
+* Lemma 2: each correct simulator computes decisions of >= n - t' simulated
+  processes (t' >= t·x).
+* Lemma 7 (Section 4): t' simulator crashes block at most ⌊t'/x⌋ simulated
+  processes.
+* Lemma 8: each correct simulator computes decisions of >= n - t simulated
+  processes.
+
+These are measured by running a simulation under
+:class:`~repro.bg.policy.CollectAllPolicy` (simulators never stop early and
+announce every simulated decision) and inspecting the announcement
+snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Set
+
+from ..bg.policy import read_announcements
+from ..runtime.run import RunResult
+
+
+@dataclass
+class BlockingCertificate:
+    """Per-run accounting of simulated progress and blocking."""
+
+    n_simulators: int
+    n_simulated: int
+    crashed_simulators: Set[int]
+    #: pid -> set of simulated processes it obtained decisions for.
+    completed: Dict[int, Set[int]]
+    #: simulated decisions agreed across simulators (j -> value), with a
+    #: flag recording whether any simulator pair disagreed.
+    simulated_decisions: Dict[int, Any]
+    divergent: bool
+
+    # ------------------------------------------------------------------
+    @property
+    def live_simulators(self) -> Set[int]:
+        return set(range(self.n_simulators)) - self.crashed_simulators
+
+    def blocked_for(self, sim_id: int) -> Set[int]:
+        """Simulated processes simulator ``sim_id`` never completed."""
+        return set(range(self.n_simulated)) - self.completed.get(sim_id,
+                                                                 set())
+
+    @property
+    def max_blocked(self) -> int:
+        """Worst per-live-simulator count of uncompleted simulated
+        processes (the quantity Lemmas 1/7 bound)."""
+        if not self.live_simulators:
+            return 0
+        return max(len(self.blocked_for(i)) for i in self.live_simulators)
+
+    @property
+    def min_completed(self) -> int:
+        """Best lower bound on per-live-simulator completed simulations
+        (the quantity Lemmas 2/8 bound)."""
+        if not self.live_simulators:
+            return self.n_simulated
+        return min(len(self.completed.get(i, set()))
+                   for i in self.live_simulators)
+
+    def lemma1_holds(self, x: int) -> bool:
+        """<= tau * x blocked, tau = number of crashed simulators."""
+        return self.max_blocked <= len(self.crashed_simulators) * x
+
+    def lemma7_holds(self, x: int) -> bool:
+        """<= floor(tau / x) blocked."""
+        return self.max_blocked <= len(self.crashed_simulators) // x
+
+    def summary(self) -> str:
+        return (f"crashed={sorted(self.crashed_simulators)} "
+                f"max_blocked={self.max_blocked} "
+                f"min_completed={self.min_completed} "
+                f"divergent={self.divergent}")
+
+
+def blocking_certificate(result: RunResult,
+                         n_simulators: int,
+                         n_simulated: int) -> BlockingCertificate:
+    """Build the certificate from a CollectAllPolicy run.
+
+    Uses both the announcement snapshot (progress of simulators that later
+    crashed or blocked) and the simulators' final return values (their full
+    decision maps) when available.
+    """
+    announced = read_announcements(result.store, n_simulators)
+    completed: Dict[int, Set[int]] = {
+        i: set(mapping) for i, mapping in announced.items()}
+    simulated_decisions: Dict[int, Any] = {}
+    divergent = False
+    for i, final in result.decisions.items():
+        if isinstance(final, dict):
+            completed.setdefault(i, set()).update(final)
+            mappings = [final]
+        else:
+            mappings = []
+        mappings.append(announced.get(i, {}))
+        for mapping in mappings:
+            for j, value in mapping.items():
+                if j in simulated_decisions and \
+                        simulated_decisions[j] != value:
+                    divergent = True
+                simulated_decisions[j] = value
+    for i, mapping in announced.items():
+        for j, value in mapping.items():
+            if j in simulated_decisions and simulated_decisions[j] != value:
+                divergent = True
+            simulated_decisions.setdefault(j, value)
+    return BlockingCertificate(
+        n_simulators=n_simulators,
+        n_simulated=n_simulated,
+        crashed_simulators=result.crashed_pids,
+        completed=completed,
+        simulated_decisions=simulated_decisions,
+        divergent=divergent,
+    )

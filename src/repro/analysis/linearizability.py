@@ -1,0 +1,195 @@
+"""Linearizability checking.
+
+The runtime's *base* objects are linearizable by construction (one atomic
+step per operation).  The checkers here exist for the *derived*
+constructions -- above all the Afek et al. snapshot built from registers
+(`repro.memory.afek_snapshot`) -- and for history-level sanity checks on
+simulation outputs.
+
+Two tools:
+
+* :func:`check_linearizable` -- a Wing & Gong style exhaustive checker for
+  small histories against a sequential specification;
+* :func:`check_snapshot_history` -- a specialized (polynomial) checker for
+  single-writer snapshot histories: snapshots must be monotone (totally
+  ordered componentwise by per-writer progress) and consistent with
+  real-time order and with each writer's write sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed high-level operation with its real-time interval.
+
+    ``start``/``end`` are global step indices: start strictly before end;
+    two operations overlap unless one's end precedes the other's start.
+    """
+
+    pid: int
+    start: int
+    end: int
+    op: str
+    args: Tuple[Any, ...]
+    result: Any
+
+
+class SequentialSpec:
+    """Sequential specification: a deterministic state machine."""
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def apply(self, state: Any, op: str, args: Tuple[Any, ...]
+              ) -> Tuple[Any, Any]:
+        """Returns (new_state, result)."""
+        raise NotImplementedError
+
+
+class SnapshotSpec(SequentialSpec):
+    """Sequential single-writer snapshot object of a given size."""
+
+    def __init__(self, size: int, initial: Any = None) -> None:
+        self.size = size
+        self._initial = initial
+
+    def initial(self) -> Tuple[Any, ...]:
+        return tuple([self._initial] * self.size)
+
+    def apply(self, state, op, args):
+        if op == "write":
+            index, value = args
+            new = list(state)
+            new[index] = value
+            return tuple(new), None
+        if op == "snapshot":
+            return state, state
+        if op == "read":
+            (index,) = args
+            return state, state[index]
+        raise ValueError(f"unknown op {op!r}")
+
+
+class RegisterSpec(SequentialSpec):
+    """Sequential read/write register."""
+
+    def __init__(self, initial: Any = None) -> None:
+        self._initial = initial
+
+    def initial(self) -> Any:
+        return self._initial
+
+    def apply(self, state, op, args):
+        if op == "write":
+            (value,) = args
+            return value, None
+        if op == "read":
+            return state, state
+        raise ValueError(f"unknown op {op!r}")
+
+
+def check_linearizable(records: Sequence[OpRecord],
+                       spec: SequentialSpec,
+                       max_ops: int = 14) -> bool:
+    """Exhaustive linearizability check (exponential; small histories only).
+
+    Searches for a total order of the operations that (a) respects
+    real-time precedence and (b) replays through the sequential spec
+    producing exactly the recorded results.
+    """
+    if len(records) > max_ops:
+        raise ValueError(
+            f"history of {len(records)} ops exceeds max_ops={max_ops}; "
+            f"use the specialized checkers for long histories")
+    ops = list(records)
+    n = len(ops)
+    # precedence[i] = indices that must be linearized before i.
+    precedes = [set() for _ in range(n)]
+    for a in range(n):
+        for b in range(n):
+            if a != b and ops[a].end < ops[b].start:
+                precedes[b].add(a)
+
+    seen: set = set()
+
+    def search(done: frozenset, state: Any) -> bool:
+        if len(done) == n:
+            return True
+        key = (done, repr(state))
+        if key in seen:
+            return False
+        seen.add(key)
+        for i in range(n):
+            if i in done or not precedes[i] <= done:
+                continue
+            new_state, result = spec.apply(state, ops[i].op, ops[i].args)
+            if ops[i].op in ("snapshot", "read") and result != ops[i].result:
+                continue
+            if search(done | {i}, new_state):
+                return True
+        return False
+
+    return search(frozenset(), spec.initial())
+
+
+def check_snapshot_history(writes: Dict[int, List[Any]],
+                           snapshots: Sequence[OpRecord],
+                           initial: Any = None) -> Optional[str]:
+    """Polynomial check of a single-writer snapshot history.
+
+    ``writes[w]`` is the sequence of values written by writer ``w`` (in its
+    program order); ``snapshots`` are completed snapshot operations whose
+    results are full vectors.  Requires all written values of one writer to
+    be distinct (tests tag values with counters).
+
+    Checks:
+
+    1. every snapshot entry is ``initial`` or a value its writer wrote;
+    2. snapshots are totally ordered by componentwise writer progress
+       (no two snapshots disagree on direction);
+    3. real-time: if snapshot A completes before snapshot B starts, then
+       A's progress vector is <= B's.
+
+    Returns None if consistent, else a violation description.
+    """
+    index_of: Dict[int, Dict[Any, int]] = {}
+    for w, values in writes.items():
+        if len(set(map(repr, values))) != len(values):
+            return f"writer {w} wrote duplicate values; history untaggable"
+        index_of[w] = {repr(v): k + 1 for k, v in enumerate(values)}
+
+    def progress(record: OpRecord) -> Tuple[int, ...]:
+        vec = []
+        for w, entry in enumerate(record.result):
+            if entry == initial or (initial is None and entry is None):
+                vec.append(0)
+                continue
+            pos = index_of.get(w, {}).get(repr(entry))
+            if pos is None:
+                raise AssertionError(
+                    f"snapshot saw {entry!r} at {w}, never written")
+            vec.append(pos)
+        return tuple(vec)
+
+    try:
+        vectors = [(r, progress(r)) for r in snapshots]
+    except AssertionError as exc:
+        return str(exc)
+
+    def leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+        return all(ai <= bi for ai, bi in zip(a, b))
+
+    for (ra, va) in vectors:
+        for (rb, vb) in vectors:
+            if not leq(va, vb) and not leq(vb, va):
+                return (f"snapshots of p{ra.pid} and p{rb.pid} are "
+                        f"incomparable: {va} vs {vb}")
+            if ra.end < rb.start and not leq(va, vb):
+                return (f"real-time violation: p{ra.pid}'s snapshot {va} "
+                        f"completed before p{rb.pid}'s {vb} started but "
+                        f"is not <=")
+    return None

@@ -1,0 +1,59 @@
+"""Run statistics: step counts and object usage.
+
+Used by the benchmark harness to report the cost profile of the
+simulations (how many agreement instances a run spawned, how many shared
+steps it took, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..memory.store import ObjectStore
+from ..runtime.run import RunResult
+
+
+@dataclass
+class RunStats:
+    steps: int
+    store_ops: int
+    decided: int
+    crashed: int
+    blocked: int
+    deadlocked: bool
+    out_of_steps: bool
+    #: object name -> instance count for family objects / op counters.
+    objects: Dict[str, int] = field(default_factory=dict)
+
+    def row(self) -> str:
+        flags = []
+        if self.deadlocked:
+            flags.append("deadlock")
+        if self.out_of_steps:
+            flags.append("out-of-steps")
+        extra = f" [{','.join(flags)}]" if flags else ""
+        return (f"steps={self.steps:>8} ops={self.store_ops:>8} "
+                f"decided={self.decided} crashed={self.crashed} "
+                f"blocked={self.blocked}{extra}")
+
+
+def collect_stats(result: RunResult) -> RunStats:
+    """Extract the cost/outcome profile of a finished run."""
+    objects: Dict[str, int] = {}
+    store = result.store
+    if isinstance(store, ObjectStore):
+        for obj in store:
+            count = getattr(obj, "instance_count", None)
+            if count is not None:
+                objects[obj.name] = count
+    return RunStats(
+        steps=result.steps,
+        store_ops=store.op_count if isinstance(store, ObjectStore) else 0,
+        decided=len(result.decisions),
+        crashed=len(result.crashed_pids),
+        blocked=len(result.blocked_pids),
+        deadlocked=result.deadlocked,
+        out_of_steps=result.out_of_steps,
+        objects=objects,
+    )

@@ -1,0 +1,79 @@
+"""ASCII timelines of executions.
+
+Renders a recorded :class:`~repro.runtime.trace.Trace` as one lane per
+process, one column per global step -- the picture distributed-computing
+papers draw by hand.  Useful for debugging adversarial schedules and for
+teaching what an interleaving *is*.
+
+Legend: ``w`` write, ``s`` snapshot, ``r`` read, ``p`` propose,
+``t`` test&set, ``o`` other op, ``.`` failed spin re-check, ``X`` crash,
+``D`` decision, ``B`` retired as blocked, space = not scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..runtime.trace import EventKind, Trace
+
+#: method name -> lane glyph.
+GLYPHS = {
+    "write": "w",
+    "update": "w",
+    "snapshot": "s",
+    "read": "r",
+    "propose": "p",
+    "test_and_set": "t",
+    "query": "q",
+    "compare_and_swap": "c",
+}
+
+
+def _glyph(event) -> str:
+    if event.kind is EventKind.SPIN:
+        return "."
+    if event.kind is EventKind.CRASH:
+        return "X"
+    if event.kind is EventKind.DECIDE:
+        return "D"
+    if event.kind is EventKind.BLOCKED:
+        return "B"
+    if event.invocation is None:
+        return "o"
+    return GLYPHS.get(event.invocation.method, "o")
+
+
+def render_timeline(trace: Trace,
+                    pids: Optional[List[int]] = None,
+                    width: int = 72) -> str:
+    """Multi-line lanes, wrapped in blocks of ``width`` columns."""
+    if pids is None:
+        pids = sorted({e.pid for e in trace})
+    columns = len(trace.events)
+    lanes: Dict[int, List[str]] = {pid: [" "] * columns for pid in pids}
+    for idx, event in enumerate(trace.events):
+        if event.pid in lanes:
+            lanes[event.pid][idx] = _glyph(event)
+
+    label_width = max((len(f"p{pid}") for pid in pids), default=2) + 1
+    blocks: List[str] = []
+    for start in range(0, max(columns, 1), width):
+        segment: List[str] = []
+        for pid in pids:
+            lane = "".join(lanes[pid][start:start + width])
+            segment.append(f"{f'p{pid}':<{label_width}}|{lane}")
+        blocks.append("\n".join(segment))
+    header = (f"steps 0..{columns - 1}  "
+              f"(w=write s=snapshot r=read p=propose t=T&S .=spin "
+              f"X=crash D=decide B=blocked)")
+    return header + "\n" + "\n\n".join(blocks)
+
+
+def lane_summary(trace: Trace) -> Dict[int, Dict[str, int]]:
+    """Per-process glyph counts (op mix), for quick profiling."""
+    summary: Dict[int, Dict[str, int]] = {}
+    for event in trace.events:
+        bucket = summary.setdefault(event.pid, {})
+        glyph = _glyph(event)
+        bucket[glyph] = bucket.get(glyph, 0) + 1
+    return summary

@@ -1,0 +1,26 @@
+"""BG-simulation machinery: local mutexes, Figures 2-4 operations, source
+operation translation, decision policies, and the simulator trampoline."""
+
+from .mutex import (MUTEX1, MUTEX2, AcquireLocal, LocalMutexTable,
+                    MutexViolation, ReleaseLocal)
+from .policy import (ANNOUNCE, DECIDE_TS, CollectAllPolicy, ColoredTASPolicy,
+                     DecisionPolicy, Final, FirstDecisionPolicy,
+                     read_announcements)
+from .sim_ops import (MEM_NAME, SimulatorState, sim_input, sim_object_op,
+                      sim_snapshot, sim_write)
+from .simulator import (SimulationConfig, SimulatorCrashed, ThreadStatus,
+                        simulator_process)
+from .translate import (SourcePortViolation, SourceTranslator,
+                        UnsimulableOperation)
+
+__all__ = [
+    "MUTEX1", "MUTEX2", "AcquireLocal", "LocalMutexTable",
+    "MutexViolation", "ReleaseLocal",
+    "ANNOUNCE", "DECIDE_TS", "CollectAllPolicy", "ColoredTASPolicy",
+    "DecisionPolicy", "Final", "FirstDecisionPolicy", "read_announcements",
+    "MEM_NAME", "SimulatorState", "sim_input", "sim_object_op",
+    "sim_snapshot", "sim_write",
+    "SimulationConfig", "SimulatorCrashed", "ThreadStatus",
+    "simulator_process",
+    "SourcePortViolation", "SourceTranslator", "UnsimulableOperation",
+]

@@ -1,0 +1,92 @@
+"""Simulator-local mutual exclusion.
+
+The BG simulation constrains each simulator to at most one pending
+``sa_propose()`` at a time (mutex1) and serializes access to the per-object
+result cache ``xres`` (mutex2).  The paper stresses that these mutexes are
+"purely local to each simulator: [they solve] conflicts among the
+simulating threads inside each simulator, and [have] nothing to do with the
+memory shared by the simulators" (Section 3.2.3).
+
+Accordingly they are *local control operations*: a thread yields
+:class:`AcquireLocal` / :class:`ReleaseLocal`, which the simulator's
+trampoline resolves without consuming a shared-memory step.  The top-level
+scheduler rejects them (see ``Scheduler._step``), which guards against a
+simulation layer leaking local ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..runtime.ops import LocalOp
+
+#: Names of the two mutexes of the paper's Figures 3-4.
+MUTEX1 = "mutex1"
+MUTEX2 = "mutex2"
+
+
+@dataclass(frozen=True)
+class AcquireLocal(LocalOp):
+    """Acquire a simulator-local mutex (blocks the thread if held)."""
+
+    mutex: str
+
+    def __repr__(self) -> str:
+        return f"acquire({self.mutex})"
+
+
+@dataclass(frozen=True)
+class ReleaseLocal(LocalOp):
+    """Release a simulator-local mutex (must be held by the thread)."""
+
+    mutex: str
+
+    def __repr__(self) -> str:
+        return f"release({self.mutex})"
+
+
+class MutexViolation(RuntimeError):
+    """Release without hold, or double acquire by the same thread."""
+
+
+class LocalMutexTable:
+    """Holder bookkeeping for one simulator's local mutexes."""
+
+    def __init__(self) -> None:
+        self._holder: Dict[str, Optional[int]] = {}
+        self._queue: Dict[str, List[int]] = {}
+
+    def holder(self, mutex: str) -> Optional[int]:
+        return self._holder.get(mutex)
+
+    def held_by(self, thread: int) -> List[str]:
+        return [m for m, h in self._holder.items() if h == thread]
+
+    def try_acquire(self, mutex: str, thread: int) -> bool:
+        """True if acquired; False if the thread must wait (enqueued)."""
+        current = self._holder.get(mutex)
+        if current is None:
+            self._holder[mutex] = thread
+            return True
+        if current == thread:
+            raise MutexViolation(
+                f"thread {thread} re-acquired {mutex} (not reentrant)")
+        queue = self._queue.setdefault(mutex, [])
+        if thread not in queue:
+            queue.append(thread)
+        return False
+
+    def release(self, mutex: str, thread: int) -> Optional[int]:
+        """Release; returns the thread granted the mutex next, if any."""
+        if self._holder.get(mutex) != thread:
+            raise MutexViolation(
+                f"thread {thread} released {mutex} held by "
+                f"{self._holder.get(mutex)}")
+        queue = self._queue.get(mutex, [])
+        if queue:
+            nxt = queue.pop(0)
+            self._holder[mutex] = nxt
+            return nxt
+        self._holder[mutex] = None
+        return None

@@ -1,0 +1,123 @@
+"""Decision policies: what a simulator does with a simulated decision.
+
+The BG machinery is agnostic about how a simulator turns the decisions of
+its simulated processes into its *own* decision:
+
+* :class:`FirstDecisionPolicy` -- colorless tasks (paper Sections 3-4): the
+  simulator adopts the first simulated decision it obtains and stops.
+* :class:`ColoredTASPolicy` -- colored tasks (paper Section 5.5): the
+  simulator competes on a test&set object T&S[j] for the right to adopt
+  pj's decision; on a loss it resumes simulating until another decision
+  arrives.
+* :class:`CollectAllPolicy` -- measurement mode for the blocking lemmas:
+  the simulator never stops early; it announces every simulated decision in
+  a shared snapshot object and finally returns the full map, so the harness
+  can count how many simulated processes each simulator completed
+  (Lemma 2 / Lemma 8) and how many were blocked (Lemma 1 / Lemma 7).
+
+Whatever the policy, the trampoline first *drains* any thread holding
+mutex1 (completes its pending propose) before the simulator may stop --
+the discipline Section 5.5 spells out ("it completes the invocations of
+x'_sa_propose() in which it is involved (if any) and stops").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy
+
+#: Store name of the decision-allocation test&set family (colored tasks).
+DECIDE_TS = "DECIDE_TS"
+#: Store name of the decision-announcement snapshot (measurement mode).
+ANNOUNCE = "SIMDEC"
+
+
+@dataclass(frozen=True)
+class Final:
+    """Wrapper signalling 'the simulator decides this value and stops'."""
+
+    value: Any
+
+
+class DecisionPolicy(ABC):
+    """Per-simulator strategy for turning thread decisions into one."""
+
+    @staticmethod
+    def extra_specs(n_simulators: int) -> List[ObjectSpec]:
+        """Shared objects the policy needs in the target store."""
+        return []
+
+    @abstractmethod
+    def on_decision(self, sim_id: int, decisions: Dict[int, Any],
+                    j: int, value: Any) -> Generator:
+        """Generator run (after the mutex1 drain) when thread j decides.
+
+        May yield target-model operations.  Returns :class:`Final` to stop
+        the simulator with that decision, or None to resume simulating.
+        """
+
+    def on_all_terminal(self, sim_id: int,
+                        decisions: Dict[int, Any]) -> Any:
+        """Simulator return value when every thread is done and no Final
+        was produced."""
+        return dict(decisions)
+
+
+class FirstDecisionPolicy(DecisionPolicy):
+    """Colorless: adopt the first simulated decision."""
+
+    def on_decision(self, sim_id, decisions, j, value):
+        return Final(value)
+        yield  # pragma: no cover - generator marker
+
+    def on_all_terminal(self, sim_id, decisions):
+        raise AssertionError(
+            "FirstDecisionPolicy: all threads terminated without any "
+            "decision -- the simulated algorithm never decides?")
+
+
+class ColoredTASPolicy(DecisionPolicy):
+    """Colored: win T&S[j] to adopt pj's decision; on loss, resume."""
+
+    @staticmethod
+    def extra_specs(n_simulators: int) -> List[ObjectSpec]:
+        return [make_spec("tas_family", DECIDE_TS)]
+
+    def on_decision(self, sim_id, decisions, j, value):
+        tas = ObjectProxy(DECIDE_TS)
+        won = yield tas.test_and_set(j)
+        if won:
+            return Final(value)
+        return None
+
+
+class CollectAllPolicy(DecisionPolicy):
+    """Measurement: simulate everything, announce each decision."""
+
+    @staticmethod
+    def extra_specs(n_simulators: int) -> List[ObjectSpec]:
+        return [make_spec("snapshot", ANNOUNCE, size=n_simulators)]
+
+    def on_decision(self, sim_id, decisions, j, value):
+        announce = ObjectProxy(ANNOUNCE)
+        yield announce.write(sim_id, tuple(sorted(decisions.items())))
+        return None
+
+    def on_all_terminal(self, sim_id, decisions):
+        return dict(decisions)
+
+
+def read_announcements(store, n_simulators: int) -> Dict[int, Dict[int, Any]]:
+    """Harness helper: per-simulator decision maps from the announcement
+    snapshot left in the target store by :class:`CollectAllPolicy`."""
+    from ..memory.base import BOTTOM
+    obj = store[ANNOUNCE]
+    result: Dict[int, Dict[int, Any]] = {}
+    for i in range(n_simulators):
+        entry = obj.entries[i]
+        result[i] = {} if entry is BOTTOM else dict(entry)
+    return result

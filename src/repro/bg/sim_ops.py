@@ -1,0 +1,176 @@
+"""The simulation operations of the BG machinery (paper Figures 2-4).
+
+A :class:`SimulatorState` holds the local state the paper attributes to a
+simulator qi: its local copy ``mem_i`` of the simulated memory (with write
+sequence numbers), the per-simulated-process counters ``w_sn`` and
+``snap_sn``, and the per-object result cache ``xres``.
+
+The three operations are generator functions yielding *target-model*
+operations (plus local mutex ops resolved by the trampoline):
+
+* :func:`sim_write`    -- Figure 2: advance the local copy, publish it in
+  the simulators' snapshot object MEM.
+* :func:`sim_snapshot` -- Figure 3: snapshot MEM, extract the most advanced
+  value per simulated process, agree on the result through the
+  safe-agreement object SAFE_AG[j, snapsn] (protected by mutex1).
+* :func:`sim_object_op` -- Figure 4 generalized: agree once per simulated
+  one-shot object through an agreement instance, cache the result in xres
+  (protected by mutex2, nesting mutex1 around the propose).
+
+Which agreement type backs these operations is a parameter: safe-agreement
+gives the Section 3 simulation, x-safe-agreement the Section 4 / 5.5 ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Hashable, List, Tuple
+
+from ..agreement.base import AgreementFactory
+from ..memory.base import BOTTOM
+from ..runtime.ops import ObjectProxy
+from .mutex import MUTEX1, MUTEX2, AcquireLocal, ReleaseLocal
+
+#: Store name of the simulators' shared snapshot memory.
+MEM_NAME = "MEM"
+
+
+class SimulatorState:
+    """Local (per-simulator) state: the paper's mem_i, w_sn, snap_sn, xres."""
+
+    def __init__(self, sim_id: int, n_simulated: int,
+                 snap_agreement: AgreementFactory,
+                 obj_agreement: AgreementFactory,
+                 mem_name: str = MEM_NAME,
+                 per_object_mutex2: bool = True,
+                 eager_spin: bool = False) -> None:
+        self.i = sim_id
+        self.n_simulated = n_simulated
+        #: Finding F1 (EXPERIMENTS.md): per-object mutex2 is required for
+        #: the blocking lemmas; False reverts to the paper's literal
+        #: Figure 4 (one global mutex2) for the ablation benchmark.
+        self.per_object_mutex2 = per_object_mutex2
+        #: True reverts the translator's busy-wait protocol to naive
+        #: re-reading (one fresh agreement per failed predicate check);
+        #: used by the wait-protocol ablation benchmark.
+        self.eager_spin = eager_spin
+        #: mem_i[j] = (last value written by pj as simulated here, seq no).
+        self.mem_i: List[Tuple[Any, int]] = [(BOTTOM, 0)] * n_simulated
+        self.w_sn = [0] * n_simulated
+        self.snap_sn = [0] * n_simulated
+        self.xres: Dict[Hashable, Any] = {}
+        self.MEM = ObjectProxy(mem_name)
+        self.snap_agreement = snap_agreement
+        self.obj_agreement = obj_agreement
+        #: Statistics for the benchmarks.
+        self.writes_simulated = 0
+        self.snapshots_simulated = 0
+        self.object_ops_simulated = 0
+
+
+def sim_write(state: SimulatorState, j: int, value: Any) -> Generator:
+    """Figure 2: simulate ``mem[j].write(value)`` on behalf of pj."""
+    # (01)-(02) bump the sequence number and update the local copy.
+    state.w_sn[j] += 1
+    state.mem_i[j] = (value, state.w_sn[j])
+    state.writes_simulated += 1
+    # (03) publish the whole local copy in MEM[i], atomically.
+    yield state.MEM.write(state.i, tuple(state.mem_i))
+
+
+def _most_advanced(sm: Tuple[Any, ...], n_simulated: int
+                   ) -> Tuple[Any, ...]:
+    """Figure 3 lines 02-03: for each simulated process py, the value
+    written by the simulator most advanced in py's simulation."""
+    result = []
+    for y in range(n_simulated):
+        best_value, best_sn = BOTTOM, 0
+        for row in sm:
+            if row is BOTTOM:
+                continue
+            value, sn = row[y]
+            if sn > best_sn:
+                best_value, best_sn = value, sn
+        result.append(best_value)
+    return tuple(result)
+
+
+def sim_snapshot(state: SimulatorState, j: int) -> Generator:
+    """Figure 3: simulate ``mem.snapshot()`` on behalf of pj.
+
+    All simulators obtain the same result for pj's snapsn-th snapshot, via
+    the agreement instance keyed ('snap', j, snapsn).  mutex1 ensures this
+    simulator has at most one pending propose at a time, so its crash can
+    block at most one agreement object (Lemma 1).
+    """
+    # (01)-(03) snapshot MEM and extract the most advanced values.
+    sm = yield state.MEM.snapshot()
+    proposal = _most_advanced(sm, state.n_simulated)
+    # (04) next snapshot sequence number for pj.
+    state.snap_sn[j] += 1
+    snapsn = state.snap_sn[j]
+    state.snapshots_simulated += 1
+    instance = state.snap_agreement.instance(("snap", j, snapsn))
+    # (05) propose inside mutex1.
+    yield AcquireLocal(MUTEX1)
+    yield from instance.propose(state.i, proposal)
+    yield ReleaseLocal(MUTEX1)
+    # (06)-(07) decide (outside mutex1: deciding may wait, proposing not).
+    result = yield from instance.decide(state.i)
+    return result
+
+
+def sim_object_op(state: SimulatorState, obj_key: Hashable,
+                  proposal: Any) -> Generator:
+    """Figure 4 generalized: simulate a one-shot operation on a shared
+    object ``obj_key`` whose outcome must be agreed once for all simulated
+    invokers (x_cons_propose, and by the same token one-shot test&set or
+    set-agreement -- see `repro.bg.translate`).
+
+    Returns the agreed outcome.  mutex2 makes the xres check-and-fill
+    atomic w.r.t. this simulator's other threads, so the simulator proposes
+    at most once to the one-shot agreement object; mutex1 is re-entered
+    around the propose so that a crash here blocks either this object or
+    one snapshot agreement, never both (paper, Section 3.3).
+
+    Refinement over the paper's Figure 4: mutex2 is *per simulated
+    object*, not one global mutex.  Figure 4's sa_decide() is invoked
+    inside the mutex2 critical section, and sa_decide() blocks forever
+    when the agreement object died (its proposer crashed mid-propose);
+    with a single global mutex2 that one dead object would stall every
+    other simulated object operation of every live simulator, breaking
+    the blocking accounting of Lemma 1 / Lemma 7.  A per-object mutex2
+    confines the damage to the (<= x) processes sharing the dead object,
+    which is exactly the bound the lemmas claim.  (See EXPERIMENTS.md,
+    finding F1, for the failing execution that motivates this.)
+    """
+    mutex2 = f"{MUTEX2}[{obj_key!r}]" if state.per_object_mutex2 else MUTEX2
+    # (01) enter mutex2 before checking xres (see the paper's footnote 2).
+    yield AcquireLocal(mutex2)
+    if obj_key not in state.xres:
+        instance = state.obj_agreement.instance(("obj", obj_key))
+        # (02) propose inside mutex1.
+        yield AcquireLocal(MUTEX1)
+        yield from instance.propose(state.i, proposal)
+        yield ReleaseLocal(MUTEX1)
+        # (03) decide and cache.
+        state.xres[obj_key] = yield from instance.decide(state.i)
+        state.object_ops_simulated += 1
+    yield ReleaseLocal(mutex2)
+    # (06) return the cached agreed outcome.
+    return state.xres[obj_key]
+
+
+def sim_input(state: SimulatorState, j: int, own_input: Any) -> Generator:
+    """Agree on the input of simulated process pj.
+
+    Each simulator proposes its *own* task input as pj's input; the
+    agreement fixes one of them.  For colorless tasks this is legitimate:
+    any proposed value may be proposed by any process.  Protected by mutex1
+    like any other propose.
+    """
+    instance = state.snap_agreement.instance(("input", j))
+    yield AcquireLocal(MUTEX1)
+    yield from instance.propose(state.i, own_input)
+    yield ReleaseLocal(MUTEX1)
+    value = yield from instance.decide(state.i)
+    return value

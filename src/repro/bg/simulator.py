@@ -1,0 +1,276 @@
+"""The simulator process: n fairly-interleaved simulation threads.
+
+"Each simulator qi is given the code of every simulated process p1..pn.
+It manages n threads, each one associated with a simulated process, and
+locally executes these threads in a fair way" (paper, Section 2.4).
+
+A simulator is itself one process of the target model, so this module
+turns the whole construction into a single generator: the trampoline
+advances one thread per *quantum* (one shared-memory step of the target
+model), resolves local mutex operations without consuming steps, forwards
+the threads' spin conditions upward with an adjusted period so the
+top-level deadlock detector stays sound, and applies a
+:class:`~repro.bg.policy.DecisionPolicy` when threads decide.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..agreement.base import AgreementFactory
+from ..memory.specs import ObjectSpec
+from ..runtime.ops import SPIN_FAILED, Invocation, LocalOp, SpinOp
+from ..runtime.process import NO_DECISION
+from .mutex import (MUTEX1, AcquireLocal, LocalMutexTable, MutexViolation,
+                    ReleaseLocal)
+from .policy import DecisionPolicy, Final
+from .sim_ops import MEM_NAME, SimulatorState, sim_input
+from .translate import SourceTranslator
+
+
+class ThreadStatus(enum.Enum):
+    """Lifecycle of one simulation thread inside a simulator."""
+
+    READY = "ready"
+    SPINNING = "spinning"       # pending SpinOp last failed
+    WAIT_MUTEX = "wait-mutex"   # pending AcquireLocal, queued
+    DONE = "done"
+
+
+@dataclass
+class _Thread:
+    j: int
+    gen: Generator
+    status: ThreadStatus = ThreadStatus.READY
+    started: bool = False
+    pending: Any = None     # op awaiting execution / spin re-check
+    inbox: Any = None       # result to send on next advance
+    decision: Any = NO_DECISION
+
+
+@dataclass
+class SimulationConfig:
+    """Everything a simulator needs to know about the simulated system."""
+
+    source_specs: List[ObjectSpec]
+    source_program: Callable[[int, Any], Generator]
+    n_simulated: int
+    n_simulators: int
+    snap_agreement: AgreementFactory
+    obj_agreement: AgreementFactory
+    policy_factory: Callable[[int], DecisionPolicy]
+    mem_name: str = MEM_NAME
+    #: Finding F1 ablation switch -- see repro.bg.sim_ops.SimulatorState.
+    per_object_mutex2: bool = True
+    #: Busy-wait protocol ablation switch -- see repro.bg.translate.
+    eager_spin: bool = False
+
+
+class SimulatorCrashed(RuntimeError):
+    """Internal invariant of the trampoline broken (a library bug)."""
+
+
+def simulator_process(cfg: SimulationConfig, sim_id: int,
+                      own_input: Any) -> Generator:
+    """The generator run by simulator ``sim_id`` in the target model."""
+    trampoline = _Trampoline(cfg, sim_id, own_input)
+    result = yield from trampoline.run()
+    return result
+
+
+class _Trampoline:
+    """Drives the simulation threads of one simulator."""
+
+    def __init__(self, cfg: SimulationConfig, sim_id: int,
+                 own_input: Any) -> None:
+        self.cfg = cfg
+        self.sim_id = sim_id
+        self.state = SimulatorState(
+            sim_id, cfg.n_simulated,
+            snap_agreement=cfg.snap_agreement,
+            obj_agreement=cfg.obj_agreement,
+            mem_name=cfg.mem_name,
+            per_object_mutex2=cfg.per_object_mutex2,
+            eager_spin=cfg.eager_spin)
+        self.translator = SourceTranslator(cfg.source_specs, self.state)
+        self.mutexes = LocalMutexTable()
+        self.policy = cfg.policy_factory(sim_id)
+        self.decisions: Dict[int, Any] = {}
+        self.threads: Dict[int, _Thread] = {
+            j: _Thread(j, self._thread_body(j, own_input))
+            for j in range(cfg.n_simulated)
+        }
+        self._rr_last = -1
+
+    # ------------------------------------------------------------------
+    def _thread_body(self, j: int, own_input: Any) -> Generator:
+        """Simulate pj: agree on its input, then drive its program."""
+        input_j = yield from sim_input(self.state, j, own_input)
+        program = self.cfg.source_program(j, input_j)
+        result: Any = None
+        started = False
+        while True:
+            try:
+                op = program.send(result) if started else next(program)
+                started = True
+            except StopIteration as stop:
+                return stop.value
+            result = yield from self.translator.translate(j, op)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        while True:
+            j = self._pick_thread()
+            if j is None:
+                return self.policy.on_all_terminal(self.sim_id,
+                                                   self.decisions)
+            outcome = yield from self._quantum(self.threads[j])
+            if isinstance(outcome, Final):
+                return outcome.value
+
+    def _live(self) -> List[_Thread]:
+        return [t for t in self.threads.values()
+                if t.status in (ThreadStatus.READY, ThreadStatus.SPINNING)]
+
+    def _pick_thread(self) -> Optional[int]:
+        live = sorted(t.j for t in self._live())
+        if not live:
+            return None
+        choice = next((j for j in live if j > self._rr_last), live[0])
+        self._rr_last = choice
+        return choice
+
+    def _spin_period(self) -> int:
+        """Upper bound on consecutive failed spins needed to prove this
+        simulator stuck: every live thread re-checked each of its
+        (alternating) conditions."""
+        live = self._live()
+        max_cond = max((t.pending.period
+                        for t in live if isinstance(t.pending, SpinOp)),
+                       default=1)
+        return max(1, len(live)) * max(1, max_cond)
+
+    # ------------------------------------------------------------------
+    def _advance(self, thread: _Thread, send_value: Any) -> Optional[Any]:
+        """Resume the thread generator; returns its next op or None when
+        it finished (decision recorded)."""
+        try:
+            if thread.started:
+                op = thread.gen.send(send_value)
+            else:
+                thread.started = True
+                op = next(thread.gen)
+        except StopIteration as stop:
+            thread.status = ThreadStatus.DONE
+            thread.decision = stop.value
+            thread.pending = None
+            return None
+        thread.pending = op
+        return op
+
+    def _quantum(self, thread: _Thread) -> Generator:
+        """Run one thread up to (and through) one shared-memory step.
+
+        Local mutex operations are resolved inline without consuming the
+        quantum.  Returns a :class:`Final` when the decision policy stops
+        the simulator, else None.
+        """
+        while True:
+            if thread.pending is None:
+                op = self._advance(thread, thread.inbox)
+                thread.inbox = None
+                if op is None:
+                    outcome = yield from self._handle_decision(thread)
+                    return outcome
+            op = thread.pending
+
+            if isinstance(op, AcquireLocal):
+                if self.mutexes.try_acquire(op.mutex, thread.j):
+                    thread.pending = None
+                    thread.inbox = None
+                    continue
+                thread.status = ThreadStatus.WAIT_MUTEX
+                return None  # granted later by the holder's release
+
+            if isinstance(op, ReleaseLocal):
+                granted = self.mutexes.release(op.mutex, thread.j)
+                if granted is not None:
+                    waiter = self.threads[granted]
+                    waiter.status = ThreadStatus.READY
+                    waiter.pending = None
+                    waiter.inbox = None
+                thread.pending = None
+                thread.inbox = None
+                continue
+
+            if isinstance(op, LocalOp):
+                raise SimulatorCrashed(f"unknown local op {op!r}")
+
+            if isinstance(op, SpinOp):
+                result = yield SpinOp(op.invocation, op.predicate,
+                                      self._spin_period())
+                if result is SPIN_FAILED:
+                    thread.status = ThreadStatus.SPINNING
+                    # Let the thread present its next (possibly different)
+                    # wait condition; no shared step is consumed by this.
+                    nxt = self._advance(thread, SPIN_FAILED)
+                    if nxt is None:
+                        outcome = yield from self._handle_decision(thread)
+                        return outcome
+                    if not isinstance(nxt, SpinOp):
+                        thread.status = ThreadStatus.READY
+                else:
+                    thread.status = ThreadStatus.READY
+                    thread.pending = None
+                    thread.inbox = result
+                return None
+
+            if isinstance(op, Invocation):
+                result = yield op
+                thread.pending = None
+                thread.inbox = result
+                thread.status = ThreadStatus.READY
+                return None
+
+            raise SimulatorCrashed(
+                f"thread {thread.j} yielded unexpected {op!r}")
+
+    # ------------------------------------------------------------------
+    def _handle_decision(self, thread: _Thread) -> Generator:
+        """Thread finished: drain mutex1, then apply the decision policy."""
+        value = thread.decision
+        self.decisions[thread.j] = value
+        yield from self._drain_mutex1()
+        verdict = yield from self._run_policy(thread.j, value)
+        return verdict
+
+    def _drain_mutex1(self) -> Generator:
+        """Complete the pending propose of the mutex1 holder (if any), so
+        stopping the simulator afterwards abandons no shared agreement
+        mid-propose (paper, Section 5.5)."""
+        holder = self.mutexes.holder(MUTEX1)
+        while holder is not None:
+            thread = self.threads[holder]
+            if thread.status is not ThreadStatus.READY:
+                raise SimulatorCrashed(
+                    f"mutex1 holder thread {holder} is {thread.status}; "
+                    f"propose sections must be bounded and spin-free")
+            outcome = yield from self._quantum(thread)
+            if outcome is not None:
+                raise SimulatorCrashed(
+                    "a decision fired while draining mutex1")
+            holder = self.mutexes.holder(MUTEX1)
+
+    def _run_policy(self, j: int, value: Any) -> Generator:
+        gen = self.policy.on_decision(self.sim_id, self.decisions, j, value)
+        result: Any = None
+        started = False
+        while True:
+            try:
+                op = gen.send(result) if started else next(gen)
+                started = True
+            except StopIteration as stop:
+                return stop.value
+            result = yield op

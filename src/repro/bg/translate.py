@@ -1,0 +1,348 @@
+"""Translation of source-model operations into simulation operations.
+
+A simulated process's program yields operations on the *source* model's
+objects (its snapshot memory, registers, consensus-number-x objects, ...).
+Those objects never exist in the target model: a :class:`SourceTranslator`
+maps every source operation onto the BG simulation operations of
+`repro.bg.sim_ops`:
+
+* all *write-like* operations land in the simulated process's single cell
+  of the virtual snapshot memory.  The cell holds a dict from slot keys
+  (one per source object/entry) to values, so any number of source
+  read/write objects merge into the one snapshot object the BG machinery
+  simulates;
+* all *read-like* operations (register read, snapshot) become a
+  ``sim_snapshot`` -- i.e. go through a safe-agreement so every simulator
+  obtains the same result -- followed by a pure projection;
+* all *one-shot decision* operations (x_cons propose, one-shot test&set,
+  one-shot set agreement) become a ``sim_object_op`` -- one agreement per
+  source object (the paper's Figure 4; test&set agrees on the winner id,
+  set agreement degenerates to its 1-refinement, which any ℓ-set object
+  specification permits).
+
+Busy-waiting simulated processes
+--------------------------------
+
+A simulated ``SpinOp`` re-executes its read until the predicate holds, and
+each re-execution is a fresh simulated snapshot -- a fresh agreement.  To
+keep a *permanently* blocked simulated process observable (and cheap), the
+translator inserts a sound wait between failed iterations: it re-reads
+only once
+
+* the simulators' MEM object changed since a post-failure baseline, or
+* the next snapshot-agreement instance for this thread shows activity
+  (some simulator started or finished it),
+
+and it skips the wait entirely whenever the predicate already holds on
+the baseline's local projection.  This is sound for predicates that are
+*monotone* in the memory's progress (once true on a vector, true on every
+componentwise-more-advanced vector) -- the standard shape of shared-memory
+waiting loops, and a documented requirement for simulated algorithms.
+With it, a thread whose condition can never be satisfied ends up in a
+read-only spin that the top-level deadlock detector retires, instead of
+spawning agreement instances forever.
+
+Restrictions (checked, with explicit errors):
+
+* multi-writer registers are simulated with (seq, writer) tags, which is
+  linearizable when concurrent writers write *equal* values -- exactly the
+  discipline of the x-safe-agreement's X_SAFE_AG register.  Arbitrary
+  multi-writer races are outside the BG simulation's scope;
+* multi-shot non-deterministic objects (queues, stacks, CAS) cannot be
+  BG-simulated and are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Hashable, List, Tuple
+
+from ..memory.base import BOTTOM
+from ..memory.specs import ObjectSpec
+from ..runtime.ops import SPIN_FAILED, Invocation, SpinOp
+from .sim_ops import (SimulatorState, _most_advanced, sim_object_op,
+                      sim_snapshot, sim_write)
+
+
+class UnsimulableOperation(RuntimeError):
+    """A source operation the BG machinery cannot simulate."""
+
+
+class SourcePortViolation(RuntimeError):
+    """A simulated process accessed a source object outside its ports."""
+
+
+class SourceTranslator:
+    """Per-simulator translator with one virtual memory image per thread."""
+
+    def __init__(self, specs: List[ObjectSpec],
+                 state: SimulatorState) -> None:
+        self.specs: Dict[str, ObjectSpec] = {s.name: s for s in specs}
+        self.state = state
+        #: thread j -> its merged virtual memory cell (slot -> value).
+        self._images: Dict[int, Dict[Hashable, Any]] = {}
+        #: (thread, slot) -> multi-writer sequence counter.
+        self._seqs: Dict[Tuple[int, Hashable], int] = {}
+
+    # ------------------------------------------------------------------
+    def translate(self, j: int, op: Any) -> Generator:
+        """Generator: simulate source op ``op`` on behalf of thread j."""
+        if isinstance(op, SpinOp):
+            result = yield from self._spin(j, op)
+            return result
+        if isinstance(op, Invocation):
+            result = yield from self._invoke(j, op)
+            return result
+        raise UnsimulableOperation(
+            f"thread {j}: cannot simulate yielded {op!r}")
+
+    def _spec_of(self, j: int, name: str) -> ObjectSpec:
+        spec = self.specs.get(name)
+        if spec is None:
+            raise UnsimulableOperation(
+                f"thread {j}: unknown source object {name!r}")
+        return spec
+
+    def _invoke(self, j: int, inv: Invocation) -> Generator:
+        spec = self._spec_of(j, inv.obj)
+        projector = self._projector(j, spec, inv.method, inv.args)
+        if projector is not None:
+            cells = yield from sim_snapshot(self.state, j)
+            return projector(cells)
+        handler = getattr(self, f"_{spec.kind}_{inv.method}", None)
+        if handler is None:
+            raise UnsimulableOperation(
+                f"thread {j}: cannot simulate {inv.method!r} on "
+                f"{spec.kind} object {inv.obj!r}")
+        result = yield from handler(j, spec, *inv.args)
+        return result
+
+    # ------------------------------------------------------------------
+    def _spin(self, j: int, op: SpinOp) -> Generator:
+        """Simulate a busy-wait with the monotone-predicate wait protocol
+        described in the module docstring."""
+        inv = op.invocation
+        spec = self._spec_of(j, inv.obj)
+        projector = self._projector(j, spec, inv.method, inv.args)
+        if projector is None:
+            raise UnsimulableOperation(
+                f"thread {j}: busy-wait on non-read-only source operation "
+                f"{inv!r}")
+        while True:
+            cells = yield from sim_snapshot(self.state, j)
+            result = projector(cells)
+            if op.predicate(result):
+                return result
+            if not self.state.eager_spin:
+                yield from self._await_progress(j, op.predicate, projector)
+
+    def _await_progress(self, j: int,
+                        predicate: Callable[[Any], bool],
+                        projector: Callable) -> Generator:
+        """Park until re-reading could possibly change the outcome."""
+        # Baseline: the freshest simulators' view.  If the predicate
+        # already holds on its local projection, progress is available
+        # right now and waiting would be wrong.
+        baseline = yield self.state.MEM.snapshot()
+        local = projector(
+            _most_advanced(baseline, self.state.n_simulated))
+        if predicate(local):
+            return
+        probe = self.state.snap_agreement.instance(
+            ("snap", j, self.state.snap_sn[j] + 1))
+        probe_op = getattr(probe, "activity_probe", None)
+        while True:
+            changed = yield SpinOp(
+                self.state.MEM.snapshot(),
+                lambda s, b=baseline: s != b, period=2)
+            if changed is not SPIN_FAILED:
+                return
+            if probe_op is None:
+                continue
+            probe_inv, probe_pred = probe_op()
+            active = yield SpinOp(probe_inv, probe_pred, period=2)
+            if active is not SPIN_FAILED:
+                return
+
+    # ------------------------------------------------------------------
+    # Projectors: pure functions from the agreed cell vector to the
+    # result of a read-like source operation.  Returning None from
+    # _projector means the operation is not read-like.
+    # ------------------------------------------------------------------
+    def _projector(self, j: int, spec: ObjectSpec, method: str,
+                   args: Tuple[Any, ...]):
+        key = (spec.kind, method)
+        if key == ("snapshot", "snapshot"):
+            return self._proj_vector(("snap", spec.name),
+                                     spec.param("size"))
+        if key == ("snapshot", "read"):
+            (index,) = args
+            return self._proj_cell(index, ("snap", spec.name))
+        if key == ("snapshot_family", "snapshot"):
+            (fkey,) = args
+            return self._proj_vector(("snapf", spec.name, fkey),
+                                     spec.param("size"))
+        if key == ("snapshot_family", "read"):
+            fkey, index = args
+            return self._proj_cell(index, ("snapf", spec.name, fkey))
+        if key == ("register", "read"):
+            writer = spec.param("writer")
+            slot = ("reg", spec.name)
+            if writer is None:
+                return self._proj_tagged(slot)
+            return self._proj_cell(writer, slot)
+        if key == ("register_array", "read"):
+            (index,) = args
+            slot = ("rega", spec.name, index)
+            if spec.param("single_writer", False):
+                return self._proj_cell(index, slot)
+            return self._proj_tagged(slot)
+        if key == ("register_family", "read"):
+            (fkey,) = args
+            return self._proj_tagged(("regf", spec.name, fkey))
+        return None
+
+    @staticmethod
+    def _slot_of(cell: Any, slot: Hashable) -> Any:
+        if cell is BOTTOM:
+            return BOTTOM
+        return cell.get(slot, BOTTOM)
+
+    def _proj_vector(self, slot_prefix: Hashable, size: int):
+        def project(cells: Tuple[Any, ...]) -> Tuple[Any, ...]:
+            return tuple(
+                self._slot_of(cells[y], slot_prefix)
+                if y < len(cells) else BOTTOM
+                for y in range(size))
+        return project
+
+    def _proj_cell(self, index: int, slot: Hashable):
+        def project(cells: Tuple[Any, ...]) -> Any:
+            return self._slot_of(cells[index], slot)
+        return project
+
+    def _proj_tagged(self, slot: Hashable):
+        def project(cells: Tuple[Any, ...]) -> Any:
+            best = None
+            for cell in cells:
+                entry = self._slot_of(cell, slot)
+                if entry is BOTTOM:
+                    continue
+                if best is None or entry[:2] > best[:2]:
+                    best = entry
+            return BOTTOM if best is None else best[2]
+        return project
+
+    # -- virtual memory plumbing ---------------------------------------
+    def _write_slot(self, j: int, slot: Hashable, value: Any) -> Generator:
+        image = self._images.setdefault(j, {})
+        image[slot] = value
+        yield from sim_write(self.state, j, dict(image))
+
+    def _tagged_write(self, j: int, slot: Hashable, value: Any) -> Generator:
+        seq = self._seqs.get((j, slot), 0) + 1
+        self._seqs[(j, slot)] = seq
+        yield from self._write_slot(j, slot, (seq, j, value))
+
+    # -- snapshot objects ------------------------------------------------
+    def _snapshot_write(self, j: int, spec: ObjectSpec, index: int,
+                        value: Any) -> Generator:
+        if index != j:
+            raise SourcePortViolation(
+                f"thread {j} wrote entry {index} of snapshot {spec.name!r}; "
+                f"only single-writer snapshot memories are simulable")
+        yield from self._write_slot(j, ("snap", spec.name), value)
+
+    def _snapshot_update(self, j: int, spec: ObjectSpec,
+                         value: Any) -> Generator:
+        yield from self._snapshot_write(j, spec, j, value)
+
+    # -- snapshot families -------------------------------------------------
+    def _snapshot_family_write(self, j: int, spec: ObjectSpec,
+                               key: Hashable, index: int,
+                               value: Any) -> Generator:
+        if index != j:
+            raise SourcePortViolation(
+                f"thread {j} wrote entry {index} of snapshot family "
+                f"{spec.name!r}[{key!r}]")
+        yield from self._write_slot(j, ("snapf", spec.name, key), value)
+
+    # -- registers ---------------------------------------------------------
+    def _register_write(self, j: int, spec: ObjectSpec,
+                        value: Any) -> Generator:
+        writer = spec.param("writer")
+        if writer is not None and writer != j:
+            raise SourcePortViolation(
+                f"thread {j} wrote single-writer register {spec.name!r} "
+                f"owned by p{writer}")
+        if writer is None:
+            yield from self._tagged_write(j, ("reg", spec.name), value)
+        else:
+            yield from self._write_slot(j, ("reg", spec.name), value)
+
+    # -- register arrays ----------------------------------------------------
+    def _register_array_write(self, j: int, spec: ObjectSpec, index: int,
+                              value: Any) -> Generator:
+        slot = ("rega", spec.name, index)
+        if spec.param("single_writer", False):
+            if index != j:
+                raise SourcePortViolation(
+                    f"thread {j} wrote single-writer cell "
+                    f"{spec.name}[{index}]")
+            yield from self._write_slot(j, slot, value)
+        else:
+            yield from self._tagged_write(j, slot, value)
+
+    # -- register families ---------------------------------------------------
+    def _register_family_write(self, j: int, spec: ObjectSpec,
+                               key: Hashable, value: Any) -> Generator:
+        yield from self._tagged_write(j, ("regf", spec.name, key), value)
+
+    # -- one-shot decision objects (Figure 4) --------------------------------
+    def _xcons_propose(self, j: int, spec: ObjectSpec,
+                       value: Any) -> Generator:
+        if spec.ports is not None and j not in spec.ports:
+            raise SourcePortViolation(
+                f"thread {j} proposed to x_cons {spec.name!r}, ports "
+                f"{sorted(spec.ports)}")
+        result = yield from sim_object_op(
+            self.state, ("xcons", spec.name), value)
+        return result
+
+    def _kset_propose(self, j: int, spec: ObjectSpec,
+                      value: Any) -> Generator:
+        if spec.ports is not None and j not in spec.ports:
+            raise SourcePortViolation(
+                f"thread {j} proposed to kset {spec.name!r}, ports "
+                f"{sorted(spec.ports)}")
+        # A single agreed value is a legal (1 <= ℓ)-refinement of the
+        # ℓ-set agreement specification.
+        result = yield from sim_object_op(
+            self.state, ("kset", spec.name), value)
+        return result
+
+    def _tas_test_and_set(self, j: int, spec: ObjectSpec) -> Generator:
+        winner = yield from sim_object_op(
+            self.state, ("tas", spec.name), j)
+        return winner == j
+
+    def _tas_family_test_and_set(self, j: int, spec: ObjectSpec,
+                                 key: Hashable) -> Generator:
+        winner = yield from sim_object_op(
+            self.state, ("tasf", spec.name, key), j)
+        return winner == j
+
+    def _xcons_family_propose(self, j: int, spec: ObjectSpec,
+                              key: Hashable, ell: int,
+                              value: Any) -> Generator:
+        subsets = spec.param("subsets")
+        if not 0 <= ell < len(subsets):
+            raise UnsimulableOperation(
+                f"thread {j}: subset index {ell} out of range for "
+                f"{spec.name!r}")
+        if j not in subsets[ell]:
+            raise SourcePortViolation(
+                f"thread {j} proposed to {spec.name!r}[{key!r}][{ell}], "
+                f"ports {sorted(subsets[ell])}")
+        result = yield from sim_object_op(
+            self.state, ("xconsf", spec.name, key, ell), value)
+        return result

@@ -1,0 +1,46 @@
+"""The paper's contribution: ASM(n, t, x) models, the two simulations,
+the floor(t/x) equivalence calculus, and transfer chains."""
+
+from .classic_bg import bg_reduce, generalized_bg_reduce
+from .colored import colored_simulation_possible, simulate_colored
+from .equivalence import (EquivalenceClass, at_least_as_strong, canonical,
+                          class_of, consensus_solvable, equivalence_classes,
+                          equivalent, in_band, kset_solvable,
+                          max_xcons_resilience, min_x_for_resilience,
+                          multiplicative_band, partition_table,
+                          resilience_index, stronger, task_solvable,
+                          useless_boost, useless_extra_failures,
+                          x_band_for_index)
+from .extended_bg import simulate_in_read_write
+from .model import ASM, ModelViolation
+from .reverse_bg import simulate_with_xcons
+from .set_agreement_hierarchy import (GroupedKSetFromSetObjects,
+                                      bg_set_hierarchy_implementable,
+                                      gafni_simulatable_rounds,
+                                      grouping_outputs,
+                                      herlihy_rajsbaum_min_k,
+                                      herlihy_rajsbaum_solvable,
+                                      mrt_sync_rounds)
+from .simulation import SimulationAlgorithm
+from .transfer import (TransferStep, equivalence_certificate, plan_transfer,
+                       transfer_algorithm, transfer_impossibility)
+
+__all__ = [
+    "ASM", "ModelViolation",
+    "SimulationAlgorithm",
+    "bg_reduce", "generalized_bg_reduce",
+    "simulate_in_read_write", "simulate_with_xcons",
+    "colored_simulation_possible", "simulate_colored",
+    "EquivalenceClass", "at_least_as_strong", "canonical", "class_of",
+    "consensus_solvable", "equivalence_classes", "equivalent", "in_band",
+    "kset_solvable", "max_xcons_resilience", "min_x_for_resilience",
+    "multiplicative_band", "partition_table", "resilience_index",
+    "stronger", "task_solvable", "useless_boost", "useless_extra_failures",
+    "x_band_for_index",
+    "TransferStep", "equivalence_certificate", "plan_transfer",
+    "transfer_algorithm", "transfer_impossibility",
+    "GroupedKSetFromSetObjects", "bg_set_hierarchy_implementable",
+    "gafni_simulatable_rounds", "grouping_outputs",
+    "herlihy_rajsbaum_min_k", "herlihy_rajsbaum_solvable",
+    "mrt_sync_rounds",
+]

@@ -1,0 +1,78 @@
+"""The classic Borowsky-Gafni simulation: ASM(n, t, 1) -> ASM(t+1, t, 1).
+
+"The BG simulation shows that the models ASM(n, t, 1) and ASM(t+1, t, 1)
+are equivalent" (paper, abstract).  This is the x = 1 corner of the
+machinery: t+1 simulators, wait-free (t of them may crash), simulating the
+n processes of a t-resilient read/write algorithm through safe-agreement
+objects.
+
+`bg_reduce` also accepts any ``n_simulators >= t+1`` (the reduction is
+usually stated for exactly t+1, but the construction is insensitive to
+extra simulators), and `generalized_bg_reduce` gives the paper's
+contribution #2 -- ASM(n, t, x) ≃ ASM(t+1, t, x) -- as the composition of
+the Section 3 and Section 4 simulations around a classic BG core, exactly
+the transitivity argument of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from ..agreement.safe_agreement import SafeAgreementFactory
+from ..algorithms.protocol import Algorithm
+from ..core.model import ASM, ModelViolation
+from . import extended_bg, reverse_bg
+from .simulation import SimulationAlgorithm
+
+
+def bg_reduce(source: Algorithm,
+              n_simulators: int = None) -> SimulationAlgorithm:
+    """Wait-free (t+1)-simulator reduction of a t-resilient read/write
+    algorithm (the original BG simulation)."""
+    t = source.resilience
+    if t < 1:
+        raise ModelViolation(
+            "BG reduction needs t >= 1 (with t = 0 the reduction target "
+            "ASM(1, 0, 1) is a trivial sequential model)")
+    n_sims = t + 1 if n_simulators is None else n_simulators
+    if n_sims < t + 1:
+        raise ModelViolation(
+            f"need at least t+1 = {t + 1} simulators, got {n_sims}")
+    return SimulationAlgorithm(
+        source,
+        n_simulators=n_sims,
+        resilience=t,
+        snap_agreement=SafeAgreementFactory(n_sims, family_name="SAFE_AG"),
+        obj_agreement=SafeAgreementFactory(n_sims, family_name="XSAFE_AG"),
+        label=f"bg_to_ASM({n_sims},{t},1)",
+    )
+
+
+def generalized_bg_reduce(source: Algorithm, x: int = None
+                          ) -> SimulationAlgorithm:
+    """Contribution #2: any task solvable in ASM(n, t, x) is solvable in
+    ASM(t+1, t, x) -- the generalization of the BG simulation.
+
+    Composition (the transitivity argument of Section 5.2): first reduce
+    the source to read/write resilience t0 = ⌊t/x⌋ (Section 3), then run
+    that t0-resilient algorithm under t+1 simulators equipped with
+    consensus-number-x objects and tolerating t crashes (Section 4 with
+    n' = t+1): t crashes kill at most ⌊t/x⌋ = t0 x-safe-agreement objects,
+    which the t0-resilient inner algorithm absorbs.
+    """
+    x = int(source.consensus_power()) if x is None else x
+    t = source.resilience
+    if t < 1:
+        raise ModelViolation("generalized BG reduction needs t >= 1")
+    t0 = t // x
+    # Step 1 (Section 3): ASM(n, t, x) -> ASM(n, t0, 1).
+    in_rw = extended_bg.simulate_in_read_write(source, t0)
+    if x == 1:
+        # Degenerate case: the classic BG simulation itself.
+        return bg_reduce(in_rw)
+    # Step 2 (Section 4 with t+1 simulators): -> ASM(t+1, t, x).
+    return reverse_bg.simulate_with_xcons(
+        in_rw, t_prime=t, x=x, n_simulators=t + 1)
+
+
+def target_model(source: Algorithm) -> ASM:
+    """ASM(t+1, t, 1): the classic BG target for ``source``."""
+    return ASM(source.resilience + 1, source.resilience, 1)

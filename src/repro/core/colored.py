@@ -1,0 +1,64 @@
+"""Section 5.5: simulating colored tasks.
+
+A colored task forbids two processes from deciding the same (simulated)
+value, so the colorless trick "every simulator adopts the first decision it
+sees" is unsound.  Section 5.5 simulates the execution of an algorithm
+solving a colored task in ASM(n, t, x) within ASM(n', t', x') under three
+conditions:
+
+* ``x' > 1``                 -- needed to build the test&set objects that
+  allocate decisions to simulators;
+* ``⌊t/x⌋ >= ⌊t'/x'⌋``       -- the colorless blocking arithmetic;
+* ``n >= max(n', (n'-t') + t)`` -- enough simulated decisions survive for
+  every correct simulator to claim a distinct one.
+
+Mechanics: snapshots *and* simulated x_cons objects go through
+x'-safe-agreement (Figure 8); when a simulator obtains pj's decision it
+completes its pending propose, competes on T&S[j], and adopts the value on
+a win or resumes simulating on a loss.
+"""
+
+from __future__ import annotations
+
+from ..agreement.x_safe_agreement import XSafeAgreementFactory
+from ..algorithms.protocol import Algorithm
+from ..bg.policy import ColoredTASPolicy
+from ..core.model import ASM, ModelViolation
+from .simulation import SimulationAlgorithm
+
+
+def colored_simulation_possible(source_model: ASM, target: ASM) -> bool:
+    """The three side conditions of Section 5.5."""
+    if target.x <= 1:
+        return False
+    if source_model.resilience_index < target.resilience_index:
+        return False
+    return source_model.n >= max(
+        target.n, (target.n - target.t) + source_model.t)
+
+
+def simulate_colored(source: Algorithm,
+                     n_prime: int,
+                     t_prime: int,
+                     x_prime: int,
+                     check: bool = True) -> SimulationAlgorithm:
+    """Build the ASM(n', t', x') algorithm simulating the colored-task
+    algorithm ``source`` (designed for ASM(n, t, x))."""
+    source_model = source.model()
+    target = ASM(n_prime, t_prime, x_prime)
+    if check and not colored_simulation_possible(source_model, target):
+        raise ModelViolation(
+            f"Section 5.5 conditions violated for {source_model} -> "
+            f"{target}: need x' > 1, floor(t/x) >= floor(t'/x'), and "
+            f"n >= max(n', (n'-t')+t)")
+    factory = XSafeAgreementFactory(n_prime, min(x_prime, n_prime),
+                                    prefix="XSA")
+    return SimulationAlgorithm(
+        source,
+        n_simulators=n_prime,
+        resilience=t_prime,
+        snap_agreement=factory,
+        obj_agreement=factory,
+        policy_class=ColoredTASPolicy,
+        label=f"sec55_to_ASM({n_prime},{t_prime},{x_prime})",
+    )

@@ -1,0 +1,204 @@
+"""The ⌊t/x⌋ calculus: equivalence classes, hierarchy, solvability.
+
+This module is the paper's main theorem in executable form:
+
+* ``ASM(n1, t1, x1) ≃ ASM(n2, t2, x2)`` for colorless decision tasks
+  **iff** ⌊t1/x1⌋ = ⌊t2/x2⌋ (Section 5.3);
+* the *multiplicative band*: ASM(n, t', x) ≃ ASM(n, t, 1) iff
+  t·x <= t' <= t·x + (x-1) (Section 5.4);
+* a task with set consensus number k is solvable in ASM(n, t, x) iff
+  k > ⌊t/x⌋ (Section 5.4);
+* the strictness hierarchy between models, and the Section 5.4 worked
+  partition of models into equivalence classes (the t' = 8 example).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .model import ASM, ModelViolation
+
+
+# ----------------------------------------------------------------------
+# The core quantity.
+# ----------------------------------------------------------------------
+def resilience_index(t: int, x: float) -> int:
+    """⌊t/x⌋ -- the equivalence-class invariant of ASM(·, t, x)."""
+    if t < 0:
+        raise ValueError("t must be >= 0")
+    if x == math.inf:
+        return 0
+    if not isinstance(x, int) or x < 1:
+        raise ValueError("x must be a positive int or inf")
+    return t // x
+
+
+def equivalent(m1: ASM, m2: ASM) -> bool:
+    """Main theorem: same computational power for colorless tasks iff
+    ⌊t1/x1⌋ = ⌊t2/x2⌋."""
+    return m1.resilience_index == m2.resilience_index
+
+
+def stronger(m1: ASM, m2: ASM) -> bool:
+    """Strict hierarchy: m1 ≻ m2 iff more (colorless) tasks are solvable
+    in m1, i.e. ⌊t1/x1⌋ < ⌊t2/x2⌋ (a smaller index solves more)."""
+    return m1.resilience_index < m2.resilience_index
+
+
+def at_least_as_strong(m1: ASM, m2: ASM) -> bool:
+    """m1 solves every colorless task m2 solves: ⌊t1/x1⌋ <= ⌊t2/x2⌋."""
+    return m1.resilience_index <= m2.resilience_index
+
+
+def canonical(model: ASM) -> ASM:
+    """Canonical representative ASM(n, ⌊t/x⌋, 1) of the class."""
+    return model.canonical()
+
+
+# ----------------------------------------------------------------------
+# The multiplicative band (Section 5.4).
+# ----------------------------------------------------------------------
+def multiplicative_band(t: int, x: int) -> Tuple[int, int]:
+    """The range of t' with ASM(n, t', x) ≃ ASM(n, t, 1):
+    t·x <= t' <= t·x + (x-1)."""
+    if t < 0 or x < 1:
+        raise ValueError("need t >= 0 and x >= 1")
+    return (t * x, t * x + (x - 1))
+
+
+def in_band(t_prime: int, t: int, x: int) -> bool:
+    """Is t' inside the multiplicative band of (t, x)?"""
+    lo, hi = multiplicative_band(t, x)
+    return lo <= t_prime <= hi
+
+
+def useless_boost(t: int, x: int, delta_x: int) -> bool:
+    """Section 5.4, 'increasing the consensus number can be useless':
+    ASM(n, t, x) ≃ ASM(n, t, x + Δx) iff ⌊t/x⌋ = ⌊t/(x+Δx)⌋."""
+    if delta_x < 0:
+        raise ValueError("delta_x must be >= 0")
+    return resilience_index(t, x) == resilience_index(t, x + delta_x)
+
+
+def useless_extra_failures(t: int, delta_t: int, x: int) -> bool:
+    """Dual observation: raising t to t+Δt does not weaken the model iff
+    ⌊t/x⌋ = ⌊(t+Δt)/x⌋."""
+    if delta_t < 0:
+        raise ValueError("delta_t must be >= 0")
+    return resilience_index(t, x) == resilience_index(t + delta_t, x)
+
+
+# ----------------------------------------------------------------------
+# Solvability of tasks by set consensus number (Sections 1.2 and 5.4).
+# ----------------------------------------------------------------------
+def kset_solvable(model: ASM, k: int) -> bool:
+    """Is k-set agreement solvable in the model?  Iff k > ⌊t/x⌋.
+
+    (k-set agreement is solvable in ASM(n, t, 1) iff t < k [Chaudhuri 93 /
+    BG-HS-SZ impossibility]; the main theorem transfers this across the
+    equivalence classes.)
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return k > model.resilience_index
+
+
+def task_solvable(set_consensus_number: int, model: ASM) -> bool:
+    """A task with set consensus number k is solvable in ASM(n, t, x)
+    iff k > ⌊t/x⌋ (Section 5.4, 'A hierarchy of system models')."""
+    return kset_solvable(model, set_consensus_number)
+
+
+def consensus_solvable(model: ASM) -> bool:
+    """Consensus = 1-set agreement: solvable iff ⌊t/x⌋ = 0, i.e. t < x."""
+    return kset_solvable(model, 1)
+
+
+def max_xcons_resilience(k: int, x: int) -> int:
+    """Largest t' such that a task of set consensus number k is solvable
+    in ASM(n, t', x): t' = k·x - 1 (paper, contribution #1 example)."""
+    if k < 1 or x < 1:
+        raise ValueError("need k >= 1 and x >= 1")
+    return k * x - 1
+
+
+def min_x_for_resilience(k: int, t_prime: int) -> int:
+    """Smallest x such that a task of set consensus number k is solvable
+    in ASM(n, t', x): x >= (t'+1)/k, i.e. ⌈(t'+1)/k⌉ (paper, same spot)."""
+    if k < 1 or t_prime < 0:
+        raise ValueError("need k >= 1 and t' >= 0")
+    return -(-(t_prime + 1) // k)
+
+
+# ----------------------------------------------------------------------
+# Equivalence-class partitions (Section 5.4 worked example).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EquivalenceClass:
+    """One class of the x-partition of models ASM(n, t', ·)."""
+
+    index: int                  # the shared ⌊t'/x⌋ value
+    x_range: Tuple[int, int]    # inclusive range of x in the class
+    canonical_t: int            # t of the canonical ASM(n, t, 1)
+
+    def contains(self, x: int) -> bool:
+        return self.x_range[0] <= x <= self.x_range[1]
+
+
+def equivalence_classes(n: int, t_prime: int) -> List[EquivalenceClass]:
+    """Partition {ASM(n, t', x) : 1 <= x <= n} into equivalence classes.
+
+    Reproduces the paper's worked example (t' = 8):
+    x in 9..n -> class of ASM(n, 0, 1); x in 5..8 -> ASM(n, 1, 1);
+    x in 3..4 -> ASM(n, 2, 1); x = 2 -> ASM(n, 4, 1); x = 1 -> ASM(n, 8, 1).
+    """
+    if not 0 <= t_prime < n:
+        raise ModelViolation(f"need 0 <= t' < n, got t'={t_prime}, n={n}")
+    classes: List[EquivalenceClass] = []
+    x = 1
+    while x <= n:
+        index = t_prime // x
+        # Largest x' with t'//x' == index.
+        hi = n if index == 0 else min(n, t_prime // index)
+        classes.append(EquivalenceClass(index=index, x_range=(x, hi),
+                                        canonical_t=index))
+        x = hi + 1
+    return classes
+
+
+def class_of(model: ASM) -> EquivalenceClass:
+    """The equivalence class containing ``model`` within its (n, t) row."""
+    if model.x == math.inf:
+        return EquivalenceClass(0, (model.t + 1, model.n), 0)
+    for cls in equivalence_classes(model.n, model.t):
+        if cls.contains(int(model.x)):
+            return cls
+    raise AssertionError("partition must cover 1..n")
+
+
+def x_band_for_index(t_prime: int, t: int) -> Optional[Tuple[int, int]]:
+    """All x with ⌊t'/x⌋ = t: the paper's 'if t'/t >= x > t'/(t+1) then
+    ASM(n, t', x) ≃ ASM(n, t, 1)'.  None if the band is empty."""
+    if t_prime < 0 or t < 0:
+        raise ValueError("need t', t >= 0")
+    if t == 0:
+        return (t_prime + 1, max(t_prime + 1, 10 ** 9))  # unbounded above
+    lo = t_prime // (t + 1) + 1
+    hi = t_prime // t
+    if lo > hi:
+        return None
+    return (lo, hi)
+
+
+def partition_table(n: int, t_prime: int) -> str:
+    """Human-readable Section 5.4-style table for models ASM(n, t', x)."""
+    lines = [f"Equivalence classes of ASM(n={n}, t'={t_prime}, x):"]
+    for cls in equivalence_classes(n, t_prime):
+        lo, hi = cls.x_range
+        span = f"x = {lo}" if lo == hi else f"{lo} <= x <= {hi}"
+        lines.append(
+            f"  {span:<16} ~ ASM(n, {cls.canonical_t}, 1)   "
+            f"[floor(t'/x) = {cls.index}]")
+    return "\n".join(lines)

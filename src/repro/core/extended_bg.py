@@ -1,0 +1,63 @@
+"""Section 3: simulating ASM(n, t', x) in ASM(n, t, 1).
+
+Given a t'-resilient algorithm A that uses objects of consensus number x,
+`simulate_in_read_write` produces a t-resilient read/write algorithm
+solving the same colorless task, provided t <= ⌊t'/x⌋ (Theorem 1).
+
+The construction is the BG simulation extended with Figure 4: simulated
+snapshots go through safe-agreement objects SAFE_AG[j, snapsn] and
+simulated x_cons_propose() operations through one safe-agreement object
+XSAFE_AG[a] per simulated consensus object.  mutex1 limits each simulator
+to one pending propose, so a crashed simulator blocks either one simulated
+process (snapshot agreement) or the <= x processes sharing one consensus
+object (Lemma 1) -- whence the requirement t·x <= t'.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..agreement.safe_agreement import SafeAgreementFactory
+from ..algorithms.protocol import Algorithm
+from ..core.model import ASM, ModelViolation
+from .simulation import SimulationAlgorithm
+
+
+def max_target_resilience(source: Algorithm) -> int:
+    """The largest t for which Theorem 1 applies: ⌊t'/x⌋."""
+    x = source.consensus_power()
+    if x == math.inf:
+        return 0
+    return source.resilience // int(x)
+
+
+def simulate_in_read_write(source: Algorithm,
+                           t: int,
+                           check: bool = True) -> SimulationAlgorithm:
+    """Build the ASM(n, t, 1) algorithm simulating ``source``.
+
+    ``source`` is an algorithm for ASM(n, t', x); the result is an
+    algorithm for ASM(n, t, 1) solving the same colorless task.  With
+    ``check`` (default) the precondition t <= ⌊t'/x⌋ of Theorem 1 is
+    enforced; pass check=False to build a deliberately unsound simulation
+    (used by the tests to *demonstrate* the necessity of the bound).
+    """
+    bound = max_target_resilience(source)
+    if check and t > bound:
+        raise ModelViolation(
+            f"Theorem 1 requires t <= floor(t'/x) = {bound}; got t={t} "
+            f"for source {source.name} in {source.model()}")
+    n = source.n
+    return SimulationAlgorithm(
+        source,
+        n_simulators=n,
+        resilience=t,
+        snap_agreement=SafeAgreementFactory(n, family_name="SAFE_AG"),
+        obj_agreement=SafeAgreementFactory(n, family_name="XSAFE_AG"),
+        label=f"sec3_to_ASM({n},{t},1)",
+    )
+
+
+def target_model(source: Algorithm, t: int) -> ASM:
+    """The target model ASM(n, t, 1) of the Section 3 simulation."""
+    return ASM(source.n, t, 1)

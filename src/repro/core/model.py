@@ -1,0 +1,7 @@
+"""Re-export of :mod:`repro.model` (kept here so the model descriptor
+lives conceptually with the paper's core results while avoiding an import
+cycle with :mod:`repro.algorithms`)."""
+
+from ..model import ASM, ModelViolation
+
+__all__ = ["ASM", "ModelViolation"]

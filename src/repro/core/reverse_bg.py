@@ -1,0 +1,65 @@
+"""Section 4: simulating ASM(n, t, 1) in ASM(n, t', x).
+
+Given a t-resilient read/write algorithm A, `simulate_with_xcons` produces
+a t'-resilient algorithm using consensus-number-x objects that solves the
+same colorless task, provided t >= ⌊t'/x⌋ (Theorem 3) -- i.e. the target
+tolerates up to t' = t·x + (x-1) crashes: *the multiplicative power of
+consensus numbers*.
+
+The construction replaces the safe-agreement objects of the BG simulation
+with x-safe-agreement objects (Figure 6): killing one agreement object now
+costs the adversary x simulator crashes (its dynamically elected owners),
+so t' crashes block at most ⌊t'/x⌋ simulated processes (Lemma 7).
+"""
+
+from __future__ import annotations
+
+from ..agreement.x_safe_agreement import XSafeAgreementFactory
+from ..algorithms.protocol import Algorithm
+from ..core.model import ASM, ModelViolation
+from .simulation import SimulationAlgorithm
+
+
+def max_target_resilience(source: Algorithm, x: int) -> int:
+    """The largest t' for which Theorem 3 applies: t·x + (x-1)."""
+    return source.resilience * x + (x - 1)
+
+
+def simulate_with_xcons(source: Algorithm,
+                        t_prime: int,
+                        x: int,
+                        n_simulators: int = None,
+                        check: bool = True) -> SimulationAlgorithm:
+    """Build the ASM(n', t', x) algorithm simulating ``source``.
+
+    ``source`` is an algorithm for ASM(n, t, 1) (more generally, any
+    algorithm whose one-shot objects the translator supports -- Section 5.5
+    uses the same machinery with x_cons objects in the source).  With
+    ``check`` (default) the precondition t >= ⌊t'/x⌋ of Theorem 3 is
+    enforced.  ``n_simulators`` defaults to source.n (the paper's Section 4
+    setting); the generalized BG reduction of Section 5.2 passes t+1.
+    """
+    if x < 1:
+        raise ModelViolation(f"x must be >= 1, got {x}")
+    if check and source.resilience < t_prime // x:
+        raise ModelViolation(
+            f"Theorem 3 requires t >= floor(t'/x) = {t_prime // x}; "
+            f"source {source.name} is only {source.resilience}-resilient")
+    n_sims = source.n if n_simulators is None else n_simulators
+    if t_prime >= n_sims:
+        raise ModelViolation(
+            f"t' must be < n_simulators (t'={t_prime}, n'={n_sims})")
+    factory = XSafeAgreementFactory(n_sims, min(x, n_sims), prefix="XSA")
+    return SimulationAlgorithm(
+        source,
+        n_simulators=n_sims,
+        resilience=t_prime,
+        snap_agreement=factory,
+        obj_agreement=factory,
+        label=f"sec4_to_ASM({n_sims},{t_prime},{x})",
+    )
+
+
+def target_model(source: Algorithm, t_prime: int, x: int) -> ASM:
+    """The target model ASM(n, t', x) of the Section 4 simulation."""
+    return ASM(source.n, t_prime, x)

@@ -1,0 +1,138 @@
+"""The (m, ℓ)-set-agreement landscape around the paper (Section 1.3).
+
+The paper situates its result among three related ones, all of which are
+closed-form and therefore reproducible exactly:
+
+* **Borowsky-Gafni set-consensus hierarchy**: an (n, k)-set agreement
+  object cannot be wait-free implemented from (m, ℓ)-set agreement
+  objects when n/k > m/ℓ; the matching possibility side is the grouping
+  construction (partition the n ports into batches of m, one object per
+  batch, ℓ outputs each).
+* **Herlihy-Rajsbaum (algebraic spans)**: in a t-resilient system
+  enriched with (m, ℓ)-set agreement objects, k-set agreement is
+  solvable iff k >= k_min(t, m, ℓ) = ℓ·⌊(t+1)/m⌋ + min(ℓ, (t+1) mod m).
+* **Mostéfaoui-Raynal-Travers**: in *synchronous* systems enriched with
+  (m, ℓ)-set agreement objects, k-set agreement takes exactly
+  ⌊t / (m·⌊k/ℓ⌋ + (k mod ℓ))⌋ + 1 rounds.
+* **Gafni's round-reduction**: an asynchronous system with t' crashes
+  can simulate the first ⌊t/t'⌋ rounds of a synchronous t-resilient
+  algorithm ("the dividing power of asynchrony") -- the additive
+  counterpart of the paper's multiplicative result.
+
+`GroupedKSetFromSetObjects` is the constructive witness of the
+possibility sides, runnable on the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..algorithms.protocol import Algorithm
+from ..memory.specs import ObjectSpec, make_spec
+from ..runtime.ops import ObjectProxy
+
+
+# ----------------------------------------------------------------------
+# Borowsky-Gafni hierarchy.
+# ----------------------------------------------------------------------
+def bg_set_hierarchy_implementable(n: int, k: int, m: int, ell: int
+                                   ) -> bool:
+    """Can an (n, k)-set agreement object be wait-free built from
+    (m, ℓ)-set agreement objects (and registers)?  Iff n/k <= m/ℓ.
+
+    Impossibility for n/k > m/ℓ is Borowsky-Gafni 1993; possibility:
+    with n/k <= m/ℓ, i.e. k >= ⌈ℓ·n/m⌉ ... concretely the grouping
+    construction below yields ⌈n/m⌉·ℓ <= k outputs whenever
+    ⌈n/m⌉·ℓ <= k, which the inequality guarantees for m | n; for ragged
+    n the classical partial-object trick closes the gap.
+    """
+    if min(n, k, m, ell) < 1:
+        raise ValueError("all parameters must be >= 1")
+    return n * ell <= k * m
+
+
+def grouping_outputs(n: int, m: int, ell: int) -> int:
+    """Distinct outputs of the grouping construction: ℓ per batch of m,
+    and min(ℓ, batch size) for the ragged last batch."""
+    full, ragged = divmod(n, m)
+    return full * ell + min(ell, ragged)
+
+
+# ----------------------------------------------------------------------
+# Herlihy-Rajsbaum solvability frontier.
+# ----------------------------------------------------------------------
+def herlihy_rajsbaum_min_k(t: int, m: int, ell: int) -> int:
+    """Smallest k such that k-set agreement is solvable in an
+    asynchronous t-resilient system with (m, ℓ)-set agreement objects:
+    k = ℓ·⌊(t+1)/m⌋ + min(ℓ, (t+1) mod m)."""
+    if t < 0 or m < 1 or ell < 1:
+        raise ValueError("need t >= 0, m >= 1, ell >= 1")
+    return ell * ((t + 1) // m) + min(ell, (t + 1) % m)
+
+
+def herlihy_rajsbaum_solvable(k: int, t: int, m: int, ell: int) -> bool:
+    """Is k-set agreement solvable t-resiliently with (m, ℓ)-objects?"""
+    return k >= herlihy_rajsbaum_min_k(t, m, ell)
+
+
+# ----------------------------------------------------------------------
+# Mostéfaoui-Raynal-Travers synchronous round complexity.
+# ----------------------------------------------------------------------
+def mrt_sync_rounds(t: int, k: int, m: int, ell: int) -> int:
+    """Optimal synchronous round count for k-set agreement with
+    (m, ℓ)-objects: ⌊t / (m·⌊k/ℓ⌋ + (k mod ℓ))⌋ + 1."""
+    if t < 0 or min(k, m, ell) < 1:
+        raise ValueError("need t >= 0 and k, m, ell >= 1")
+    denom = m * (k // ell) + (k % ell)
+    if denom == 0:
+        raise ValueError("k < ell with k % ell == 0 is impossible")
+    return t // denom + 1
+
+
+# ----------------------------------------------------------------------
+# Gafni's dividing power of asynchrony.
+# ----------------------------------------------------------------------
+def gafni_simulatable_rounds(t: int, t_prime: int) -> int:
+    """Rounds of a t-resilient synchronous algorithm simulatable in an
+    asynchronous system with t' crashes: ⌊t/t'⌋ (Gafni 1998).  The
+    additive/dividing counterpart of the paper's multiplicative result.
+    """
+    if t < 0 or t_prime < 1:
+        raise ValueError("need t >= 0 and t' >= 1")
+    return t // t_prime
+
+
+# ----------------------------------------------------------------------
+# The constructive witness.
+# ----------------------------------------------------------------------
+class GroupedKSetFromSetObjects(Algorithm):
+    """Wait-free k-set agreement from (m, ℓ)-set agreement objects.
+
+    Partition the n processes into ⌈n/m⌉ batches of at most m; each
+    batch shares one (m, ℓ)-object; each process proposes to its batch's
+    object and decides the output.  Distinct decisions <= grouping
+    outputs = ⌊n/m⌋·ℓ + min(ℓ, n mod m).
+    """
+
+    def __init__(self, n: int, m: int, ell: int) -> None:
+        super().__init__(n, resilience=n - 1)
+        if m < 1 or ell < 1:
+            raise ValueError("need m >= 1 and ell >= 1")
+        self.m = m
+        self.ell = ell
+        self.k = grouping_outputs(n, m, ell)
+        self.name = f"grouped_kset_from_({m},{ell})_objects(n={n})"
+
+    def object_specs(self) -> List[ObjectSpec]:
+        specs = []
+        for batch, start in enumerate(range(0, self.n, self.m)):
+            members = range(start, min(start + self.m, self.n))
+            specs.append(make_spec("kset", f"SA[{batch}]", ports=members,
+                                   ell=self.ell))
+        return specs
+
+    def program(self, pid: int, value: Any) -> Generator:
+        batch = pid // self.m
+        obj = ObjectProxy(f"SA[{batch}]")
+        decided = yield obj.propose(value)
+        return decided

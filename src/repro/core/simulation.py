@@ -1,0 +1,77 @@
+"""The generic BG-style simulation as an Algorithm transformer.
+
+:class:`SimulationAlgorithm` wraps a source :class:`~repro.algorithms.
+protocol.Algorithm` (designed for some ASM(n, t, x)) into an algorithm for
+a target model, parameterized by
+
+* the number of simulators,
+* the agreement factories backing simulated snapshots and simulated
+  one-shot object operations (safe-agreement for Section 3 / classic BG,
+  x-safe-agreement for Sections 4 and 5.5),
+* the decision policy (colorless / colored / measurement).
+
+Because the result is itself an Algorithm whose operations use only
+translatable object kinds, simulations *compose*: the equivalence chains of
+the paper's Figure 7 are literal compositions of this class (see
+`repro.core.transfer`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from ..agreement.base import AgreementFactory
+from ..algorithms.protocol import Algorithm
+from ..bg.policy import DecisionPolicy, FirstDecisionPolicy
+from ..bg.sim_ops import MEM_NAME
+from ..bg.simulator import SimulationConfig, simulator_process
+from ..memory.specs import ObjectSpec, make_spec
+
+
+class SimulationAlgorithm(Algorithm):
+    """An Algorithm that simulates ``source`` with ``n_simulators``."""
+
+    def __init__(self,
+                 source: Algorithm,
+                 n_simulators: int,
+                 resilience: int,
+                 snap_agreement: AgreementFactory,
+                 obj_agreement: Optional[AgreementFactory] = None,
+                 policy_factory: Optional[
+                     Callable[[int], DecisionPolicy]] = None,
+                 policy_class: type = FirstDecisionPolicy,
+                 label: str = "sim",
+                 per_object_mutex2: bool = True,
+                 eager_spin: bool = False) -> None:
+        super().__init__(n_simulators, resilience)
+        self.source = source
+        self.snap_agreement = snap_agreement
+        self.obj_agreement = obj_agreement or snap_agreement
+        self.policy_class = policy_class
+        self.policy_factory = (policy_factory or
+                               (lambda sim_id: policy_class()))
+        self.name = f"{label}({source.name})"
+        self._config = SimulationConfig(
+            source_specs=source.object_specs(),
+            source_program=source.program,
+            n_simulated=source.n,
+            n_simulators=n_simulators,
+            snap_agreement=self.snap_agreement,
+            obj_agreement=self.obj_agreement,
+            policy_factory=self.policy_factory,
+            mem_name=MEM_NAME,
+            per_object_mutex2=per_object_mutex2,
+            eager_spin=eager_spin,
+        )
+
+    # ------------------------------------------------------------------
+    def object_specs(self) -> List[ObjectSpec]:
+        specs = [make_spec("snapshot", MEM_NAME, size=self.n)]
+        specs.extend(self.snap_agreement.object_specs())
+        if self.obj_agreement is not self.snap_agreement:
+            specs.extend(self.obj_agreement.object_specs())
+        specs.extend(self.policy_class.extra_specs(self.n))
+        return specs
+
+    def program(self, pid: int, value: Any) -> Generator:
+        return simulator_process(self._config, pid, value)

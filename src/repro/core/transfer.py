@@ -1,0 +1,160 @@
+"""Solvability transfer: composing simulations along Figure 7.
+
+The paper proves ``ASM(n1, t1, x1) ≃ ASM(n2, t2, x2)`` for
+⌊t1/x1⌋ = ⌊t2/x2⌋ = t by chaining
+
+    ASM(n1, t1, x1) --Sec.3--> ASM(n1, t, 1) --BG--> ASM(n2, t, 1)
+                                                     --Sec.4--> ASM(n2, t2, x2)
+
+`transfer_algorithm` performs the constructive direction: given an
+algorithm for one model, it produces an algorithm for any other model of
+the same or a stronger class, as an explicit composition of
+:class:`~repro.core.simulation.SimulationAlgorithm` layers.  Each layer is
+itself a runnable Algorithm, so a chain is an *executable certificate* of
+the equivalence.
+
+`transfer_impossibility` performs the contrapositive bookkeeping: an
+impossibility in one model propagates to every model of the same or a
+weaker class.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..algorithms.protocol import Algorithm
+from . import classic_bg, extended_bg, reverse_bg
+from .equivalence import at_least_as_strong, equivalent
+from .model import ASM, ModelViolation
+from .simulation import SimulationAlgorithm
+
+
+@dataclass(frozen=True)
+class TransferStep:
+    """One arrow of a Figure 7 chain."""
+
+    kind: str        # "section3" | "weaken" | "bg" | "section4"
+    source: ASM
+    target: ASM
+
+    def __str__(self) -> str:
+        return f"{self.source} --{self.kind}--> {self.target}"
+
+
+def plan_transfer(source_model: ASM, target_model: ASM
+                  ) -> List[TransferStep]:
+    """The chain of simulations taking an algorithm from ``source_model``
+    to ``target_model``.
+
+    Requires ⌊t2/x2⌋ <= ⌊t1/x1⌋ (the target is at least as strong); the
+    route goes through the canonical read/write models:
+
+    1. Section 3 down to ASM(n1, ⌊t1/x1⌋, 1)      (skipped when x1 = 1);
+    2. weaken the resilience claim to ⌊t2/x2⌋      (always sound);
+    3. classic BG onto n2 simulators               (skipped when n1 = n2);
+    4. Section 4 up to ASM(n2, t2, x2)             (skipped when x2 = 1 and
+                                                    t2 is already the index).
+    """
+    if not at_least_as_strong(target_model, source_model):
+        raise ModelViolation(
+            f"cannot transfer from {source_model} "
+            f"(index {source_model.resilience_index}) to the weaker "
+            f"{target_model} (index {target_model.resilience_index})")
+    if target_model.x == math.inf:
+        raise ModelViolation(
+            "transfer into an x = inf model: use x = n instead")
+    idx1 = source_model.resilience_index
+    idx2 = target_model.resilience_index
+    steps: List[TransferStep] = []
+    current = source_model
+
+    if current.x != 1:
+        nxt = ASM(current.n, idx1, 1)
+        steps.append(TransferStep("section3", current, nxt))
+        current = nxt
+    if current.t != idx2:
+        nxt = ASM(current.n, idx2, 1)
+        steps.append(TransferStep("weaken", current, nxt))
+        current = nxt
+    if current.n != target_model.n:
+        nxt = ASM(target_model.n, idx2, 1)
+        steps.append(TransferStep("bg", current, nxt))
+        current = nxt
+    if current != target_model:
+        steps.append(TransferStep("section4", current, target_model))
+    return steps
+
+
+def transfer_algorithm(algorithm: Algorithm,
+                       target_model: ASM) -> Algorithm:
+    """Compose simulations so ``algorithm`` runs in ``target_model``,
+    solving the same colorless task."""
+    steps = plan_transfer(algorithm.model(), target_model)
+    current = algorithm
+    for step in steps:
+        if step.kind == "section3":
+            current = extended_bg.simulate_in_read_write(
+                current, t=step.target.t)
+        elif step.kind == "weaken":
+            current = _with_resilience(current, step.target.t)
+        elif step.kind == "bg":
+            if step.target.t >= 1:
+                current = classic_bg.bg_reduce(
+                    current, n_simulators=step.target.n)
+            else:
+                # Failure-free re-hosting: the BG machinery with zero
+                # tolerated crashes.
+                current = classic_bg.bg_reduce(
+                    _with_resilience(current, 1, force=True),
+                    n_simulators=max(step.target.n, 2))
+                current = _with_resilience(current, 0)
+        elif step.kind == "section4":
+            current = reverse_bg.simulate_with_xcons(
+                current, t_prime=step.target.t, x=int(step.target.x),
+                n_simulators=step.target.n)
+        else:
+            raise AssertionError(step.kind)
+    return current
+
+
+def _with_resilience(algorithm: Algorithm, t: int,
+                     force: bool = False) -> Algorithm:
+    """A shallow view of ``algorithm`` with an adjusted resilience claim.
+
+    Lowering is always sound (a t-resilient algorithm is t''-resilient for
+    t'' < t).  ``force`` permits raising the claim, used only to host a
+    0-resilient algorithm on the crash-free BG machinery.
+    """
+    if t == algorithm.resilience:
+        return algorithm
+    if t > algorithm.resilience and not force:
+        raise ModelViolation(
+            f"cannot raise resilience of {algorithm.name} from "
+            f"{algorithm.resilience} to {t}")
+    view = copy.copy(algorithm)
+    view.resilience = t
+    return view
+
+
+def transfer_impossibility(impossible_in: ASM, candidate: ASM) -> bool:
+    """If a colorless task is impossible in ``impossible_in``, is it
+    impossible in ``candidate``?  Yes iff the candidate is not stronger:
+    ⌊t2/x2⌋ >= ⌊t1/x1⌋ (contrapositive of the transfer direction)."""
+    return (candidate.resilience_index >=
+            impossible_in.resilience_index)
+
+
+def equivalence_certificate(m1: ASM, m2: ASM
+                            ) -> Optional[List[TransferStep]]:
+    """For equivalent models, the full Figure 7 chain m1 -> m2 through the
+    canonical wait-free model ASM(t+1, t, 1); None when not equivalent."""
+    if not equivalent(m1, m2):
+        return None
+    t = m1.resilience_index
+    mid = ASM(t + 1, t, 1)
+    first = plan_transfer(m1, mid) if mid != m1 else []
+    second = plan_transfer(mid, m2) if mid != m2 else []
+    return first + second

@@ -1,0 +1,6 @@
+"""Failure-detector oracles: the Section 1.3 boosting enrichments."""
+
+from .base import FailureDetector, OracleContext
+from .omega import OmegaLeader, OmegaX
+
+__all__ = ["FailureDetector", "OracleContext", "OmegaLeader", "OmegaX"]

@@ -1,0 +1,88 @@
+"""Failure-detector oracles (paper Section 1.3, "Boosting the
+computability power with failure detectors").
+
+A failure detector is an oracle each process can query; its answers
+carry information about crashes that pure shared memory cannot provide
+(Chandra-Hadzilacos-Toueg).  In this runtime a detector is a special
+read-only shared object that the run harness *binds* to the scheduler, so
+its answers can depend on which processes have crashed and on the global
+step count.
+
+Eventual ("◇") guarantees are modeled with an explicit stabilization
+step: before it, answers may be adversarially wrong (configurable
+rotation); from it on, answers satisfy the detector's stable property.
+Within any finite run whose crashes are finite this realizes the
+eventual semantics exactly.
+
+Detectors do not have a consensus number -- they are *model enrichments*:
+ASM(n, t, x) + Ω is a strictly different (stronger) model than
+ASM(n, t, x).  The ASM validator treats them as permitted enrichments
+(`oracle = True`) and algorithms using them document the enrichment in
+their name.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Optional, Set
+
+from ..memory.base import SharedObject
+
+
+class OracleContext:
+    """What a detector may observe: crash state and global time."""
+
+    def __init__(self, scheduler) -> None:
+        self._scheduler = scheduler
+
+    @property
+    def step(self) -> int:
+        return self._scheduler.steps
+
+    def crashed(self) -> Set[int]:
+        from ..runtime.process import ProcessStatus
+        return {pid for pid, handle in self._scheduler.handles.items()
+                if handle.status is ProcessStatus.CRASHED}
+
+    def alive(self) -> Set[int]:
+        """Processes that have not crashed *yet*.
+
+        A detector's "correct process" promises are stated about the
+        whole run; because crashes are finite, properties computed from
+        the not-yet-crashed set hold from some point on, which is all an
+        eventual detector promises.
+        """
+        return set(self._scheduler.handles) - self.crashed()
+
+
+class FailureDetector(SharedObject):
+    """Base class: a read-only oracle bound to the running scheduler."""
+
+    #: marks the object as a model enrichment rather than a data object.
+    oracle = True
+    consensus_number = 1  # as a *data* object it stores nothing
+    READONLY = frozenset({"query"})
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, None)
+        self._context: Optional[OracleContext] = None
+        self.query_count = 0
+
+    def bind(self, context: OracleContext) -> None:
+        self._context = context
+
+    @property
+    def context(self) -> OracleContext:
+        if self._context is None:
+            raise RuntimeError(
+                f"failure detector {self.name!r} was never bound to a "
+                f"scheduler -- run it through run_processes/run_algorithm")
+        return self._context
+
+    def op_query(self, pid: int):
+        self.query_count += 1
+        return self.output(pid)
+
+    @abstractmethod
+    def output(self, pid: int):
+        """The detector's current answer for ``pid``."""

@@ -1,0 +1,85 @@
+"""The Ω family of leader oracles.
+
+* :class:`OmegaLeader` -- the classic Ω (= Ω1): outputs one process id;
+  eventually the same *correct* id at every process (Chandra-Hadzilacos-
+  Toueg; the weakest failure detector for consensus).
+* :class:`OmegaX` -- Ωx (Neiger 1995; paper Section 1.3): outputs a set
+  of x processes; eventually the same set at every correct process, and
+  that set contains at least one correct process.  Guerraoui & Kuznetsov
+  showed Ωx is the weakest detector boosting ASM(n, n-1, x) to consensus
+  number x+1.
+
+Both are *eventual* oracles: before ``stabilize_after`` global steps the
+output rotates adversarially over all processes (including crashed
+ones); from then on it is computed from the not-yet-crashed set, which
+settles once crashes stop, realizing the ◇ semantics within a finite
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import FailureDetector
+
+
+class OmegaLeader(FailureDetector):
+    """Ω: an eventually-accurate, eventually-stable leader oracle."""
+
+    def __init__(self, name: str = "omega", stabilize_after: int = 0,
+                 rotation_period: int = 7) -> None:
+        super().__init__(name)
+        if stabilize_after < 0 or rotation_period < 1:
+            raise ValueError("stabilize_after >= 0, rotation_period >= 1")
+        self.stabilize_after = stabilize_after
+        self.rotation_period = rotation_period
+
+    def output(self, pid: int) -> int:
+        ctx = self.context
+        everyone = sorted(set(ctx.alive()) | ctx.crashed())
+        if ctx.step < self.stabilize_after:
+            # Adversarial phase: rotate over everyone, possibly naming
+            # crashed processes and disagreeing over time.
+            return everyone[(ctx.step // self.rotation_period)
+                            % len(everyone)]
+        alive = sorted(ctx.alive())
+        if not alive:
+            return everyone[0]
+        return alive[0]
+
+
+class OmegaX(FailureDetector):
+    """Ωx: eventually one common set of x processes with a correct one."""
+
+    def __init__(self, name: str = "omega_x", x: int = 1,
+                 stabilize_after: int = 0,
+                 rotation_period: int = 7) -> None:
+        super().__init__(name)
+        if x < 1:
+            raise ValueError("x must be >= 1")
+        if stabilize_after < 0 or rotation_period < 1:
+            raise ValueError("stabilize_after >= 0, rotation_period >= 1")
+        self.x = x
+        self.stabilize_after = stabilize_after
+        self.rotation_period = rotation_period
+
+    def output(self, pid: int) -> Tuple[int, ...]:
+        ctx = self.context
+        everyone = sorted(set(ctx.alive()) | ctx.crashed())
+        x = min(self.x, len(everyone))
+        if ctx.step < self.stabilize_after:
+            start = (ctx.step // self.rotation_period) % len(everyone)
+            window = [everyone[(start + i) % len(everyone)]
+                      for i in range(x)]
+            return tuple(sorted(window))
+        alive = sorted(ctx.alive())
+        if not alive:
+            return tuple(everyone[:x])
+        # One correct process (the smallest alive), padded with the
+        # globally smallest ids for set stability.
+        chosen = {alive[0]}
+        for candidate in everyone:
+            if len(chosen) == x:
+                break
+            chosen.add(candidate)
+        return tuple(sorted(chosen))

@@ -1,0 +1,24 @@
+"""Shared-memory substrate: registers, snapshot objects, object families,
+declarative specs, and the object store."""
+
+from .afek_snapshot import AfekSnapshot
+from .base import BOTTOM, PortViolation, ProtocolViolation, SharedObject
+from .families import (RegisterFamily, SnapshotFamily, TASFamily,
+                       XConsFamily)
+from .immediate_snapshot import (ImmediateSnapshot,
+                                 check_immediate_snapshot_views)
+from .registers import AtomicRegister, RegisterArray
+from .snapshot import SnapshotObject
+from .specs import ObjectSpec, build_object, build_store, make_spec
+from .store import ObjectStore, UnknownObject
+
+__all__ = [
+    "AfekSnapshot",
+    "BOTTOM", "PortViolation", "ProtocolViolation", "SharedObject",
+    "RegisterFamily", "SnapshotFamily", "TASFamily", "XConsFamily",
+    "ImmediateSnapshot", "check_immediate_snapshot_views",
+    "AtomicRegister", "RegisterArray",
+    "SnapshotObject",
+    "ObjectSpec", "build_object", "build_store", "make_spec",
+    "ObjectStore", "UnknownObject",
+]

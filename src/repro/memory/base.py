@@ -1,0 +1,99 @@
+"""Shared-object protocol for the atomic-step runtime.
+
+Every base object the scheduler can execute operations on derives from
+:class:`SharedObject`.  A base object's methods run atomically (the scheduler
+serializes them), so implementations are plain sequential Python -- the model
+guarantees linearizability, mirroring how the paper assumes atomic snapshot
+objects and atomic consensus-number-x objects as primitives.
+
+Objects declare:
+
+* ``consensus_number`` -- their Herlihy consensus number, used by the
+  ASM(n, t, x) model validator (`repro.core.model`) to check that a store
+  only contains objects the model permits.
+* ``ports`` -- the statically-defined set of processes allowed to access the
+  object, or ``None`` for unrestricted access (read/write memory).  The
+  paper requires consensus-number-x objects to be accessible by at most x
+  statically defined processes (Section 2.3).
+* ``READONLY`` -- method names that cannot change state; only these may be
+  used in busy-wait :class:`~repro.runtime.ops.SpinOp` steps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Any, FrozenSet, Optional, Tuple
+
+
+class _Bottom:
+    """The default value ⊥ of the paper's shared-memory entries."""
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+#: Singleton "undefined" value, rendered as ⊥.
+BOTTOM = _Bottom()
+
+
+class PortViolation(RuntimeError):
+    """A process accessed an object outside its static port set."""
+
+
+class ProtocolViolation(RuntimeError):
+    """An object's sequential usage contract was broken (e.g. a one-shot
+    operation invoked twice by the same process)."""
+
+
+class SharedObject(ABC):
+    """Base class for atomic shared objects."""
+
+    #: Herlihy consensus number of this object type; subclasses override.
+    consensus_number: float = 1
+    #: Read-only methods, usable in spin steps.
+    READONLY: FrozenSet[str] = frozenset()
+
+    def __init__(self, name: str,
+                 ports: Optional[FrozenSet[int]] = None) -> None:
+        self.name = name
+        self.ports = frozenset(ports) if ports is not None else None
+
+    # ------------------------------------------------------------------
+    def apply(self, pid: int, method: str, args: Tuple[Any, ...]) -> Any:
+        """Execute ``method(*args)`` atomically on behalf of ``pid``."""
+        self.check_port(pid, method)
+        handler = getattr(self, f"op_{method}", None)
+        if handler is None:
+            raise ProtocolViolation(
+                f"object {self.name!r} ({type(self).__name__}) has no "
+                f"operation {method!r}")
+        return handler(pid, *args)
+
+    def check_port(self, pid: int, method: str) -> None:
+        """Raise PortViolation if pid is outside the static port set."""
+        if self.ports is not None and pid not in self.ports:
+            raise PortViolation(
+                f"p{pid} accessed {self.name!r}, whose static port set "
+                f"is {sorted(self.ports)}")
+
+    def is_readonly(self, method: str) -> bool:
+        """May this method be used in busy-wait (spin) steps?"""
+        return method in self.READONLY
+
+    def __repr__(self) -> str:
+        ports = "all" if self.ports is None else sorted(self.ports)
+        return (f"{type(self).__name__}({self.name!r}, ports={ports}, "
+                f"cn={self.consensus_number})")

@@ -1,0 +1,172 @@
+"""Dynamically-indexed families of shared objects.
+
+The BG-style simulations use unbounded arrays of agreement objects --
+``SAFE_AG[1..n, 0..+∞)`` in Figure 3, one ``XSAFE_AG[a]`` per simulated
+consensus object in Figure 4, and per-instance ``TS[1..x]`` / ``XCONS[1..m]``
+/ ``X_SAFE_AG`` in Figures 5-6.  A *family* object hosts such an array under
+a single store name: every operation takes a hashable ``key`` naming the
+instance, and instances are created lazily on first touch.
+
+A family of consensus-number-c objects is itself "an object of consensus
+number c" for the purpose of the model validator: it is nothing more than a
+naming convention over as many independent objects as the run needs, which
+the ASM model explicitly allows ("the processes can access as many
+consensus objects ... as they want", Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from .base import BOTTOM, PortViolation, ProtocolViolation, SharedObject
+
+
+class SnapshotFamily(SharedObject):
+    """A lazy family of single-writer snapshot objects of fixed ``size``.
+
+    Entry ``index`` of every instance is writable only by process
+    ``owner_of(index)`` (identity by default).
+    """
+
+    consensus_number = 1
+    READONLY = frozenset({"snapshot", "read"})
+
+    def __init__(self, name: str, size: int,
+                 enforce_owner: bool = True) -> None:
+        super().__init__(name, None)
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.enforce_owner = enforce_owner
+        self._instances: Dict[Hashable, List[Any]] = {}
+
+    def _cells(self, key: Hashable) -> List[Any]:
+        cells = self._instances.get(key)
+        if cells is None:
+            cells = [BOTTOM] * self.size
+            self._instances[key] = cells
+        return cells
+
+    def op_write(self, pid: int, key: Hashable, index: int,
+                 value: Any) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{key}][{index}] out of range")
+        if self.enforce_owner and pid != index:
+            raise PortViolation(
+                f"p{pid} wrote {self.name}[{key}][{index}] "
+                f"(single-writer entry of p{index})")
+        self._cells(key)[index] = value
+
+    def op_snapshot(self, pid: int, key: Hashable) -> Tuple[Any, ...]:
+        return tuple(self._cells(key))
+
+    def op_read(self, pid: int, key: Hashable, index: int) -> Any:
+        return self._cells(key)[index]
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+
+class RegisterFamily(SharedObject):
+    """A lazy family of multi-writer/multi-reader atomic registers."""
+
+    consensus_number = 1
+    READONLY = frozenset({"read"})
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, None)
+        self._values: Dict[Hashable, Any] = {}
+
+    def op_write(self, pid: int, key: Hashable, value: Any) -> None:
+        self._values[key] = value
+
+    def op_read(self, pid: int, key: Hashable) -> Any:
+        return self._values.get(key, BOTTOM)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._values)
+
+
+class TASFamily(SharedObject):
+    """A lazy family of one-shot test&set objects (consensus number 2)."""
+
+    consensus_number = 2
+    READONLY = frozenset({"peek"})
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, None)
+        self._winners: Dict[Hashable, int] = {}
+        self._callers: Dict[Hashable, set] = {}
+
+    def op_test_and_set(self, pid: int, key: Hashable) -> bool:
+        callers = self._callers.setdefault(key, set())
+        if pid in callers:
+            raise ProtocolViolation(
+                f"p{pid} invoked one-shot {self.name}[{key}] twice")
+        callers.add(pid)
+        if key not in self._winners:
+            self._winners[key] = pid
+            return True
+        return False
+
+    def op_peek(self, pid: int, key: Hashable) -> Optional[int]:
+        return self._winners.get(key)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._callers)
+
+
+class XConsFamily(SharedObject):
+    """A lazy family of x-consensus objects indexed by (key, subset index).
+
+    ``subsets`` is the shared ``SET_LIST[1..m]`` of Figure 6: the list of
+    size-x subsets of simulator ids, in a fixed order every simulator scans
+    identically.  Instance ``(key, ell)`` is the consensus object
+    ``XCONS[ell]`` of the x-safe-agreement instance ``key``; its static port
+    set is ``subsets[ell]``.
+    """
+
+    READONLY = frozenset({"peek"})
+
+    def __init__(self, name: str, subsets: Sequence[Sequence[int]]) -> None:
+        super().__init__(name, None)
+        if not subsets:
+            raise ValueError("subsets must be non-empty")
+        self.subsets: List[FrozenSet[int]] = [frozenset(s) for s in subsets]
+        sizes = {len(s) for s in self.subsets}
+        self.consensus_number = max(sizes)
+        self._decided: Dict[Hashable, Any] = {}
+        self._proposers: Dict[Hashable, set] = {}
+
+    @property
+    def m(self) -> int:
+        """Number of subsets (the paper's m = C(n, x))."""
+        return len(self.subsets)
+
+    def op_propose(self, pid: int, key: Hashable, ell: int,
+                   value: Any) -> Any:
+        if not 0 <= ell < len(self.subsets):
+            raise IndexError(f"{self.name} subset index {ell} out of range")
+        if pid not in self.subsets[ell]:
+            raise PortViolation(
+                f"p{pid} proposed to {self.name}[{key}][{ell}], ports "
+                f"{sorted(self.subsets[ell])}")
+        instance = (key, ell)
+        proposers = self._proposers.setdefault(instance, set())
+        if pid in proposers:
+            raise ProtocolViolation(
+                f"p{pid} proposed twice to {self.name}[{key}][{ell}]")
+        proposers.add(pid)
+        if instance not in self._decided:
+            self._decided[instance] = value
+        return self._decided[instance]
+
+    def op_peek(self, pid: int, key: Hashable, ell: int) -> Any:
+        return self._decided.get((key, ell), BOTTOM)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._proposers)

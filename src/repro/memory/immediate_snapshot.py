@@ -1,0 +1,94 @@
+"""One-shot immediate snapshot (Borowsky-Gafni 1993).
+
+The immediate-snapshot object is the backbone of the literature around
+the BG simulation (the iterated model, the topological characterizations
+of Herlihy-Shavit and Saks-Zaharoglou that the paper's impossibility
+citations rest on).  Each process writes a value and obtains a *view* --
+a set of (pid, value) pairs -- such that:
+
+* **self-inclusion**: (i, v_i) ∈ view_i;
+* **containment**:   views are totally ordered by ⊆;
+* **immediacy**:     (j, v_j) ∈ view_i  ⟹  view_j ⊆ view_i.
+
+(Immediacy is what plain snapshots lack: it makes write+scan look
+simultaneous.)
+
+Implemented with the classic recursive *levels* algorithm, wait-free
+over one snapshot object: a process descends from level n, announcing
+(value, level) and scanning; it returns at level ℓ once it sees at
+least ℓ processes at levels ≤ ℓ, with its view = those processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Tuple
+
+from ..runtime.ops import ObjectProxy
+from .base import BOTTOM
+from .specs import ObjectSpec, make_spec
+
+
+class ImmediateSnapshot:
+    """View of a one-shot immediate-snapshot object for ``size``
+    processes, backed by a snapshot object named ``name`` whose entries
+    hold (value, level) pairs."""
+
+    def __init__(self, name: str, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.mem = ObjectProxy(name)
+        self.name = name
+
+    def object_specs(self) -> List[ObjectSpec]:
+        return [make_spec("snapshot", self.name, size=self.size)]
+
+    def write_snapshot(self, pid: int, value: Any) -> Generator:
+        """``view = yield from is_obj.write_snapshot(pid, v)``.
+
+        Returns the view as a dict {pid: value}.
+        """
+        level = self.size + 1
+        while True:
+            level -= 1
+            yield self.mem.write(pid, (value, level))
+            snap = yield self.mem.snapshot()
+            at_or_below = {
+                j: entry[0]
+                for j, entry in enumerate(snap)
+                if entry is not BOTTOM and entry[1] <= level
+            }
+            if len(at_or_below) >= level:
+                return at_or_below
+            if level <= 1:
+                raise AssertionError(
+                    "immediate snapshot descended below level 1 -- "
+                    "impossible with <= size participants")
+
+
+def check_immediate_snapshot_views(views: Dict[int, Dict[int, Any]],
+                                   inputs: Dict[int, Any]) -> List[str]:
+    """Validate the three immediate-snapshot properties; returns a list
+    of violation descriptions (empty = correct)."""
+    violations: List[str] = []
+    for pid, view in views.items():
+        if pid not in view or view[pid] != inputs[pid]:
+            violations.append(f"self-inclusion: p{pid} missing from "
+                              f"its own view {view}")
+        for j, vj in view.items():
+            if inputs.get(j) != vj:
+                violations.append(
+                    f"validity: p{pid} saw {vj!r} for p{j}, "
+                    f"input was {inputs.get(j)!r}")
+    ordered = sorted(views.items(), key=lambda kv: len(kv[1]))
+    for (pa, va), (pb, vb) in zip(ordered, ordered[1:]):
+        if not set(va) <= set(vb):
+            violations.append(
+                f"containment: views of p{pa} and p{pb} incomparable")
+    for pid, view in views.items():
+        for j in view:
+            if j in views and not set(views[j]) <= set(view):
+                violations.append(
+                    f"immediacy: p{pid} sees p{j} but view_{j} is not "
+                    f"contained in view_{pid}")
+    return violations

@@ -1,0 +1,81 @@
+"""Atomic read/write registers.
+
+Registers have consensus number 1 (Herlihy 1991): they are the weakest
+objects of the ASM hierarchy, permitted in every ASM(n, t, x) model.
+
+:class:`AtomicRegister` is multi-writer/multi-reader by default; pass
+``writer`` to restrict writes to one process (single-writer registers, the
+building block of the Afek et al. snapshot construction in
+`repro.memory.afek_snapshot`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional
+
+from .base import BOTTOM, PortViolation, SharedObject
+
+
+class AtomicRegister(SharedObject):
+    """A linearizable read/write register."""
+
+    consensus_number = 1
+    READONLY = frozenset({"read"})
+
+    def __init__(self, name: str, initial: Any = BOTTOM,
+                 writer: Optional[int] = None,
+                 ports: Optional[FrozenSet[int]] = None) -> None:
+        super().__init__(name, ports)
+        self.value = initial
+        self.writer = writer
+        self.write_count = 0
+
+    def op_read(self, pid: int) -> Any:
+        return self.value
+
+    def op_write(self, pid: int, value: Any) -> None:
+        if self.writer is not None and pid != self.writer:
+            raise PortViolation(
+                f"p{pid} wrote single-writer register {self.name!r} "
+                f"owned by p{self.writer}")
+        self.value = value
+        self.write_count += 1
+
+
+class RegisterArray(SharedObject):
+    """An array of atomic registers behind one object name.
+
+    Each cell is independently read/written; a read or write of one cell is
+    one atomic step.  There is deliberately *no* atomic multi-cell read --
+    that is what snapshot objects are for, and keeping the distinction
+    explicit is what makes the Afek et al. snapshot construction meaningful.
+    """
+
+    consensus_number = 1
+    READONLY = frozenset({"read"})
+
+    def __init__(self, name: str, size: int, initial: Any = BOTTOM,
+                 single_writer: bool = False) -> None:
+        super().__init__(name, None)
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.cells = [initial] * size
+        #: If True, cell j may only be written by process j.
+        self.single_writer = single_writer
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"{self.name}[{index}] out of range 0..{self.size - 1}")
+
+    def op_read(self, pid: int, index: int) -> Any:
+        self._check_index(index)
+        return self.cells[index]
+
+    def op_write(self, pid: int, index: int, value: Any) -> None:
+        self._check_index(index)
+        if self.single_writer and pid != index:
+            raise PortViolation(
+                f"p{pid} wrote single-writer cell {self.name}[{index}]")
+        self.cells[index] = value

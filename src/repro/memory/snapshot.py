@@ -1,0 +1,86 @@
+"""Base-atomic single-writer snapshot objects.
+
+The paper's shared memory is "a snapshot object mem[1..n], one entry per
+process; pj alone writes mem[j] via mem[j].write(v); any process reads the
+whole array atomically via mem.snapshot()" (Section 2.3).  Snapshot objects
+are wait-free implementable from atomic registers (Afek et al. 1993) and
+hence have consensus number 1; this module provides them as an atomic
+primitive (one scheduler step per operation) while
+`repro.memory.afek_snapshot` provides the derived construction, witnessing
+the implementability claim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from .base import BOTTOM, PortViolation, SharedObject
+
+
+class SnapshotObject(SharedObject):
+    """A single-writer atomic snapshot object with ``size`` entries.
+
+    Entries are indexed 0..size-1 (the paper uses 1..n; this library is
+    0-based throughout).  By default entry ``j`` may only be written by
+    process ``j``; set ``owner_map`` to remap entries to owners (the BG
+    simulators' MEM object maps simulator ids to entries), or
+    ``enforce_owner=False`` for a multi-writer snapshot.
+    """
+
+    consensus_number = 1
+    READONLY = frozenset({"snapshot", "read"})
+
+    def __init__(self, name: str, size: int, initial: Any = BOTTOM,
+                 enforce_owner: bool = True,
+                 owner_map=None) -> None:
+        super().__init__(name, None)
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.entries = [initial] * size
+        self.enforce_owner = enforce_owner
+        #: entry index -> owning pid; identity when None.
+        self.owner_map = dict(owner_map) if owner_map is not None else None
+        self.write_counts = [0] * size
+        self.snapshot_count = 0
+
+    def _owner(self, index: int) -> int:
+        if self.owner_map is not None:
+            return self.owner_map[index]
+        return index
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"{self.name}[{index}] out of range 0..{self.size - 1}")
+
+    def op_write(self, pid: int, index: int, value: Any) -> None:
+        self._check_index(index)
+        if self.enforce_owner and pid != self._owner(index):
+            raise PortViolation(
+                f"p{pid} wrote {self.name}[{index}], owned by "
+                f"p{self._owner(index)}")
+        self.entries[index] = value
+        self.write_counts[index] += 1
+
+    def op_update(self, pid: int, value: Any) -> None:
+        """Write the caller's own entry (requires identity owner map)."""
+        self.op_write(pid, pid if self.owner_map is None else
+                      self._entry_of(pid), value)
+
+    def _entry_of(self, pid: int) -> int:
+        if self.owner_map is None:
+            return pid
+        for index, owner in self.owner_map.items():
+            if owner == pid:
+                return index
+        raise PortViolation(
+            f"p{pid} owns no entry of snapshot object {self.name!r}")
+
+    def op_snapshot(self, pid: int) -> Tuple[Any, ...]:
+        self.snapshot_count += 1
+        return tuple(self.entries)
+
+    def op_read(self, pid: int, index: int) -> Any:
+        self._check_index(index)
+        return self.entries[index]

@@ -1,0 +1,131 @@
+"""Declarative object specifications.
+
+An :class:`ObjectSpec` names a shared object, its kind and its parameters,
+without instantiating it.  Algorithms publish their object requirements as
+specs so that
+
+* a direct run can build a fresh store (`build_store`), and
+* a BG-style simulation can *translate* operations on the object instead of
+  materializing it (the simulated objects never exist in the target model;
+  see `repro.bg.translate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..memory.base import SharedObject
+from ..memory.families import (RegisterFamily, SnapshotFamily, TASFamily,
+                               XConsFamily)
+from ..memory.registers import AtomicRegister, RegisterArray
+from ..memory.snapshot import SnapshotObject
+from ..memory.store import ObjectStore
+from ..objects.compare_and_swap import CompareAndSwapObject
+from ..objects.consensus import XConsensusObject
+from ..objects.kset import KSetObject
+from ..objects.queue_stack import SharedQueue, SharedStack
+from ..objects.test_and_set import TestAndSetObject
+
+#: Object kinds understood by the builder and the simulation translator.
+KINDS = frozenset({
+    "snapshot", "snapshot_family", "register", "register_array",
+    "register_family", "xcons", "tas", "tas_family", "xcons_family",
+    "kset", "cas", "queue", "stack", "omega", "omega_x",
+})
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """Declarative description of one shared object."""
+
+    kind: str
+    name: str
+    ports: Optional[FrozenSet[int]] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown object kind {self.kind!r}")
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.param_dict.get(key, default)
+
+    @property
+    def consensus_number(self) -> float:
+        """Consensus number of the described object (for model checks)."""
+        return build_object(self).consensus_number
+
+
+def make_spec(kind: str, name: str, ports: Optional[Iterable[int]] = None,
+              **params: Any) -> ObjectSpec:
+    """Ergonomic ObjectSpec constructor."""
+    return ObjectSpec(
+        kind=kind,
+        name=name,
+        ports=frozenset(ports) if ports is not None else None,
+        params=tuple(sorted(params.items())),
+    )
+
+
+def build_object(spec: ObjectSpec) -> SharedObject:
+    """Instantiate a fresh shared object from its spec."""
+    p = spec.param_dict
+    if spec.kind == "snapshot":
+        return SnapshotObject(spec.name, size=p["size"],
+                              enforce_owner=p.get("enforce_owner", True),
+                              owner_map=p.get("owner_map"))
+    if spec.kind == "snapshot_family":
+        return SnapshotFamily(spec.name, size=p["size"],
+                              enforce_owner=p.get("enforce_owner", True))
+    if spec.kind == "register":
+        return AtomicRegister(spec.name, writer=p.get("writer"),
+                              ports=spec.ports)
+    if spec.kind == "register_array":
+        return RegisterArray(spec.name, size=p["size"],
+                             single_writer=p.get("single_writer", False))
+    if spec.kind == "register_family":
+        return RegisterFamily(spec.name)
+    if spec.kind == "xcons":
+        if spec.ports is None:
+            raise ValueError(f"xcons {spec.name!r} needs a static port set")
+        return XConsensusObject(spec.name, spec.ports)
+    if spec.kind == "tas":
+        return TestAndSetObject(spec.name, ports=spec.ports)
+    if spec.kind == "tas_family":
+        return TASFamily(spec.name)
+    if spec.kind == "xcons_family":
+        return XConsFamily(spec.name, subsets=p["subsets"])
+    if spec.kind == "kset":
+        if spec.ports is None:
+            raise ValueError(f"kset {spec.name!r} needs a static port set")
+        return KSetObject(spec.name, spec.ports, ell=p["ell"])
+    if spec.kind == "cas":
+        return CompareAndSwapObject(spec.name)
+    if spec.kind == "omega":
+        from ..detectors.omega import OmegaLeader
+        return OmegaLeader(spec.name,
+                           stabilize_after=p.get("stabilize_after", 0),
+                           rotation_period=p.get("rotation_period", 7))
+    if spec.kind == "omega_x":
+        from ..detectors.omega import OmegaX
+        return OmegaX(spec.name, x=p.get("x", 1),
+                      stabilize_after=p.get("stabilize_after", 0),
+                      rotation_period=p.get("rotation_period", 7))
+    if spec.kind == "queue":
+        return SharedQueue(spec.name, initial=p.get("initial", ()))
+    if spec.kind == "stack":
+        return SharedStack(spec.name, initial=p.get("initial", ()))
+    raise AssertionError(f"unhandled kind {spec.kind!r}")
+
+
+def build_store(specs: Iterable[ObjectSpec]) -> ObjectStore:
+    """Fresh store containing one object per spec."""
+    store = ObjectStore()
+    for spec in specs:
+        store.add(build_object(spec))
+    return store

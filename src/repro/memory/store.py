@@ -1,0 +1,63 @@
+"""The object store of a run.
+
+Holds every shared object a run can access and dispatches the scheduler's
+atomic operations to them.  One store per run: objects are stateful, so
+build a fresh store for every execution (algorithms expose ``build_store``
+factories for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from ..runtime.ops import Invocation
+from .base import SharedObject
+
+
+class UnknownObject(KeyError):
+    """An invocation referenced an object name absent from the store."""
+
+
+class ObjectStore:
+    """Name -> shared object mapping with atomic dispatch."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, SharedObject] = {}
+        self.op_count = 0
+
+    def add(self, obj: SharedObject) -> SharedObject:
+        if obj.name in self._objects:
+            raise ValueError(f"duplicate object name {obj.name!r}")
+        self._objects[obj.name] = obj
+        return obj
+
+    def add_all(self, objs) -> None:
+        for obj in objs:
+            self.add(obj)
+
+    def __getitem__(self, name: str) -> SharedObject:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise UnknownObject(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __iter__(self) -> Iterator[SharedObject]:
+        return iter(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def get(self, name: str) -> Optional[SharedObject]:
+        return self._objects.get(name)
+
+    # ------------------------------------------------------------------
+    def apply(self, pid: int, inv: Invocation) -> Any:
+        obj = self[inv.obj]
+        self.op_count += 1
+        return obj.apply(pid, inv.method, inv.args)
+
+    def is_readonly(self, inv: Invocation) -> bool:
+        return self[inv.obj].is_readonly(inv.method)

@@ -1,0 +1,14 @@
+"""Asynchronous message passing and the ABD register emulation: the
+substrate that grounds shared-memory models in networks."""
+
+from .abd import ABDProcess, ReadOp, WriteOp, run_abd
+from .engine import (Envelope, MessageCrash, MessageMachine,
+                     MessagingResult, run_messaging)
+from .hosted import HostedProcess, host_program_run
+
+__all__ = [
+    "ABDProcess", "ReadOp", "WriteOp", "run_abd",
+    "Envelope", "MessageCrash", "MessageMachine", "MessagingResult",
+    "run_messaging",
+    "HostedProcess", "host_program_run",
+]

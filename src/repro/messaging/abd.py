@@ -1,0 +1,190 @@
+"""The ABD register emulation (Attiya, Bar-Noy & Dolev 1995).
+
+Implements an atomic single-writer multi-reader register on top of
+asynchronous message passing with up to t < n/2 crashes -- the theorem
+that grounds shared-memory models (like the paper's ASM) in networks:
+"registers exist wherever majorities survive".
+
+Protocol (the classic two-phase quorum scheme):
+
+* ``write(v)`` (owner only): bump the timestamp, broadcast
+  ``STORE(ts, v)``, await n - t acks.
+* ``read()``: phase 1 broadcast ``QUERY``; await n - t replies, pick the
+  value with the highest timestamp; phase 2 *write back* that pair via
+  ``STORE`` and await n - t acks (the write-back is what makes reads
+  atomic rather than merely regular), then return the value.
+
+Each :class:`ABDProcess` interleaves serving replica duties (answering
+STORE/QUERY) with executing its own script of operations sequentially.
+Completed operations are recorded with (start, end) delivery-time stamps
+so the generic linearizability checker can validate entire histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..analysis.linearizability import OpRecord
+from .engine import MessageMachine
+
+#: message kinds
+STORE, STORE_ACK, QUERY, QUERY_REPLY = "store", "store-ack", "query", \
+    "query-reply"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    value: Any
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    pass
+
+
+class ABDProcess(MessageMachine):
+    """One process: a replica plus a scripted client."""
+
+    def __init__(self, pid: int, n: int, t: int, writer: int,
+                 script: Sequence[Any], clock) -> None:
+        super().__init__(pid, n)
+        if not t < n / 2:
+            raise ValueError(
+                f"ABD requires t < n/2 (got t={t}, n={n}): quorums of "
+                f"n-t must intersect")
+        self.t = t
+        self.writer = writer
+        self.script = list(script)
+        self.clock = clock                    # callable -> global time
+        # replica state
+        self.value: Any = None
+        self.ts: Tuple[int, int] = (0, -1)    # (counter, writer-id)
+        # the writer's own monotone counter.  Deriving the next write
+        # timestamp from the *replica* state is a genuine ABD
+        # implementation pitfall: the writer's self-addressed STORE may
+        # still be in flight when its write completes (acked by others),
+        # so a replica-derived counter can repeat and two writes collide
+        # on one timestamp, breaking atomicity.  (Found by the
+        # linearizability checker; see tests/messaging/test_abd.py.)
+        self.write_counter = 0
+        # client state
+        self.op_index = -1
+        self.phase: Optional[str] = None
+        self.pending_tag = 0
+        self.replies: List[Tuple[Tuple[int, int], Any]] = []
+        self.acks = 0
+        self.op_started_at = 0
+        self.read_choice: Optional[Tuple[Tuple[int, int], Any]] = None
+        self.history: List[OpRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def quorum(self) -> int:
+        return self.n - self.t
+
+    def start(self) -> None:
+        self._next_op()
+
+    def _next_op(self) -> None:
+        self.op_index += 1
+        if self.op_index >= len(self.script):
+            self.phase = None
+            self.decide(tuple(self.history))
+            return
+        op = self.script[self.op_index]
+        self.pending_tag += 1
+        self.acks = 0
+        self.replies = []
+        self.op_started_at = self.clock()
+        if isinstance(op, WriteOp):
+            if self.pid != self.writer:
+                raise ValueError(
+                    f"p{self.pid} cannot write a register owned by "
+                    f"p{self.writer}")
+            self.write_counter += 1
+            new_ts = (self.write_counter, self.pid)
+            # apply locally right away (the self-STORE would arrive
+            # asynchronously; the local replica must not lag own writes).
+            if new_ts > self.ts:
+                self.ts, self.value = new_ts, op.value
+            self.phase = "write"
+            self._store(new_ts, op.value)
+        else:
+            self.phase = "read-query"
+            self.broadcast((QUERY, self.pending_tag))
+
+    def _store(self, ts, value) -> None:
+        self.broadcast((STORE, self.pending_tag, ts, value))
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == STORE:
+            _, tag, ts, value = payload
+            if ts > self.ts:
+                self.ts, self.value = ts, value
+            self.send(sender, (STORE_ACK, tag))
+        elif kind == QUERY:
+            _, tag = payload
+            self.send(sender, (QUERY_REPLY, tag, self.ts, self.value))
+        elif kind == STORE_ACK:
+            _, tag = payload
+            if tag != self.pending_tag or self.phase not in (
+                    "write", "read-writeback"):
+                return
+            self.acks += 1
+            if self.acks >= self.quorum:
+                self._complete_op()
+        elif kind == QUERY_REPLY:
+            _, tag, ts, value = payload
+            if tag != self.pending_tag or self.phase != "read-query":
+                return
+            self.replies.append((ts, value))
+            if len(self.replies) >= self.quorum:
+                self.read_choice = max(self.replies, key=lambda r: r[0])
+                self.phase = "read-writeback"
+                self.pending_tag += 1
+                self.acks = 0
+                self._store(*self.read_choice)
+        else:
+            raise ValueError(f"unknown message {payload!r}")
+
+    def _complete_op(self) -> None:
+        op = self.script[self.op_index]
+        end = self.clock()
+        if isinstance(op, WriteOp):
+            self.history.append(OpRecord(
+                self.pid, self.op_started_at, end, "write",
+                (op.value,), None))
+        else:
+            self.history.append(OpRecord(
+                self.pid, self.op_started_at, end, "read",
+                (), self.read_choice[1]))
+        self._next_op()
+
+
+def run_abd(n: int, t: int, writer: int,
+            scripts: Sequence[Sequence[Any]],
+            crashes=(), seed: int = 0,
+            max_events: int = 100_000):
+    """Wire up and run one ABD system; returns (result, history).
+
+    ``scripts[pid]`` is pid's operation sequence.  The returned history
+    is the merged list of completed operations with global-time
+    intervals, ready for the linearizability checker.
+    """
+    from .engine import run_messaging
+    ticks = [0]
+
+    def clock() -> int:
+        ticks[0] += 1
+        return ticks[0]
+
+    machines = [ABDProcess(pid, n, t, writer, scripts[pid], clock)
+                for pid in range(n)]
+    result = run_messaging(machines, crashes=crashes, seed=seed,
+                           max_events=max_events)
+    history = [record for machine in machines
+               for record in machine.history]
+    return result, history

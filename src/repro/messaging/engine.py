@@ -1,0 +1,182 @@
+"""An asynchronous message-passing engine.
+
+The ASM model's registers are themselves implementable in asynchronous
+message-passing systems with a majority of correct processes (Attiya-
+Bar-Noy-Dolev) -- the classic bridge that grounds shared-memory models
+like the paper's in networked systems.  This engine provides the
+substrate for that emulation (`repro.messaging.abd`):
+
+* processes are event-driven :class:`MessageMachine` state machines
+  (start -> messages out; each delivery -> messages out);
+* the *network* is a multiset of in-flight messages; an adversary picks
+  which one to deliver next (asynchrony = adversarial reordering and
+  unbounded delay);
+* crashes silence a process: no further sends or deliveries to it;
+  messages it sent before crashing may still be delivered (or not --
+  the adversary already controls ordering, and a crash plan can drop
+  them explicitly).
+
+Determinism: given the seed and crash plan, runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight message."""
+
+    uid: int
+    sender: int
+    dest: int
+    payload: Any
+
+
+class MessageMachine(ABC):
+    """An event-driven process."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        self.pid = pid
+        self.n = n
+        self.outbox: List[Tuple[int, Any]] = []
+        self.decision: Any = None
+        self.decided = False
+
+    # -- actions available to subclasses --------------------------------
+    def send(self, dest: int, payload: Any) -> None:
+        self.outbox.append((dest, payload))
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        for dest in range(self.n):
+            if include_self or dest != self.pid:
+                self.send(dest, payload)
+
+    def decide(self, value: Any) -> None:
+        self.decision = value
+        self.decided = True
+
+    # -- hooks ------------------------------------------------------------
+    @abstractmethod
+    def start(self) -> None:
+        """Initial actions (fill the outbox via send/broadcast)."""
+
+    @abstractmethod
+    def on_message(self, sender: int, payload: Any) -> None:
+        """Handle one delivered message."""
+
+
+@dataclass(frozen=True)
+class MessageCrash:
+    """Crash the victim after it has processed ``after_events`` events
+    (0 = before doing anything, including its start actions)."""
+
+    victim: int
+    after_events: int
+    #: also drop the victim's still-undelivered messages at crash time
+    #: (a harsher but legal asynchronous behavior).
+    drop_in_flight: bool = False
+
+
+@dataclass
+class MessagingResult:
+    decisions: Dict[int, Any]
+    crashed: Set[int]
+    delivered: int
+    undelivered: int
+    stalled: bool  # live processes left with no deliverable messages
+
+    @property
+    def decided_pids(self) -> Set[int]:
+        return set(self.decisions)
+
+
+def run_messaging(machines: Sequence[MessageMachine],
+                  crashes: Sequence[MessageCrash] = (),
+                  seed: int = 0,
+                  max_events: int = 100_000,
+                  fifo: bool = False) -> MessagingResult:
+    """Drive the machines until quiescence, decision, or the event cap.
+
+    ``fifo=False`` (default) delivers in adversarial (seeded-random)
+    order; ``fifo=True`` delivers in send order (useful for debugging).
+    The run ends when every live machine has decided, or no deliverable
+    message remains (stalled -- e.g. too many crashes for a quorum), or
+    ``max_events`` deliveries happened.
+    """
+    n = len(machines)
+    rng = random.Random(seed)
+    crash_at = {c.victim: c for c in crashes}
+    if len(crash_at) != len(list(crashes)):
+        raise ValueError("one crash per victim")
+    crashed: Set[int] = set()
+    events_processed = {pid: 0 for pid in range(n)}
+    network: List[Envelope] = []
+    uid_counter = 0
+
+    def flush(machine: MessageMachine) -> None:
+        nonlocal uid_counter
+        for dest, payload in machine.outbox:
+            if not 0 <= dest < n:
+                raise ValueError(f"bad destination {dest}")
+            network.append(Envelope(uid_counter, machine.pid, dest,
+                                    payload))
+            uid_counter += 1
+        machine.outbox.clear()
+
+    def maybe_crash(pid: int) -> bool:
+        plan = crash_at.get(pid)
+        if plan is not None and events_processed[pid] >= plan.after_events:
+            crashed.add(pid)
+            if plan.drop_in_flight:
+                network[:] = [e for e in network if e.sender != pid]
+            return True
+        return False
+
+    # start actions (a machine may crash before starting).
+    for machine in machines:
+        if maybe_crash(machine.pid):
+            continue
+        machine.start()
+        events_processed[machine.pid] += 1
+        maybe_crash(machine.pid)
+        flush(machine)
+
+    delivered = 0
+    while delivered < max_events:
+        deliverable = [i for i, env in enumerate(network)
+                       if env.dest not in crashed]
+        live_undecided = [m for m in machines
+                          if m.pid not in crashed and not m.decided]
+        if not live_undecided:
+            break
+        if not deliverable:
+            break
+        index = deliverable[0] if fifo else rng.choice(deliverable)
+        env = network.pop(index)
+        delivered += 1
+        machine = machines[env.dest]
+        if machine.pid in crashed:
+            continue
+        machine.on_message(env.sender, env.payload)
+        events_processed[machine.pid] += 1
+        maybe_crash(machine.pid)
+        if machine.pid in crashed:
+            machine.outbox.clear()
+        else:
+            flush(machine)
+
+    live_undecided = [m for m in machines
+                      if m.pid not in crashed and not m.decided]
+    return MessagingResult(
+        decisions={m.pid: m.decision for m in machines
+                   if m.decided and m.pid not in crashed},
+        crashed=set(crashed),
+        delivered=delivered,
+        undelivered=len(network),
+        stalled=bool(live_undecided) and delivered < max_events,
+    )

@@ -1,0 +1,175 @@
+"""Hosting shared-memory algorithms on message passing.
+
+The full-stack theorem made executable: an algorithm written for the
+ASM world's registers runs unchanged over an asynchronous network --
+
+    messages  --ABD-->  SWMR registers  --Afek-->  snapshots  -->  task
+
+A :class:`HostedProcess` wraps a cooperative-runtime process generator
+(yielding ``register_array`` invocations, e.g. the Afek snapshot
+construction and anything built on it) and executes every register
+operation through the ABD quorum protocol, while simultaneously serving
+as a replica for everyone else's registers.  Up to t < n/2 machines may
+crash; the shared-memory algorithm on top sees ordinary crash-prone
+registers.
+
+This is the ground floor under the paper's model: ASM(n, t, 1) "exists"
+in any majority-correct network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..runtime.ops import Invocation
+from .engine import MessageMachine
+
+STORE, STORE_ACK, QUERY, QUERY_REPLY = "h-store", "h-ack", "h-query", \
+    "h-reply"
+
+
+class HostedProcess(MessageMachine):
+    """Runs a register-program over ABD-emulated registers.
+
+    ``program`` is a generator yielding :class:`Invocation`s on one
+    single-writer register array named ``reg_name`` (cell w writable by
+    machine w only).  The generator's return value becomes the machine's
+    decision.
+    """
+
+    def __init__(self, pid: int, n: int, t: int,
+                 program: Generator, reg_name: str = "R") -> None:
+        super().__init__(pid, n)
+        if not t < n / 2:
+            raise ValueError(f"need t < n/2 (t={t}, n={n})")
+        self.t = t
+        self.program = program
+        self.reg_name = reg_name
+        # replica: register index -> (ts, value); ts = (counter, writer).
+        self.replica: Dict[int, Tuple[Tuple[int, int], Any]] = {}
+        self.write_counter = 0
+        # pending client operation state.
+        self.tag = 0
+        self.phase: Optional[str] = None
+        self.acks = 0
+        self.replies = []
+        self.pending_inv: Optional[Invocation] = None
+        self.read_choice = None
+        self._started_program = False
+
+    @property
+    def quorum(self) -> int:
+        return self.n - self.t
+
+    # -- program driving -------------------------------------------------
+    def start(self) -> None:
+        self._advance(None)
+
+    def _advance(self, result: Any) -> None:
+        try:
+            if self._started_program:
+                op = self.program.send(result)
+            else:
+                self._started_program = True
+                op = next(self.program)
+        except StopIteration as stop:
+            self.decide(stop.value)
+            return
+        self._execute(op)
+
+    def _execute(self, op: Any) -> None:
+        if not isinstance(op, Invocation) or op.obj != self.reg_name:
+            raise ValueError(
+                f"hosted programs may only access the register array "
+                f"{self.reg_name!r}; got {op!r}")
+        self.pending_inv = op
+        self.tag += 1
+        self.acks = 0
+        self.replies = []
+        if op.method == "write":
+            index, value = op.args
+            if index != self.pid:
+                raise ValueError(
+                    f"p{self.pid} wrote single-writer cell {index}")
+            self.write_counter += 1
+            ts = (self.write_counter, self.pid)
+            current = self.replica.get(index)
+            if current is None or ts > current[0]:
+                self.replica[index] = (ts, value)
+            self.phase = "write"
+            self.broadcast((STORE, self.tag, index, ts, value))
+        elif op.method == "read":
+            (index,) = op.args
+            self.phase = "read-query"
+            self.broadcast((QUERY, self.tag, index))
+        else:
+            raise ValueError(f"unsupported register op {op.method!r}")
+
+    # -- message handling --------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == STORE:
+            _, tag, index, ts, value = payload
+            current = self.replica.get(index)
+            if current is None or ts > current[0]:
+                self.replica[index] = (ts, value)
+            self.send(sender, (STORE_ACK, tag))
+        elif kind == QUERY:
+            _, tag, index = payload
+            entry = self.replica.get(index)
+            self.send(sender, (QUERY_REPLY, tag, entry))
+        elif kind == STORE_ACK:
+            _, tag = payload
+            if tag != self.tag or self.phase not in ("write",
+                                                     "read-writeback"):
+                return
+            self.acks += 1
+            if self.acks >= self.quorum:
+                self._complete()
+        elif kind == QUERY_REPLY:
+            _, tag, entry = payload
+            if tag != self.tag or self.phase != "read-query":
+                return
+            self.replies.append(entry)
+            if len(self.replies) >= self.quorum:
+                known = [e for e in self.replies if e is not None]
+                if not known:
+                    self.read_choice = None
+                    self._complete()
+                    return
+                ts, value = max(known, key=lambda e: e[0])
+                self.read_choice = (ts, value)
+                (index,) = self.pending_inv.args
+                self.phase = "read-writeback"
+                self.tag += 1
+                self.acks = 0
+                self.broadcast((STORE, self.tag, index, ts, value))
+        else:
+            raise ValueError(f"unknown message {payload!r}")
+
+    def _complete(self) -> None:
+        op = self.pending_inv
+        self.pending_inv = None
+        self.phase = None
+        if op.method == "write":
+            self._advance(None)
+        else:
+            from ..memory.base import BOTTOM
+            result = BOTTOM if self.read_choice is None \
+                else self.read_choice[1]
+            self.read_choice = None
+            self._advance(result)
+
+
+def host_program_run(n: int, t: int, programs, crashes=(), seed: int = 0,
+                     max_events: int = 500_000):
+    """Run per-pid register programs over the hosted stack.
+
+    ``programs[pid]`` is a generator over ``register_array`` ops (name
+    "R").  Returns the MessagingResult (decisions = program returns).
+    """
+    from .engine import run_messaging
+    machines = [HostedProcess(pid, n, t, programs[pid])
+                for pid in range(n)]
+    return run_messaging(machines, crashes=crashes, seed=seed,
+                         max_events=max_events)

@@ -1,0 +1,110 @@
+"""The ASM(n, t, x) system model (paper Section 2.3).
+
+``ASM(n, t, x)`` is a shared-memory system of n asynchronous processes, up
+to t of which may crash, communicating through read/write snapshot memory
+and objects of consensus number x, each accessible by at most x statically
+defined processes.
+
+This module provides the model descriptor plus conformance checking: which
+shared objects a model permits, and whether a crash plan respects t.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from .memory.base import SharedObject
+
+
+class ModelViolation(ValueError):
+    """A run or store does not conform to its declared ASM model."""
+
+
+@dataclass(frozen=True, order=False)
+class ASM:
+    """Descriptor of a system model ASM(n, t, x).
+
+    ``t`` may be 0 (failure-free; used by the paper's Section 5.4 examples,
+    e.g. "ASM(n, 8, x) for 9 <= x <= n has the same power as ASM(n, 0, 1)").
+    ``x`` is a positive int, or ``math.inf`` for universal objects (CAS).
+    """
+
+    n: int
+    t: int
+    x: float = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ModelViolation(f"n must be >= 1, got {self.n}")
+        if not 0 <= self.t < self.n:
+            raise ModelViolation(
+                f"need 0 <= t < n, got t={self.t}, n={self.n}")
+        if self.x != math.inf:
+            if not isinstance(self.x, int) or self.x < 1:
+                raise ModelViolation(
+                    f"x must be a positive int or inf, got {self.x}")
+            if self.x > self.n:
+                raise ModelViolation(
+                    f"x cannot exceed n (x={self.x}, n={self.n}): an object "
+                    f"port set cannot be larger than the process set")
+
+    # ------------------------------------------------------------------
+    @property
+    def wait_free(self) -> bool:
+        """t = n-1: algorithms in this model are wait-free."""
+        return self.t == self.n - 1
+
+    @property
+    def resilience_index(self) -> int:
+        """⌊t/x⌋ -- the quantity that fully determines the model's power
+        for colorless decision tasks (the paper's main theorem)."""
+        if self.x == math.inf:
+            return 0
+        return self.t // self.x
+
+    def canonical(self) -> "ASM":
+        """The canonical representative ASM(n, ⌊t/x⌋, 1) of this model's
+        equivalence class (paper, Section 5.4)."""
+        return ASM(self.n, self.resilience_index, 1)
+
+    def bg_reduced(self) -> "ASM":
+        """ASM(t+1, t, x): the wait-free model the generalized BG
+        simulation (paper Section 5.2 / contribution #2) reduces to."""
+        if self.t < 1:
+            raise ModelViolation(
+                "BG reduction needs t >= 1 (a 1-process model is trivial)")
+        x = self.x if self.x == math.inf else min(self.x, self.t + 1)
+        return ASM(self.t + 1, self.t, x)
+
+    # ------------------------------------------------------------------
+    def permits_object(self, obj: SharedObject) -> bool:
+        """Does this model allow ``obj`` in the shared store?
+
+        Rule: the object's consensus number must not exceed x.  Registers
+        and snapshot objects (cn 1) are always allowed; consensus objects
+        carry cn = |ports| <= x; test&set (cn 2) needs x >= 2 and is then
+        implementable from the model's objects for any number of ports
+        (paper Section 4.3, citing [19]).
+        """
+        return obj.consensus_number <= self.x
+
+    def validate_store(self, store: Iterable[SharedObject]) -> None:
+        offenders = [obj for obj in store if not self.permits_object(obj)]
+        if offenders:
+            raise ModelViolation(
+                f"{self} does not permit: " +
+                ", ".join(f"{o.name} (cn={o.consensus_number})"
+                          for o in offenders))
+
+    def validate_crashes(self, n_crashes: int) -> None:
+        if n_crashes > self.t:
+            raise ModelViolation(
+                f"{self} allows at most t={self.t} crashes, plan has "
+                f"{n_crashes}")
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        x = "∞" if self.x == math.inf else self.x
+        return f"ASM({self.n}, {self.t}, {x})"

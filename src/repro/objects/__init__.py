@@ -1,0 +1,22 @@
+"""Typed shared objects above registers: consensus-number-x objects,
+test&set, (m,l)-set agreement, compare&swap, queues/stacks, and the
+universal construction."""
+
+from .compare_and_swap import CompareAndSwapObject, consensus_from_cas
+from .consensus import XConsensusObject, consensus_array
+from .kset import KSetObject, kset_object_implementable
+from .queue_stack import (LOSER, WINNER, SharedQueue, SharedStack,
+                          consensus2_from_queue)
+from .test_and_set import (TestAndSetObject, consensus2_from_tas,
+                           tas_from_consensus)
+from .universal import PerformSession, UniversalObject
+
+__all__ = [
+    "CompareAndSwapObject", "consensus_from_cas",
+    "XConsensusObject", "consensus_array",
+    "KSetObject", "kset_object_implementable",
+    "LOSER", "WINNER", "SharedQueue", "SharedStack",
+    "consensus2_from_queue",
+    "TestAndSetObject", "consensus2_from_tas", "tas_from_consensus",
+    "PerformSession", "UniversalObject",
+]

@@ -1,0 +1,50 @@
+"""Compare&swap objects (consensus number +∞).
+
+Included to exercise the top of Herlihy's hierarchy in tests and examples:
+"the consensus number of Compare&Swap objects is +∞, which means that
+consensus can be solved for any number of processes, despite any number of
+crashes" (paper, Section 1.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator
+
+from ..memory.base import BOTTOM, SharedObject
+from ..runtime.ops import ObjectProxy
+
+
+class CompareAndSwapObject(SharedObject):
+    """A linearizable compare&swap cell."""
+
+    consensus_number = math.inf
+    READONLY = frozenset({"read"})
+
+    def __init__(self, name: str, initial: Any = BOTTOM) -> None:
+        super().__init__(name, None)
+        self.value = initial
+
+    def op_compare_and_swap(self, pid: int, expected: Any, new: Any) -> Any:
+        """Atomically: if value == expected, set to new.  Returns the value
+        read (the classic CAS return convention: success iff it equals
+        ``expected``)."""
+        old = self.value
+        if old == expected or (old is BOTTOM and expected is BOTTOM):
+            self.value = new
+        return old
+
+    def op_read(self, pid: int) -> Any:
+        return self.value
+
+
+def consensus_from_cas(cas: ObjectProxy, value: Any) -> Generator:
+    """Wait-free n-process consensus from one CAS cell.
+
+    The canonical universality witness: CAS(⊥ -> v); the first writer wins.
+    Usage: ``decided = yield from consensus_from_cas(proxy, v)``.
+    """
+    old = yield cas.compare_and_swap(BOTTOM, value)
+    if old is BOTTOM:
+        return value
+    return old

@@ -1,0 +1,65 @@
+"""Consensus objects with a static port set ("consensus number x objects").
+
+The paper's models ASM(n, t, x) provide "as many consensus objects with
+consensus number x as they want, but a given object cannot be accessed by
+more than x (statically defined) processes" (Section 2.3).
+:class:`XConsensusObject` is that primitive: a one-shot consensus object
+whose port set is fixed at creation; its consensus number equals its number
+of ports.
+
+The object is *wait-free*: ``propose(v)`` returns in one atomic step, with
+the first proposed value winning (agreement + validity by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Optional
+
+from ..memory.base import BOTTOM, ProtocolViolation, SharedObject
+
+
+class XConsensusObject(SharedObject):
+    """One-shot consensus among a statically-defined set of processes."""
+
+    READONLY = frozenset({"peek"})
+
+    def __init__(self, name: str, ports: Iterable[int]) -> None:
+        port_set: FrozenSet[int] = frozenset(ports)
+        if not port_set:
+            raise ValueError("a consensus object needs at least one port")
+        super().__init__(name, port_set)
+        self.consensus_number = len(port_set)
+        self.decided: Any = BOTTOM
+        self.winner: Optional[int] = None
+        self._proposers: set = set()
+
+    def op_propose(self, pid: int, value: Any) -> Any:
+        """Propose ``value``; returns the object's decided value.
+
+        One-shot per process: a second propose by the same process is a
+        protocol violation (the paper's x_cons objects are invoked at most
+        once per process).
+        """
+        if pid in self._proposers:
+            raise ProtocolViolation(
+                f"p{pid} proposed twice to consensus object {self.name!r}")
+        self._proposers.add(pid)
+        if self.decided is BOTTOM:
+            self.decided = value
+            self.winner = pid
+        return self.decided
+
+    def op_peek(self, pid: int) -> Any:
+        """Read the decided value (⊥ if none yet).  Debug/analysis only."""
+        return self.decided
+
+
+def consensus_array(prefix: str, port_sets: Iterable[Iterable[int]]
+                    ) -> list:
+    """Build objects ``prefix[0..k-1]``, one per port set.
+
+    This is how the reverse simulation's ``XCONS[1..m]`` array (Figure 6) is
+    materialized: one x-consensus object per size-x subset of simulators.
+    """
+    return [XConsensusObject(f"{prefix}[{i}]", ports)
+            for i, ports in enumerate(port_sets)]

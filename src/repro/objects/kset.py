@@ -1,0 +1,72 @@
+"""(m, ℓ)-set agreement objects.
+
+An (m, ℓ)-set agreement object solves ℓ-set agreement among a set of m
+processes: every correct invoker obtains a proposed value, and at most ℓ
+distinct values are returned overall.  These objects appear in the related
+work the paper builds on (Borowsky-Gafni set-consensus hierarchy,
+Chaudhuri-Reiners; paper Section 1.3) and are used by the test suite to
+cross-check the ⌊t/x⌋ calculus against the set-consensus-number view.
+
+Sequential (atomic) semantics used here: the first ℓ distinct *proposals*
+become anchors; an invoker whose value became an anchor gets its own value
+back, later invokers get the first anchor.  Any rule with outputs ⊆ inputs
+and ≤ ℓ distinct outputs realizes the type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from ..memory.base import ProtocolViolation, SharedObject
+
+
+class KSetObject(SharedObject):
+    """One-shot (m, ℓ)-set agreement object with static ports."""
+
+    READONLY = frozenset({"peek"})
+
+    def __init__(self, name: str, ports: Iterable[int], ell: int) -> None:
+        port_set = frozenset(ports)
+        if not port_set:
+            raise ValueError("a set-agreement object needs ports")
+        if ell < 1:
+            raise ValueError("ell must be >= 1")
+        super().__init__(name, port_set)
+        self.m = len(port_set)
+        self.ell = ell
+        # An (m, ℓ)-set agreement object is wait-free implementable from
+        # x-consensus objects iff ceil(m / x) <= ℓ (group the m ports into ℓ
+        # groups of size <= x, one consensus per group); its "power" in the
+        # paper's calculus is therefore that of consensus number
+        # ceil(m / ℓ).  Exposed for the model validator.
+        self.consensus_number = -(-self.m // self.ell)
+        self.anchors: List[Any] = []
+        self._invokers: set = set()
+
+    def op_propose(self, pid: int, value: Any) -> Any:
+        if pid in self._invokers:
+            raise ProtocolViolation(
+                f"p{pid} proposed twice to set-agreement {self.name!r}")
+        self._invokers.add(pid)
+        if len(self.anchors) < self.ell:
+            self.anchors.append(value)
+            return value
+        return self.anchors[0]
+
+    def op_peek(self, pid: int) -> List[Any]:
+        return list(self.anchors)
+
+
+def kset_object_implementable(m: int, ell: int, x: int) -> bool:
+    """Can an (m, ℓ)-set agreement object be wait-free built from
+    x-consensus objects (plus registers)?
+
+    Sufficient and necessary: ⌈m/x⌉ <= ℓ.  Possibility: partition the m
+    ports into ℓ groups of size <= x and give each group one x-consensus
+    object (≤ ℓ distinct decisions).  Impossibility: with ⌈m/x⌉ > ℓ the
+    Borowsky-Gafni set-consensus hierarchy (n/k > m/ℓ criterion, paper
+    Section 1.3) rules it out.
+    """
+    if m < 1 or ell < 1 or x < 1:
+        raise ValueError("m, ell, x must be >= 1")
+    return -(-m // x) <= ell

@@ -1,0 +1,84 @@
+"""Shared FIFO queues and stacks (consensus number 2).
+
+"The consensus number of shared stacks or shared queues is 2" (paper,
+Section 1.1).  These objects are hierarchy witnesses for the tests: the
+classic Herlihy construction of 2-process consensus from a queue
+pre-loaded with a winner token is provided as :func:`consensus2_from_queue`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Iterable, Optional
+
+from ..memory.base import BOTTOM, SharedObject
+from ..runtime.ops import ObjectProxy
+
+#: Tokens used by the queue-based 2-consensus construction.
+WINNER = "winner"
+LOSER = "loser"
+
+
+class SharedQueue(SharedObject):
+    """A linearizable FIFO queue; dequeue on empty returns ⊥."""
+
+    consensus_number = 2
+    READONLY = frozenset({"peek"})
+
+    def __init__(self, name: str, initial: Iterable[Any] = ()) -> None:
+        super().__init__(name, None)
+        self.items: deque = deque(initial)
+
+    def op_enqueue(self, pid: int, value: Any) -> None:
+        self.items.append(value)
+
+    def op_dequeue(self, pid: int) -> Any:
+        if not self.items:
+            return BOTTOM
+        return self.items.popleft()
+
+    def op_peek(self, pid: int) -> Any:
+        return self.items[0] if self.items else BOTTOM
+
+
+class SharedStack(SharedObject):
+    """A linearizable LIFO stack; pop on empty returns ⊥."""
+
+    consensus_number = 2
+    READONLY = frozenset({"peek"})
+
+    def __init__(self, name: str, initial: Iterable[Any] = ()) -> None:
+        super().__init__(name, None)
+        self.items: list = list(initial)
+
+    def op_push(self, pid: int, value: Any) -> None:
+        self.items.append(value)
+
+    def op_pop(self, pid: int) -> Any:
+        if not self.items:
+            return BOTTOM
+        return self.items.pop()
+
+    def op_peek(self, pid: int) -> Any:
+        return self.items[-1] if self.items else BOTTOM
+
+
+def consensus2_from_queue(queue: ObjectProxy, announce: ObjectProxy,
+                          pid: int, other: int, value: Any) -> Generator:
+    """Herlihy's 2-process consensus from a queue initialized to
+    [WINNER, LOSER] plus an announcement register array.
+
+    Each process writes its proposal to ``announce[pid]`` and dequeues; the
+    process that draws WINNER decides its own value, the other decides the
+    winner's announced value.
+
+    Usage::
+
+        decided = yield from consensus2_from_queue(q, ann, pid, other, v)
+    """
+    yield announce.write(pid, value)
+    token = yield queue.dequeue()
+    if token == WINNER:
+        return value
+    other_value = yield announce.read(other)
+    return other_value

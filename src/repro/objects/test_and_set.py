@@ -1,0 +1,84 @@
+"""One-shot test&set objects.
+
+Test&set has consensus number 2 (Herlihy 1991).  The paper's Section 4 uses
+one-shot test&set objects shared by all simulators and notes they "can be
+implemented from consensus number x objects [19]" whenever x >= 2, so in any
+ASM(n, t, x) model with x > 1 they are a legitimate derived object.  We
+provide:
+
+* :class:`TestAndSetObject` -- the base-atomic primitive (one step).
+* :func:`tas_from_consensus` -- the trivial derivation of one-shot
+  test&set from a consensus object shared by the same port set (propose your
+  id; you won iff your id was decided), witnessing the reduction the paper
+  cites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..memory.base import BOTTOM, ProtocolViolation, SharedObject
+from ..runtime.ops import ObjectProxy
+
+
+class TestAndSetObject(SharedObject):
+    """One-shot test&set: True to the first caller, False afterwards."""
+
+    __test__ = False  # not a pytest class, despite the Test* name
+    consensus_number = 2
+    READONLY = frozenset({"peek"})
+
+    def __init__(self, name: str, ports=None) -> None:
+        super().__init__(name, ports)
+        self.winner: Optional[int] = None
+        self._callers: set = set()
+
+    def op_test_and_set(self, pid: int) -> bool:
+        if pid in self._callers:
+            raise ProtocolViolation(
+                f"p{pid} invoked one-shot test&set {self.name!r} twice")
+        self._callers.add(pid)
+        if self.winner is None:
+            self.winner = pid
+            return True
+        return False
+
+    def op_peek(self, pid: int) -> Optional[int]:
+        """Current winner id (None if unset).  Debug/analysis only."""
+        return self.winner
+
+
+def consensus2_from_tas(tas: ObjectProxy, announce: ObjectProxy,
+                        pid: int, other: int, value: Any) -> Generator:
+    """2-process consensus from one-shot test&set plus registers.
+
+    The other half of "test&set has consensus number 2" (Herlihy 1991):
+    each process announces its value and plays the T&S; the winner
+    decides its own value, the loser adopts the winner's announcement
+    (which is already written: announce-before-compete).
+
+    Usage::
+
+        decided = yield from consensus2_from_tas(t, ann, pid, other, v)
+    """
+    yield announce.write(pid, value)
+    won = yield tas.test_and_set()
+    if won:
+        return value
+    other_value = yield announce.read(other)
+    return other_value
+
+
+def tas_from_consensus(cons: ObjectProxy, pid: int
+                       ) -> Generator:
+    """One-shot test&set derived from a consensus object.
+
+    Every process in the consensus object's port set proposes its own id;
+    exactly the process whose id is decided obtains True.  This is the
+    standard consensus-number argument run forward: consensus number x >= 2
+    implements test&set for any 2..x statically-known processes.
+
+    Usage: ``won = yield from tas_from_consensus(proxy, pid)``.
+    """
+    decided = yield cons.propose(pid)
+    return decided == pid

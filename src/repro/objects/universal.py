@@ -1,0 +1,152 @@
+"""Herlihy's universal construction from consensus objects.
+
+"Enriching asynchronous read/write shared memory systems with consensus
+objects is fundamental as these objects make it possible to wait-free
+implement any concurrent object that has a sequential specification"
+(paper, Section 1.1).  This module witnesses that claim for the library's
+x-ported consensus objects: a wait-free linearizable implementation of an
+arbitrary deterministic sequential object shared by x processes.
+
+Construction (state-machine replication with helping):
+
+* an announcement snapshot holds each process's pending operation
+  (pid, seq, op);
+* an unbounded sequence of consensus objects CONS[r] decides which pending
+  operation occupies log position r;
+* to make round r wait-free-fair, processes prefer helping the process
+  with id r mod x if it has an unapplied pending operation, else propose
+  their own -- after at most x rounds with a pending op, your priority
+  round arrives and every proposal names your operation.
+
+Each process replays the decided log against a local replica, so all
+replicas agree and every operation returns the result the sequential
+specification assigns at its log position.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..memory.base import BOTTOM
+from ..runtime.ops import ObjectProxy
+from .consensus import XConsensusObject
+
+
+class ConsensusSequence:
+    """An unbounded array CONS[0..] of consensus objects with fixed ports.
+
+    Backed by a single store object implementing lazy instances, reusing
+    :class:`~repro.memory.families.XConsFamily` with one subset.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.proxy = ObjectProxy(name)
+
+    def propose(self, r: int, value: Any):
+        return self.proxy.propose(r, 0, value)
+
+
+class UniversalObject:
+    """Per-process views of one universal object shared by ``ports``.
+
+    ``apply_fn(state, op) -> (new_state, result)`` must be deterministic;
+    ``initial`` is the initial abstract state.  Shared store requirements
+    (build them from :meth:`object_specs`): an announcement snapshot and a
+    consensus family.
+    """
+
+    def __init__(self, name: str, ports: List[int],
+                 apply_fn: Callable[[Any, Any], Tuple[Any, Any]],
+                 initial: Any) -> None:
+        self.name = name
+        self.ports = list(ports)
+        self.x = len(ports)
+        self.apply_fn = apply_fn
+        self.initial = initial
+        self.announce = ObjectProxy(f"{name}_ann")
+        self.cons = ConsensusSequence(f"{name}_cons")
+
+    # ------------------------------------------------------------------
+    def object_specs(self) -> List:
+        from ..memory.specs import make_spec
+        return [
+            make_spec("snapshot", f"{self.name}_ann", size=self.x),
+            make_spec("xcons_family", f"{self.name}_cons",
+                      subsets=(tuple(self.ports),)),
+        ]
+
+    def _slot(self, pid: int) -> int:
+        return self.ports.index(pid)
+
+    # ------------------------------------------------------------------
+    def session(self, pid: int) -> "PerformSession":
+        """The per-process session driving this object.
+
+        Create exactly one session per process (sessions hold the process's
+        replica and consensus-round cursor; the consensus objects are
+        one-shot per process, so a second session would re-propose).
+        """
+        return PerformSession(self, pid)
+
+
+class PerformSession:
+    """One process's ongoing interaction with a universal object.
+
+    Keeps the replica and log position *across* operations of the same
+    process, so repeated ``perform`` calls stay O(ops) instead of
+    replaying from scratch.  Use one session object per process and call
+    ``run(op)`` for each operation:
+
+        session = universal.session(pid)
+        result = yield from session.run(op)
+    """
+
+    def __init__(self, universal: UniversalObject, pid: int,
+                 op: Any = None) -> None:
+        self.u = universal
+        self.pid = pid
+        self.slot = universal._slot(pid)
+        self.op = op
+        self.state = universal.initial
+        self.log_len = 0
+        self.seq = 0
+        self.applied_seq = [0] * universal.x  # per-slot applied seq
+
+    def run(self, op: Any = None) -> Generator:
+        """Generator performing one operation; returns its result."""
+        u = self.u
+        if op is None:
+            op = self.op
+        self.seq += 1
+        my_entry = (self.slot, self.seq, op)
+        yield u.announce.write(self.slot, my_entry)
+        my_result: Any = None
+        while True:
+            announced = yield u.announce.snapshot()
+            pending = []
+            for slot, entry in enumerate(announced):
+                if entry is BOTTOM:
+                    continue
+                if entry[1] > self.applied_seq[slot]:
+                    pending.append(entry)
+            if not any(e[0] == self.slot and e[1] == self.seq
+                       for e in pending):
+                # Our operation was applied at some earlier log position.
+                return my_result
+            # Helping: prefer the priority process of this round.
+            priority = self.log_len % u.x
+            choice = next((e for e in pending if e[0] == priority),
+                          None)
+            if choice is None:
+                choice = next(e for e in pending
+                              if e[0] == self.slot and e[1] == self.seq)
+            decided = yield u.cons.propose(self.log_len, choice)
+            slot, seq, dop = decided
+            # A decided entry is pending for its issuer (never applied
+            # before: the issuer only announces seq after seq-1 applied).
+            self.state, result = u.apply_fn(self.state, dop)
+            self.applied_seq[slot] = seq
+            self.log_len += 1
+            if (slot, seq) == (self.slot, self.seq):
+                my_result = result
+                return my_result

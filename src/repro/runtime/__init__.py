@@ -1,0 +1,32 @@
+"""Cooperative-step execution runtime for asynchronous shared memory.
+
+See DESIGN.md Section 2: processes are generators yielding one atomic
+operation per step; a seeded adversary chooses the interleaving and a crash
+plan injects failures.  This replaces OS threads (whose scheduling the GIL
+obscures) with exactly the adversarial atomic-step semantics of the
+ASM(n, t, x) model.
+"""
+
+from .adversary import (Adversary, PriorityAdversary, RoundRobinAdversary,
+                        ScriptedAdversary, SeededRandomAdversary)
+from .crash import CrashPlan, CrashPoint, op_on
+from .explore import ExplorationStats, explore
+from .ops import (SPIN_FAILED, Invocation, LocalOp, ObjectProxy, SpinOp,
+                  indexed_proxy, spin, wait_until)
+from .process import NO_DECISION, ProcessHandle, ProcessStatus
+from .run import RunResult, run_processes
+from .scheduler import ScheduleError, Scheduler, SchedulerOutcome
+from .trace import Event, EventKind, Trace
+
+__all__ = [
+    "Adversary", "PriorityAdversary", "RoundRobinAdversary",
+    "ScriptedAdversary", "SeededRandomAdversary",
+    "CrashPlan", "CrashPoint", "op_on",
+    "ExplorationStats", "explore",
+    "SPIN_FAILED", "Invocation", "LocalOp", "ObjectProxy", "SpinOp",
+    "indexed_proxy", "spin", "wait_until",
+    "NO_DECISION", "ProcessHandle", "ProcessStatus",
+    "RunResult", "run_processes",
+    "ScheduleError", "Scheduler", "SchedulerOutcome",
+    "Event", "EventKind", "Trace",
+]

@@ -1,0 +1,116 @@
+"""Schedule adversaries.
+
+The adversary chooses, at every step, which enabled process executes next.
+Asynchrony in the ASM model *is* this adversary: any interleaving of atomic
+steps is legal, and algorithm correctness must hold against all of them.
+
+Three adversaries cover the needs of the test suite and benchmarks:
+
+* :class:`RoundRobinAdversary` -- fair, deterministic; the workhorse for
+  liveness tests (every correct process is scheduled infinitely often).
+* :class:`SeededRandomAdversary` -- reproducible random interleavings for
+  property-based tests (fair with probability 1).
+* :class:`PriorityAdversary` -- deterministic targeting: runs preferred
+  processes as long as they are enabled.  Used to manufacture the worst-case
+  schedules behind the paper's blocking scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+
+class Adversary(ABC):
+    """Strategy choosing the next process to execute one atomic step."""
+
+    @abstractmethod
+    def pick(self, enabled: Sequence[int], step: int) -> int:
+        """Return the pid (from ``enabled``, non-empty) to schedule."""
+
+    def reset(self) -> None:
+        """Forget any internal state; called once per run."""
+
+
+class RoundRobinAdversary(Adversary):
+    """Cycles over pids in increasing order, skipping disabled ones."""
+
+    def __init__(self) -> None:
+        self._last: Optional[int] = None
+
+    def pick(self, enabled: Sequence[int], step: int) -> int:
+        if self._last is None:
+            choice = enabled[0]
+        else:
+            choice = next((pid for pid in enabled if pid > self._last),
+                          enabled[0])
+        self._last = choice
+        return choice
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class SeededRandomAdversary(Adversary):
+    """Uniform random choice among enabled processes, from a fixed seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, enabled: Sequence[int], step: int) -> int:
+        return enabled[self._rng.randrange(len(enabled))]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class PriorityAdversary(Adversary):
+    """Runs the highest-priority enabled process.
+
+    ``priority`` lists pids most-preferred first; pids absent from the list
+    share the lowest priority and are scheduled round-robin among themselves.
+    This builds "process p runs alone until it finishes" schedules, the
+    standard adversarial building block for solo-execution arguments.
+    """
+
+    def __init__(self, priority: Sequence[int]) -> None:
+        self.priority = list(priority)
+        self._rank = {pid: i for i, pid in enumerate(self.priority)}
+        self._rr = RoundRobinAdversary()
+
+    def pick(self, enabled: Sequence[int], step: int) -> int:
+        ranked = [pid for pid in enabled if pid in self._rank]
+        if ranked:
+            return min(ranked, key=self._rank.__getitem__)
+        return self._rr.pick(enabled, step)
+
+    def reset(self) -> None:
+        self._rr.reset()
+
+
+class ScriptedAdversary(Adversary):
+    """Replays an explicit pid script, then falls back to round-robin.
+
+    If the scripted pid is not enabled at its step, the fallback is used for
+    that step (the script does not stall the run).  Useful for regression
+    tests that pin down one specific interleaving.
+    """
+
+    def __init__(self, script: Sequence[int]) -> None:
+        self.script = list(script)
+        self._cursor = 0
+        self._fallback = RoundRobinAdversary()
+
+    def pick(self, enabled: Sequence[int], step: int) -> int:
+        while self._cursor < len(self.script):
+            candidate = self.script[self._cursor]
+            self._cursor += 1
+            if candidate in enabled:
+                return candidate
+        return self._fallback.pick(enabled, step)
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._fallback.reset()

@@ -1,0 +1,161 @@
+"""Operation descriptors exchanged between process code and the scheduler.
+
+Process code in this library is written as Python generators.  Every shared
+memory access is expressed by *yielding* an operation descriptor; the
+scheduler executes the operation atomically and sends the result back into
+the generator.  One yield == one atomic step, which gives exactly the
+asynchronous atomic-step semantics of the ASM(n, t, x) model of the paper
+(Imbs & Raynal 2010, Section 2.3) without relying on Python threads.
+
+Two kinds of descriptors exist:
+
+* :class:`Invocation` -- an atomic operation on a shared object (write,
+  snapshot, propose, ...).  Executed by the top-level scheduler.
+* :class:`SpinOp` -- a *read-only* invocation plus a predicate.  The process
+  is busy-waiting: the scheduler re-applies the invocation each time the
+  process is scheduled and only resumes the generator once the predicate
+  holds.  Because spin operations are read-only, a configuration in which
+  every live process is spinning with a false predicate is a permanent
+  deadlock, which the scheduler detects and reports (this is how blocked
+  simulated processes become *observable* in the blocking-lemma benchmarks).
+
+:class:`LocalOp` is the base class for simulator-local control operations
+(e.g. the mutex1/mutex2 acquisitions of the BG simulation).  Those are
+resolved inside a simulator's thread trampoline and must never reach the
+top-level scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One atomic operation on a named shared object."""
+
+    obj: str
+    method: str
+    args: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"{self.obj}.{self.method}({rendered})"
+
+
+@dataclass(frozen=True)
+class SpinOp:
+    """A busy-wait step: re-apply ``invocation`` until ``predicate`` holds.
+
+    ``period`` is the number of *consecutive* failed spin steps after which
+    the process may be considered stuck by the deadlock detector.  A plain
+    process spins on a single condition (``period == 1``).  A BG simulator
+    cycles over several internal threads, each possibly spinning on a
+    different condition, and therefore reports ``period = number of live
+    threads``: only a full cycle of failed spins proves the simulator can
+    make no progress.
+    """
+
+    invocation: Invocation
+    predicate: Callable[[Any], bool]
+    period: int = 1
+
+    def __repr__(self) -> str:
+        return f"spin({self.invocation!r}, period={self.period})"
+
+
+class LocalOp:
+    """Base class for control operations local to a simulator.
+
+    The top-level scheduler refuses to execute these; they exist so that a
+    simulator's thread trampoline can resolve thread-local concerns (mutex
+    acquisition, bookkeeping) without consuming a shared-memory step, exactly
+    as the paper notes that mutex1/mutex2 are "purely local to each
+    simulator" (Section 3.2.3).
+    """
+
+
+class _SpinFailed:
+    """Sentinel sent into a generator whose spin predicate was false."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<SPIN_FAILED>"
+
+
+#: Sent into the generator after a failed spin step.  The process re-yields
+#: a (possibly different) SpinOp; this is what lets a BG simulator cycle
+#: over several internally-spinning threads instead of being pinned to one
+#: condition.  Plain process code should use :func:`wait_until` rather than
+#: handling the sentinel by hand.
+SPIN_FAILED = _SpinFailed()
+
+
+def spin(invocation: Invocation,
+         predicate: Callable[[Any], bool],
+         period: int = 1) -> SpinOp:
+    """Convenience constructor for :class:`SpinOp`."""
+    return SpinOp(invocation, predicate, period)
+
+
+def wait_until(make_invocation: Callable[[], Invocation],
+               predicate: Callable[[Any], bool],
+               period: int = 1):
+    """Busy-wait until a read-only invocation satisfies ``predicate``.
+
+    Usage: ``snap = yield from wait_until(lambda: mem.snapshot(), pred)``.
+    Each failed check is one atomic (read-only) step; the scheduler's
+    deadlock detector will retire the process if the predicate can provably
+    never hold.
+    """
+    while True:
+        result = yield SpinOp(make_invocation(), predicate, period)
+        if result is not SPIN_FAILED:
+            return result
+
+
+class ObjectProxy:
+    """Builds :class:`Invocation` descriptors with attribute syntax.
+
+    ``mem = ObjectProxy('mem'); mem.write(3, 'v')`` produces
+    ``Invocation('mem', 'write', (3, 'v'))``.  Proxies hold no state: they
+    are a purely syntactic convenience for process code.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __getattr__(self, method: str) -> Callable[..., Invocation]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def build(*args: Any) -> Invocation:
+            return Invocation(self._name, method, tuple(args))
+
+        build.__name__ = f"{self._name}.{method}"
+        return build
+
+    def __repr__(self) -> str:
+        return f"ObjectProxy({self._name!r})"
+
+
+def indexed_proxy(prefix: str, index: Any) -> ObjectProxy:
+    """Proxy for an element of an array of objects, e.g. ``x_cons[3]``.
+
+    Array objects are stored flat in the object store under names such as
+    ``"x_cons[3]"``; this helper keeps the naming scheme in one place.
+    """
+    return ObjectProxy(f"{prefix}[{index}]")

@@ -1,0 +1,106 @@
+"""Process handles and statuses for the cooperative-step runtime.
+
+A *process* is a Python generator produced by an algorithm's ``program``
+factory.  The scheduler owns one :class:`ProcessHandle` per process and
+advances the generator one yielded operation at a time.  A process that
+returns (``StopIteration``) has *decided* the returned value; crashing and
+permanent blocking are the other terminal outcomes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from .ops import Invocation, SpinOp
+
+
+class ProcessStatus(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    RUNNING = "running"
+    DECIDED = "decided"
+    CRASHED = "crashed"
+    BLOCKED = "blocked"  # deadlock detector proved it can never progress
+    FAILED = "failed"    # raised an exception (a bug in process code)
+
+
+#: Sentinel meaning "process finished without producing a decision value".
+NO_DECISION = object()
+
+
+@dataclass
+class ProcessHandle:
+    """Scheduler-side state of one process."""
+
+    pid: int
+    generator: Generator[Any, Any, Any]
+    status: ProcessStatus = ProcessStatus.RUNNING
+    decision: Any = NO_DECISION
+    steps_taken: int = 0
+    #: The operation the process is currently waiting to execute, if any.
+    pending: Optional[Any] = None
+    #: Result of the last executed op, to be sent into the generator.
+    inbox: Any = None
+    started: bool = False
+    #: Consecutive failed spin steps (for deadlock detection).
+    spin_failures: int = 0
+    #: Exception captured when status == FAILED.
+    error: Optional[BaseException] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.status is ProcessStatus.RUNNING
+
+    @property
+    def decided(self) -> bool:
+        return (self.status is ProcessStatus.DECIDED
+                and self.decision is not NO_DECISION)
+
+    def advance(self) -> Optional[Any]:
+        """Resume the generator until its next yield.
+
+        Returns the newly yielded operation, or ``None`` if the generator
+        finished (in which case status/decision are updated).  Exceptions
+        raised by process code mark the process FAILED and are re-raised by
+        the scheduler as a hard error: process code is trusted library code,
+        a crash there is a bug, not a model event.
+        """
+        try:
+            if self.started:
+                op = self.generator.send(self.inbox)
+            else:
+                self.started = True
+                op = next(self.generator)
+        except StopIteration as stop:
+            self.status = ProcessStatus.DECIDED
+            self.decision = (stop.value if stop.value is not None
+                             else NO_DECISION)
+            self.pending = None
+            return None
+        except BaseException as exc:  # noqa: BLE001 - recorded then re-raised
+            self.status = ProcessStatus.FAILED
+            self.error = exc
+            self.pending = None
+            raise
+        self.pending = op
+        return op
+
+    def crash(self) -> None:
+        self.status = ProcessStatus.CRASHED
+        self.pending = None
+        self.generator.close()
+
+    def mark_blocked(self) -> None:
+        self.status = ProcessStatus.BLOCKED
+        self.generator.close()
+
+
+def describe_pending(op: Any) -> str:
+    """Human-readable description of a pending op (for traces and errors)."""
+    if isinstance(op, SpinOp):
+        return repr(op)
+    if isinstance(op, Invocation):
+        return repr(op)
+    return f"<non-schedulable op {op!r}>"

@@ -1,0 +1,138 @@
+"""Run harness: wire processes, store, adversary and crash plan together.
+
+`run_processes` is the low-level entry point (explicit generators and
+store); `repro.algorithms.protocol.run_algorithm` builds on it for the
+Algorithm abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, Set
+
+from .adversary import Adversary, RoundRobinAdversary
+from .crash import CrashPlan
+from .process import NO_DECISION, ProcessHandle, ProcessStatus
+from .scheduler import Scheduler
+from .trace import Trace
+
+
+@dataclass
+class RunResult:
+    """Outcome of one execution.
+
+    ``decisions`` maps pid -> decided value for processes that decided;
+    processes that crashed, blocked, or ran out of steps are absent.
+    """
+
+    statuses: Dict[int, ProcessStatus]
+    decisions: Dict[int, Any]
+    steps: int
+    deadlocked: bool
+    out_of_steps: bool
+    trace: Optional[Trace] = None
+    store: Any = None
+
+    # -- queries -------------------------------------------------------
+    @property
+    def decided_pids(self) -> Set[int]:
+        return set(self.decisions)
+
+    @property
+    def decided_values(self) -> Set[Any]:
+        return set(self.decisions.values())
+
+    @property
+    def crashed_pids(self) -> Set[int]:
+        return {p for p, s in self.statuses.items()
+                if s is ProcessStatus.CRASHED}
+
+    @property
+    def blocked_pids(self) -> Set[int]:
+        return {p for p, s in self.statuses.items()
+                if s is ProcessStatus.BLOCKED}
+
+    @property
+    def running_pids(self) -> Set[int]:
+        """Processes the step budget cut off while still live."""
+        return {p for p, s in self.statuses.items()
+                if s is ProcessStatus.RUNNING}
+
+    @property
+    def correct_pids(self) -> Set[int]:
+        return {p for p, s in self.statuses.items()
+                if s is not ProcessStatus.CRASHED}
+
+    def all_correct_decided(self) -> bool:
+        """Liveness check: every non-crashed process decided."""
+        return all(s is not ProcessStatus.RUNNING
+                   and s is not ProcessStatus.BLOCKED
+                   for s in self.statuses.values()
+                   if s is not ProcessStatus.CRASHED) and \
+            self.correct_pids == self.decided_pids
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        parts = [f"steps={self.steps}"]
+        if self.deadlocked:
+            parts.append("DEADLOCK")
+        if self.out_of_steps:
+            parts.append("OUT-OF-STEPS")
+        parts.append(f"decided={sorted(self.decisions.items())}")
+        if self.crashed_pids:
+            parts.append(f"crashed={sorted(self.crashed_pids)}")
+        if self.blocked_pids:
+            parts.append(f"blocked={sorted(self.blocked_pids)}")
+        return " ".join(parts)
+
+
+def run_processes(programs: Dict[int, Generator],
+                  store,
+                  adversary: Optional[Adversary] = None,
+                  crash_plan: Optional[CrashPlan] = None,
+                  max_steps: int = 1_000_000,
+                  record_trace: bool = False) -> RunResult:
+    """Execute the given process generators to completion.
+
+    ``programs`` maps pid -> generator.  Returns a :class:`RunResult`; the
+    store is attached to the result so tests can inspect final object state.
+    """
+    handles = {pid: ProcessHandle(pid, gen)
+               for pid, gen in programs.items()}
+    trace = Trace(enabled=record_trace)
+    scheduler = Scheduler(
+        handles=handles,
+        store=store,
+        adversary=adversary or RoundRobinAdversary(),
+        crash_plan=crash_plan,
+        trace=trace,
+        max_steps=max_steps,
+    )
+    _bind_oracles(store, scheduler)
+    outcome = scheduler.run()
+    decisions = {pid: h.decision for pid, h in handles.items()
+                 if h.decided}
+    return RunResult(
+        statuses={pid: h.status for pid, h in handles.items()},
+        decisions=decisions,
+        steps=outcome.steps,
+        deadlocked=outcome.deadlocked,
+        out_of_steps=outcome.out_of_steps,
+        trace=trace if record_trace else None,
+        store=store,
+    )
+
+
+def _bind_oracles(store, scheduler) -> None:
+    """Give failure-detector objects access to the live crash state."""
+    try:
+        objects = list(store)
+    except TypeError:
+        return
+    context = None
+    for obj in objects:
+        if getattr(obj, "oracle", False) and hasattr(obj, "bind"):
+            if context is None:
+                from ..detectors.base import OracleContext
+                context = OracleContext(scheduler)
+            obj.bind(context)

@@ -1,0 +1,91 @@
+"""Event traces of a run.
+
+Every atomic step, crash and decision is (optionally) recorded as an event.
+Traces feed the linearizability checker (`repro.analysis.linearizability`)
+and make failing property-based tests replayable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from .ops import Invocation
+
+
+class EventKind(enum.Enum):
+    """What kind of thing happened at one trace position."""
+
+    STEP = "step"          # an atomic operation executed
+    SPIN = "spin"          # a spin re-check whose predicate was false
+    CRASH = "crash"
+    DECIDE = "decide"
+    BLOCKED = "blocked"    # deadlock detector retired the process
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event of a run, in global step order."""
+
+    index: int
+    kind: EventKind
+    pid: int
+    invocation: Optional[Invocation] = None
+    result: Any = None
+
+    def __repr__(self) -> str:
+        if self.kind is EventKind.STEP:
+            return (f"[{self.index}] p{self.pid} {self.invocation!r} "
+                    f"-> {self.result!r}")
+        if self.kind is EventKind.SPIN:
+            return f"[{self.index}] p{self.pid} spin {self.invocation!r}"
+        if self.kind is EventKind.DECIDE:
+            return f"[{self.index}] p{self.pid} decides {self.result!r}"
+        return f"[{self.index}] p{self.pid} {self.kind.value}"
+
+
+class Trace:
+    """Append-only list of events with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[Event] = []
+
+    def record(self, kind: EventKind, pid: int,
+               invocation: Optional[Invocation] = None,
+               result: Any = None) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            Event(len(self.events), kind, pid, invocation, result))
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def steps(self) -> List[Event]:
+        return [e for e in self.events if e.kind is EventKind.STEP]
+
+    def by_pid(self, pid: int) -> List[Event]:
+        return [e for e in self.events if e.pid == pid]
+
+    def on_object(self, obj: str) -> List[Event]:
+        return [e for e in self.events
+                if e.invocation is not None and e.invocation.obj == obj]
+
+    def crashes(self) -> List[Event]:
+        return [e for e in self.events if e.kind is EventKind.CRASH]
+
+    def decisions(self) -> List[Event]:
+        return [e for e in self.events if e.kind is EventKind.DECIDE]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Multi-line rendering, optionally truncated, for debugging."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [repr(e) for e in shown]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

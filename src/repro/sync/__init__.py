@@ -1,0 +1,10 @@
+"""Synchronous round-based substrate (Section 1.3 related results)."""
+
+from .engine import (SyncAlgorithm, SyncCrash, SyncPhase, SyncResult,
+                     run_sync)
+from .kset_mrt import SyncKSetMRT, committee_size, mrt_rounds
+
+__all__ = [
+    "SyncAlgorithm", "SyncCrash", "SyncPhase", "SyncResult", "run_sync",
+    "SyncKSetMRT", "committee_size", "mrt_rounds",
+]

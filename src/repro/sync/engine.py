@@ -1,0 +1,169 @@
+"""A synchronous round-based crash-prone engine.
+
+The related results the paper cites in Section 1.3 (Mostéfaoui-Raynal-
+Travers round optimality, Gafni's round reduction) live in the
+*synchronous* message-passing model: computation proceeds in rounds; in
+each round every alive process may access shared one-shot objects, then
+broadcasts a message, then receives the round's messages and updates its
+state.  A process crashing *during* its broadcast delivers to an
+arbitrary adversary-chosen subset of receivers -- the classic synchronous
+crash semantics that drives all round lower bounds.
+
+This engine executes that model deterministically:
+
+* object-access order within a round is a (seeded or explicit)
+  adversary permutation;
+* crashes are scripted :class:`SyncCrash` events (victim, round, phase,
+  partial delivery set);
+* the algorithm is a :class:`SyncAlgorithm` with pure per-round hooks.
+
+It is intentionally *not* built on the asynchronous runtime: synchrony
+is a different substrate, and having both lets the test suite exhibit
+Gafni's "dividing" and the paper's "multiplying" phenomena side by side.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..memory.store import ObjectStore
+
+
+class SyncPhase(enum.Enum):
+    """Where in its round a victim crashes."""
+
+    BEFORE_OBJECTS = "before-objects"    # contributes nothing this round
+    BEFORE_BROADCAST = "before-broadcast"  # object access done, no message
+    DURING_BROADCAST = "during-broadcast"  # message reaches a subset
+
+
+@dataclass(frozen=True)
+class SyncCrash:
+    """One scripted crash."""
+
+    victim: int
+    round: int
+    phase: SyncPhase = SyncPhase.DURING_BROADCAST
+    #: receivers of the partial broadcast (DURING_BROADCAST only).
+    delivered_to: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError("round must be >= 0")
+
+
+class SyncAlgorithm(ABC):
+    """A synchronous full-information-style algorithm."""
+
+    n: int
+    rounds: int
+
+    @abstractmethod
+    def build_store(self) -> ObjectStore:
+        """Fresh shared objects for one run."""
+
+    @abstractmethod
+    def initial_state(self, pid: int, value: Any) -> Any:
+        ...
+
+    def object_phase(self, pid: int, state: Any, r: int,
+                     store: ObjectStore) -> Any:
+        """Optional shared-object access at the start of round r; returns
+        the (possibly updated) state.  Object calls are atomic."""
+        return state
+
+    @abstractmethod
+    def message(self, pid: int, state: Any, r: int) -> Any:
+        """The value pid broadcasts in round r (None = silent)."""
+
+    @abstractmethod
+    def update(self, pid: int, state: Any, r: int,
+               received: Dict[int, Any]) -> Any:
+        """New state after receiving round r's messages."""
+
+    @abstractmethod
+    def decide(self, pid: int, state: Any) -> Any:
+        ...
+
+
+@dataclass
+class SyncResult:
+    decisions: Dict[int, Any]
+    crashed: Set[int]
+    rounds_run: int
+    store: ObjectStore
+
+    @property
+    def decided_values(self) -> Set[Any]:
+        return set(self.decisions.values())
+
+
+def run_sync(algorithm: SyncAlgorithm,
+             inputs: Sequence[Any],
+             crashes: Sequence[SyncCrash] = (),
+             seed: int = 0) -> SyncResult:
+    """Execute the algorithm for ``algorithm.rounds`` rounds."""
+    n = algorithm.n
+    if len(inputs) != n:
+        raise ValueError(f"expected {n} inputs, got {len(inputs)}")
+    victims = {}
+    for crash in crashes:
+        if crash.victim in victims:
+            raise ValueError(f"duplicate crash for p{crash.victim}")
+        victims[crash.victim] = crash
+    rng = random.Random(seed)
+    store = algorithm.build_store()
+    states = {pid: algorithm.initial_state(pid, inputs[pid])
+              for pid in range(n)}
+    crashed: Set[int] = set()
+
+    for r in range(algorithm.rounds):
+        alive = [pid for pid in range(n) if pid not in crashed]
+        # -- object phase, in an adversarial order ---------------------
+        order = list(alive)
+        rng.shuffle(order)
+        skip_objects = {pid for pid in alive
+                        if pid in victims and victims[pid].round == r
+                        and victims[pid].phase is
+                        SyncPhase.BEFORE_OBJECTS}
+        for pid in order:
+            if pid in skip_objects:
+                continue
+            states[pid] = algorithm.object_phase(pid, states[pid], r,
+                                                 store)
+        # -- broadcast --------------------------------------------------
+        inboxes: Dict[int, Dict[int, Any]] = {pid: {} for pid in alive}
+        for pid in alive:
+            crash = victims.get(pid)
+            crashing_now = crash is not None and crash.round == r
+            if crashing_now and crash.phase is not \
+                    SyncPhase.DURING_BROADCAST:
+                continue
+            message = algorithm.message(pid, states[pid], r)
+            if message is None:
+                continue
+            receivers = (crash.delivered_to if crashing_now
+                         else inboxes.keys())
+            for receiver in receivers:
+                if receiver in inboxes:
+                    inboxes[receiver][pid] = message
+        # -- crashes take effect -----------------------------------------
+        for pid in list(alive):
+            crash = victims.get(pid)
+            if crash is not None and crash.round == r:
+                crashed.add(pid)
+        # -- state update for survivors ----------------------------------
+        for pid in alive:
+            if pid in crashed:
+                continue
+            states[pid] = algorithm.update(pid, states[pid], r,
+                                           inboxes[pid])
+
+    decisions = {pid: algorithm.decide(pid, states[pid])
+                 for pid in range(n) if pid not in crashed}
+    return SyncResult(decisions=decisions, crashed=crashed,
+                      rounds_run=algorithm.rounds, store=store)

@@ -1,0 +1,122 @@
+"""Synchronous k-set agreement with (m, ℓ)-set agreement objects in the
+optimal ⌊t / (m·⌊k/ℓ⌋ + (k mod ℓ))⌋ + 1 rounds (Mostéfaoui-Raynal-
+Travers; paper Section 1.3).
+
+Structure: round r is owned by a *committee* of d = m·⌊k/ℓ⌋ + (k mod ℓ)
+processes, disjoint across rounds.  The committee is organized as
+⌊k/ℓ⌋ groups of m sharing one (m, ℓ)-set agreement object plus
+(k mod ℓ) singleton coordinators.  A committee member funnels its
+estimate through its group's object (singletons keep their own) and
+broadcasts the result; every process that receives any committee message
+adopts the smallest.
+
+Why it is correct, and why the round count is exactly MRT's:
+
+* in any round, at most ℓ values leave each group and one each
+  singleton: ≤ ℓ·⌊k/ℓ⌋ + (k mod ℓ) = k distinct broadcast values;
+* to leave *some* process with an empty round, the adversary must crash
+  all d committee members of that round (committees are disjoint, so
+  dead processes from earlier sabotage don't help), paying d crashes;
+* with budget t it can ruin ⌊t/d⌋ rounds; in the first un-ruined round
+  every process adopts one of ≤ k values, and set-agreement validity
+  keeps later rounds inside that set -- so ⌊t/d⌋ + 1 rounds suffice,
+  matching the formula (and the matching lower bound is MRT's theorem).
+
+Requires n >= t + d so the committees are disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..memory.specs import build_store, make_spec
+from ..memory.store import ObjectStore
+from .engine import SyncAlgorithm
+
+
+def committee_size(k: int, m: int, ell: int) -> int:
+    """d = m·⌊k/ℓ⌋ + (k mod ℓ)."""
+    if min(k, m, ell) < 1:
+        raise ValueError("k, m, ell must be >= 1")
+    return m * (k // ell) + (k % ell)
+
+
+def mrt_rounds(t: int, k: int, m: int, ell: int) -> int:
+    """⌊t/d⌋ + 1, the MRT-optimal round count."""
+    if t < 0:
+        raise ValueError("t must be >= 0")
+    return t // committee_size(k, m, ell) + 1
+
+
+class SyncKSetMRT(SyncAlgorithm):
+    """The committee algorithm described above."""
+
+    def __init__(self, n: int, t: int, k: int, m: int, ell: int) -> None:
+        if ell > m:
+            raise ValueError(
+                "an (m, ell)-object with ell > m is trivial; use ell <= m")
+        self.n = n
+        self.t = t
+        self.k = k
+        self.m = m
+        self.ell = ell
+        self.d = committee_size(k, m, ell)
+        self.rounds = mrt_rounds(t, k, m, ell)
+        if n < t + self.d:
+            raise ValueError(
+                f"need n >= t + d = {t + self.d} for disjoint committees "
+                f"(got n={n})")
+        self.name = (f"sync_kset_mrt(n={n}, t={t}, k={k}, "
+                     f"objects=({m},{ell}))")
+
+    # -- committee geometry ------------------------------------------------
+    def committee(self, r: int) -> List[int]:
+        start = r * self.d
+        return list(range(start, start + self.d))
+
+    def group_of(self, pid: int, r: int) -> int:
+        """Group index within round r's committee; -1 for singletons,
+        -2 for non-members."""
+        members = self.committee(r)
+        if pid not in members:
+            return -2
+        offset = pid - members[0]
+        if offset < self.m * (self.k // self.ell):
+            return offset // self.m
+        return -1
+
+    # -- SyncAlgorithm hooks -------------------------------------------------
+    def build_store(self) -> ObjectStore:
+        specs = []
+        for r in range(self.rounds):
+            base = self.committee(r)[0]
+            for g in range(self.k // self.ell):
+                ports = range(base + g * self.m, base + (g + 1) * self.m)
+                specs.append(make_spec("kset", f"SA[{r}][{g}]",
+                                       ports=ports, ell=self.ell))
+        return build_store(specs)
+
+    def initial_state(self, pid: int, value: Any) -> Any:
+        return value
+
+    def object_phase(self, pid: int, state: Any, r: int,
+                     store: ObjectStore) -> Any:
+        g = self.group_of(pid, r)
+        if g >= 0:
+            obj = store[f"SA[{r}][{g}]"]
+            return obj.apply(pid, "propose", (state,))
+        return state
+
+    def message(self, pid: int, state: Any, r: int) -> Any:
+        if self.group_of(pid, r) == -2:
+            return None            # only committee members broadcast
+        return state
+
+    def update(self, pid: int, state: Any, r: int,
+               received: Dict[int, Any]) -> Any:
+        if received:
+            return min(received.values())
+        return state
+
+    def decide(self, pid: int, state: Any) -> Any:
+        return state

@@ -1,0 +1,11 @@
+"""Decision-task formalism: colorless/colored tasks and run validation."""
+
+from .kset_task import ConsensusTask, KSetAgreementTask
+from .renaming import DistinctValuesTask, RenamingTask
+from .task import Task, TaskVerdict
+
+__all__ = [
+    "ConsensusTask", "KSetAgreementTask",
+    "DistinctValuesTask", "RenamingTask",
+    "Task", "TaskVerdict",
+]

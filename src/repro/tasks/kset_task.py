@@ -1,0 +1,54 @@
+"""k-set agreement and consensus task specifications.
+
+k-set agreement (Chaudhuri 1993): every correct process decides a proposed
+value; at most k distinct values are decided.  Consensus is the k = 1
+instance.  Both are colorless (paper Section 2.1) and carry a *set
+consensus number* equal to k, which drives their solvability across the
+ASM models: solvable in ASM(n, t, x) iff k > ⌊t/x⌋.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .task import Task
+
+
+class KSetAgreementTask(Task):
+    """The k-set agreement decision task."""
+
+    colorless = True
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"{k}-set-agreement"
+
+    @property
+    def set_consensus_number(self) -> int:
+        """k-set agreement has set consensus number k (Gafni-Kuznetsov)."""
+        return self.k
+
+    def check_outputs(self, inputs: Sequence[Any],
+                      outputs: Dict[int, Any]) -> List[str]:
+        violations: List[str] = []
+        proposed = set(inputs)
+        for pid, value in sorted(outputs.items()):
+            if value not in proposed:
+                violations.append(
+                    f"validity: p{pid} decided {value!r}, not proposed")
+        distinct = set(outputs.values())
+        if len(distinct) > self.k:
+            violations.append(
+                f"agreement: {len(distinct)} distinct decisions "
+                f"{sorted(map(repr, distinct))}, allowed {self.k}")
+        return violations
+
+
+class ConsensusTask(KSetAgreementTask):
+    """Consensus: 1-set agreement."""
+
+    def __init__(self) -> None:
+        super().__init__(1)
+        self.name = "consensus"

@@ -1,0 +1,69 @@
+"""Colored tasks: renaming and distinct-slot allocation.
+
+"A colored task requires that no two processes decide the value of the
+same simulated process" / "no two processes are permitted to decide the
+same new name" (paper Sections 5.1, 6).  These specifications drive the
+Section 5.5 colored-simulation tests: distinctness is the property the
+T&S decision allocation must preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .task import Task
+
+
+class RenamingTask(Task):
+    """M-renaming: decided names are distinct values in {0..M-1}.
+
+    With M = n this is *strong* (tight) renaming, solvable from test&set;
+    the classic read/write bound is M = 2n - 1 (Attiya et al. 1990).
+    """
+
+    colorless = False
+
+    def __init__(self, n: int, namespace: int = None) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.namespace = n if namespace is None else namespace
+        if self.namespace < n:
+            raise ValueError("namespace must hold at least n names")
+        self.name = f"renaming({self.namespace})"
+
+    def check_outputs(self, inputs: Sequence[Any],
+                      outputs: Dict[int, Any]) -> List[str]:
+        violations: List[str] = []
+        seen: Dict[Any, int] = {}
+        for pid, value in sorted(outputs.items()):
+            if not isinstance(value, int) or not 0 <= value < self.namespace:
+                violations.append(
+                    f"p{pid} decided {value!r}, outside 0..{self.namespace - 1}")
+            if value in seen:
+                violations.append(
+                    f"distinctness: p{pid} and p{seen[value]} both decided "
+                    f"{value!r}")
+            else:
+                seen[value] = pid
+        return violations
+
+
+class DistinctValuesTask(Task):
+    """The bare colored core: all decided values distinct (any domain)."""
+
+    colorless = False
+    name = "distinct-values"
+
+    def check_outputs(self, inputs: Sequence[Any],
+                      outputs: Dict[int, Any]) -> List[str]:
+        violations: List[str] = []
+        seen: Dict[Any, int] = {}
+        for pid, value in sorted(outputs.items()):
+            if value in seen:
+                violations.append(
+                    f"distinctness: p{pid} and p{seen[value]} both decided "
+                    f"{value!r}")
+            else:
+                seen[value] = pid
+        return violations

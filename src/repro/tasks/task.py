@@ -1,0 +1,76 @@
+"""Decision tasks (paper Section 2.1).
+
+A decision task is a total binary relation Δ from input vectors I to output
+vectors O.  A task is *colorless* when any proposed value may be proposed
+by any process and any decided value may be decided by any process; it is
+*colored* otherwise (e.g. renaming).
+
+An algorithm solves a task in a t-resilient environment when, for every
+allowed input vector, every correct process decides and the (partial)
+output vector extends to some O with (I, O) ∈ Δ (Section 2.2).  The
+:class:`TaskVerdict` produced by ``validate_run`` captures exactly this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Set
+
+from ..runtime.run import RunResult
+
+
+@dataclass
+class TaskVerdict:
+    """Outcome of checking a run against a task specification."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    #: Correct processes that failed to decide (liveness violations are
+    #: reported separately from safety so the bound-demonstrating tests
+    #: can require exactly one of them).
+    undecided_correct: Set[int] = field(default_factory=set)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def explain(self) -> str:
+        if self.ok:
+            return "ok"
+        return "; ".join(self.violations)
+
+
+class Task(ABC):
+    """A decision task specification."""
+
+    name: str = "task"
+    colorless: bool = True
+
+    @abstractmethod
+    def check_outputs(self, inputs: Sequence[Any],
+                      outputs: Dict[int, Any]) -> List[str]:
+        """Safety check: violations of Δ by the partial output vector
+        ``outputs`` (pid -> decided value) on input vector ``inputs``.
+        Returns a list of violation descriptions (empty = safe)."""
+
+    def input_ok(self, inputs: Sequence[Any]) -> bool:
+        """Is the input vector allowed (I ∈ I)?  Default: any vector."""
+        return True
+
+    # ------------------------------------------------------------------
+    def validate_run(self, inputs: Sequence[Any],
+                     result: RunResult,
+                     require_liveness: bool = True) -> TaskVerdict:
+        """Check a run: safety always, liveness (every correct process
+        decided) unless ``require_liveness`` is False."""
+        violations = list(self.check_outputs(inputs, result.decisions))
+        undecided = result.correct_pids - result.decided_pids
+        if require_liveness and undecided:
+            violations.append(
+                f"correct processes did not decide: {sorted(undecided)}")
+        return TaskVerdict(ok=not violations, violations=violations,
+                           undecided_correct=undecided)
+
+    def __repr__(self) -> str:
+        kind = "colorless" if self.colorless else "colored"
+        return f"<{kind} task {self.name!r}>"

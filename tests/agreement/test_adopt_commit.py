@@ -1,0 +1,75 @@
+"""Adopt-commit objects: validity, convergence, coherence, wait-freedom."""
+
+import pytest
+
+from repro.agreement.adopt_commit import (ADOPT, COMMIT, AdoptCommit,
+                                          adopt_commit_specs)
+from repro.memory import build_store
+from repro.runtime import (CrashPlan, RoundRobinAdversary,
+                           SeededRandomAdversary, run_processes)
+
+from ..conftest import SEEDS
+
+
+def run_round(n, values, seed=0, crash_plan=None):
+    store = build_store(adopt_commit_specs(n))
+
+    def proposer(pid):
+        outcome = yield from AdoptCommit("k", n).propose(pid, values[pid])
+        return outcome
+
+    adversary = (RoundRobinAdversary() if seed is None
+                 else SeededRandomAdversary(seed))
+    return run_processes({i: proposer(i) for i in range(n)}, store,
+                         adversary=adversary, crash_plan=crash_plan)
+
+
+class TestAdoptCommit:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_convergence_unanimous_commit(self, seed):
+        res = run_round(4, ["v"] * 4, seed=seed)
+        assert all(out == (COMMIT, "v")
+                   for out in res.decisions.values())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_validity(self, seed):
+        values = [f"v{i}" for i in range(4)]
+        res = run_round(4, values, seed=seed)
+        for outcome, value in res.decisions.values():
+            assert outcome in (COMMIT, ADOPT)
+            assert value in values
+
+    @pytest.mark.parametrize("seed", SEEDS + list(range(20, 40)))
+    def test_coherence(self, seed):
+        """If anyone commits v, every output's value is v."""
+        values = [1, 1, 2, 2]
+        res = run_round(4, values, seed=seed)
+        committed = {v for out, v in res.decisions.values()
+                     if out == COMMIT}
+        assert len(committed) <= 1
+        if committed:
+            v = committed.pop()
+            assert all(value == v
+                       for _, value in res.decisions.values())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_wait_free_under_crashes(self, seed):
+        res = run_round(5, list(range(5)), seed=seed,
+                        crash_plan=CrashPlan.at_own_step(
+                            {0: 2, 1: 3, 2: 1, 3: 4}))
+        assert res.decided_pids == res.correct_pids
+        assert not res.deadlocked
+
+    def test_solo_commit(self):
+        res = run_round(3, ["a", "b", "c"], seed=None,
+                        crash_plan=CrashPlan.initially_dead([1, 2]))
+        assert res.decisions[0] == (COMMIT, "a")
+
+    def test_sequential_disagreement_adopts(self):
+        # Round-robin with distinct inputs: the first phase-1 snapshot of
+        # a later process sees several values -> no unanimous commit by
+        # everyone; coherence still limits committed values to <= 1.
+        res = run_round(3, ["a", "b", "c"], seed=None)
+        outcomes = list(res.decisions.values())
+        committed = [v for o, v in outcomes if o == COMMIT]
+        assert len(set(committed)) <= 1

@@ -1,0 +1,112 @@
+"""Safe-agreement (paper Figure 1): agreement, validity, termination,
+and the one-crash-kills-it behavior the BG simulation is built around."""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.memory import ObjectStore
+from repro.runtime import (CrashPlan, ProcessStatus, RoundRobinAdversary,
+                           SeededRandomAdversary, run_processes)
+
+from ..conftest import SEEDS
+
+
+def participant(factory, key, i, value):
+    inst = factory.instance(key)
+    yield from inst.propose(i, value)
+    decided = yield from inst.decide(i)
+    return decided
+
+
+def fresh(n):
+    factory = SafeAgreementFactory(n)
+    store = ObjectStore()
+    store.add_all(factory.shared_objects())
+    return factory, store
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_agreement_and_validity(self, seed):
+        n = 4
+        factory, store = fresh(n)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, adversary=SeededRandomAdversary(seed))
+        assert res.decided_pids == set(range(n))
+        assert len(res.decided_values) == 1            # agreement
+        assert res.decided_values <= {f"v{i}" for i in range(n)}  # validity
+
+    def test_solo_run_decides_own_value(self):
+        factory, store = fresh(3)
+        res = run_processes({1: participant(factory, "k", 1, "solo")},
+                            store)
+        assert res.decisions[1] == "solo"
+
+    def test_smallest_stable_id_wins_under_round_robin(self):
+        # Under round-robin all proposals stabilize; the value of the
+        # smallest simulator id is decided (Figure 1, line 05).
+        n = 3
+        factory, store = fresh(n)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, adversary=RoundRobinAdversary())
+        assert res.decided_values == {"v0"}
+
+    def test_independent_keys_are_independent_objects(self):
+        factory, store = fresh(2)
+        res = run_processes(
+            {0: participant(factory, "a", 0, "x"),
+             1: participant(factory, "b", 1, "y")},
+            store)
+        assert res.decisions == {0: "x", 1: "y"}
+
+
+class TestTermination:
+    def test_crash_outside_propose_does_not_block(self):
+        # p0 crashes after completing propose (before deciding).
+        n = 3
+        factory, store = fresh(n)
+        plan = CrashPlan.at_own_step({0: 4})  # propose = 3 steps; crash next
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, crash_plan=plan)
+        assert res.decided_pids == {1, 2}
+        assert len(res.decided_values) == 1
+
+    def test_crash_mid_propose_blocks_deciders(self):
+        # p0 crashes between its (v,1) write and its stabilizing write:
+        # the unstable entry never resolves, deciders block forever --
+        # exactly the scenario mutex1 confines in the BG simulation.
+        n = 3
+        factory, store = fresh(n)
+        plan = CrashPlan.at_own_step({0: 2})
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, crash_plan=plan)
+        assert res.deadlocked
+        assert res.blocked_pids == {1, 2}
+        assert res.statuses[0] is ProcessStatus.CRASHED
+
+    def test_crash_before_any_step_is_harmless(self):
+        n = 3
+        factory, store = fresh(n)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, crash_plan=CrashPlan.initially_dead([2]))
+        assert res.decided_pids == {0, 1}
+        assert len(res.decided_values) == 1
+
+
+class TestCancellation:
+    def test_late_proposer_cancels_and_adopts_stable_value(self):
+        # p1 runs alone to stability first; p0 then proposes, sees a
+        # stable value, cancels its own, and decides p1's value even
+        # though p0 has the smaller id.
+        from repro.runtime import PriorityAdversary
+        n = 2
+        factory, store = fresh(n)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, adversary=PriorityAdversary([1, 0]))
+        assert res.decided_values == {"v1"}

@@ -1,0 +1,94 @@
+"""x_compete (paper Figure 5): at most x winners; <= x invokers all win."""
+
+import pytest
+
+from repro.agreement import x_compete
+from repro.memory import ObjectStore, TASFamily
+from repro.runtime import (CrashPlan, ObjectProxy, SeededRandomAdversary,
+                           run_processes)
+
+from ..conftest import SEEDS
+
+TS = ObjectProxy("TS")
+
+
+def competitor(key, x, i):
+    won = yield from x_compete(TS, key, x, i)
+    return won
+
+
+def fresh():
+    store = ObjectStore()
+    store.add(TASFamily("TS"))
+    return store
+
+
+class TestXCompete:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("n,x", [(5, 2), (6, 3), (4, 1), (4, 4)])
+    def test_at_most_x_winners(self, seed, n, x):
+        store = fresh()
+        res = run_processes(
+            {i: competitor("k", x, i) for i in range(n)},
+            store, adversary=SeededRandomAdversary(seed))
+        winners = [pid for pid, won in res.decisions.items() if won]
+        assert len(winners) <= x
+        # With n >= x competitors and no crashes, exactly x win.
+        if n >= x:
+            assert len(winners) == x
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_at_most_x_invokers_all_correct_win(self, seed):
+        x = 3
+        store = fresh()
+        res = run_processes(
+            {i: competitor("k", x, i) for i in range(3)},  # exactly x
+            store, adversary=SeededRandomAdversary(seed))
+        assert all(res.decisions.values())
+
+    def test_crashed_winner_consumes_a_slot(self):
+        # p0 wins TS[0] and crashes right after (before a tail step);
+        # with x = 2 only one more slot remains: exactly one of the other
+        # invokers wins.
+        x = 2
+        store = fresh()
+
+        def competitor_with_tail(key, i):
+            won = yield from x_compete(TS, key, x, i)
+            yield TS.peek((key, 0))  # tail step so the winner can crash
+            return won
+
+        res = run_processes(
+            {i: competitor_with_tail("k", i) for i in range(4)},
+            store, crash_plan=CrashPlan.at_own_step({0: 2}))
+        winners = [pid for pid, won in res.decisions.items() if won]
+        assert len(winners) == 1
+        assert 0 not in res.decisions
+        assert store["TS"].op_peek(1, ("k", 0)) == 0  # p0 holds slot 0
+
+    def test_fewer_invokers_than_x_with_crash_still_all_win(self):
+        # Figure 5's guarantee: "if x or less processes invoke it, the
+        # ones that do not crash all obtain true" -- ownership is dynamic.
+        x = 3
+        store = fresh()
+        res = run_processes(
+            {i: competitor("k", x, i) for i in range(3)},
+            store, crash_plan=CrashPlan.at_own_step({1: 2}))
+        assert res.decisions[0] is True
+        assert res.decisions[2] is True
+
+    def test_invalid_x(self):
+        with pytest.raises(ValueError):
+            list(x_compete(TS, "k", 0, 0))
+
+    def test_loser_scans_all_slots(self):
+        # With x slots already taken, a late invoker returns False after
+        # exactly x test&sets.
+        x = 2
+        store = fresh()
+        res = run_processes({i: competitor("k", x, i) for i in range(2)},
+                            store)
+        assert all(res.decisions.values())
+        res2 = run_processes({5: competitor("k", x, 5)}, store)
+        assert res2.decisions[5] is False
+        assert res2.steps == x

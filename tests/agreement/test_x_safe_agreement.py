@@ -1,0 +1,140 @@
+"""x-safe-agreement (paper Figure 6, Theorem 2).
+
+The decisive property: killing the object costs the adversary x owner
+crashes mid-propose; any x-1 crashes leave it live.  This is what turns
+"t crashes block t processes" (BG) into "t' crashes block ⌊t'/x⌋
+processes" (the multiplicative power).
+"""
+
+import pytest
+
+from repro.agreement import XSafeAgreementFactory, set_list
+from repro.memory import ObjectStore
+from repro.runtime import (CrashPlan, SeededRandomAdversary, run_processes)
+
+from ..conftest import SEEDS
+
+
+def participant(factory, key, i, value):
+    inst = factory.instance(key)
+    yield from inst.propose(i, value)
+    decided = yield from inst.decide(i)
+    return decided
+
+
+def fresh(n, x):
+    factory = XSafeAgreementFactory(n, x)
+    store = ObjectStore()
+    store.add_all(factory.shared_objects())
+    return factory, store
+
+
+class TestSetList:
+    def test_all_subsets_in_deterministic_order(self):
+        subsets = set_list(4, 2)
+        assert subsets == [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        assert len(set_list(6, 3)) == 20  # C(6,3)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            set_list(3, 0)
+        with pytest.raises(ValueError):
+            set_list(3, 4)
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("n,x", [(4, 2), (5, 3), (3, 1)])
+    def test_agreement_and_validity(self, seed, n, x):
+        factory, store = fresh(n, x)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, adversary=SeededRandomAdversary(seed))
+        assert res.decided_pids == set(range(n))
+        assert len(res.decided_values) == 1
+        assert res.decided_values <= {f"v{i}" for i in range(n)}
+
+    def test_decided_value_comes_from_an_owner(self):
+        factory, store = fresh(5, 2)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(5)},
+            store)
+        tas = store[factory.tas_name]
+        owners = {tas.op_peek(0, ("k", ell)) for ell in range(2)}
+        decided = next(iter(res.decided_values))
+        assert decided in {f"v{i}" for i in owners}
+
+
+class TestTermination:
+    def test_survives_x_minus_1_owner_crashes(self):
+        # x = 3: two owners crash mid-propose; the object still decides.
+        n, x = 6, 3
+        factory, store = fresh(n, x)
+        # p0 wins TS[( k,0)] at its step 1, crashes at step 2 (mid-scan).
+        # p1 loses slot 0, wins slot 1 (step 2), crashes at step 3.
+        plan = CrashPlan.at_own_step({0: 2, 1: 3})
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, crash_plan=plan)
+        assert res.decided_pids == set(range(2, n))
+        assert len(res.decided_values) == 1
+
+    def test_dies_only_after_x_owner_crashes(self):
+        # x = 2: both dynamic owners crash mid-propose -> deciders block.
+        n, x = 5, 2
+        factory, store = fresh(n, x)
+        plan = CrashPlan.at_own_step({0: 2, 1: 3})  # both win then die
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, crash_plan=plan)
+        assert res.deadlocked
+        assert res.blocked_pids == {2, 3, 4}
+
+    def test_crashed_non_owner_is_free(self):
+        # A process that crashes before winning any slot does not count
+        # against the object's x lives (dynamic ownership, Section 4.3).
+        n, x = 5, 2
+        factory, store = fresh(n, x)
+        # p0 wins slot 0 and crashes; p1 crashes BEFORE winning (it lost
+        # slot 0 to p0 and dies before trying slot 1); the object lives.
+        plan = CrashPlan.at_own_step({0: 2, 1: 2})
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, crash_plan=plan)
+        assert not res.deadlocked
+        assert res.decided_pids == {2, 3, 4}
+
+    def test_non_owner_propose_returns_without_deciding_value(self):
+        # With > x invokers, losers return from propose immediately and
+        # wait in decide for the owners' published value.
+        n, x = 4, 1
+        factory, store = fresh(n, x)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store)
+        assert len(res.decided_values) == 1
+
+    def test_x_equals_1_degenerates_to_safe_agreement_liveness(self):
+        # x = 1: a single owner; its crash mid-propose kills the object.
+        n, x = 3, 1
+        factory, store = fresh(n, x)
+        plan = CrashPlan.at_own_step({0: 2})
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store, crash_plan=plan)
+        assert res.deadlocked
+        assert res.blocked_pids == {1, 2}
+
+
+class TestScanDiscipline:
+    def test_owners_funnel_through_common_subset(self):
+        # After the run, all consensus instances containing both owners
+        # must have decided the same value as the register.
+        n, x = 4, 2
+        factory, store = fresh(n, x)
+        res = run_processes(
+            {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+            store)
+        reg = store[factory.reg_name]
+        final = reg.op_read(0, "k")
+        assert {final} == res.decided_values

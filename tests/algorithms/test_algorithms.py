@@ -1,0 +1,166 @@
+"""The concrete algorithms, validated against their tasks."""
+
+import pytest
+
+from repro.algorithms import (Algorithm, ConsensusFromXCons,
+                              ConsensusReadWriteFailureFree,
+                              GroupedKSetFromXCons, IdentityAlgorithm,
+                              KSetReadWrite, RenamingFromTAS,
+                              WriteThenSnapshot, groups, group_of,
+                              run_algorithm)
+from repro.model import ASM
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import (ConsensusTask, DistinctValuesTask,
+                         KSetAgreementTask)
+
+from ..conftest import SEEDS, crash_subsets, run_and_validate
+
+
+class TestKSetReadWrite:
+    def test_requires_t_below_k(self):
+        with pytest.raises(ValueError):
+            KSetReadWrite(n=5, t=2, k=2)
+        with pytest.raises(ValueError):
+            KSetReadWrite(n=5, t=2, k=6)
+
+    def test_model(self):
+        assert KSetReadWrite(n=5, t=2, k=3).model() == ASM(5, 2, 1)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_solves_kset_no_crash(self, seed):
+        algo = KSetReadWrite(n=5, t=2, k=3)
+        run_and_validate(algo, KSetAgreementTask(3), [3, 1, 4, 1, 5],
+                         adversary=SeededRandomAdversary(seed))
+
+    @pytest.mark.parametrize("victims", crash_subsets(5, 2, limit=8))
+    def test_solves_kset_under_crashes(self, victims):
+        algo = KSetReadWrite(n=5, t=2, k=3)
+        run_and_validate(algo, KSetAgreementTask(3), [3, 1, 4, 1, 5],
+                         crash_plan=CrashPlan.initially_dead(victims))
+
+    def test_at_most_t_plus_1_values(self):
+        # the decision bound is t+1, strictly tighter than k when k > t+1.
+        algo = KSetReadWrite(n=6, t=1, k=3)
+        res = run_algorithm(algo, [6, 5, 4, 3, 2, 1],
+                            adversary=SeededRandomAdversary(3))
+        assert len(res.decided_values) <= 2
+
+    def test_failure_free_consensus(self):
+        algo = ConsensusReadWriteFailureFree(4)
+        run_and_validate(algo, ConsensusTask(), [4, 2, 9, 4])
+
+    def test_blocks_beyond_resilience(self):
+        # t+1 crashes: survivors wait forever for n-t inputs.
+        algo = KSetReadWrite(n=4, t=1, k=2)
+        res = run_algorithm(algo, [1, 2, 3, 4],
+                            crash_plan=CrashPlan.initially_dead([0, 1]),
+                            enforce_model=False)
+        assert res.deadlocked
+        assert res.blocked_pids == {2, 3}
+
+
+class TestXConsAlgorithms:
+    def test_consensus_needs_enough_ports(self):
+        with pytest.raises(ValueError):
+            ConsensusFromXCons(n=5, x=4)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_consensus_wait_free(self, seed):
+        algo = ConsensusFromXCons(n=4, x=4)
+        run_and_validate(algo, ConsensusTask(), [9, 9, 3, 1],
+                         adversary=SeededRandomAdversary(seed),
+                         crash_plan=CrashPlan.initially_dead([2]))
+
+    def test_grouping(self):
+        assert groups(7, 3) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert group_of(5, 3) == 1
+
+    @pytest.mark.parametrize("n,x", [(6, 2), (7, 3), (5, 5), (4, 1)])
+    def test_grouped_kset_bound(self, n, x):
+        algo = GroupedKSetFromXCons(n=n, x=x)
+        k = -(-n // x)
+        assert algo.k == k
+        run_and_validate(algo, KSetAgreementTask(k), list(range(n)),
+                         adversary=SeededRandomAdversary(1))
+
+    def test_grouped_kset_wait_free_under_heavy_crashes(self):
+        algo = GroupedKSetFromXCons(n=6, x=2)
+        run_and_validate(algo, KSetAgreementTask(3), list(range(6)),
+                         crash_plan=CrashPlan.initially_dead([0, 2, 3, 5]))
+
+
+class TestRenaming:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_distinct_names(self, seed):
+        algo = RenamingFromTAS(5)
+        res = run_and_validate(algo, DistinctValuesTask(), [None] * 5,
+                               adversary=SeededRandomAdversary(seed))
+        assert set(res.decisions.values()) <= set(range(5))
+
+    def test_adaptive_with_crashes(self):
+        algo = RenamingFromTAS(5)
+        res = run_algorithm(algo, [None] * 5,
+                            crash_plan=CrashPlan.initially_dead([1, 3]))
+        names = list(res.decisions.values())
+        assert len(names) == len(set(names)) == 3
+
+
+class TestTrivialAlgorithms:
+    def test_identity(self):
+        algo = IdentityAlgorithm(3)
+        res = run_algorithm(algo, ["a", "b", "c"])
+        assert res.decisions == {0: "a", 1: "b", 2: "c"}
+        assert res.steps == 0
+
+    def test_write_then_snapshot(self):
+        algo = WriteThenSnapshot(3)
+        res = run_algorithm(algo, ["a", "b", "c"])
+        for pid, (value, seen) in res.decisions.items():
+            assert value == ["a", "b", "c"][pid]
+            assert 1 <= seen <= 3
+
+
+class TestAlgorithmABC:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            IdentityAlgorithm(0)
+        with pytest.raises(ValueError):
+            KSetReadWrite(n=0, t=0, k=1)
+
+    def test_run_checks_input_length(self):
+        with pytest.raises(ValueError, match="inputs"):
+            run_algorithm(IdentityAlgorithm(3), [1, 2])
+
+    def test_run_enforces_crash_budget(self):
+        algo = KSetReadWrite(n=4, t=1, k=2)
+        with pytest.raises(Exception):
+            run_algorithm(algo, [1, 2, 3, 4],
+                          crash_plan=CrashPlan.initially_dead([0, 1]))
+
+    def test_repr_mentions_model(self):
+        assert "ASM(5, 2, 1)" in repr(KSetReadWrite(n=5, t=2, k=3))
+
+
+class TestKSetDecisionBoundTightness:
+    def test_adversary_achieves_t_plus_1_distinct_values(self):
+        """The t+1 bound on distinct kset_rw decisions is tight: a
+        staircase schedule (largest inputs write first, each reader
+        snapshots before the next smaller value lands) extracts a new
+        minimum per reader."""
+        from repro.runtime import ScriptedAdversary
+        n, t = 5, 2
+        algo = KSetReadWrite(n=n, t=t, k=3)
+        # inputs ascending by pid: p0 holds the global minimum.
+        inputs = [0, 1, 2, 3, 4]
+        # schedule: p2,p3,p4 write (n-t = 3 values present, min 2);
+        # p4 snapshots & decides 2; p1 writes; p3 snapshots (min 1);
+        # p0 writes; everyone else finishes (min 0).
+        script = [2, 3, 4,      # writes of 2,3,4
+                  4,            # p4 snapshot -> decides 2
+                  1,            # p1 writes 1
+                  3,            # p3 snapshot -> decides 1
+                  0]            # p0 writes 0; rest round-robin
+        res = run_algorithm(algo, inputs,
+                            adversary=ScriptedAdversary(script))
+        assert len(res.decided_values) == t + 1
+        assert res.decided_values == {0, 1, 2}

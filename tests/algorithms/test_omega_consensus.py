@@ -1,0 +1,98 @@
+"""Ω-boosted consensus: indulgent safety, wait-free liveness.
+
+The boosting story of paper Section 1.3 made operational: consensus,
+impossible in ASM(n, t>=1, 1), becomes wait-free solvable once the model
+is enriched with Ω -- and the Ωx variant funnels through consensus-
+number-x objects.
+"""
+
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.algorithms.omega_consensus import (OmegaConsensus,
+                                              OmegaXClusterConsensus)
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import ConsensusTask
+
+from ..conftest import SEEDS
+
+
+class TestOmegaConsensus:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_stable_oracle_fast_decision(self, seed):
+        algo = OmegaConsensus(n=4, stabilize_after=0)
+        res = run_algorithm(algo, [10, 20, 30, 40],
+                            adversary=SeededRandomAdversary(seed))
+        verdict = ConsensusTask().validate_run([10, 20, 30, 40], res)
+        assert verdict.ok, verdict.explain()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unstable_prefix_keeps_safety_and_terminates(self, seed):
+        # Oracle misbehaves for 120 steps: rounds may churn, but
+        # agreement must never break and everyone still decides.
+        algo = OmegaConsensus(n=4, stabilize_after=120)
+        res = run_algorithm(algo, [1, 2, 3, 4],
+                            adversary=SeededRandomAdversary(seed),
+                            max_steps=2_000_000)
+        verdict = ConsensusTask().validate_run([1, 2, 3, 4], res)
+        assert verdict.ok, verdict.explain()
+
+    @pytest.mark.parametrize("victims", [[0], [0, 1], [0, 1, 2]])
+    def test_wait_free_with_crashes(self, victims):
+        # n-1 crashes tolerated: consensus is wait-free with Omega.
+        algo = OmegaConsensus(n=4, stabilize_after=0)
+        plan = CrashPlan.at_own_step({v: 3 + 2 * v for v in victims})
+        res = run_algorithm(algo, [5, 6, 7, 8], crash_plan=plan,
+                            max_steps=2_000_000)
+        verdict = ConsensusTask().validate_run([5, 6, 7, 8], res)
+        assert verdict.ok, verdict.explain()
+
+    def test_leader_crash_mid_round_recovers(self):
+        # crash the initial stable leader (p0) after it wrote a proposal:
+        # the oracle re-elects and the rest converge.
+        algo = OmegaConsensus(n=3, stabilize_after=0)
+        plan = CrashPlan.at_own_step({0: 4})
+        res = run_algorithm(algo, [9, 8, 7], crash_plan=plan,
+                            max_steps=2_000_000)
+        verdict = ConsensusTask().validate_run([9, 8, 7], res)
+        assert verdict.ok, verdict.explain()
+
+    def test_model_is_read_write_plus_oracle(self):
+        algo = OmegaConsensus(n=4)
+        assert algo.consensus_power() == 1  # only registers + oracle
+        assert algo.model().wait_free
+
+
+class TestOmegaXClusterConsensus:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("x", [1, 2, 3])
+    def test_stable_oracle(self, seed, x):
+        algo = OmegaXClusterConsensus(n=4, x=x, stabilize_after=0)
+        res = run_algorithm(algo, [10, 20, 30, 40],
+                            adversary=SeededRandomAdversary(seed),
+                            max_steps=2_000_000)
+        verdict = ConsensusTask().validate_run([10, 20, 30, 40], res)
+        assert verdict.ok, verdict.explain()
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_unstable_prefix(self, seed):
+        algo = OmegaXClusterConsensus(n=4, x=2, stabilize_after=150)
+        res = run_algorithm(algo, [1, 2, 3, 4],
+                            adversary=SeededRandomAdversary(seed),
+                            max_steps=4_000_000)
+        verdict = ConsensusTask().validate_run([1, 2, 3, 4], res)
+        assert verdict.ok, verdict.explain()
+
+    def test_wait_free_with_crashes(self):
+        algo = OmegaXClusterConsensus(n=5, x=2, stabilize_after=0)
+        plan = CrashPlan.at_own_step({0: 3, 1: 6, 2: 9})
+        res = run_algorithm(algo, [4, 3, 2, 1, 0], crash_plan=plan,
+                            max_steps=4_000_000)
+        verdict = ConsensusTask().validate_run([4, 3, 2, 1, 0], res)
+        assert verdict.ok, verdict.explain()
+
+    def test_uses_consensus_number_x_objects(self):
+        algo = OmegaXClusterConsensus(n=5, x=3)
+        assert algo.consensus_power() == 3
+        with pytest.raises(ValueError):
+            OmegaXClusterConsensus(n=3, x=4)

@@ -1,0 +1,155 @@
+"""Splitter-grid renaming: splitter invariants and grid renaming."""
+
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.algorithms.splitter_renaming import (DOWN, RIGHT, STOP,
+                                                SplitterGridRenaming,
+                                                grid_name, splitter)
+from repro.memory import build_store, make_spec
+from repro.runtime import (CrashPlan, ObjectProxy, SeededRandomAdversary,
+                           run_processes)
+from repro.tasks import RenamingTask
+
+from ..conftest import SEEDS
+
+
+def run_splitter(n, seed):
+    store = build_store([make_spec("register_family", "sx"),
+                         make_spec("register_family", "sy")])
+    x, y = ObjectProxy("sx"), ObjectProxy("sy")
+
+    def prog(pid):
+        out = yield from splitter(x, y, (0, 0), pid)
+        return out
+
+    return run_processes({i: prog(i) for i in range(n)}, store,
+                         adversary=SeededRandomAdversary(seed))
+
+
+class TestSplitter:
+    @pytest.mark.parametrize("seed", SEEDS + list(range(20, 35)))
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_invariants(self, seed, n):
+        res = run_splitter(n, seed)
+        outcomes = list(res.decisions.values())
+        assert outcomes.count(STOP) <= 1
+        if n >= 2:
+            assert outcomes.count(RIGHT) <= n - 1
+            assert outcomes.count(DOWN) <= n - 1
+
+    def test_solo_stops(self):
+        res = run_splitter(1, 0)
+        assert res.decisions[0] == STOP
+
+
+class TestGridName:
+    def test_triangular_numbering_injective(self):
+        n = 6
+        names = {grid_name(r, d, n)
+                 for r in range(n) for d in range(n - r)}
+        assert len(names) == n * (n + 1) // 2
+        assert min(names) == 0
+        assert max(names) == n * (n + 1) // 2 - 1
+
+
+class TestGridRenaming:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_distinct_names_in_namespace(self, seed, n):
+        algo = SplitterGridRenaming(n)
+        res = run_algorithm(algo, [None] * n,
+                            adversary=SeededRandomAdversary(seed))
+        task = RenamingTask(n, namespace=algo.namespace)
+        verdict = task.validate_run([None] * n, res)
+        assert verdict.ok, verdict.explain()
+
+    def test_wait_free_under_crashes(self):
+        algo = SplitterGridRenaming(5)
+        res = run_algorithm(algo, [None] * 5,
+                            crash_plan=CrashPlan.at_own_step(
+                                {0: 2, 2: 3, 4: 1}))
+        names = list(res.decisions.values())
+        assert len(names) == len(set(names))
+        assert res.decided_pids == res.correct_pids
+
+    def test_solo_gets_name_zero(self):
+        algo = SplitterGridRenaming(4)
+        res = run_algorithm(algo, [None] * 4,
+                            crash_plan=CrashPlan.initially_dead([1, 2, 3]))
+        assert res.decisions[0] == 0
+
+    def test_adaptive_names_stay_low_for_few_participants(self):
+        # with p participants names live in the triangle of size p.
+        algo = SplitterGridRenaming(6)
+        res = run_algorithm(algo, [None] * 6,
+                            crash_plan=CrashPlan.initially_dead(
+                                [3, 4, 5]))
+        bound = 3 * (3 + 1) // 2
+        assert all(name < bound for name in res.decisions.values())
+
+    def test_bg_simulable_as_colored_source(self):
+        """The grid renaming translates through the colored simulation
+        (registers only on the source side)."""
+        from repro.core import simulate_colored
+        algo = SplitterGridRenaming(6)
+        algo.resilience = 3
+        sim = simulate_colored(algo, n_prime=4, t_prime=1, x_prime=2)
+        res = run_algorithm(sim, [None] * 4,
+                            adversary=SeededRandomAdversary(5),
+                            max_steps=5_000_000)
+        names = list(res.decisions.values())
+        assert len(names) == len(set(names)) == 4
+
+
+class TestImmediateSnapshotRenaming:
+    @pytest.mark.parametrize("seed", SEEDS + list(range(20, 35)))
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_distinct_names_in_namespace(self, seed, n):
+        from repro.algorithms.splitter_renaming import \
+            ImmediateSnapshotRenaming
+        algo = ImmediateSnapshotRenaming(n)
+        res = run_algorithm(algo, [None] * n,
+                            adversary=SeededRandomAdversary(seed))
+        task = RenamingTask(n, namespace=algo.namespace)
+        verdict = task.validate_run([None] * n, res)
+        assert verdict.ok, verdict.explain()
+
+    def test_wait_free_under_crashes(self):
+        from repro.algorithms.splitter_renaming import \
+            ImmediateSnapshotRenaming
+        algo = ImmediateSnapshotRenaming(5)
+        res = run_algorithm(algo, [None] * 5,
+                            crash_plan=CrashPlan.at_own_step(
+                                {0: 2, 2: 4, 4: 1}))
+        names = list(res.decisions.values())
+        assert len(names) == len(set(names))
+        assert res.decided_pids == res.correct_pids
+
+    def test_solo_gets_name_zero(self):
+        from repro.algorithms.splitter_renaming import \
+            ImmediateSnapshotRenaming
+        algo = ImmediateSnapshotRenaming(4)
+        res = run_algorithm(algo, [None] * 4,
+                            crash_plan=CrashPlan.initially_dead(
+                                [1, 2, 3]))
+        assert res.decisions[0] == 0
+
+    def test_exhaustive_two_processes(self):
+        from repro.algorithms.splitter_renaming import \
+            ImmediateSnapshotRenaming
+        from repro.runtime.explore import explore
+        algo = ImmediateSnapshotRenaming(2)
+
+        def build():
+            fresh = ImmediateSnapshotRenaming(2)
+            store = fresh.build_store()
+            return {i: fresh.program(i, None) for i in range(2)}, store
+
+        def check(result):
+            names = list(result.decisions.values())
+            assert len(names) == len(set(names))
+            assert all(0 <= v < 3 for v in names)
+
+        stats = explore(build, check, max_steps=16)
+        assert stats.complete_runs > 3

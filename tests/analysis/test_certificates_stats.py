@@ -1,0 +1,81 @@
+"""Blocking certificates and run statistics."""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.algorithms import KSetReadWrite, WriteThenSnapshot, run_algorithm
+from repro.analysis import blocking_certificate, collect_stats
+from repro.bg import CollectAllPolicy
+from repro.core import SimulationAlgorithm
+from repro.runtime import CrashPlan
+
+
+def collectall_sim(source, t):
+    n = source.n
+    return SimulationAlgorithm(
+        source, n_simulators=n, resilience=t,
+        snap_agreement=SafeAgreementFactory(n),
+        policy_class=CollectAllPolicy, label="cert-test")
+
+
+class TestBlockingCertificate:
+    def test_clean_run_counts(self):
+        src = WriteThenSnapshot(3)
+        sim = collectall_sim(src, t=1)
+        res = run_algorithm(sim, ["a", "b", "c"])
+        cert = blocking_certificate(res, 3, 3)
+        assert cert.max_blocked == 0
+        assert cert.min_completed == 3
+        assert not cert.divergent
+        assert cert.lemma1_holds(x=1)
+        assert set(cert.simulated_decisions) == {0, 1, 2}
+
+    def test_lemma1_with_one_crash(self):
+        # One simulator crash mid-(snapshot)-propose blocks <= 1 simulated
+        # process in the x = 1 (BG) setting.
+        from repro.runtime import op_on
+        src = KSetReadWrite(n=4, t=1, k=2)
+        sim = collectall_sim(src, t=1)
+        plan = CrashPlan.before_operation(
+            0, op_on("SAFE_AG", "write"), occurrence=2)
+        res = run_algorithm(sim, [1, 2, 3, 4], crash_plan=plan,
+                            max_steps=500_000)
+        cert = blocking_certificate(res, 4, 4)
+        assert cert.crashed_simulators == {0}
+        assert cert.lemma1_holds(x=1), cert.summary()
+        assert cert.max_blocked <= 1
+        assert cert.min_completed >= 3
+        assert "crashed=[0]" in cert.summary()
+
+    def test_blocked_for_live_simulator(self):
+        src = WriteThenSnapshot(2)
+        sim = collectall_sim(src, t=1)
+        res = run_algorithm(sim, ["x", "y"])
+        cert = blocking_certificate(res, 2, 2)
+        assert cert.blocked_for(0) == set()
+        assert cert.live_simulators == {0, 1}
+
+
+class TestStats:
+    def test_collect_stats_fields(self):
+        src = WriteThenSnapshot(2)
+        sim = collectall_sim(src, t=1)
+        res = run_algorithm(sim, ["x", "y"])
+        stats = collect_stats(res)
+        assert stats.steps == res.steps > 0
+        assert stats.store_ops >= stats.steps
+        assert stats.decided == 2
+        assert stats.crashed == 0
+        assert not stats.deadlocked
+        # the safe-agreement family reports its instance count
+        assert stats.objects.get("SAFE_AG", 0) > 0
+        assert "steps=" in stats.row()
+
+    def test_flags_in_row(self):
+        algo = KSetReadWrite(n=3, t=1, k=2)
+        res = run_algorithm(algo, [1, 2, 3],
+                            crash_plan=CrashPlan.initially_dead([0, 1]),
+                            enforce_model=False)
+        stats = collect_stats(res)
+        assert stats.deadlocked
+        assert "deadlock" in stats.row()

@@ -1,0 +1,99 @@
+"""Linearizability checkers."""
+
+import pytest
+
+from repro.analysis import (OpRecord, RegisterSpec, SnapshotSpec,
+                            check_linearizable, check_snapshot_history)
+
+
+def rec(pid, start, end, op, args=(), result=None):
+    return OpRecord(pid, start, end, op, args, result)
+
+
+class TestGenericChecker:
+    def test_sequential_history_ok(self):
+        history = [
+            rec(0, 0, 1, "write", (0, "a")),
+            rec(1, 2, 3, "snapshot", (), ("a", None)),
+        ]
+        assert check_linearizable(history, SnapshotSpec(2))
+
+    def test_stale_read_after_write_rejected(self):
+        history = [
+            rec(0, 0, 1, "write", (0, "a")),
+            rec(1, 2, 3, "snapshot", (), (None, None)),  # missed the write
+        ]
+        assert not check_linearizable(history, SnapshotSpec(2))
+
+    def test_concurrent_ops_may_order_either_way(self):
+        history = [
+            rec(0, 0, 5, "write", (0, "a")),
+            rec(1, 1, 4, "snapshot", (), (None, None)),  # overlaps: ok
+        ]
+        assert check_linearizable(history, SnapshotSpec(2))
+
+    def test_register_spec(self):
+        ok = [
+            rec(0, 0, 1, "write", ("x",)),
+            rec(1, 2, 3, "read", (), "x"),
+        ]
+        assert check_linearizable(ok, RegisterSpec())
+        bad = [
+            rec(0, 0, 1, "write", ("x",)),
+            rec(0, 2, 3, "write", ("y",)),
+            rec(1, 4, 5, "read", (), "x"),
+        ]
+        assert not check_linearizable(bad, RegisterSpec())
+
+    def test_new_old_inversion_rejected(self):
+        # reads see y then x although writes were x then y and all
+        # operations are sequential: no linearization exists.
+        bad = [
+            rec(0, 0, 1, "write", ("x",)),
+            rec(0, 2, 3, "write", ("y",)),
+            rec(1, 4, 5, "read", (), "y"),
+            rec(1, 6, 7, "read", (), "x"),
+        ]
+        assert not check_linearizable(bad, RegisterSpec())
+
+    def test_history_size_guard(self):
+        history = [rec(0, i, i + 1, "read", (), None) for i in range(20)]
+        with pytest.raises(ValueError):
+            check_linearizable(history, RegisterSpec())
+
+
+class TestSnapshotHistoryChecker:
+    def test_consistent_history(self):
+        writes = {0: ["a1", "a2"], 1: ["b1"]}
+        snaps = [
+            rec(2, 0, 1, "snapshot", (), ("a1", None)),
+            rec(2, 2, 3, "snapshot", (), ("a2", "b1")),
+        ]
+        assert check_snapshot_history(writes, snaps) is None
+
+    def test_incomparable_snapshots_rejected(self):
+        writes = {0: ["a1"], 1: ["b1"]}
+        snaps = [
+            rec(2, 0, 10, "snapshot", (), ("a1", None)),
+            rec(3, 0, 10, "snapshot", (), (None, "b1")),
+        ]
+        out = check_snapshot_history(writes, snaps)
+        assert out is not None and "incomparable" in out
+
+    def test_real_time_violation_rejected(self):
+        writes = {0: ["a1"], 1: []}
+        snaps = [
+            rec(2, 0, 1, "snapshot", (), ("a1", None)),   # completed first
+            rec(3, 5, 6, "snapshot", (), (None, None)),   # then regressed
+        ]
+        out = check_snapshot_history(writes, snaps)
+        assert out is not None and "real-time" in out
+
+    def test_unknown_value_rejected(self):
+        writes = {0: ["a1"], 1: []}
+        snaps = [rec(2, 0, 1, "snapshot", (), ("ghost", None))]
+        assert check_snapshot_history(writes, snaps) is not None
+
+    def test_duplicate_writes_rejected(self):
+        writes = {0: ["same", "same"], 1: []}
+        assert check_snapshot_history(writes, []) is not None

@@ -1,0 +1,58 @@
+"""ASCII timeline rendering."""
+
+from repro.analysis.timeline import lane_summary, render_timeline
+from repro.algorithms import KSetReadWrite, run_algorithm
+from repro.runtime import CrashPlan
+
+
+def traced_run():
+    algo = KSetReadWrite(n=3, t=1, k=2)
+    return run_algorithm(algo, [3, 1, 2],
+                         crash_plan=CrashPlan.at_own_step({0: 2}),
+                         record_trace=True)
+
+
+class TestTimeline:
+    def test_lanes_cover_all_processes(self):
+        res = traced_run()
+        out = render_timeline(res.trace)
+        for pid in range(3):
+            assert f"p{pid}" in out
+
+    def test_glyphs_present(self):
+        res = traced_run()
+        out = render_timeline(res.trace)
+        assert "w" in out          # writes happened
+        assert "X" in out          # the crash
+        assert "D" in out          # decisions
+
+    def test_column_count_matches_events(self):
+        res = traced_run()
+        out = render_timeline(res.trace, width=10_000)
+        lane = next(line for line in out.splitlines()
+                    if line.startswith("p0"))
+        assert len(lane.split("|", 1)[1]) == len(res.trace.events)
+
+    def test_wrapping(self):
+        res = traced_run()
+        out = render_timeline(res.trace, width=4)
+        # several blocks separated by blank lines
+        assert out.count("p0") >= 2
+
+    def test_pid_filter(self):
+        res = traced_run()
+        out = render_timeline(res.trace, pids=[1])
+        assert "p1" in out and "p0 " not in out
+
+    def test_lane_summary_counts(self):
+        res = traced_run()
+        summary = lane_summary(res.trace)
+        assert summary[0].get("X") == 1
+        assert summary[1].get("w") == 1
+        total = sum(sum(b.values()) for b in summary.values())
+        assert total == len(res.trace.events)
+
+    def test_empty_trace(self):
+        from repro.runtime import Trace
+        out = render_timeline(Trace(enabled=True))
+        assert "steps" in out

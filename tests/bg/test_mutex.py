@@ -1,0 +1,68 @@
+"""Simulator-local mutex bookkeeping."""
+
+import pytest
+
+from repro.bg import (MUTEX1, MUTEX2, AcquireLocal, LocalMutexTable,
+                      MutexViolation, ReleaseLocal)
+from repro.runtime.ops import LocalOp
+
+
+class TestLocalOps:
+    def test_local_op_subclasses(self):
+        assert isinstance(AcquireLocal(MUTEX1), LocalOp)
+        assert isinstance(ReleaseLocal(MUTEX2), LocalOp)
+
+    def test_reprs(self):
+        assert repr(AcquireLocal("mutex1")) == "acquire(mutex1)"
+        assert repr(ReleaseLocal("mutex2")) == "release(mutex2)"
+
+
+class TestLocalMutexTable:
+    def test_acquire_free(self):
+        table = LocalMutexTable()
+        assert table.try_acquire(MUTEX1, 3)
+        assert table.holder(MUTEX1) == 3
+
+    def test_acquire_held_queues(self):
+        table = LocalMutexTable()
+        table.try_acquire(MUTEX1, 0)
+        assert not table.try_acquire(MUTEX1, 1)
+        assert not table.try_acquire(MUTEX1, 2)
+        assert table.holder(MUTEX1) == 0
+
+    def test_release_grants_fifo(self):
+        table = LocalMutexTable()
+        table.try_acquire(MUTEX1, 0)
+        table.try_acquire(MUTEX1, 1)
+        table.try_acquire(MUTEX1, 2)
+        assert table.release(MUTEX1, 0) == 1
+        assert table.holder(MUTEX1) == 1
+        assert table.release(MUTEX1, 1) == 2
+        assert table.release(MUTEX1, 2) is None
+        assert table.holder(MUTEX1) is None
+
+    def test_release_without_hold_raises(self):
+        table = LocalMutexTable()
+        with pytest.raises(MutexViolation):
+            table.release(MUTEX1, 0)
+
+    def test_reacquire_raises(self):
+        table = LocalMutexTable()
+        table.try_acquire(MUTEX1, 0)
+        with pytest.raises(MutexViolation):
+            table.try_acquire(MUTEX1, 0)
+
+    def test_mutexes_independent(self):
+        table = LocalMutexTable()
+        table.try_acquire(MUTEX1, 0)
+        assert table.try_acquire(MUTEX2, 1)
+        assert table.held_by(0) == [MUTEX1]
+        assert table.held_by(1) == [MUTEX2]
+
+    def test_duplicate_queue_entries_ignored(self):
+        table = LocalMutexTable()
+        table.try_acquire(MUTEX1, 0)
+        table.try_acquire(MUTEX1, 1)
+        table.try_acquire(MUTEX1, 1)
+        assert table.release(MUTEX1, 0) == 1
+        assert table.release(MUTEX1, 1) is None

@@ -1,0 +1,86 @@
+"""Decision policies, unit level."""
+
+import pytest
+
+from repro.bg import (ANNOUNCE, CollectAllPolicy, ColoredTASPolicy,
+                      DecisionPolicy, Final, FirstDecisionPolicy,
+                      read_announcements)
+from repro.memory import BOTTOM, build_store
+
+
+def drive(gen, results=()):
+    """Run a policy generator feeding scripted op results; returns
+    (yielded_ops, return_value)."""
+    ops, out = [], None
+    it = iter(results)
+    try:
+        op = next(gen)
+        while True:
+            ops.append(op)
+            op = gen.send(next(it, None))
+    except StopIteration as stop:
+        out = stop.value
+    return ops, out
+
+
+class TestFirstDecision:
+    def test_immediate_final(self):
+        policy = FirstDecisionPolicy()
+        ops, out = drive(policy.on_decision(0, {2: "v"}, 2, "v"))
+        assert ops == []
+        assert out == Final("v")
+
+    def test_no_extra_specs(self):
+        assert FirstDecisionPolicy.extra_specs(4) == []
+
+    def test_all_terminal_is_a_bug(self):
+        with pytest.raises(AssertionError):
+            FirstDecisionPolicy().on_all_terminal(0, {})
+
+
+class TestColoredTAS:
+    def test_win_adopts(self):
+        policy = ColoredTASPolicy()
+        ops, out = drive(policy.on_decision(1, {3: "name"}, 3, "name"),
+                         results=[True])
+        assert len(ops) == 1
+        assert ops[0].method == "test_and_set"
+        assert ops[0].args == (3,)
+        assert out == Final("name")
+
+    def test_loss_resumes(self):
+        policy = ColoredTASPolicy()
+        ops, out = drive(policy.on_decision(1, {3: "name"}, 3, "name"),
+                         results=[False])
+        assert out is None
+
+    def test_declares_tas_family_spec(self):
+        specs = ColoredTASPolicy.extra_specs(4)
+        assert [s.kind for s in specs] == ["tas_family"]
+
+
+class TestCollectAll:
+    def test_announces_and_continues(self):
+        policy = CollectAllPolicy()
+        decisions = {0: "a", 2: "b"}
+        ops, out = drive(policy.on_decision(1, decisions, 2, "b"),
+                         results=[None])
+        assert ops[0].obj == ANNOUNCE
+        assert ops[0].args == (1, ((0, "a"), (2, "b")))
+        assert out is None
+
+    def test_all_terminal_returns_map(self):
+        assert CollectAllPolicy().on_all_terminal(0, {1: "x"}) == {1: "x"}
+
+    def test_read_announcements_handles_bottom(self):
+        store = build_store(CollectAllPolicy.extra_specs(3))
+        store[ANNOUNCE].entries[1] = ((0, "v"),)
+        announced = read_announcements(store, 3)
+        assert announced == {0: {}, 1: {0: "v"}, 2: {}}
+
+
+class TestFinalWrapper:
+    def test_equality_and_fields(self):
+        assert Final("x") == Final("x")
+        assert Final("x").value == "x"
+        assert isinstance(FirstDecisionPolicy(), DecisionPolicy)

@@ -1,0 +1,173 @@
+"""Figures 2-4 simulation operations, exercised outside the trampoline.
+
+A tiny single-thread driver strips local mutex ops (with one thread per
+simulator they always succeed), letting us unit-test the shared-memory
+logic of sim_write / sim_snapshot / sim_object_op in isolation.
+"""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.bg import (MEM_NAME, SimulatorState, sim_input, sim_object_op,
+                      sim_snapshot, sim_write)
+from repro.memory import BOTTOM, ObjectStore, SnapshotObject
+from repro.runtime import (RoundRobinAdversary, SeededRandomAdversary,
+                           run_processes)
+from repro.runtime.ops import LocalOp
+
+
+def strip_local(gen):
+    """Drive a sim-op generator, resolving local ops inline."""
+    result = None
+    started = False
+    while True:
+        try:
+            op = gen.send(result) if started else next(gen)
+            started = True
+        except StopIteration as stop:
+            return stop.value
+        if isinstance(op, LocalOp):
+            result = None
+            continue
+        result = yield op
+
+
+def fresh(n_sims, n_simulated):
+    factory = SafeAgreementFactory(n_sims)
+    store = ObjectStore()
+    store.add(SnapshotObject(MEM_NAME, n_sims))
+    store.add_all(factory.shared_objects())
+
+    def state(i):
+        return SimulatorState(i, n_simulated, factory, factory)
+
+    return state, store
+
+
+class TestSimWrite:
+    def test_publishes_local_copy_with_sequence_numbers(self):
+        state_of, store = fresh(2, 3)
+
+        def sim(i):
+            st = state_of(i)
+            yield from strip_local(sim_write(st, 1, "a"))
+            yield from strip_local(sim_write(st, 1, "b"))
+            yield from strip_local(sim_write(st, 2, "c"))
+            return st.w_sn
+
+        res = run_processes({0: sim(0)}, store)
+        assert res.decisions[0] == [0, 2, 1]
+        mem_row = store[MEM_NAME].entries[0]
+        assert mem_row[0] == (BOTTOM, 0)
+        assert mem_row[1] == ("b", 2)
+        assert mem_row[2] == ("c", 1)
+
+
+class TestSimSnapshot:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_all_simulators_agree_per_snapshot(self, seed):
+        state_of, store = fresh(3, 2)
+
+        def sim(i):
+            st = state_of(i)
+            # each simulator simulates p0 writing its (the simulator's)
+            # value, then p0's first snapshot: results must agree anyway.
+            yield from strip_local(sim_write(st, 0, f"from_q{i}"))
+            snap = yield from strip_local(sim_snapshot(st, 0))
+            return snap
+
+        res = run_processes({i: sim(i) for i in range(3)}, store,
+                            adversary=SeededRandomAdversary(seed))
+        assert len(set(res.decisions.values())) == 1
+
+    def test_snapshot_picks_most_advanced_simulator(self):
+        state_of, store = fresh(2, 2)
+
+        def fast(i):
+            st = state_of(i)
+            yield from strip_local(sim_write(st, 0, "v1"))
+            yield from strip_local(sim_write(st, 0, "v2"))
+            snap = yield from strip_local(sim_snapshot(st, 1))
+            return snap
+
+        def slow(i):
+            st = state_of(i)
+            yield from strip_local(sim_write(st, 0, "v1"))
+            snap = yield from strip_local(sim_snapshot(st, 1))
+            return snap
+
+        # q0 runs to completion first (round robin with q0 first ensures
+        # its proposal lands first), q1 lags on p0's writes.
+        res = run_processes({0: fast(0), 1: slow(1)}, store,
+                            adversary=RoundRobinAdversary())
+        # both agree, and the agreed vector contains p0's most advanced
+        # write among the proposals.
+        assert len(set(res.decisions.values())) == 1
+        agreed = next(iter(res.decisions.values()))
+        assert agreed[0] in ("v1", "v2")
+
+    def test_sequence_numbers_advance_per_simulated_process(self):
+        state_of, store = fresh(1, 2)
+
+        def sim(i):
+            st = state_of(i)
+            yield from strip_local(sim_snapshot(st, 0))
+            yield from strip_local(sim_snapshot(st, 0))
+            yield from strip_local(sim_snapshot(st, 1))
+            return (st.snap_sn, st.snapshots_simulated)
+
+        res = run_processes({0: sim(0)}, store)
+        assert res.decisions[0] == ([2, 1], 3)
+
+
+class TestSimObjectOp:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_one_agreed_outcome_per_object(self, seed):
+        state_of, store = fresh(3, 3)
+
+        def sim(i):
+            st = state_of(i)
+            # simulate two different threads' ops on the same object:
+            # the cached outcome must be identical, one propose total.
+            r1 = yield from strip_local(sim_object_op(st, "obj", f"p{i}"))
+            r2 = yield from strip_local(sim_object_op(st, "obj", "other"))
+            return (r1, r2, st.object_ops_simulated)
+
+        res = run_processes({i: sim(i) for i in range(3)}, store,
+                            adversary=SeededRandomAdversary(seed))
+        outcomes = {v[0] for v in res.decisions.values()}
+        assert len(outcomes) == 1                      # agreement
+        assert all(v[0] == v[1] for v in res.decisions.values())  # cache
+        assert all(v[2] == 1 for v in res.decisions.values())
+
+    def test_distinct_objects_independent(self):
+        state_of, store = fresh(1, 1)
+
+        def sim(i):
+            st = state_of(i)
+            a = yield from strip_local(sim_object_op(st, "A", "va"))
+            b = yield from strip_local(sim_object_op(st, "B", "vb"))
+            return (a, b)
+
+        res = run_processes({0: sim(0)}, store)
+        assert res.decisions[0] == ("va", "vb")
+
+
+class TestSimInput:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_input_agreed_across_simulators(self, seed):
+        state_of, store = fresh(3, 2)
+
+        def sim(i):
+            st = state_of(i)
+            v0 = yield from strip_local(sim_input(st, 0, f"input_q{i}"))
+            v1 = yield from strip_local(sim_input(st, 1, f"input_q{i}"))
+            return (v0, v1)
+
+        res = run_processes({i: sim(i) for i in range(3)}, store,
+                            adversary=SeededRandomAdversary(seed))
+        assert len({v[0] for v in res.decisions.values()}) == 1
+        assert len({v[1] for v in res.decisions.values()}) == 1
+        # agreed inputs are someone's proposal
+        agreed = next(iter(res.decisions.values()))
+        assert agreed[0] in {f"input_q{i}" for i in range(3)}

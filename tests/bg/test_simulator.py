@@ -1,0 +1,99 @@
+"""The simulator trampoline: fairness, mutex draining, decision policies."""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.algorithms import KSetReadWrite, WriteThenSnapshot
+from repro.bg import (CollectAllPolicy, ColoredTASPolicy, FirstDecisionPolicy,
+                      read_announcements)
+from repro.core import SimulationAlgorithm
+from repro.algorithms.protocol import run_algorithm
+from repro.runtime import (CrashPlan, ProcessStatus, RoundRobinAdversary,
+                           SeededRandomAdversary)
+
+from ..conftest import SEEDS
+
+
+def make_sim(source, n_sims=None, policy=FirstDecisionPolicy):
+    n = source.n if n_sims is None else n_sims
+    return SimulationAlgorithm(
+        source, n_simulators=n, resilience=source.resilience if
+        source.resilience < n else n - 1,
+        snap_agreement=SafeAgreementFactory(n),
+        policy_class=policy,
+        label="test-sim")
+
+
+class TestColorlessSimulation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_simulator_decides_a_simulated_decision(self, seed):
+        source = WriteThenSnapshot(3)
+        sim = make_sim(source)
+        res = run_algorithm(sim, ["a", "b", "c"],
+                            adversary=SeededRandomAdversary(seed))
+        assert res.decided_pids == {0, 1, 2}
+        # each decision is (value, seen) with a proposed value
+        for value, seen in res.decisions.values():
+            assert value in ("a", "b", "c")
+            assert 1 <= seen <= 3
+
+    def test_deterministic_under_round_robin(self):
+        source = KSetReadWrite(n=3, t=1, k=2)
+        results = [run_algorithm(make_sim(source), [1, 2, 3],
+                                 adversary=RoundRobinAdversary())
+                   for _ in range(2)]
+        assert results[0].decisions == results[1].decisions
+        assert results[0].steps == results[1].steps
+
+    def test_simulator_count_can_differ_from_source(self):
+        source = KSetReadWrite(n=5, t=1, k=2)
+        sim = make_sim(source, n_sims=2)   # classic BG shape
+        res = run_algorithm(sim, [10, 20])
+        assert res.decided_pids == {0, 1}
+        assert set(res.decisions.values()) <= {10, 20}
+
+
+class TestCollectAllPolicy:
+    def test_collects_every_thread_decision(self):
+        source = WriteThenSnapshot(3)
+        sim = make_sim(source, policy=CollectAllPolicy)
+        res = run_algorithm(sim, ["x", "y", "z"])
+        for final in res.decisions.values():
+            assert set(final) == {0, 1, 2}
+
+    def test_announcements_survive_simulator_crash(self):
+        source = WriteThenSnapshot(3)
+        sim = make_sim(source, policy=CollectAllPolicy)
+        # crash q0 late: its announcements up to then are in the store.
+        res = run_algorithm(sim, ["x", "y", "z"],
+                            crash_plan=CrashPlan.at_own_step({0: 40}))
+        announced = read_announcements(res.store, 3)
+        assert announced[0]  # q0 announced at least one decision
+
+
+class TestMutexDrainOnDecision:
+    def test_no_simulated_process_blocked_by_a_deciding_simulator(self):
+        # FirstDecision simulators stop as soon as one thread decides; if
+        # they abandoned a mid-propose thread, other simulators would
+        # block.  All simulators must decide.
+        source = KSetReadWrite(n=4, t=1, k=2)
+        sim = make_sim(source)
+        for seed in SEEDS:
+            res = run_algorithm(sim, [1, 2, 3, 4],
+                                adversary=SeededRandomAdversary(seed))
+            assert res.decided_pids == {0, 1, 2, 3}, res.summary()
+
+
+class TestColoredPolicy:
+    def test_distinct_adoption_via_tas(self):
+        from repro.algorithms import RenamingFromTAS
+        source = RenamingFromTAS(4, t=2)
+        sim = SimulationAlgorithm(
+            source, n_simulators=4, resilience=1,
+            snap_agreement=__import__("repro.agreement", fromlist=["X"]
+                                      ).XSafeAgreementFactory(4, 2),
+            policy_class=ColoredTASPolicy,
+            label="colored-test")
+        res = run_algorithm(sim, [None] * 4)
+        values = list(res.decisions.values())
+        assert len(values) == len(set(values))  # distinct adoptions

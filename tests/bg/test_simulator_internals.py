@@ -1,0 +1,121 @@
+"""White-box tests of the simulator trampoline and its config switches."""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.algorithms import KSetReadWrite, WriteThenSnapshot, run_algorithm
+from repro.bg import MUTEX2, SimulationConfig, ThreadStatus
+from repro.bg.simulator import _Trampoline
+from repro.core import SimulationAlgorithm
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.runtime.ops import SpinOp, Invocation
+
+
+def make_trampoline(n_simulated=3, n_simulators=2):
+    source = WriteThenSnapshot(n_simulated)
+    factory = SafeAgreementFactory(n_simulators)
+    cfg = SimulationConfig(
+        source_specs=source.object_specs(),
+        source_program=source.program,
+        n_simulated=n_simulated,
+        n_simulators=n_simulators,
+        snap_agreement=factory,
+        obj_agreement=factory,
+        policy_factory=lambda i: __import__(
+            "repro.bg.policy", fromlist=["FirstDecisionPolicy"]
+        ).FirstDecisionPolicy(),
+    )
+    return _Trampoline(cfg, sim_id=0, own_input="inp")
+
+
+class TestThreadPicking:
+    def test_round_robin_over_live_threads(self):
+        tr = make_trampoline(n_simulated=3)
+        picks = [tr._pick_thread() for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_done_and_waiting(self):
+        tr = make_trampoline(n_simulated=3)
+        tr.threads[1].status = ThreadStatus.DONE
+        tr.threads[2].status = ThreadStatus.WAIT_MUTEX
+        assert tr._pick_thread() == 0
+        assert tr._pick_thread() == 0
+
+    def test_none_when_all_terminal(self):
+        tr = make_trampoline(n_simulated=2)
+        for th in tr.threads.values():
+            th.status = ThreadStatus.DONE
+        assert tr._pick_thread() is None
+
+    def test_spinning_threads_still_picked(self):
+        tr = make_trampoline(n_simulated=2)
+        tr.threads[0].status = ThreadStatus.SPINNING
+        assert tr._pick_thread() == 0
+
+
+class TestSpinPeriod:
+    def test_counts_live_threads_and_conditions(self):
+        tr = make_trampoline(n_simulated=3)
+        inv = Invocation("MEM", "snapshot", ())
+        tr.threads[0].status = ThreadStatus.SPINNING
+        tr.threads[0].pending = SpinOp(inv, lambda s: False, period=2)
+        tr.threads[1].status = ThreadStatus.SPINNING
+        tr.threads[1].pending = SpinOp(inv, lambda s: False, period=1)
+        # 3 live threads x max condition count 2
+        assert tr._spin_period() == 6
+
+    def test_minimum_is_one(self):
+        tr = make_trampoline(n_simulated=1)
+        assert tr._spin_period() >= 1
+
+
+class TestConfigSwitches:
+    def build(self, **kwargs):
+        source = KSetReadWrite(n=3, t=1, k=2)
+        return SimulationAlgorithm(
+            source, n_simulators=3, resilience=1,
+            snap_agreement=SafeAgreementFactory(3),
+            label="switches", **kwargs)
+
+    def test_defaults(self):
+        sim = self.build()
+        assert sim._config.per_object_mutex2 is True
+        assert sim._config.eager_spin is False
+
+    def test_eager_spin_still_correct_when_progress_exists(self):
+        sim = self.build(eager_spin=True)
+        res = run_algorithm(sim, [1, 2, 3],
+                            adversary=SeededRandomAdversary(4),
+                            crash_plan=CrashPlan.initially_dead([1]))
+        assert res.decided_pids == {0, 2}
+        assert len(res.decided_values) <= 2
+
+    def test_global_mutex2_still_correct_without_object_blocking(self):
+        # with a read/write source there are no object agreements, so
+        # the mutex2 scope is irrelevant: both variants must agree.
+        a = run_algorithm(self.build(per_object_mutex2=False), [1, 2, 3])
+        b = run_algorithm(self.build(per_object_mutex2=True), [1, 2, 3])
+        assert a.decisions == b.decisions
+
+
+class TestMutexNaming:
+    def test_per_object_mutex_names_are_distinct(self):
+        from repro.bg.sim_ops import SimulatorState, sim_object_op
+        from repro.bg.mutex import AcquireLocal
+        factory = SafeAgreementFactory(1)
+        state = SimulatorState(0, 1, factory, factory)
+        gen_a = sim_object_op(state, "objA", "v")
+        gen_b = sim_object_op(state, "objB", "v")
+        first_a = next(gen_a)
+        first_b = next(gen_b)
+        assert isinstance(first_a, AcquireLocal)
+        assert first_a.mutex != first_b.mutex
+        assert MUTEX2 in first_a.mutex
+
+    def test_global_mode_shares_one_name(self):
+        from repro.bg.sim_ops import SimulatorState, sim_object_op
+        factory = SafeAgreementFactory(1)
+        state = SimulatorState(0, 1, factory, factory,
+                               per_object_mutex2=False)
+        assert next(sim_object_op(state, "objA", "v")).mutex == \
+            next(sim_object_op(state, "objB", "v")).mutex == MUTEX2

@@ -1,0 +1,225 @@
+"""Source-operation translation: every supported kind, and the guards."""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.bg import (MEM_NAME, SimulatorState, SourcePortViolation,
+                      SourceTranslator, UnsimulableOperation)
+from repro.memory import BOTTOM, ObjectStore, SnapshotObject, make_spec
+from repro.runtime import Invocation, ObjectProxy, run_processes
+from repro.runtime.ops import LocalOp, SpinOp
+
+
+def make_sim(specs, n_sims=1, n_simulated=2):
+    factory = SafeAgreementFactory(n_sims)
+    store = ObjectStore()
+    store.add(SnapshotObject(MEM_NAME, n_sims))
+    store.add_all(factory.shared_objects())
+    state = SimulatorState(0, n_simulated, factory, factory)
+    translator = SourceTranslator(specs, state)
+    return translator, store
+
+
+def drive(translator, j, ops_and_results):
+    """Run a sequence of (op, expect) through translate, as simulator 0."""
+    outcomes = []
+
+    def sim():
+        for op in ops_and_results:
+            result = None
+            gen = translator.translate(j, op)
+            started = False
+            while True:
+                try:
+                    inner = gen.send(result) if started else next(gen)
+                    started = True
+                except StopIteration as stop:
+                    outcomes.append(stop.value)
+                    break
+                if isinstance(inner, LocalOp):
+                    result = None
+                    continue
+                result = yield inner
+        return tuple(outcomes)
+
+    return sim()
+
+
+class TestSnapshotTranslation:
+    def test_write_then_snapshot_roundtrip(self):
+        specs = [make_spec("snapshot", "mem", size=2)]
+        translator, store = make_sim(specs)
+        mem = ObjectProxy("mem")
+        gen = drive(translator, 0, [mem.write(0, "hello"), mem.snapshot()])
+        res = run_processes({0: gen}, store)
+        assert res.decisions[0] == (None, ("hello", BOTTOM))
+
+    def test_read_single_entry(self):
+        specs = [make_spec("snapshot", "mem", size=2)]
+        translator, store = make_sim(specs)
+        mem = ObjectProxy("mem")
+        gen = drive(translator, 1, [mem.write(1, "x"), mem.read(1)])
+        res = run_processes({0: gen}, store)
+        assert res.decisions[0] == (None, "x")
+
+    def test_foreign_entry_write_rejected(self):
+        specs = [make_spec("snapshot", "mem", size=2)]
+        translator, store = make_sim(specs)
+        mem = ObjectProxy("mem")
+        gen = drive(translator, 0, [mem.write(1, "not-mine")])
+        with pytest.raises(SourcePortViolation):
+            run_processes({0: gen}, store)
+
+    def test_snapshot_family_translation(self):
+        specs = [make_spec("snapshot_family", "fam", size=2)]
+        translator, store = make_sim(specs)
+        fam = ObjectProxy("fam")
+        gen = drive(translator, 0, [fam.write("k", 0, 7),
+                                    fam.snapshot("k"),
+                                    fam.snapshot("other"),
+                                    fam.read("k", 0)])
+        res = run_processes({0: gen}, store)
+        assert res.decisions[0] == (None, (7, BOTTOM), (BOTTOM, BOTTOM), 7)
+
+
+class TestRegisterTranslation:
+    def test_single_writer_register(self):
+        specs = [make_spec("register", "r", writer=0)]
+        translator, store = make_sim(specs)
+        r = ObjectProxy("r")
+        gen = drive(translator, 0, [r.write("v"), r.read()])
+        res = run_processes({0: gen}, store)
+        assert res.decisions[0] == (None, "v")
+
+    def test_single_writer_enforced(self):
+        specs = [make_spec("register", "r", writer=0)]
+        translator, store = make_sim(specs)
+        gen = drive(translator, 1, [ObjectProxy("r").write("v")])
+        with pytest.raises(SourcePortViolation):
+            run_processes({0: gen}, store)
+
+    def test_multiwriter_register_last_tag_wins(self):
+        specs = [make_spec("register", "r")]
+        translator, store = make_sim(specs)
+        r = ObjectProxy("r")
+        # thread 0 writes, thread 1 writes, thread 0 reads: per-writer
+        # seq = 1 each; the (seq, writer) tie-break picks writer 1.
+        g0 = drive(translator, 0, [r.write("from0")])
+        res = run_processes({0: g0}, store)
+        g1 = drive(translator, 1, [r.write("from1"), r.read()])
+        res = run_processes({0: g1}, store)
+        assert res.decisions[0][-1] == "from1"
+
+    def test_register_family(self):
+        specs = [make_spec("register_family", "rf")]
+        translator, store = make_sim(specs)
+        rf = ObjectProxy("rf")
+        gen = drive(translator, 0, [rf.read("k"), rf.write("k", 1),
+                                    rf.read("k")])
+        res = run_processes({0: gen}, store)
+        assert res.decisions[0] == (BOTTOM, None, 1)
+
+    def test_register_array_single_writer(self):
+        specs = [make_spec("register_array", "ra", size=2,
+                           single_writer=True)]
+        translator, store = make_sim(specs)
+        ra = ObjectProxy("ra")
+        gen = drive(translator, 1, [ra.write(1, "w"), ra.read(1),
+                                    ra.read(0)])
+        res = run_processes({0: gen}, store)
+        assert res.decisions[0] == (None, "w", BOTTOM)
+
+
+class TestDecisionObjectTranslation:
+    def test_xcons_propose_goes_through_agreement(self):
+        specs = [make_spec("xcons", "c", ports=[0, 1])]
+        translator, store = make_sim(specs)
+        c = ObjectProxy("c")
+        g = drive(translator, 0, [c.propose("mine")])
+        res = run_processes({0: g}, store)
+        assert res.decisions[0] == ("mine",)
+
+    def test_xcons_port_violation(self):
+        specs = [make_spec("xcons", "c", ports=[0, 1])]
+        translator, store = make_sim(specs, n_simulated=3)
+        g = drive(translator, 2, [ObjectProxy("c").propose("v")])
+        with pytest.raises(SourcePortViolation):
+            run_processes({0: g}, store)
+
+    def test_tas_winner_is_first_simulated_invoker(self):
+        specs = [make_spec("tas", "t")]
+        translator, store = make_sim(specs)
+        t = ObjectProxy("t")
+        # thread 0 invokes first -> wins; thread 1 loses.
+        g = drive(translator, 0, [t.test_and_set()])
+        res = run_processes({0: g}, store)
+        assert res.decisions[0] == (True,)
+        g = drive(translator, 1, [t.test_and_set()])
+        res = run_processes({0: g}, store)
+        assert res.decisions[0] == (False,)
+
+    def test_tas_family(self):
+        specs = [make_spec("tas_family", "tf")]
+        translator, store = make_sim(specs)
+        tf = ObjectProxy("tf")
+        g = drive(translator, 1, [tf.test_and_set("a"),
+                                  tf.test_and_set("b")])
+        res = run_processes({0: g}, store)
+        assert res.decisions[0] == (True, True)
+
+    def test_kset_refines_to_single_value(self):
+        specs = [make_spec("kset", "k", ports=[0, 1, 2], ell=2)]
+        translator, store = make_sim(specs, n_simulated=3)
+        k = ObjectProxy("k")
+        g0 = drive(translator, 0, [k.propose("a")])
+        res = run_processes({0: g0}, store)
+        g1 = drive(translator, 1, [k.propose("b")])
+        res2 = run_processes({0: g1}, store)
+        assert res.decisions[0] == res2.decisions[0] == ("a",)
+
+    def test_xcons_family_with_subsets(self):
+        specs = [make_spec("xcons_family", "xf", subsets=((0, 1), (1, 2)))]
+        translator, store = make_sim(specs, n_simulated=3)
+        xf = ObjectProxy("xf")
+        g = drive(translator, 1, [xf.propose("k", 0, "v")])
+        res = run_processes({0: g}, store)
+        assert res.decisions[0] == ("v",)
+        # port violation for thread 0 on subset 1:
+        g = drive(translator, 0, [xf.propose("k", 1, "v")])
+        with pytest.raises(SourcePortViolation):
+            run_processes({0: g}, store)
+
+
+class TestSpinTranslation:
+    def test_simulated_spin_reexecutes_until_true(self):
+        specs = [make_spec("snapshot", "mem", size=2)]
+        translator, store = make_sim(specs)
+        mem = ObjectProxy("mem")
+        seen = []
+        op = SpinOp(mem.snapshot(),
+                    lambda s: (seen.append(s) or s[0] is not BOTTOM))
+        # thread 0 writes after one failed check; simulate sequentially:
+        gen = drive(translator, 0, [mem.write(0, "go"), op])
+        res = run_processes({0: gen}, store)
+        assert res.decisions[0][-1] == ("go", BOTTOM)
+
+
+class TestGuards:
+    def test_unknown_object(self):
+        translator, store = make_sim([])
+        gen = drive(translator, 0, [Invocation("ghost", "read", ())])
+        with pytest.raises(UnsimulableOperation):
+            run_processes({0: gen}, store)
+
+    def test_unsupported_method(self):
+        specs = [make_spec("queue", "q")]
+        translator, store = make_sim(specs)
+        gen = drive(translator, 0, [Invocation("q", "dequeue", ())])
+        with pytest.raises(UnsimulableOperation):
+            run_processes({0: gen}, store)
+
+    def test_weird_yield(self):
+        translator, store = make_sim([])
+        gen = drive(translator, 0, ["not an op"])
+        with pytest.raises(UnsimulableOperation):
+            run_processes({0: gen}, store)

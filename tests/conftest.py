@@ -1,0 +1,57 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import pytest
+
+from repro.algorithms import Algorithm, run_algorithm
+from repro.runtime import (CrashPlan, RoundRobinAdversary,
+                           SeededRandomAdversary)
+from repro.tasks import Task
+
+
+#: Seeds used by schedule-randomized tests.  Kept small-ish so the suite
+#: stays fast while still exercising many interleavings.
+SEEDS = [0, 1, 2, 3, 7, 11, 42]
+
+
+def adversaries(seeds: Iterable[int] = SEEDS):
+    """Round-robin plus a battery of seeded random adversaries."""
+    yield RoundRobinAdversary()
+    for seed in seeds:
+        yield SeededRandomAdversary(seed)
+
+
+def run_and_validate(algorithm: Algorithm,
+                     task: Task,
+                     inputs: Sequence[Any],
+                     adversary=None,
+                     crash_plan: Optional[CrashPlan] = None,
+                     max_steps: int = 2_000_000,
+                     require_liveness: bool = True,
+                     enforce_model: bool = True):
+    """Run an algorithm and assert the task verdict; returns the result."""
+    result = run_algorithm(algorithm, inputs, adversary=adversary,
+                           crash_plan=crash_plan, max_steps=max_steps,
+                           enforce_model=enforce_model)
+    assert not result.out_of_steps, (
+        f"{algorithm.name}: step budget exhausted ({result.summary()})")
+    verdict = task.validate_run(inputs, result,
+                                require_liveness=require_liveness)
+    assert verdict.ok, (
+        f"{algorithm.name}: {verdict.explain()} ({result.summary()})")
+    return result
+
+
+def crash_subsets(n: int, t: int, limit: int = 10) -> List[List[int]]:
+    """A selection of crash victim sets of size <= t among n processes."""
+    subsets: List[List[int]] = [[]]
+    for size in range(1, t + 1):
+        for combo in itertools.combinations(range(n), size):
+            subsets.append(list(combo))
+            if len(subsets) >= limit:
+                return subsets
+    return subsets

@@ -1,0 +1,96 @@
+"""The classic BG simulation and the generalized (contribution #2) form."""
+
+import pytest
+
+from repro.algorithms import (GroupedKSetFromXCons, KSetReadWrite,
+                              run_algorithm)
+from repro.core import (ModelViolation, bg_reduce, generalized_bg_reduce)
+from repro.core.classic_bg import target_model
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+from ..conftest import SEEDS, run_and_validate
+
+
+class TestClassicBG:
+    def test_target_shape(self):
+        src = KSetReadWrite(n=7, t=2, k=3)
+        bg = bg_reduce(src)
+        model = bg.model()
+        assert (model.n, model.t, model.x) == (3, 2, 1)
+        assert target_model(src) == model
+
+    def test_requires_positive_t(self):
+        src = KSetReadWrite(n=3, t=0, k=1)
+        with pytest.raises(ModelViolation):
+            bg_reduce(src)
+
+    def test_simulator_count_floor(self):
+        src = KSetReadWrite(n=5, t=2, k=3)
+        with pytest.raises(ModelViolation):
+            bg_reduce(src, n_simulators=2)
+        assert bg_reduce(src, n_simulators=4).n == 4
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_wait_free_simulation_solves_task(self, seed):
+        # 2-resilient 3-set agreement among 5 -> wait-free among 3.
+        src = KSetReadWrite(n=5, t=2, k=3)
+        bg = bg_reduce(src)
+        run_and_validate(bg, KSetAgreementTask(3), [1, 2, 3],
+                         adversary=SeededRandomAdversary(seed))
+
+    @pytest.mark.parametrize("victims", [[0], [1], [0, 2], [1, 2]])
+    def test_tolerates_t_of_t_plus_1_crashes(self, victims):
+        src = KSetReadWrite(n=5, t=2, k=3)
+        bg = bg_reduce(src)
+        run_and_validate(bg, KSetAgreementTask(3), [7, 8, 9],
+                         crash_plan=CrashPlan.initially_dead(victims))
+
+    def test_mid_run_crashes(self):
+        src = KSetReadWrite(n=5, t=2, k=3)
+        bg = bg_reduce(src)
+        for seed in (0, 4, 9):
+            run_and_validate(bg, KSetAgreementTask(3), [7, 8, 9],
+                             adversary=SeededRandomAdversary(seed),
+                             crash_plan=CrashPlan.at_own_step({0: 6, 2: 17}))
+
+
+class TestGeneralizedBG:
+    def test_target_is_t_plus_1_with_x(self):
+        src = GroupedKSetFromXCons(n=6, x=2)
+        src.resilience = 4                      # ASM(6, 4, 2)
+        g = generalized_bg_reduce(src)
+        model = g.model()
+        assert (model.n, model.t, model.x) == (5, 4, 2)
+
+    def test_x_equals_1_is_classic_bg(self):
+        src = KSetReadWrite(n=5, t=2, k=3)
+        g = generalized_bg_reduce(src, x=1)
+        model = g.model()
+        assert (model.n, model.t, model.x) == (3, 2, 1)
+
+    def test_requires_positive_t(self):
+        src = KSetReadWrite(n=3, t=0, k=1)
+        with pytest.raises(ModelViolation):
+            generalized_bg_reduce(src)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_end_to_end(self, seed):
+        # ASM(6, 4, 2) source (2-set agreement via groups, weakened to
+        # t = 4) -> ASM(5, 4, 2): wait-free among 5 with 2-cons objects.
+        src = GroupedKSetFromXCons(n=6, x=2)
+        src.resilience = 4
+        g = generalized_bg_reduce(src)
+        run_and_validate(g, KSetAgreementTask(3), [1, 2, 3, 4, 5],
+                         adversary=SeededRandomAdversary(seed),
+                         max_steps=5_000_000)
+
+    def test_end_to_end_with_crashes(self):
+        src = GroupedKSetFromXCons(n=6, x=2)
+        src.resilience = 4
+        g = generalized_bg_reduce(src)
+        # 3 crashes among 5 wait-free simulators (<= t = 4).
+        run_and_validate(g, KSetAgreementTask(3), [1, 2, 3, 4, 5],
+                         crash_plan=CrashPlan.at_own_step(
+                             {0: 5, 2: 11, 4: 2}),
+                         max_steps=5_000_000)

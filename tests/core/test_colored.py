@@ -1,0 +1,82 @@
+"""Section 5.5: colored-task simulation."""
+
+import pytest
+
+from repro.algorithms import RenamingFromTAS, run_algorithm
+from repro.core import (ModelViolation, colored_simulation_possible,
+                        simulate_colored)
+from repro.model import ASM
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import DistinctValuesTask, RenamingTask
+
+from ..conftest import SEEDS
+
+
+class TestConditions:
+    def test_needs_x_prime_above_1(self):
+        assert not colored_simulation_possible(ASM(6, 3, 2), ASM(4, 1, 1))
+        assert colored_simulation_possible(ASM(6, 3, 2), ASM(4, 1, 2))
+
+    def test_needs_index_dominance(self):
+        # floor(t/x) >= floor(t'/x')
+        assert not colored_simulation_possible(ASM(8, 1, 2),  # index 0
+                                               ASM(6, 4, 2))  # index 2
+        assert colored_simulation_possible(ASM(9, 4, 2),      # index 2
+                                           ASM(8, 4, 2))      # index 2
+
+    def test_needs_enough_simulated_processes(self):
+        # n >= max(n', (n'-t') + t)
+        assert not colored_simulation_possible(ASM(4, 3, 2), ASM(4, 1, 2))
+        # (4-1)+3 = 6 > 4
+        assert colored_simulation_possible(ASM(6, 3, 2), ASM(4, 1, 2))
+
+    def test_constructor_enforces(self):
+        src = RenamingFromTAS(4, t=3)
+        with pytest.raises(ModelViolation, match="Section 5.5"):
+            simulate_colored(src, n_prime=4, t_prime=1, x_prime=2)
+
+    def test_check_false_builds(self):
+        src = RenamingFromTAS(4, t=3)
+        sim = simulate_colored(src, n_prime=4, t_prime=1, x_prime=2,
+                               check=False)
+        assert sim.n == 4
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_distinct_decisions_no_crash(self, seed):
+        src = RenamingFromTAS(6, t=3)           # ASM(6, 3, 2)
+        sim = simulate_colored(src, n_prime=4, t_prime=1, x_prime=2)
+        res = run_algorithm(sim, [None] * 4,
+                            adversary=SeededRandomAdversary(seed))
+        verdict = DistinctValuesTask().validate_run([None] * 4, res)
+        assert verdict.ok, verdict.explain()
+        # names come from the simulated renaming's namespace {0..5}
+        assert all(isinstance(v, int) and 0 <= v < 6
+                   for v in res.decisions.values())
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_distinct_decisions_with_crash(self, seed):
+        src = RenamingFromTAS(6, t=3)
+        sim = simulate_colored(src, n_prime=4, t_prime=1, x_prime=2)
+        res = run_algorithm(sim, [None] * 4,
+                            adversary=SeededRandomAdversary(seed),
+                            crash_plan=CrashPlan.at_own_step({2: 8}))
+        verdict = DistinctValuesTask().validate_run(
+            [None] * 4, res, require_liveness=False)
+        assert verdict.ok, verdict.explain()
+        # every live simulator decided
+        assert res.decided_pids == {0, 1, 3}
+
+    def test_larger_instance(self):
+        # ASM(8, 4, 2) -> ASM(5, 2, 3): floor(4/2)=2 >= floor(2/3)=0,
+        # n=8 >= max(5, 3+4)=7.
+        src = RenamingFromTAS(8, t=4)
+        sim = simulate_colored(src, n_prime=5, t_prime=2, x_prime=3)
+        res = run_algorithm(sim, [None] * 5,
+                            adversary=SeededRandomAdversary(1),
+                            crash_plan=CrashPlan.at_own_step({1: 5, 3: 9}))
+        verdict = DistinctValuesTask().validate_run(
+            [None] * 5, res, require_liveness=False)
+        assert verdict.ok, verdict.explain()
+        assert res.decided_pids >= {0, 2, 4}

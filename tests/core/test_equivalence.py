@@ -1,0 +1,171 @@
+"""The floor(t/x) calculus: the paper's main theorem and Section 5.4.
+
+Includes the paper's worked examples verbatim: the t' = 8 partition, the
+multiplicative band, the boosting observations, and the set-consensus
+solvability frontier.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (class_of, consensus_solvable, equivalence_classes,
+                        equivalent, in_band, kset_solvable,
+                        max_xcons_resilience, min_x_for_resilience,
+                        multiplicative_band, partition_table,
+                        resilience_index, stronger, task_solvable,
+                        useless_boost, useless_extra_failures,
+                        x_band_for_index)
+from repro.model import ASM
+
+
+class TestResilienceIndex:
+    def test_floor_division(self):
+        assert resilience_index(8, 3) == 2
+        assert resilience_index(8, 1) == 8
+        assert resilience_index(0, 5) == 0
+        assert resilience_index(8, math.inf) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resilience_index(-1, 1)
+        with pytest.raises(ValueError):
+            resilience_index(1, 0)
+
+
+class TestMainTheorem:
+    def test_equivalent_iff_same_index(self):
+        # floor(8/4) = floor(5/2) = 2
+        assert equivalent(ASM(10, 8, 4), ASM(7, 5, 2))
+        # floor(8/2) = 4 != floor(8/3) = 2
+        assert not equivalent(ASM(10, 8, 2), ASM(10, 8, 3))
+
+    def test_n_is_irrelevant(self):
+        assert equivalent(ASM(100, 6, 3), ASM(3, 2, 1))
+
+    def test_hierarchy_strictness(self):
+        # ASM(n,3,1) > ASM(n,4,1): 4-set agreement solvable in the former
+        # but not the latter (the paper's example).
+        assert stronger(ASM(10, 3, 1), ASM(10, 4, 1))
+        assert not stronger(ASM(10, 4, 1), ASM(10, 3, 1))
+        assert not stronger(ASM(10, 4, 1), ASM(10, 4, 2 * 2))
+
+
+class TestMultiplicativeBand:
+    def test_band_formula(self):
+        # ASM(n, t', x) ~ ASM(n, t, 1) iff t*x <= t' <= t*x + x - 1
+        assert multiplicative_band(2, 3) == (6, 8)
+        assert in_band(6, 2, 3) and in_band(8, 2, 3)
+        assert not in_band(5, 2, 3) and not in_band(9, 2, 3)
+
+    def test_band_matches_index(self):
+        for t in range(4):
+            for x in range(1, 5):
+                lo, hi = multiplicative_band(t, x)
+                for tp in range(0, 20):
+                    assert in_band(tp, t, x) == (tp // x == t)
+
+    def test_x_band_for_index(self):
+        # paper: "if t'/t >= x > t'/(t+1) then ASM(n,t',x) ~ ASM(n,t,1)"
+        assert x_band_for_index(8, 1) == (5, 8)
+        assert x_band_for_index(8, 2) == (3, 4)
+        assert x_band_for_index(8, 4) == (2, 2)
+        assert x_band_for_index(8, 3) is None  # no x with floor(8/x) = 3
+        lo, hi = x_band_for_index(8, 0)
+        assert lo == 9
+
+
+class TestSection54Example:
+    """The paper's worked example for t' = 8, verbatim."""
+
+    def test_partition_classes(self):
+        classes = {c.x_range: c.canonical_t
+                   for c in equivalence_classes(12, 8)}
+        assert classes == {
+            (1, 1): 8,
+            (2, 2): 4,
+            (3, 4): 2,
+            (5, 8): 1,
+            (9, 12): 0,
+        }
+
+    def test_partition_covers_all_x(self):
+        for n in (9, 12, 20):
+            for t_prime in range(0, n):
+                classes = equivalence_classes(n, t_prime)
+                covered = []
+                for c in classes:
+                    covered.extend(range(c.x_range[0], c.x_range[1] + 1))
+                assert covered == list(range(1, n + 1))
+
+    def test_class_of(self):
+        cls = class_of(ASM(12, 8, 6))
+        assert cls.canonical_t == 1
+        assert cls.x_range == (5, 8)
+        assert class_of(ASM(12, 8, math.inf)).canonical_t == 0
+
+    def test_partition_table_renders(self):
+        table = partition_table(12, 8)
+        assert "x = 1" in table and "ASM(n, 8, 1)" in table
+        assert "9 <= x <= 12" in table
+
+
+class TestBoosting:
+    def test_useless_consensus_boost(self):
+        # floor(8/5) = floor(8/8) = 1: raising x from 5 to 8 buys nothing.
+        assert useless_boost(t=8, x=5, delta_x=3)
+        # floor(8/4) = 2 != floor(8/5) = 1: this boost DOES matter.
+        assert not useless_boost(t=8, x=4, delta_x=1)
+
+    def test_useless_extra_failures(self):
+        # floor(6/3) = floor(8/3) = 2: two more crashes change nothing.
+        assert useless_extra_failures(t=6, delta_t=2, x=3)
+        assert not useless_extra_failures(t=6, delta_t=3, x=3)
+
+    def test_asm_ntt_equals_asm_n11_family(self):
+        # Paper contribution #1 bullet: ASM(n, t, t) ~ ASM(n, 1, 1) for all
+        # t >= 1, and consensus is unsolvable in all of them.
+        for n, t in [(5, 2), (9, 4), (12, 8)]:
+            assert equivalent(ASM(n, t, t), ASM(n, 1, 1))
+            assert not consensus_solvable(ASM(n, t, t))
+
+    def test_sub_t_failures_with_cn_t_objects_are_free(self):
+        # Paper: for t' < t, ASM(n, t', t) ~ ASM(n, 0, 1).
+        for t in (3, 5):
+            for t_prime in range(t):
+                assert equivalent(ASM(10, t_prime, t), ASM(10, 0, 1))
+
+
+class TestSolvability:
+    def test_kset_frontier(self):
+        # k-set agreement solvable iff k > floor(t/x).
+        m = ASM(10, 8, 3)  # index 2
+        assert not kset_solvable(m, 1)
+        assert not kset_solvable(m, 2)
+        assert kset_solvable(m, 3)
+
+    def test_consensus_solvable_iff_t_less_than_x(self):
+        assert consensus_solvable(ASM(10, 2, 3))
+        assert not consensus_solvable(ASM(10, 3, 3))
+        assert consensus_solvable(ASM(10, 9, math.inf))
+
+    def test_task_solvability_by_set_consensus_number(self):
+        # Tk solvable in ASM(n, t', x) iff t' <= k*x - 1.
+        k, x = 3, 2
+        assert max_xcons_resilience(k, x) == 5
+        assert task_solvable(k, ASM(10, 5, 2))
+        assert not task_solvable(k, ASM(10, 6, 2))
+
+    def test_min_x_for_resilience(self):
+        # x >= (t'+1)/k
+        assert min_x_for_resilience(k=3, t_prime=8) == 3
+        assert task_solvable(3, ASM(10, 8, 3))
+        assert not task_solvable(3, ASM(10, 8, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kset_solvable(ASM(5, 2, 1), 0)
+        with pytest.raises(ValueError):
+            max_xcons_resilience(0, 1)
+        with pytest.raises(ValueError):
+            min_x_for_resilience(1, -1)

@@ -1,0 +1,108 @@
+"""Theorem 1 (Section 3): ASM(n, t', x) simulated in ASM(n, t, 1)."""
+
+import pytest
+
+from repro.core import ModelViolation, simulate_in_read_write
+from repro.core.extended_bg import max_target_resilience
+from repro.algorithms import (ConsensusFromXCons, GroupedKSetFromXCons,
+                              run_algorithm)
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import ConsensusTask, KSetAgreementTask
+
+from ..conftest import SEEDS, run_and_validate
+
+
+class TestPrecondition:
+    def test_bound_is_floor_t_prime_over_x(self):
+        src = GroupedKSetFromXCons(n=6, x=2)        # t' = 5, x = 2
+        assert max_target_resilience(src) == 2
+
+    def test_exceeding_bound_rejected(self):
+        src = GroupedKSetFromXCons(n=6, x=2)
+        with pytest.raises(ModelViolation, match="Theorem 1"):
+            simulate_in_read_write(src, t=3)
+        simulate_in_read_write(src, t=2)            # boundary ok
+
+    def test_check_false_builds_anyway(self):
+        src = GroupedKSetFromXCons(n=6, x=2)
+        sim = simulate_in_read_write(src, t=3, check=False)
+        assert sim.model().t == 3
+
+
+class TestTargetModel:
+    def test_target_is_read_write(self):
+        src = GroupedKSetFromXCons(n=4, x=2)
+        sim = simulate_in_read_write(src, t=1)
+        model = sim.model()
+        assert (model.n, model.t, model.x) == (4, 1, 1)
+        # every target object has consensus number 1:
+        assert sim.consensus_power() == 1
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_kset_preserved_no_crash(self, seed):
+        src = GroupedKSetFromXCons(n=4, x=2)        # 2-set agreement
+        sim = simulate_in_read_write(src, t=1)
+        run_and_validate(sim, KSetAgreementTask(2), [10, 20, 30, 40],
+                         adversary=SeededRandomAdversary(seed))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("victim", [0, 1, 3])
+    def test_kset_preserved_with_one_crash(self, seed, victim):
+        src = GroupedKSetFromXCons(n=4, x=2)
+        sim = simulate_in_read_write(src, t=1)
+        run_and_validate(sim, KSetAgreementTask(2), [10, 20, 30, 40],
+                         adversary=SeededRandomAdversary(seed),
+                         crash_plan=CrashPlan.initially_dead([victim]))
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_mid_run_crash(self, seed):
+        src = GroupedKSetFromXCons(n=4, x=2)
+        sim = simulate_in_read_write(src, t=1)
+        run_and_validate(sim, KSetAgreementTask(2), [10, 20, 30, 40],
+                         adversary=SeededRandomAdversary(seed),
+                         crash_plan=CrashPlan.at_own_step({2: 9}))
+
+    def test_consensus_from_big_object_at_t0(self):
+        # Consensus from an n-ported object (t' = n-1, x = n): target
+        # resilience floor((n-1)/n) = 0 -- the failure-free read/write
+        # model CAN simulate consensus, matching Section 5.4's top class.
+        src = ConsensusFromXCons(n=4, x=4)
+        assert max_target_resilience(src) == 0
+        sim = simulate_in_read_write(src, t=0)
+        run_and_validate(sim, ConsensusTask(), [5, 6, 7, 8])
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_deeper_source_resilience(self, seed):
+        # t' = 5, x = 3 -> t = 1; 2-set agreement via per-group consensus.
+        src = GroupedKSetFromXCons(n=6, x=3)
+        sim = simulate_in_read_write(src, t=1)
+        run_and_validate(sim, KSetAgreementTask(2),
+                         [1, 2, 3, 4, 5, 6],
+                         adversary=SeededRandomAdversary(seed),
+                         crash_plan=CrashPlan.initially_dead([5]))
+
+
+class TestBoundNecessity:
+    def test_too_many_crashes_can_block_liveness(self):
+        """With t > floor(t'/x) crashes, crashed simulators can kill more
+        consensus objects than the source resilience absorbs: liveness is
+        lost (the run deadlocks or stalls), demonstrating why Theorem 1
+        needs t <= floor(t'/x).
+
+        We manufacture the worst case: x = n, one shared consensus object;
+        a single simulator crash while proposing to XSAFE_AG blocks every
+        simulated process."""
+        src = ConsensusFromXCons(n=3, x=3)           # one 3-ported object
+        sim = simulate_in_read_write(src, t=1, check=False)
+        # run with one crash targeted mid-XSAFE_AG-propose: q0's second
+        # write to the XSAFE_AG family is its stabilizing write; crash
+        # right before it (the level-1 entry stays unstable forever).
+        from repro.runtime import op_on
+        plan = CrashPlan.before_operation(
+            0, op_on("XSAFE_AG", "write"), occurrence=2)
+        res = run_algorithm(sim, [1, 2, 3], crash_plan=plan,
+                            max_steps=200_000)
+        assert res.deadlocked, res.summary()
+        assert not res.decisions, "no simulator should decide"

@@ -1,0 +1,80 @@
+"""ASM(n, t, x) model descriptor and conformance rules."""
+
+import math
+
+import pytest
+
+from repro.memory import build_store, make_spec
+from repro.model import ASM, ModelViolation
+
+
+class TestConstruction:
+    def test_valid(self):
+        m = ASM(5, 2, 3)
+        assert (m.n, m.t, m.x) == (5, 2, 3)
+
+    def test_t_bounds(self):
+        with pytest.raises(ModelViolation):
+            ASM(3, 3, 1)   # t must be < n
+        with pytest.raises(ModelViolation):
+            ASM(3, -1, 1)
+        ASM(3, 0, 1)       # failure-free allowed (Section 5.4 examples)
+
+    def test_x_bounds(self):
+        with pytest.raises(ModelViolation):
+            ASM(3, 1, 0)
+        with pytest.raises(ModelViolation):
+            ASM(3, 1, 4)   # x cannot exceed n
+        ASM(3, 1, math.inf)
+
+    def test_x_must_be_int_or_inf(self):
+        with pytest.raises(ModelViolation):
+            ASM(3, 1, 1.5)
+
+    def test_str(self):
+        assert str(ASM(5, 2, 3)) == "ASM(5, 2, 3)"
+        assert "∞" in str(ASM(5, 2, math.inf))
+
+
+class TestDerivedProperties:
+    def test_wait_free(self):
+        assert ASM(4, 3, 1).wait_free
+        assert not ASM(4, 2, 1).wait_free
+
+    def test_resilience_index(self):
+        assert ASM(10, 8, 3).resilience_index == 2
+        assert ASM(10, 8, 1).resilience_index == 8
+        assert ASM(10, 8, math.inf).resilience_index == 0
+
+    def test_canonical(self):
+        assert ASM(10, 8, 3).canonical() == ASM(10, 2, 1)
+        assert ASM(10, 2, 1).canonical() == ASM(10, 2, 1)
+
+    def test_bg_reduced(self):
+        assert ASM(10, 3, 2).bg_reduced() == ASM(4, 3, 2)
+        # x capped at the reduced process count
+        assert ASM(10, 2, 5).bg_reduced() == ASM(3, 2, 3)
+        with pytest.raises(ModelViolation):
+            ASM(10, 0, 1).bg_reduced()
+
+
+class TestConformance:
+    def test_permits_by_consensus_number(self):
+        m = ASM(5, 3, 2)
+        store = build_store([
+            make_spec("snapshot", "mem", size=5),
+            make_spec("tas", "t"),
+            make_spec("xcons", "c", ports=[0, 1]),
+        ])
+        m.validate_store(store)
+
+    def test_rejects_overpowered_objects(self):
+        m = ASM(5, 3, 2)
+        store = build_store([make_spec("xcons", "c", ports=[0, 1, 2])])
+        with pytest.raises(ModelViolation, match="does not permit"):
+            m.validate_store(store)
+
+    def test_crash_budget(self):
+        ASM(5, 2, 1).validate_crashes(2)
+        with pytest.raises(ModelViolation):
+            ASM(5, 2, 1).validate_crashes(3)

@@ -1,0 +1,133 @@
+"""Theorem 3 (Section 4): ASM(n, t, 1) simulated in ASM(n, t', x).
+
+The multiplicative power itself: a t-resilient read/write algorithm
+survives up to t' = t*x + (x-1) crashes once the simulators wield
+consensus-number-x objects.
+"""
+
+import pytest
+
+from repro.agreement import XSafeAgreementFactory
+from repro.algorithms import KSetReadWrite, run_algorithm
+from repro.analysis import blocking_certificate
+from repro.bg import CollectAllPolicy
+from repro.core import (ModelViolation, SimulationAlgorithm,
+                        simulate_with_xcons)
+from repro.core.reverse_bg import max_target_resilience
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+from ..conftest import SEEDS, run_and_validate
+
+
+class TestPrecondition:
+    def test_band_top(self):
+        src = KSetReadWrite(n=6, t=2, k=3)
+        assert max_target_resilience(src, x=2) == 5  # 2*2 + 1
+
+    def test_exceeding_bound_rejected(self):
+        src = KSetReadWrite(n=8, t=2, k=3)
+        simulate_with_xcons(src, t_prime=5, x=2)     # floor(5/2)=2 ok
+        with pytest.raises(ModelViolation, match="Theorem 3"):
+            simulate_with_xcons(src, t_prime=6, x=2)  # floor(6/2)=3 > 2
+
+    def test_t_prime_below_n(self):
+        src = KSetReadWrite(n=4, t=2, k=3)
+        with pytest.raises(ModelViolation):
+            simulate_with_xcons(src, t_prime=4, x=2)
+
+    def test_invalid_x(self):
+        src = KSetReadWrite(n=4, t=2, k=3)
+        with pytest.raises(ModelViolation):
+            simulate_with_xcons(src, t_prime=3, x=0)
+
+
+class TestTargetModel:
+    def test_target_uses_cn_x_objects(self):
+        src = KSetReadWrite(n=6, t=2, k=3)
+        sim = simulate_with_xcons(src, t_prime=5, x=2)
+        model = sim.model()
+        assert (model.n, model.t, model.x) == (6, 5, 2)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_band_no_crash(self, seed):
+        src = KSetReadWrite(n=6, t=2, k=3)
+        sim = simulate_with_xcons(src, t_prime=5, x=2)
+        run_and_validate(sim, KSetAgreementTask(3),
+                         [10, 20, 30, 40, 50, 60],
+                         adversary=SeededRandomAdversary(seed))
+
+    @pytest.mark.parametrize("seed", [0, 2, 5])
+    def test_t_prime_crashes_tolerated(self, seed):
+        # 5 of 6 simulators crash -- far beyond the source's t = 2 -- and
+        # the surviving simulator still solves 3-set agreement.
+        src = KSetReadWrite(n=6, t=2, k=3)
+        sim = simulate_with_xcons(src, t_prime=5, x=2)
+        run_and_validate(sim, KSetAgreementTask(3),
+                         [10, 20, 30, 40, 50, 60],
+                         adversary=SeededRandomAdversary(seed),
+                         crash_plan=CrashPlan.at_own_step(
+                             {0: 4, 1: 9, 2: 14, 3: 6, 4: 25}))
+
+    @pytest.mark.parametrize("x", [1, 2, 3])
+    def test_varying_x(self, x):
+        t = 1
+        t_prime = t * x + (x - 1)
+        n = t_prime + 2
+        src = KSetReadWrite(n=n, t=t, k=2)
+        sim = simulate_with_xcons(src, t_prime=t_prime, x=x)
+        victims = list(range(t_prime))
+        run_and_validate(sim, KSetAgreementTask(2), list(range(n)),
+                         crash_plan=CrashPlan.initially_dead(victims))
+
+
+class TestLemma7:
+    def make_collectall(self, src, t_prime, x):
+        factory = XSafeAgreementFactory(src.n, x)
+        return SimulationAlgorithm(
+            src, n_simulators=src.n, resilience=t_prime,
+            snap_agreement=factory, obj_agreement=factory,
+            policy_class=CollectAllPolicy, label="lemma7")
+
+    def test_blocked_simulated_processes_bounded(self):
+        """Crash x simulators mid-propose: exactly the owners of one
+        x-safe-agreement die, blocking at most floor(t'/x) = 1 simulated
+        process at every live simulator (Lemma 7)."""
+        n, t, x = 5, 1, 2
+        src = KSetReadWrite(n=n, t=t, k=2)
+        sim = self.make_collectall(src, t_prime=3, x=x)
+        from repro.runtime import op_on
+        # Both victims crash while inside an XSA propose: after winning a
+        # TS slot, before publishing (the consensus-scan window).
+        plan = CrashPlan(
+            {0: __import__("repro.runtime", fromlist=["CrashPoint"]
+                           ).CrashPoint(
+                before_matching=op_on("XSA_XCONS", "propose"),
+                occurrence=1),
+             1: __import__("repro.runtime", fromlist=["CrashPoint"]
+                           ).CrashPoint(
+                before_matching=op_on("XSA_XCONS", "propose"),
+                occurrence=1)})
+        res = run_algorithm(sim, list(range(n)), crash_plan=plan,
+                            max_steps=500_000)
+        cert = blocking_certificate(res, n_simulators=n, n_simulated=n)
+        assert cert.lemma7_holds(x), cert.summary()
+        assert cert.max_blocked <= 1
+        assert not cert.divergent
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_lemma8_completion_floor(self, seed):
+        """Each live simulator completes >= n - t simulated processes."""
+        n, t, x, t_prime = 5, 1, 2, 3
+        src = KSetReadWrite(n=n, t=t, k=2)
+        sim = self.make_collectall(src, t_prime=t_prime, x=x)
+        victims = [seed % n, (seed + 2) % n][: t_prime]
+        plan = CrashPlan.at_own_step(
+            {v: 3 + 4 * i for i, v in enumerate(dict.fromkeys(victims))})
+        res = run_algorithm(sim, list(range(n)), crash_plan=plan,
+                            max_steps=500_000)
+        cert = blocking_certificate(res, n_simulators=n, n_simulated=n)
+        assert cert.min_completed >= n - t, cert.summary()
+        assert not cert.divergent

@@ -1,0 +1,135 @@
+"""The (m, ℓ)-set-agreement landscape (paper Section 1.3)."""
+
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.core.set_agreement_hierarchy import (
+    GroupedKSetFromSetObjects, bg_set_hierarchy_implementable,
+    gafni_simulatable_rounds, grouping_outputs, herlihy_rajsbaum_min_k,
+    herlihy_rajsbaum_solvable, mrt_sync_rounds)
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+from ..conftest import SEEDS
+
+
+class TestBGHierarchy:
+    def test_ratio_criterion(self):
+        # (6,2) from (3,1): 6/2 = 3/1 -> implementable.
+        assert bg_set_hierarchy_implementable(6, 2, 3, 1)
+        # (6,2) from (4,1): 6/2 = 3 > 4/1 is false... 3 < 4 -> ok.
+        assert bg_set_hierarchy_implementable(6, 2, 4, 1)
+        # (4,1) from (8,2): 4/1 = 4 = 8/2 -> boundary, implementable.
+        assert bg_set_hierarchy_implementable(4, 1, 8, 2)
+        # (6,1) from (3,1): 6 > 3 -> impossible.
+        assert not bg_set_hierarchy_implementable(6, 1, 3, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bg_set_hierarchy_implementable(0, 1, 1, 1)
+
+    def test_grouping_outputs(self):
+        assert grouping_outputs(6, 3, 1) == 2
+        assert grouping_outputs(7, 3, 1) == 3
+        assert grouping_outputs(7, 3, 2) == 5   # 2+2 full, min(2,1) ragged
+        assert grouping_outputs(6, 6, 2) == 2
+
+
+class TestHerlihyRajsbaum:
+    def test_degenerate_read_write(self):
+        # (m, l) = (1, 1) objects are trivial: k_min = t + 1, the classic
+        # read/write frontier.
+        for t in range(5):
+            assert herlihy_rajsbaum_min_k(t, 1, 1) == t + 1
+
+    def test_consensus_objects(self):
+        # (m, 1)-objects: k_min = floor((t+1)/m) + min(1, (t+1) mod m),
+        # consistent with the paper's floor(t/m) + 1:
+        for t in range(0, 12):
+            for m in range(1, 5):
+                assert herlihy_rajsbaum_min_k(t, m, 1) == t // m + 1
+
+    def test_matches_paper_frontier_for_consensus_objects(self):
+        # The paper: k-set solvable in ASM(n, t, x) iff k > floor(t/x).
+        # With (x, 1)-objects H-R gives the same frontier.
+        from repro.core import kset_solvable
+        from repro.model import ASM
+        for t in range(0, 8):
+            for x in range(1, 4):
+                k_min = herlihy_rajsbaum_min_k(t, x, 1)
+                assert kset_solvable(ASM(10, t, x), k_min)
+                if k_min > 1:
+                    assert not kset_solvable(ASM(10, t, x), k_min - 1)
+
+    def test_general_case(self):
+        assert herlihy_rajsbaum_min_k(t=5, m=3, ell=2) == 2 * 2 + 2 * 0
+        assert herlihy_rajsbaum_min_k(t=4, m=3, ell=2) == 2 * 1 + min(2, 2)
+        assert herlihy_rajsbaum_solvable(5, t=5, m=3, ell=2)
+        assert not herlihy_rajsbaum_solvable(3, t=5, m=3, ell=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            herlihy_rajsbaum_min_k(-1, 1, 1)
+
+
+class TestMRTRounds:
+    def test_known_shapes(self):
+        # consensus with consensus objects of size m: floor(t/m) + 1.
+        for t in range(0, 10):
+            for m in range(1, 4):
+                assert mrt_sync_rounds(t, k=1, m=m, ell=1) == t // m + 1
+        # plain synchronous k-set agreement ((1,1) objects):
+        # floor(t/k) + 1 rounds, the Chaudhuri bound.
+        for t in range(0, 10):
+            for k in range(1, 4):
+                assert mrt_sync_rounds(t, k=k, m=1, ell=1) == t // k + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mrt_sync_rounds(-1, 1, 1, 1)
+
+
+class TestGafniDividing:
+    def test_floor_ratio(self):
+        assert gafni_simulatable_rounds(10, 3) == 3
+        assert gafni_simulatable_rounds(3, 10) == 0
+        with pytest.raises(ValueError):
+            gafni_simulatable_rounds(3, 0)
+
+
+class TestGroupedConstruction:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("n,m,ell", [(6, 3, 1), (7, 3, 2), (8, 4, 2)])
+    def test_output_bound(self, seed, n, m, ell):
+        algo = GroupedKSetFromSetObjects(n, m, ell)
+        res = run_algorithm(algo, list(range(n)),
+                            adversary=SeededRandomAdversary(seed))
+        verdict = KSetAgreementTask(algo.k).validate_run(
+            list(range(n)), res)
+        assert verdict.ok, verdict.explain()
+
+    def test_wait_free_under_crashes(self):
+        algo = GroupedKSetFromSetObjects(6, 3, 1)
+        res = run_algorithm(algo, list(range(6)),
+                            crash_plan=CrashPlan.initially_dead(
+                                [0, 3, 4]))
+        verdict = KSetAgreementTask(algo.k).validate_run(
+            list(range(6)), res)
+        assert verdict.ok
+
+    def test_object_count(self):
+        algo = GroupedKSetFromSetObjects(7, 3, 2)
+        assert len(algo.object_specs()) == 3
+        assert algo.k == 5
+
+    def test_is_bg_simulable(self):
+        """(m, ℓ)-objects translate through the Section 3 simulation (a
+        single agreed value refines any ℓ-set object)."""
+        from repro.core import simulate_in_read_write
+        algo = GroupedKSetFromSetObjects(6, 3, 1)
+        sim = simulate_in_read_write(algo, t=1)  # floor(5/3) = 1
+        res = run_algorithm(sim, list(range(6)),
+                            crash_plan=CrashPlan.initially_dead([2]))
+        verdict = KSetAgreementTask(algo.k).validate_run(
+            list(range(6)), res)
+        assert verdict.ok, verdict.explain()

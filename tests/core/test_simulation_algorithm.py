@@ -1,0 +1,88 @@
+"""SimulationAlgorithm composition mechanics."""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory, XSafeAgreementFactory
+from repro.algorithms import (GroupedKSetFromXCons, IdentityAlgorithm,
+                              KSetReadWrite, WriteThenSnapshot,
+                              run_algorithm)
+from repro.bg import MEM_NAME
+from repro.core import (SimulationAlgorithm, simulate_in_read_write,
+                        simulate_with_xcons)
+from repro.model import ASM
+
+
+class TestObjectSpecComposition:
+    def test_shared_factory_not_duplicated(self):
+        factory = XSafeAgreementFactory(4, 2)
+        sim = SimulationAlgorithm(
+            KSetReadWrite(n=4, t=1, k=2), n_simulators=4, resilience=3,
+            snap_agreement=factory, obj_agreement=factory)
+        names = [spec.name for spec in sim.object_specs()]
+        assert names.count("XSA_TS") == 1
+        assert MEM_NAME in names
+
+    def test_distinct_factories_both_present(self):
+        sim = simulate_in_read_write(GroupedKSetFromXCons(4, 2), t=1)
+        names = {spec.name for spec in sim.object_specs()}
+        assert {"MEM", "SAFE_AG", "XSAFE_AG"} <= names
+
+    def test_policy_specs_included(self):
+        from repro.bg import CollectAllPolicy, ANNOUNCE
+        sim = SimulationAlgorithm(
+            WriteThenSnapshot(3), n_simulators=3, resilience=1,
+            snap_agreement=SafeAgreementFactory(3),
+            policy_class=CollectAllPolicy)
+        assert ANNOUNCE in {spec.name for spec in sim.object_specs()}
+
+    def test_target_store_is_model_conformant(self):
+        sim = simulate_with_xcons(KSetReadWrite(6, 2, 3), t_prime=5, x=2)
+        sim.model().validate_store(sim.build_store())
+
+    def test_name_mentions_source_and_target(self):
+        sim = simulate_in_read_write(GroupedKSetFromXCons(4, 2), t=1)
+        assert "grouped_kset" in sim.name
+        assert "sec3" in sim.name
+
+
+class TestDegenerateSources:
+    def test_identity_source_simulates_trivially(self):
+        # no shared ops at all: only the input agreements run.
+        sim = SimulationAlgorithm(
+            IdentityAlgorithm(3), n_simulators=3, resilience=1,
+            snap_agreement=SafeAgreementFactory(3))
+        res = run_algorithm(sim, ["a", "b", "c"])
+        assert res.decided_pids == {0, 1, 2}
+        # colorless adoption: every simulator decides SOME agreed input.
+        assert res.decided_values <= {"a", "b", "c"}
+
+    def test_single_simulator(self):
+        sim = SimulationAlgorithm(
+            WriteThenSnapshot(2), n_simulators=1, resilience=0,
+            snap_agreement=SafeAgreementFactory(1))
+        res = run_algorithm(sim, ["only"])
+        assert res.decided_pids == {0}
+
+    def test_more_simulators_than_simulated(self):
+        sim = SimulationAlgorithm(
+            WriteThenSnapshot(2), n_simulators=4, resilience=1,
+            snap_agreement=SafeAgreementFactory(4))
+        res = run_algorithm(sim, list("wxyz"))
+        assert res.decided_pids == {0, 1, 2, 3}
+
+
+class TestModelArithmetic:
+    def test_section3_model(self):
+        sim = simulate_in_read_write(GroupedKSetFromXCons(6, 3), t=1)
+        assert sim.model() == ASM(6, 1, 1)
+
+    def test_section4_model(self):
+        sim = simulate_with_xcons(KSetReadWrite(6, 1, 2), t_prime=3, x=2)
+        assert sim.model() == ASM(6, 3, 2)
+
+    def test_nested_model(self):
+        inner = simulate_in_read_write(GroupedKSetFromXCons(4, 2), t=1)
+        outer = simulate_with_xcons(inner, t_prime=3, x=2)
+        assert outer.model() == ASM(4, 3, 2)
+        assert outer.source is inner
+        assert inner.source.n == 4

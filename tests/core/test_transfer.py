@@ -1,0 +1,102 @@
+"""Transfer chains (Figure 7): planning and executable certificates."""
+
+import math
+
+import pytest
+
+from repro.algorithms import GroupedKSetFromXCons, KSetReadWrite
+from repro.core import (ModelViolation, equivalence_certificate,
+                        plan_transfer, transfer_algorithm,
+                        transfer_impossibility)
+from repro.model import ASM
+from repro.runtime import SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+from ..conftest import run_and_validate
+
+
+class TestPlanning:
+    def test_identity_transfer_is_empty(self):
+        assert plan_transfer(ASM(5, 2, 1), ASM(5, 2, 1)) == []
+
+    def test_full_chain_kinds(self):
+        steps = plan_transfer(ASM(9, 8, 4), ASM(7, 5, 2))
+        assert [s.kind for s in steps] == ["section3", "bg", "section4"]
+        assert steps[0].target == ASM(9, 2, 1)
+        assert steps[-1].target == ASM(7, 5, 2)
+
+    def test_weaken_step_for_stronger_target(self):
+        steps = plan_transfer(ASM(5, 3, 1), ASM(5, 1, 1))
+        assert [s.kind for s in steps] == ["weaken"]
+
+    def test_transfer_to_weaker_model_rejected(self):
+        with pytest.raises(ModelViolation, match="weaker"):
+            plan_transfer(ASM(5, 1, 1), ASM(5, 2, 1))
+
+    def test_inf_target_rejected(self):
+        with pytest.raises(ModelViolation):
+            plan_transfer(ASM(5, 2, 1), ASM(5, 2, math.inf))
+
+    def test_chain_endpoints_connect(self):
+        steps = plan_transfer(ASM(12, 8, 3), ASM(6, 5, 3))
+        for a, b in zip(steps, steps[1:]):
+            assert a.target == b.source
+        assert str(steps[0])  # rendering works
+
+
+class TestExecutableTransfer:
+    def test_readwrite_to_xcons(self):
+        src = KSetReadWrite(n=5, t=1, k=2)
+        alg = transfer_algorithm(src, ASM(5, 3, 2))
+        assert alg.model() == ASM(5, 3, 2)
+        run_and_validate(alg, KSetAgreementTask(2), [1, 2, 3, 4, 5],
+                         adversary=SeededRandomAdversary(0))
+
+    def test_xcons_to_readwrite(self):
+        src = GroupedKSetFromXCons(n=4, x=2)     # ASM(4, 3, 2), k = 2
+        alg = transfer_algorithm(src, ASM(4, 1, 1))
+        assert alg.model() == ASM(4, 1, 1)
+        run_and_validate(alg, KSetAgreementTask(2), [1, 2, 3, 4],
+                         adversary=SeededRandomAdversary(2))
+
+    def test_three_stage_chain_runs(self):
+        # ASM(5, 2, 1) --weaken/bg/section4--> ASM(4, 3, 2)
+        src = KSetReadWrite(n=5, t=2, k=3)
+        alg = transfer_algorithm(src, ASM(4, 3, 2))
+        assert alg.model() == ASM(4, 3, 2)
+        run_and_validate(alg, KSetAgreementTask(3), [9, 8, 7, 6],
+                         adversary=SeededRandomAdversary(1),
+                         max_steps=5_000_000)
+
+
+class TestImpossibilityTransfer:
+    def test_propagates_to_weaker_or_equal(self):
+        # consensus impossible 1-resiliently in read/write: ASM(n, 1, 1).
+        base = ASM(10, 1, 1)
+        assert transfer_impossibility(base, ASM(10, 1, 1))
+        assert transfer_impossibility(base, ASM(10, 5, 2))   # index 2 >= 1
+        assert transfer_impossibility(base, ASM(7, 9 // 9, 1))
+
+    def test_does_not_reach_stronger(self):
+        base = ASM(10, 1, 1)
+        assert not transfer_impossibility(base, ASM(10, 1, 2))  # index 0
+
+    def test_paper_contribution_example(self):
+        # "consensus cannot be solved in ASM(n, n-1, n-1) => it cannot be
+        # solved in ASM(n, 1, 1)" -- both have index 1, mutual transfer.
+        for n in (4, 7, 10):
+            wait_free = ASM(n, n - 1, n - 1)
+            assert transfer_impossibility(wait_free, ASM(n, 1, 1))
+            assert transfer_impossibility(ASM(n, 1, 1), wait_free)
+
+
+class TestCertificates:
+    def test_none_for_inequivalent(self):
+        assert equivalence_certificate(ASM(5, 2, 1), ASM(5, 1, 1)) is None
+
+    def test_chain_passes_through_canonical_waitfree(self):
+        steps = equivalence_certificate(ASM(9, 8, 4), ASM(7, 5, 2))
+        models = [steps[0].source] + [s.target for s in steps]
+        assert ASM(3, 2, 1) in models      # the canonical ASM(t+1, t, 1)
+        assert models[0] == ASM(9, 8, 4)
+        assert models[-1] == ASM(7, 5, 2)

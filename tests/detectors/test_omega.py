@@ -1,0 +1,101 @@
+"""Failure-detector oracles: Ω and Ωx semantics."""
+
+import pytest
+
+from repro.detectors import FailureDetector, OmegaLeader, OmegaX
+from repro.memory import ObjectStore, SnapshotObject
+from repro.runtime import (CrashPlan, ObjectProxy, RoundRobinAdversary,
+                           run_processes)
+
+
+def observe(detector, n, rounds, crash_plan=None, pad_steps=0):
+    """Each process queries the oracle ``rounds`` times; returns the
+    per-process observation sequences."""
+    store = ObjectStore()
+    store.add(detector)
+    store.add(SnapshotObject("pad", n))
+    oracle = ObjectProxy(detector.name)
+    pad = ObjectProxy("pad")
+
+    def prog(pid):
+        seen = []
+        for k in range(rounds):
+            out = yield oracle.query()
+            seen.append(out)
+            for _ in range(pad_steps):
+                yield pad.snapshot()
+        return tuple(seen)
+
+    res = run_processes({i: prog(i) for i in range(n)}, store,
+                        adversary=RoundRobinAdversary(),
+                        crash_plan=crash_plan)
+    return res
+
+
+class TestBinding:
+    def test_unbound_query_raises(self):
+        det = OmegaLeader()
+        with pytest.raises(RuntimeError, match="never bound"):
+            det.apply(0, "query", ())
+
+    def test_query_is_readonly(self):
+        assert OmegaLeader().is_readonly("query")
+
+    def test_oracle_flag(self):
+        assert OmegaLeader().oracle
+        assert isinstance(OmegaX(x=2), FailureDetector)
+
+
+class TestOmegaLeader:
+    def test_immediately_stable_without_crashes(self):
+        res = observe(OmegaLeader(stabilize_after=0), n=3, rounds=4)
+        for seq in res.decisions.values():
+            assert seq == (0, 0, 0, 0)
+
+    def test_eventually_excludes_crashed(self):
+        res = observe(OmegaLeader(stabilize_after=0), n=3, rounds=6,
+                      crash_plan=CrashPlan.at_own_step({0: 3}))
+        for pid, seq in res.decisions.items():
+            assert seq[-1] == 1            # new leader after p0 dies
+        assert 0 not in res.decisions      # p0 crashed
+
+    def test_unstable_phase_rotates(self):
+        det = OmegaLeader(stabilize_after=10 ** 6, rotation_period=1)
+        res = observe(det, n=3, rounds=6, pad_steps=1)
+        outputs = {o for seq in res.decisions.values() for o in seq}
+        assert len(outputs) > 1            # disagreement over time
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OmegaLeader(stabilize_after=-1)
+        with pytest.raises(ValueError):
+            OmegaLeader(rotation_period=0)
+
+
+class TestOmegaX:
+    def test_output_is_sorted_x_set(self):
+        res = observe(OmegaX(x=2, stabilize_after=0), n=4, rounds=3)
+        for seq in res.decisions.values():
+            for out in seq:
+                assert len(out) == 2
+                assert out == tuple(sorted(out))
+
+    def test_stable_set_contains_a_correct_process(self):
+        res = observe(OmegaX(x=2, stabilize_after=0), n=4, rounds=8,
+                      crash_plan=CrashPlan.at_own_step({0: 3, 1: 4}))
+        for seq in res.decisions.values():
+            final = seq[-1]
+            assert set(final) & {2, 3}     # someone alive
+
+    def test_same_final_set_everywhere(self):
+        res = observe(OmegaX(x=3, stabilize_after=0), n=5, rounds=5)
+        finals = {seq[-1] for seq in res.decisions.values()}
+        assert len(finals) == 1
+
+    def test_x_capped_by_population(self):
+        res = observe(OmegaX(x=9, stabilize_after=0), n=3, rounds=1)
+        assert all(len(seq[0]) == 3 for seq in res.decisions.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OmegaX(x=0)

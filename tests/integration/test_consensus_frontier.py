@@ -1,0 +1,52 @@
+"""Consensus becomes solvable exactly at x = t + 1.
+
+"when x > t, all tasks can be solved" (paper, Section 1.2 footnote on
+model parameters) -- and for x <= t consensus is impossible
+(floor(t/x) >= 1).  The possible side is executed via the paper's own
+Section 4 construction over the failure-free read/write consensus.
+"""
+
+import pytest
+
+from repro.algorithms import KSetReadWrite, run_algorithm
+from repro.core import consensus_solvable, simulate_with_xcons
+from repro.model import ASM
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import ConsensusTask
+
+
+class TestConsensusFrontier:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_calculus_frontier(self, t):
+        n = t + 3
+        assert not consensus_solvable(ASM(n, t, t))
+        assert consensus_solvable(ASM(n, t, t + 1))
+
+    @pytest.mark.parametrize("t", [1, 2])
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_consensus_at_x_equals_t_plus_1_executes(self, t, seed):
+        """ASM(n, t, t+1): lift the failure-free consensus (t0 = 0
+        read/write) with x = t+1; floor(t/(t+1)) = 0 = t0, so Theorem 3
+        applies and the result survives t crashes."""
+        n = t + 3
+        source = KSetReadWrite(n=n, t=0, k=1)   # consensus, t0 = 0
+        lifted = simulate_with_xcons(source, t_prime=t, x=t + 1)
+        assert lifted.model() == ASM(n, t, t + 1)
+        inputs = [7 * (i + 1) for i in range(n)]
+        victims = {v: 3 + 2 * v for v in range(t)}
+        res = run_algorithm(lifted, inputs,
+                            adversary=SeededRandomAdversary(seed),
+                            crash_plan=CrashPlan.at_own_step(victims),
+                            max_steps=10_000_000)
+        verdict = ConsensusTask().validate_run(inputs, res)
+        assert verdict.ok, verdict.explain()
+
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_construction_refuses_x_equals_t(self, t):
+        """At x = t the same lift violates Theorem 3's precondition:
+        floor(t/t) = 1 > 0 = source resilience."""
+        from repro.core import ModelViolation
+        n = t + 3
+        source = KSetReadWrite(n=n, t=0, k=1)
+        with pytest.raises(ModelViolation, match="Theorem 3"):
+            simulate_with_xcons(source, t_prime=t, x=t)

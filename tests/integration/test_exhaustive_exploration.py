@@ -1,0 +1,195 @@
+"""Exhaustive (bounded) model checking of the paper's core objects.
+
+For tiny configurations, EVERY interleaving is enumerated -- these are
+proofs-by-exhaustion, not samples.
+"""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory, XSafeAgreementFactory
+from repro.agreement.adopt_commit import COMMIT, AdoptCommit, \
+    adopt_commit_specs
+from repro.algorithms.splitter_renaming import splitter, STOP, RIGHT, DOWN
+from repro.memory import ObjectStore, build_store, make_spec
+from repro.objects import WINNER, LOSER, consensus2_from_queue
+from repro.runtime import CrashPlan, ObjectProxy
+from repro.runtime.explore import ExplorationStats, explore
+
+
+class TestExploreHarness:
+    def test_stats_rendering(self):
+        stats = ExplorationStats(complete_runs=3, truncated_runs=1,
+                                 max_depth_seen=7)
+        assert stats.total_runs == 4
+        assert "3 complete" in str(stats)
+
+    def test_run_cap(self):
+        mem = ObjectProxy("mem")
+
+        def build():
+            from repro.memory import SnapshotObject
+            store = ObjectStore()
+            store.add(SnapshotObject("mem", 3))
+
+            def prog(pid):
+                for _ in range(6):
+                    yield mem.write(pid, pid)
+
+            return {i: prog(i) for i in range(3)}, store
+
+        with pytest.raises(RuntimeError, match="max_runs"):
+            explore(build, lambda r: None, max_steps=18, max_runs=50)
+
+
+class TestSafeAgreementExhaustive:
+    def make_build(self, n):
+        def build():
+            factory = SafeAgreementFactory(n)
+            store = ObjectStore()
+            store.add_all(factory.shared_objects())
+
+            def participant(i):
+                inst = factory.instance("k")
+                yield from inst.propose(i, f"v{i}")
+                decided = yield from inst.decide(i)
+                return decided
+
+            return {i: participant(i) for i in range(n)}, store
+        return build
+
+    def test_all_schedules_two_processes(self):
+        def check(result):
+            assert len(result.decided_values) == 1
+            assert result.decided_values <= {"v0", "v1"}
+            assert result.decided_pids == {0, 1}
+
+        stats = explore(self.make_build(2), check, max_steps=20)
+        assert stats.complete_runs > 10
+        assert stats.truncated_runs == 0
+
+    def test_all_schedules_with_one_crash(self):
+        seen_deadlocks = []
+
+        def check(result):
+            # safety always; liveness unless the crash hit mid-propose.
+            assert len(result.decided_values) <= 1
+            assert result.decided_values <= {"v0", "v1"}
+            if result.deadlocked:
+                seen_deadlocks.append(result)
+            else:
+                assert result.decided_pids == {1}
+
+        stats = explore(self.make_build(2), check,
+                        crash_plan_factory=lambda:
+                        CrashPlan.at_own_step({0: 2}),
+                        max_steps=24)
+        # the mid-propose crash blocks p1 in EVERY schedule here
+        assert seen_deadlocks
+        assert stats.truncated_runs == 0
+
+
+class TestXSafeAgreementExhaustive:
+    def test_all_schedules_two_processes_x2(self):
+        n, x = 2, 2
+
+        def build():
+            factory = XSafeAgreementFactory(n, x)
+            store = ObjectStore()
+            store.add_all(factory.shared_objects())
+
+            def participant(i):
+                inst = factory.instance("k")
+                yield from inst.propose(i, f"v{i}")
+                decided = yield from inst.decide(i)
+                return decided
+
+            return {i: participant(i) for i in range(n)}, store
+
+        def check(result):
+            assert len(result.decided_values) == 1
+            assert result.decided_values <= {"v0", "v1"}
+            assert result.decided_pids == {0, 1}
+
+        stats = explore(build, check, max_steps=30, max_runs=150_000)
+        assert stats.complete_runs > 100
+        assert stats.truncated_runs == 0
+
+
+class TestAdoptCommitExhaustive:
+    @pytest.mark.parametrize("values", [("a", "a"), ("a", "b")])
+    def test_all_schedules(self, values):
+        n = 2
+
+        def build():
+            store = build_store(adopt_commit_specs(n))
+
+            def proposer(pid):
+                out = yield from AdoptCommit("k", n).propose(
+                    pid, values[pid])
+                return out
+
+            return {i: proposer(i) for i in range(n)}, store
+
+        def check(result):
+            outs = list(result.decisions.values())
+            committed = {v for tag, v in outs if tag == COMMIT}
+            assert len(committed) <= 1
+            if committed:
+                v = committed.pop()
+                assert all(value == v for _, value in outs)
+            if values[0] == values[1]:
+                assert all(tag == COMMIT for tag, _ in outs)
+
+        stats = explore(build, check, max_steps=16)
+        assert stats.complete_runs > 10
+        assert stats.truncated_runs == 0
+
+
+class TestSplitterExhaustive:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_all_schedules(self, n):
+        def build():
+            store = build_store([make_spec("register_family", "sx"),
+                                 make_spec("register_family", "sy")])
+            x, y = ObjectProxy("sx"), ObjectProxy("sy")
+
+            def prog(pid):
+                out = yield from splitter(x, y, (0, 0), pid)
+                return out
+
+            return {i: prog(i) for i in range(n)}, store
+
+        def check(result):
+            outs = list(result.decisions.values())
+            assert outs.count(STOP) <= 1
+            assert outs.count(RIGHT) <= n - 1
+            assert outs.count(DOWN) <= n - 1
+
+        stats = explore(build, check, max_steps=4 * n + 2)
+        assert stats.truncated_runs == 0
+        assert stats.complete_runs > (10 if n == 2 else 100)
+
+
+class TestQueueConsensusExhaustive:
+    def test_all_schedules(self):
+        def build():
+            store = build_store([
+                make_spec("queue", "q", initial=(WINNER, LOSER)),
+                make_spec("register_array", "ann", size=2),
+            ])
+            q, ann = ObjectProxy("q"), ObjectProxy("ann")
+
+            def prog(pid):
+                decided = yield from consensus2_from_queue(
+                    q, ann, pid, 1 - pid, f"v{pid}")
+                return decided
+
+            return {i: prog(i) for i in range(2)}, store
+
+        def check(result):
+            assert len(result.decided_values) == 1
+            assert result.decided_values <= {"v0", "v1"}
+
+        stats = explore(build, check, max_steps=12)
+        assert stats.complete_runs > 3
+        assert stats.truncated_runs == 0

@@ -1,0 +1,85 @@
+"""More exhaustive interleaving enumerations: x_compete and the Figure 4
+object translation, proven over every schedule of tiny instances."""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory, x_compete
+from repro.bg import SimulatorState, sim_object_op
+from repro.memory import ObjectStore, SnapshotObject, TASFamily
+from repro.runtime import ObjectProxy
+from repro.runtime.explore import explore
+from repro.runtime.ops import LocalOp
+
+TS = ObjectProxy("TS")
+
+
+class TestXCompeteExhaustive:
+    @pytest.mark.parametrize("n,x", [(2, 1), (2, 2), (3, 2)])
+    def test_all_schedules(self, n, x):
+        def build():
+            store = ObjectStore()
+            store.add(TASFamily("TS"))
+
+            def competitor(i):
+                won = yield from x_compete(TS, "k", x, i)
+                return won
+
+            return {i: competitor(i) for i in range(n)}, store
+
+        def check(result):
+            winners = sum(1 for won in result.decisions.values() if won)
+            assert winners == min(n, x)
+            if n <= x:
+                assert all(result.decisions.values())
+
+        stats = explore(build, check, max_steps=n * x + 2)
+        assert stats.truncated_runs == 0
+        assert stats.complete_runs >= 2
+
+
+def strip_local(gen):
+    """Single-thread driver: local mutex ops always succeed."""
+    result = None
+    started = False
+    while True:
+        try:
+            op = gen.send(result) if started else next(gen)
+            started = True
+        except StopIteration as stop:
+            return stop.value
+        if isinstance(op, LocalOp):
+            result = None
+            continue
+        result = yield op
+
+
+class TestFigure4Exhaustive:
+    def test_object_agreement_all_schedules(self):
+        """Every interleaving of two simulators simulating one shared
+        one-shot object: both obtain the same agreed outcome, exactly one
+        agreement instance is used."""
+        n_sims = 2
+        factory = SafeAgreementFactory(n_sims, family_name="XSAFE_AG")
+
+        def build():
+            store = ObjectStore()
+            store.add(SnapshotObject("MEM", n_sims))
+            store.add_all(factory.shared_objects())
+
+            def sim(i):
+                state = SimulatorState(i, 2, factory, factory)
+                out = yield from strip_local(
+                    sim_object_op(state, "obj", f"v{i}"))
+                return out
+
+            return {i: sim(i) for i in range(n_sims)}, store
+
+        def check(result):
+            assert len(result.decided_values) == 1
+            assert result.decided_values <= {"v0", "v1"}
+            xs = result.store["XSAFE_AG"]
+            assert xs.instance_count == 1
+
+        stats = explore(build, check, max_steps=18)
+        assert stats.truncated_runs == 0
+        assert stats.complete_runs > 5

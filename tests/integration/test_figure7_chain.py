@@ -1,0 +1,77 @@
+"""Figure 7 executed: the full equivalence chain as nested simulations.
+
+ASM(n1, t1, x1) -> ASM(n1, t, 1) -> ASM(t+1, t, 1) -> ASM(n2, t, 1)
+                                                   -> ASM(n2, t2, x2)
+
+Every intermediate algorithm is runnable; we run the composite in the
+final model and validate the original task.
+"""
+
+import pytest
+
+from repro.algorithms import GroupedKSetFromXCons, KSetReadWrite
+from repro.core import (bg_reduce, plan_transfer, simulate_in_read_write,
+                        simulate_with_xcons, transfer_algorithm)
+from repro.model import ASM
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+from ..conftest import run_and_validate
+
+
+class TestManualChain:
+    def test_two_hop_chain(self):
+        """ASM(4,3,2) --Sec3--> ASM(4,1,1) --Sec4--> ASM(4,3,2): a round
+        trip through the canonical model returns to an equivalent model,
+        and the composite still solves the task."""
+        src = GroupedKSetFromXCons(n=4, x=2)           # 2-set agreement
+        down = simulate_in_read_write(src, t=1)        # ASM(4,1,1)
+        up = simulate_with_xcons(down, t_prime=3, x=2)  # ASM(4,3,2)
+        assert up.model() == ASM(4, 3, 2)
+        run_and_validate(up, KSetAgreementTask(2), [10, 20, 30, 40],
+                         adversary=SeededRandomAdversary(0),
+                         max_steps=5_000_000)
+
+    def test_chain_through_waitfree_core(self):
+        """ASM(5,1,1) --BG--> ASM(2,1,1) --Sec4--> ASM(2,1,2)... the BG
+        core then re-expanded: validates that the wait-free canonical
+        model really is a universal interchange point."""
+        src = KSetReadWrite(n=5, t=1, k=2)
+        core = bg_reduce(src)                          # ASM(2,1,1)
+        assert core.model() == ASM(2, 1, 1)
+        run_and_validate(core, KSetAgreementTask(2), [1, 2],
+                         crash_plan=CrashPlan.at_own_step({0: 7}))
+
+    @pytest.mark.slow
+    def test_three_hop_chain_with_crashes(self):
+        src = GroupedKSetFromXCons(n=4, x=2)
+        down = simulate_in_read_write(src, t=1)
+        up = simulate_with_xcons(down, t_prime=2, x=2)
+        res = run_and_validate(up, KSetAgreementTask(2), [10, 20, 30, 40],
+                               crash_plan=CrashPlan.at_own_step(
+                                   {1: 9, 3: 21}),
+                               max_steps=8_000_000)
+        assert res.crashed_pids == {1, 3}
+
+
+class TestPlannedTransfer:
+    @pytest.mark.parametrize("target", [
+        ASM(5, 2, 2),    # same index (1), bigger x
+        ASM(4, 1, 1),    # canonical
+        ASM(5, 3, 3),    # index 1 via x=3
+    ])
+    def test_transfer_preserves_task(self, target):
+        src = KSetReadWrite(n=5, t=1, k=2)
+        alg = transfer_algorithm(src, target)
+        assert alg.model() == target
+        run_and_validate(alg, KSetAgreementTask(2),
+                         list(range(target.n)),
+                         adversary=SeededRandomAdversary(3),
+                         max_steps=8_000_000)
+
+    def test_plan_and_execution_agree_on_models(self):
+        src = GroupedKSetFromXCons(n=4, x=2)
+        target = ASM(4, 2, 2)
+        steps = plan_transfer(src.model(), target)
+        alg = transfer_algorithm(src, target)
+        assert steps[-1].target == alg.model() == target

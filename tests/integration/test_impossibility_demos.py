@@ -1,0 +1,128 @@
+"""Impossibility narratives, demonstrated as liveness-loss runs.
+
+Impossibility theorems cannot be "run", but their operational content can:
+whenever the adversary exceeds the bound the theory assigns to a
+construction, the construction visibly loses liveness.  These demos pin
+the mechanism the proofs are about.
+"""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory, XSafeAgreementFactory
+from repro.algorithms import ConsensusFromXCons, KSetReadWrite, run_algorithm
+from repro.core import SimulationAlgorithm, simulate_in_read_write
+from repro.memory import ObjectStore
+from repro.runtime import (CrashPlan, CrashPoint, op_on,
+                           SeededRandomAdversary, run_processes)
+
+
+class TestOneCrashKillsSafeAgreement:
+    """The core of the 1-resilient consensus impossibility narrative via
+    BG: one crash mid-propose permanently blocks a safe-agreement, hence
+    one faulty simulator can stall one simulated process forever."""
+
+    def test_blocked_forever(self):
+        factory = SafeAgreementFactory(3)
+        store = ObjectStore()
+        store.add_all(factory.shared_objects())
+
+        def participant(i):
+            inst = factory.instance("k")
+            yield from inst.propose(i, i)
+            v = yield from inst.decide(i)
+            return v
+
+        res = run_processes({i: participant(i) for i in range(3)}, store,
+                            crash_plan=CrashPlan.at_own_step({0: 2}))
+        assert res.deadlocked and res.blocked_pids == {1, 2}
+
+
+class TestExceedingTheorem1Bound:
+    def test_over_crashing_the_target_blocks_everyone(self):
+        """Section 3 simulation of consensus-from-one-object at t=1 >
+        floor(t'/x)=0: a single targeted crash kills the only XSAFE_AG
+        object and with it every simulated process."""
+        src = ConsensusFromXCons(n=3, x=3)
+        sim = simulate_in_read_write(src, t=1, check=False)
+        plan = CrashPlan.before_operation(
+            0, op_on("XSAFE_AG", "write"), occurrence=2)
+        res = run_algorithm(sim, [1, 2, 3], crash_plan=plan,
+                            max_steps=300_000)
+        assert res.deadlocked
+        assert not res.decisions
+
+
+class TestExceedingTheorem3Bound:
+    def test_x_owner_crashes_block_a_simulated_process(self):
+        """Section 4 at t' beyond the band: crash x simulators inside the
+        SAME x-safe-agreement and more processes block than the source
+        resilience absorbs; with a consensus source (t = 0) nobody can
+        decide."""
+        n, x = 4, 2
+        src = KSetReadWrite(n=n, t=0, k=1)   # consensus, failure-free
+        factory = XSafeAgreementFactory(n, x)
+        sim = SimulationAlgorithm(
+            src, n_simulators=n, resilience=2,  # beyond t*x + x-1 = 1
+            snap_agreement=factory, obj_agreement=factory,
+            label="overband")
+        # two simulators crash inside the consensus scan of the same
+        # agreement (the input agreement of thread 0, the first one both
+        # touch under round-robin).
+        plan = CrashPlan({
+            0: CrashPoint(before_matching=op_on("XSA_XCONS", "propose")),
+            1: CrashPoint(before_matching=op_on("XSA_XCONS", "propose")),
+        })
+        res = run_algorithm(sim, [1, 2, 3, 4], crash_plan=plan,
+                            max_steps=300_000)
+        # thread 0 is dead for every simulator; consensus (t=0 source)
+        # requires ALL inputs, so no simulated process ever decides.
+        assert res.deadlocked
+        assert not res.decisions
+
+    def test_same_crashes_within_band_are_absorbed(self):
+        """Identical crash pattern, but the source is 1-resilient (t=1,
+        so t' = 3 is inside the band): the blocked simulated process is
+        absorbed and everyone decides."""
+        n, x = 4, 2
+        src = KSetReadWrite(n=n, t=1, k=2)
+        factory = XSafeAgreementFactory(n, x)
+        sim = SimulationAlgorithm(
+            src, n_simulators=n, resilience=3,
+            snap_agreement=factory, obj_agreement=factory,
+            label="inband")
+        plan = CrashPlan({
+            0: CrashPoint(before_matching=op_on("XSA_XCONS", "propose")),
+            1: CrashPoint(before_matching=op_on("XSA_XCONS", "propose")),
+        })
+        res = run_algorithm(sim, [1, 2, 3, 4], crash_plan=plan,
+                            max_steps=500_000)
+        assert res.decided_pids == {2, 3}, res.summary()
+        assert len(res.decided_values) <= 2
+
+
+class TestSourceResilienceIsALimit:
+    def test_t_resilient_source_blocks_beyond_t_simulated_crashes(self):
+        """kset_rw(t=1) needs n-1 inputs; blocking 2 simulated processes
+        (two dead safe-agreements in the x=1 simulation) stalls it."""
+        n = 4
+        src = KSetReadWrite(n=n, t=1, k=2)
+        factory = SafeAgreementFactory(n)
+        sim = SimulationAlgorithm(
+            src, n_simulators=n, resilience=2,   # > floor(t'/1) ... t=1
+            snap_agreement=factory, label="overbg")
+        # two simulators crash mid-propose in DIFFERENT input agreements:
+        # under round-robin q0 touches ("input",0) first; delay q1 so its
+        # first propose lands in ("input",1)'s window.
+        plan = CrashPlan({
+            0: CrashPoint(before_matching=op_on("SAFE_AG", "write"),
+                          occurrence=2),
+            1: CrashPoint(before_matching=op_on("SAFE_AG", "write"),
+                          occurrence=4),
+        })
+        res = run_algorithm(sim, [1, 2, 3, 4], crash_plan=plan,
+                            max_steps=500_000)
+        # Either the run deadlocks (both threads blocked at every live
+        # simulator) or -- if the crashes happened to land in the same
+        # agreement -- it completes; assert the former occurred for this
+        # pinned schedule.
+        assert res.deadlocked, res.summary()

@@ -1,0 +1,129 @@
+"""Broad parameter matrices for Theorems 1 and 3.
+
+These sweeps run the two simulations across the whole small-parameter
+lattice (every legal (n, t', x, t) shape up to the size the suite can
+afford), with both early and staggered mid-run crashes at the full
+budget.  Together with the property tests they make the headline
+theorems' coverage systematic rather than anecdotal.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algorithms import (GroupedKSetFromXCons, KSetReadWrite,
+                              run_algorithm)
+from repro.core import simulate_in_read_write, simulate_with_xcons
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+
+def staggered(victims, first=3, gap=4):
+    return CrashPlan.at_own_step(
+        {v: first + gap * i for i, v in enumerate(victims)})
+
+
+def theorem3_shapes():
+    """All (n, t, x, t') with the target at the top of the band and
+    n small enough to keep the suite fast."""
+    shapes = []
+    for t, x in itertools.product((0, 1, 2), (1, 2, 3)):
+        t_prime = t * x + (x - 1)
+        n = max(t_prime + 2, 3)
+        if n <= 7:
+            shapes.append((n, t, x, t_prime))
+    return shapes
+
+
+class TestTheorem3Matrix:
+    @pytest.mark.parametrize("n,t,x,t_prime", theorem3_shapes())
+    def test_band_top_with_full_crash_budget(self, n, t, x, t_prime):
+        k = t + 1
+        src = KSetReadWrite(n=n, t=t, k=k)
+        alg = src if x == 1 else simulate_with_xcons(src, t_prime, x)
+        inputs = list(range(n))
+        res = run_algorithm(alg, inputs,
+                            crash_plan=staggered(range(t_prime)),
+                            max_steps=10_000_000)
+        verdict = KSetAgreementTask(k).validate_run(inputs, res)
+        assert verdict.ok, f"{alg.name}: {verdict.explain()}"
+
+    @pytest.mark.parametrize("n,t,x,t_prime", theorem3_shapes())
+    @pytest.mark.parametrize("seed", [1, 8])
+    def test_band_top_random_schedule_no_crash(self, n, t, x, t_prime,
+                                               seed):
+        k = t + 1
+        src = KSetReadWrite(n=n, t=t, k=k)
+        alg = src if x == 1 else simulate_with_xcons(src, t_prime, x)
+        inputs = [10 * (i + 1) for i in range(n)]
+        res = run_algorithm(alg, inputs,
+                            adversary=SeededRandomAdversary(seed),
+                            max_steps=10_000_000)
+        verdict = KSetAgreementTask(k).validate_run(inputs, res)
+        assert verdict.ok, f"{alg.name}: {verdict.explain()}"
+
+
+def theorem1_shapes():
+    shapes = []
+    for n, x in itertools.product((4, 6), (2, 3)):
+        if x > n:
+            continue
+        t = (n - 1) // x
+        shapes.append((n, x, t))
+    return shapes
+
+
+class TestTheorem1Matrix:
+    @pytest.mark.parametrize("n,x,t", theorem1_shapes())
+    def test_at_the_bound_with_full_crash_budget(self, n, x, t):
+        src = GroupedKSetFromXCons(n=n, x=x)     # wait-free, k=ceil(n/x)
+        sim = simulate_in_read_write(src, t=t)
+        inputs = list(range(n))
+        plan = staggered(range(t)) if t else CrashPlan.none()
+        res = run_algorithm(sim, inputs, crash_plan=plan,
+                            max_steps=10_000_000)
+        verdict = KSetAgreementTask(src.k).validate_run(inputs, res)
+        assert verdict.ok, f"{sim.name}: {verdict.explain()}"
+
+    @pytest.mark.parametrize("n,x,t", theorem1_shapes())
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_random_schedules(self, n, x, t, seed):
+        src = GroupedKSetFromXCons(n=n, x=x)
+        sim = simulate_in_read_write(src, t=t)
+        inputs = list(range(100, 100 + n))
+        res = run_algorithm(sim, inputs,
+                            adversary=SeededRandomAdversary(seed),
+                            max_steps=10_000_000)
+        verdict = KSetAgreementTask(src.k).validate_run(inputs, res)
+        assert verdict.ok, f"{sim.name}: {verdict.explain()}"
+
+
+class TestRoundTripMatrix:
+    """Section 3 after Section 4 (and vice versa) across the lattice."""
+
+    @pytest.mark.parametrize("t,x", [(1, 2), (1, 3)])
+    def test_up_then_down(self, t, x):
+        t_prime = t * x + x - 1
+        n = t_prime + 2
+        src = KSetReadWrite(n=n, t=t, k=t + 1)
+        up = simulate_with_xcons(src, t_prime=t_prime, x=x)
+        down = simulate_in_read_write(up, t=t)
+        assert down.model().t == t and down.model().x == 1
+        inputs = list(range(n))
+        res = run_algorithm(down, inputs,
+                            crash_plan=staggered(range(t)),
+                            max_steps=30_000_000)
+        verdict = KSetAgreementTask(t + 1).validate_run(inputs, res)
+        assert verdict.ok, verdict.explain()
+
+    @pytest.mark.parametrize("x", [2])
+    def test_down_then_up(self, x):
+        src = GroupedKSetFromXCons(n=4, x=x)     # k = 2
+        down = simulate_in_read_write(src, t=1)
+        up = simulate_with_xcons(down, t_prime=2 * x - 1, x=x)
+        inputs = [5, 6, 7, 8]
+        res = run_algorithm(up, inputs,
+                            adversary=SeededRandomAdversary(4),
+                            max_steps=30_000_000)
+        verdict = KSetAgreementTask(2).validate_run(inputs, res)
+        assert verdict.ok, verdict.explain()

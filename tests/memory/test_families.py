@@ -1,0 +1,115 @@
+"""Lazily-instantiated object families."""
+
+import pytest
+
+from repro.memory import (BOTTOM, PortViolation, ProtocolViolation,
+                          RegisterFamily, SnapshotFamily, TASFamily,
+                          XConsFamily)
+
+
+class TestSnapshotFamily:
+    def test_instances_independent(self):
+        fam = SnapshotFamily("SA", 2)
+        fam.apply(0, "write", ("a", 0, "x"))
+        assert fam.apply(1, "snapshot", ("a",)) == ("x", BOTTOM)
+        assert fam.apply(1, "snapshot", ("b",)) == (BOTTOM, BOTTOM)
+        assert fam.instance_count == 2
+
+    def test_single_writer_entries(self):
+        fam = SnapshotFamily("SA", 2)
+        with pytest.raises(PortViolation):
+            fam.apply(1, "write", ("a", 0, "x"))
+
+    def test_read_entry(self):
+        fam = SnapshotFamily("SA", 2)
+        fam.apply(1, "write", (("k", 3), 1, 9))
+        assert fam.apply(0, "read", (("k", 3), 1)) == 9
+
+    def test_index_bounds(self):
+        fam = SnapshotFamily("SA", 2)
+        with pytest.raises(IndexError):
+            fam.apply(0, "write", ("a", 5, "x"))
+
+    def test_hashable_keys(self):
+        fam = SnapshotFamily("SA", 1)
+        fam.apply(0, "write", ((("snap", 3, 1),), 0, "v"))
+        assert fam.apply(0, "read", ((("snap", 3, 1),), 0)) == "v"
+
+
+class TestRegisterFamily:
+    def test_default_bottom(self):
+        fam = RegisterFamily("R")
+        assert fam.apply(0, "read", ("missing",)) is BOTTOM
+
+    def test_write_read_multiwriter(self):
+        fam = RegisterFamily("R")
+        fam.apply(0, "write", ("k", 1))
+        fam.apply(5, "write", ("k", 2))
+        assert fam.apply(9, "read", ("k",)) == 2
+        assert fam.instance_count == 1
+
+
+class TestTASFamily:
+    def test_first_wins(self):
+        fam = TASFamily("TS")
+        assert fam.apply(3, "test_and_set", ("k",)) is True
+        assert fam.apply(1, "test_and_set", ("k",)) is False
+        assert fam.apply(3, "peek", ("k",)) == 3
+
+    def test_instances_independent(self):
+        fam = TASFamily("TS")
+        assert fam.apply(0, "test_and_set", ("a",))
+        assert fam.apply(1, "test_and_set", ("b",))
+
+    def test_one_shot_per_process(self):
+        fam = TASFamily("TS")
+        fam.apply(0, "test_and_set", ("k",))
+        with pytest.raises(ProtocolViolation):
+            fam.apply(0, "test_and_set", ("k",))
+
+    def test_consensus_number_two(self):
+        assert TASFamily("TS").consensus_number == 2
+
+
+class TestXConsFamily:
+    def subsets(self):
+        return [(0, 1), (0, 2), (1, 2)]
+
+    def test_first_proposal_wins(self):
+        fam = XConsFamily("XC", self.subsets())
+        assert fam.apply(0, "propose", ("k", 0, "a")) == "a"
+        assert fam.apply(1, "propose", ("k", 0, "b")) == "a"
+
+    def test_ports_per_subset(self):
+        fam = XConsFamily("XC", self.subsets())
+        with pytest.raises(PortViolation):
+            fam.apply(2, "propose", ("k", 0, "v"))  # subset 0 = {0,1}
+
+    def test_one_shot_per_instance(self):
+        fam = XConsFamily("XC", self.subsets())
+        fam.apply(0, "propose", ("k", 0, "v"))
+        with pytest.raises(ProtocolViolation):
+            fam.apply(0, "propose", ("k", 0, "w"))
+        # but a different instance is fine:
+        fam.apply(0, "propose", ("k", 1, "w"))
+        fam.apply(0, "propose", ("k2", 0, "w"))
+
+    def test_subset_index_bounds(self):
+        fam = XConsFamily("XC", self.subsets())
+        with pytest.raises(IndexError):
+            fam.apply(0, "propose", ("k", 9, "v"))
+
+    def test_consensus_number_is_max_subset_size(self):
+        fam = XConsFamily("XC", [(0, 1, 2), (3, 4)])
+        assert fam.consensus_number == 3
+        assert fam.m == 2
+
+    def test_peek(self):
+        fam = XConsFamily("XC", self.subsets())
+        assert fam.apply(0, "peek", ("k", 0)) is BOTTOM
+        fam.apply(0, "propose", ("k", 0, "v"))
+        assert fam.apply(2, "peek", ("k", 0)) == "v"
+
+    def test_empty_subsets_rejected(self):
+        with pytest.raises(ValueError):
+            XConsFamily("XC", [])

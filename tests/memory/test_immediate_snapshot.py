@@ -1,0 +1,112 @@
+"""Immediate snapshot: the three properties, sampled and exhausted."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import build_store
+from repro.memory.immediate_snapshot import (
+    ImmediateSnapshot, check_immediate_snapshot_views)
+from repro.runtime import (CrashPlan, SeededRandomAdversary,
+                           run_processes)
+from repro.runtime.explore import explore
+
+from ..conftest import SEEDS
+
+
+def run_is(n, seed=0, crash_plan=None):
+    obj = ImmediateSnapshot("IS", n)
+    store = build_store(obj.object_specs())
+    inputs = {i: f"v{i}" for i in range(n)}
+
+    def prog(pid):
+        view = yield from obj.write_snapshot(pid, inputs[pid])
+        return view
+
+    res = run_processes({i: prog(i) for i in range(n)}, store,
+                        adversary=SeededRandomAdversary(seed),
+                        crash_plan=crash_plan)
+    return res, inputs
+
+
+class TestProperties:
+    @pytest.mark.parametrize("seed", SEEDS + list(range(20, 40)))
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_sampled_schedules(self, seed, n):
+        res, inputs = run_is(n, seed=seed)
+        assert res.decided_pids == set(range(n))
+        violations = check_immediate_snapshot_views(res.decisions, inputs)
+        assert not violations, violations
+
+    def test_solo_sees_itself_only(self):
+        res, inputs = run_is(3, crash_plan=CrashPlan.initially_dead(
+            [1, 2]))
+        assert res.decisions[0] == {0: "v0"}
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_wait_free_under_crashes(self, seed):
+        res, inputs = run_is(4, seed=seed,
+                             crash_plan=CrashPlan.at_own_step(
+                                 {1: 2, 3: 4}))
+        assert res.decided_pids == res.correct_pids
+        views = res.decisions
+        violations = check_immediate_snapshot_views(views, inputs)
+        assert not violations, violations
+
+    @given(seed=st.integers(0, 50_000), n=st.integers(2, 5),
+           crash=st.one_of(st.none(),
+                           st.tuples(st.integers(0, 4),
+                                     st.integers(1, 8))))
+    @settings(max_examples=80, deadline=None)
+    def test_property_fuzz(self, seed, n, crash):
+        plan = CrashPlan.none()
+        if crash is not None and crash[0] < n:
+            plan = CrashPlan.at_own_step({crash[0]: crash[1]})
+        res, inputs = run_is(n, seed=seed, crash_plan=plan)
+        assert res.decided_pids == res.correct_pids
+        violations = check_immediate_snapshot_views(res.decisions, inputs)
+        assert not violations, violations
+
+
+class TestExhaustive:
+    def test_all_schedules_n2(self):
+        n = 2
+        inputs = {i: f"v{i}" for i in range(n)}
+
+        def build():
+            obj = ImmediateSnapshot("IS", n)
+            store = build_store(obj.object_specs())
+
+            def prog(pid):
+                view = yield from obj.write_snapshot(pid, inputs[pid])
+                return view
+
+            return {i: prog(i) for i in range(n)}, store
+
+        def check(result):
+            assert result.decided_pids == {0, 1}
+            violations = check_immediate_snapshot_views(
+                result.decisions, inputs)
+            assert not violations, violations
+
+        stats = explore(build, check, max_steps=16)
+        assert stats.complete_runs > 3
+        assert stats.truncated_runs == 0
+
+
+class TestChecker:
+    def test_checker_flags_containment_violation(self):
+        views = {0: {0: "a"}, 1: {1: "b"}}
+        out = check_immediate_snapshot_views(views, {0: "a", 1: "b"})
+        assert any("containment" in v for v in out)
+
+    def test_checker_flags_immediacy_violation(self):
+        views = {0: {0: "a", 1: "b"}, 1: {0: "a", 1: "b", 2: "c"}}
+        out = check_immediate_snapshot_views(
+            views, {0: "a", 1: "b", 2: "c"})
+        assert any("immediacy" in v for v in out)
+
+    def test_checker_flags_self_inclusion(self):
+        views = {0: {1: "b"}}
+        out = check_immediate_snapshot_views(views, {0: "a", 1: "b"})
+        assert any("self-inclusion" in v for v in out)

@@ -1,0 +1,63 @@
+"""Atomic registers and register arrays."""
+
+import pytest
+
+from repro.memory import (BOTTOM, AtomicRegister, PortViolation,
+                          RegisterArray)
+
+
+class TestAtomicRegister:
+    def test_initial_bottom(self):
+        reg = AtomicRegister("r")
+        assert reg.apply(0, "read", ()) is BOTTOM
+
+    def test_write_read(self):
+        reg = AtomicRegister("r")
+        reg.apply(0, "write", ("v",))
+        assert reg.apply(1, "read", ()) == "v"
+        assert reg.write_count == 1
+
+    def test_single_writer_enforced(self):
+        reg = AtomicRegister("r", writer=2)
+        reg.apply(2, "write", ("ok",))
+        with pytest.raises(PortViolation):
+            reg.apply(0, "write", ("nope",))
+
+    def test_ports_enforced(self):
+        reg = AtomicRegister("r", ports=frozenset({0, 1}))
+        reg.apply(0, "read", ())
+        with pytest.raises(PortViolation):
+            reg.apply(5, "read", ())
+
+    def test_consensus_number_is_one(self):
+        assert AtomicRegister("r").consensus_number == 1
+
+    def test_read_is_readonly(self):
+        reg = AtomicRegister("r")
+        assert reg.is_readonly("read")
+        assert not reg.is_readonly("write")
+
+
+class TestRegisterArray:
+    def test_cells_independent(self):
+        arr = RegisterArray("a", 3)
+        arr.apply(0, "write", (1, "x"))
+        assert arr.apply(0, "read", (0,)) is BOTTOM
+        assert arr.apply(0, "read", (1,)) == "x"
+
+    def test_bounds_checked(self):
+        arr = RegisterArray("a", 2)
+        with pytest.raises(IndexError):
+            arr.apply(0, "read", (2,))
+        with pytest.raises(IndexError):
+            arr.apply(0, "write", (-1, "v"))
+
+    def test_single_writer_cells(self):
+        arr = RegisterArray("a", 3, single_writer=True)
+        arr.apply(1, "write", (1, "mine"))
+        with pytest.raises(PortViolation):
+            arr.apply(1, "write", (0, "not-mine"))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            RegisterArray("a", 0)

@@ -1,0 +1,62 @@
+"""Base-atomic snapshot objects."""
+
+import pytest
+
+from repro.memory import BOTTOM, PortViolation, SnapshotObject
+
+
+class TestSnapshotObject:
+    def test_initially_all_bottom(self):
+        snap = SnapshotObject("mem", 3)
+        assert snap.apply(0, "snapshot", ()) == (BOTTOM, BOTTOM, BOTTOM)
+
+    def test_write_own_entry(self):
+        snap = SnapshotObject("mem", 3)
+        snap.apply(1, "write", (1, "v"))
+        assert snap.apply(0, "snapshot", ()) == (BOTTOM, "v", BOTTOM)
+        assert snap.apply(2, "read", (1,)) == "v"
+
+    def test_owner_enforced(self):
+        snap = SnapshotObject("mem", 3)
+        with pytest.raises(PortViolation):
+            snap.apply(0, "write", (1, "v"))
+
+    def test_owner_not_enforced_when_disabled(self):
+        snap = SnapshotObject("mem", 3, enforce_owner=False)
+        snap.apply(0, "write", (2, "v"))
+        assert snap.apply(0, "read", (2,)) == "v"
+
+    def test_owner_map(self):
+        # entry 0 owned by process 7 (e.g. simulator ids remapped).
+        snap = SnapshotObject("mem", 2, owner_map={0: 7, 1: 8})
+        snap.apply(7, "write", (0, "a"))
+        with pytest.raises(PortViolation):
+            snap.apply(8, "write", (0, "b"))
+
+    def test_update_writes_own_entry(self):
+        snap = SnapshotObject("mem", 3)
+        snap.apply(2, "update", ("mine",))
+        assert snap.apply(0, "read", (2,)) == "mine"
+
+    def test_counters(self):
+        snap = SnapshotObject("mem", 2)
+        snap.apply(0, "write", (0, 1))
+        snap.apply(0, "write", (0, 2))
+        snap.apply(1, "snapshot", ())
+        assert snap.write_counts == [2, 0]
+        assert snap.snapshot_count == 1
+
+    def test_snapshot_is_immutable_copy(self):
+        snap = SnapshotObject("mem", 2)
+        first = snap.apply(0, "snapshot", ())
+        snap.apply(0, "write", (0, "later"))
+        assert first == (BOTTOM, BOTTOM)
+
+    def test_bounds(self):
+        snap = SnapshotObject("mem", 2)
+        with pytest.raises(IndexError):
+            snap.apply(0, "read", (5,))
+
+    def test_bottom_repr_and_falsiness(self):
+        assert repr(BOTTOM) == "⊥"
+        assert not BOTTOM

@@ -1,0 +1,100 @@
+"""Declarative object specs and store building."""
+
+import math
+
+import pytest
+
+from repro.memory import (ObjectStore, SnapshotObject, build_object,
+                          build_store, make_spec)
+from repro.memory.families import TASFamily, XConsFamily
+from repro.memory.registers import AtomicRegister
+from repro.model import ASM
+from repro.objects import (CompareAndSwapObject, KSetObject, SharedQueue,
+                           TestAndSetObject, XConsensusObject)
+
+
+class TestSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec("flux-capacitor", "x")
+
+    def test_params_are_frozen_and_sorted(self):
+        spec = make_spec("snapshot", "m", size=3, enforce_owner=False)
+        assert spec.params == (("enforce_owner", False), ("size", 3))
+        assert spec.param("size") == 3
+        assert spec.param("missing", "d") == "d"
+
+    def test_build_every_kind(self):
+        built = {
+            "snapshot": build_object(make_spec("snapshot", "a", size=2)),
+            "snapshot_family": build_object(
+                make_spec("snapshot_family", "b", size=2)),
+            "register": build_object(make_spec("register", "c")),
+            "register_array": build_object(
+                make_spec("register_array", "d", size=2)),
+            "register_family": build_object(
+                make_spec("register_family", "e")),
+            "xcons": build_object(
+                make_spec("xcons", "f", ports=[0, 1])),
+            "tas": build_object(make_spec("tas", "g")),
+            "tas_family": build_object(make_spec("tas_family", "h")),
+            "xcons_family": build_object(
+                make_spec("xcons_family", "i", subsets=((0, 1),))),
+            "kset": build_object(
+                make_spec("kset", "j", ports=[0, 1, 2], ell=2)),
+            "cas": build_object(make_spec("cas", "k")),
+            "queue": build_object(make_spec("queue", "l", initial=(1,))),
+            "stack": build_object(make_spec("stack", "m")),
+        }
+        assert isinstance(built["snapshot"], SnapshotObject)
+        assert isinstance(built["register"], AtomicRegister)
+        assert isinstance(built["xcons"], XConsensusObject)
+        assert isinstance(built["tas"], TestAndSetObject)
+        assert isinstance(built["tas_family"], TASFamily)
+        assert isinstance(built["xcons_family"], XConsFamily)
+        assert isinstance(built["kset"], KSetObject)
+        assert isinstance(built["cas"], CompareAndSwapObject)
+        assert isinstance(built["queue"], SharedQueue)
+
+    def test_xcons_requires_ports(self):
+        with pytest.raises(ValueError):
+            build_object(make_spec("xcons", "f"))
+
+    def test_spec_consensus_numbers(self):
+        assert make_spec("snapshot", "a", size=2).consensus_number == 1
+        assert make_spec("xcons", "f", ports=[0, 1, 2]).consensus_number == 3
+        assert make_spec("tas", "g").consensus_number == 2
+        assert make_spec("cas", "k").consensus_number == math.inf
+        # (m, l)-set agreement "is worth" consensus number ceil(m/l).
+        assert make_spec("kset", "j", ports=range(6),
+                         ell=2).consensus_number == 3
+
+    def test_build_store(self):
+        store = build_store([make_spec("snapshot", "mem", size=2),
+                             make_spec("register", "r")])
+        assert "mem" in store and "r" in store
+        assert len(store) == 2
+
+
+class TestModelConformance:
+    def test_registers_allowed_everywhere(self):
+        store = build_store([make_spec("snapshot", "mem", size=4)])
+        ASM(4, 1, 1).validate_store(store)
+
+    def test_xcons_needs_big_enough_x(self):
+        store = build_store([make_spec("xcons", "c", ports=[0, 1, 2])])
+        ASM(4, 3, 3).validate_store(store)
+        with pytest.raises(Exception):
+            ASM(4, 3, 2).validate_store(store)
+
+    def test_tas_needs_x_at_least_2(self):
+        store = build_store([make_spec("tas", "t")])
+        ASM(4, 3, 2).validate_store(store)
+        with pytest.raises(Exception):
+            ASM(4, 3, 1).validate_store(store)
+
+    def test_cas_needs_infinite_x(self):
+        store = build_store([make_spec("cas", "c")])
+        ASM(4, 3, math.inf).validate_store(store)
+        with pytest.raises(Exception):
+            ASM(4, 3, 4).validate_store(store)

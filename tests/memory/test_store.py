@@ -1,0 +1,46 @@
+"""Object store dispatch."""
+
+import pytest
+
+from repro.memory import (AtomicRegister, ObjectStore, SnapshotObject,
+                          UnknownObject)
+from repro.runtime import Invocation
+
+
+class TestObjectStore:
+    def test_add_and_lookup(self):
+        store = ObjectStore()
+        reg = store.add(AtomicRegister("r"))
+        assert store["r"] is reg
+        assert "r" in store
+        assert store.get("missing") is None
+
+    def test_duplicate_name_rejected(self):
+        store = ObjectStore()
+        store.add(AtomicRegister("r"))
+        with pytest.raises(ValueError):
+            store.add(AtomicRegister("r"))
+
+    def test_unknown_object(self):
+        store = ObjectStore()
+        with pytest.raises(UnknownObject):
+            store.apply(0, Invocation("ghost", "read", ()))
+
+    def test_apply_dispatch_and_count(self):
+        store = ObjectStore()
+        store.add(AtomicRegister("r"))
+        store.apply(0, Invocation("r", "write", ("v",)))
+        assert store.apply(1, Invocation("r", "read", ())) == "v"
+        assert store.op_count == 2
+
+    def test_is_readonly(self):
+        store = ObjectStore()
+        store.add(SnapshotObject("mem", 2))
+        assert store.is_readonly(Invocation("mem", "snapshot", ()))
+        assert not store.is_readonly(Invocation("mem", "write", (0, 1)))
+
+    def test_iteration_and_len(self):
+        store = ObjectStore()
+        store.add_all([AtomicRegister("a"), AtomicRegister("b")])
+        assert len(store) == 2
+        assert {obj.name for obj in store} == {"a", "b"}

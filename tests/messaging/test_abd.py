@@ -1,0 +1,152 @@
+"""ABD register emulation: atomicity, liveness, quorum limits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import RegisterSpec, check_linearizable
+from repro.messaging import MessageCrash, ReadOp, WriteOp, run_abd
+
+from ..conftest import SEEDS
+
+
+class TestABDBasics:
+    def test_read_before_any_write(self):
+        res, hist = run_abd(3, 1, writer=0, scripts=[[], [ReadOp()], []])
+        assert hist[0].result is None
+
+    def test_write_then_read(self):
+        res, hist = run_abd(3, 1, writer=0,
+                            scripts=[[WriteOp("v")], [ReadOp()], []],
+                            seed=1)
+        assert not res.stalled
+        assert check_linearizable(hist, RegisterSpec())
+
+    def test_writer_enforced(self):
+        with pytest.raises(ValueError, match="owned"):
+            run_abd(3, 1, writer=0, scripts=[[], [WriteOp("x")], []])
+
+    def test_quorum_requirement_checked(self):
+        with pytest.raises(ValueError, match="n/2"):
+            run_abd(4, 2, writer=0, scripts=[[], [], [], []])
+
+
+class TestABDAtomicity:
+    @pytest.mark.parametrize("seed", SEEDS + list(range(20, 40)))
+    def test_linearizable_under_adversarial_delivery(self, seed):
+        res, hist = run_abd(
+            4, 1, writer=0,
+            scripts=[[WriteOp("a"), WriteOp("b"), WriteOp("c")],
+                     [ReadOp(), ReadOp()],
+                     [ReadOp(), ReadOp()],
+                     [ReadOp()]],
+            seed=seed)
+        assert not res.stalled
+        assert res.decided_pids == {0, 1, 2, 3}
+        assert check_linearizable(hist, RegisterSpec()), \
+            sorted(hist, key=lambda r: r.start)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_linearizable_with_t_crashes(self, seed):
+        res, hist = run_abd(
+            5, 2, writer=0,
+            scripts=[[WriteOp("a"), WriteOp("b")],
+                     [ReadOp(), ReadOp()],
+                     [ReadOp()],
+                     [], []],
+            crashes=[MessageCrash(3, after_events=2),
+                     MessageCrash(4, after_events=4)],
+            seed=seed)
+        assert not res.stalled
+        # all clients finish: crashes hit pure replicas, quorum = 3 holds.
+        assert {0, 1, 2} <= res.decided_pids
+        assert check_linearizable(hist, RegisterSpec())
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_new_old_inversion_impossible(self, seed):
+        """Two sequential reads by different processes cannot observe
+        values in anti-timestamp order (the write-back at work)."""
+        res, hist = run_abd(
+            4, 1, writer=0,
+            scripts=[[WriteOp(1), WriteOp(2)],
+                     [ReadOp()],
+                     [ReadOp()],
+                     []],
+            seed=seed)
+        assert check_linearizable(hist, RegisterSpec())
+        reads = sorted((r for r in hist if r.op == "read"),
+                       key=lambda r: r.start)
+        for a in reads:
+            for b in reads:
+                if a.end < b.start and a.result == 2:
+                    assert b.result == 2
+
+
+class TestABDLiveness:
+    def test_stalls_when_quorum_lost(self):
+        # n=4, t=1, quorum=3; two crashed replicas leave only 2 alive.
+        res, hist = run_abd(
+            4, 1, writer=0,
+            scripts=[[WriteOp("a")], [ReadOp()], [], []],
+            crashes=[MessageCrash(2, after_events=0),
+                     MessageCrash(3, after_events=0)],
+            max_events=5_000)
+        assert res.stalled or res.delivered == 5_000
+        assert not res.decisions
+
+    def test_survives_exactly_t_initially_dead(self):
+        res, hist = run_abd(
+            5, 2, writer=0,
+            scripts=[[WriteOp("a")], [ReadOp()], [], [], []],
+            crashes=[MessageCrash(3, after_events=0),
+                     MessageCrash(4, after_events=0)],
+            seed=5)
+        assert not res.stalled
+        assert {0, 1} <= res.decided_pids
+
+
+class TestABDProperty:
+    @given(seed=st.integers(0, 50_000),
+           n_writes=st.integers(1, 3),
+           crash_replica=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_always_linearizable(self, seed, n_writes, crash_replica):
+        crashes = [MessageCrash(3, after_events=3)] if crash_replica \
+            else []
+        res, hist = run_abd(
+            4, 1, writer=0,
+            scripts=[[WriteOp(i) for i in range(n_writes)],
+                     [ReadOp(), ReadOp()],
+                     [ReadOp()],
+                     []],
+            crashes=crashes, seed=seed)
+        assert not res.stalled
+        assert check_linearizable(hist, RegisterSpec())
+
+
+class TestTimestampDerivationRegression:
+    def test_writer_counter_not_replica_derived(self):
+        """Regression for the timestamp-collision bug (EXPERIMENTS.md,
+        finding F3): deriving the write timestamp from the replica state
+        lets two writes share a timestamp when the writer's self-STORE
+        is still in flight; n=7/seed=2 produced a stale read after a
+        completed write.  The writer-local counter fixes it."""
+        res, hist = run_abd(
+            7, 3, writer=0,
+            scripts=[[WriteOp("a"), WriteOp("b")],
+                     [ReadOp(), ReadOp()],
+                     [ReadOp()]] + [[] for _ in range(4)],
+            seed=2)
+        assert check_linearizable(hist, RegisterSpec())
+        # timestamps of the two writes must differ:
+        writes = [r for r in hist if r.op == "write"]
+        assert len(writes) == 2
+
+    def test_own_replica_reflects_own_writes_immediately(self):
+        from repro.messaging.abd import ABDProcess
+        clock = iter(range(1000)).__next__
+        p = ABDProcess(0, 3, 1, writer=0, script=[WriteOp("x")],
+                       clock=clock)
+        p.start()
+        assert p.ts == (1, 0)
+        assert p.value == "x"

@@ -1,0 +1,101 @@
+"""The asynchronous message-passing engine."""
+
+import pytest
+
+from repro.messaging import (MessageCrash, MessageMachine, run_messaging)
+
+
+class Echo(MessageMachine):
+    """Sends 'ping' to everyone, decides on the set of pongs received."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.pongs = set()
+
+    def start(self):
+        self.broadcast(("ping",), include_self=False)
+
+    def on_message(self, sender, payload):
+        if payload[0] == "ping":
+            self.send(sender, ("pong",))
+        else:
+            self.pongs.add(sender)
+            if len(self.pongs) == self.n - 1:
+                self.decide(frozenset(self.pongs))
+
+
+class TestEngine:
+    def test_all_decide_without_crashes(self):
+        machines = [Echo(i, 3) for i in range(3)]
+        res = run_messaging(machines)
+        assert res.decided_pids == {0, 1, 2}
+        for pid, pongs in res.decisions.items():
+            assert pongs == frozenset({0, 1, 2}) - {pid}
+
+    def test_seeded_delivery_is_reproducible(self):
+        runs = []
+        for _ in range(2):
+            machines = [Echo(i, 3) for i in range(3)]
+            runs.append(run_messaging(machines, seed=9))
+        assert runs[0].delivered == runs[1].delivered
+        assert runs[0].decisions == runs[1].decisions
+
+    def test_fifo_mode(self):
+        machines = [Echo(i, 3) for i in range(3)]
+        res = run_messaging(machines, fifo=True)
+        assert res.decided_pids == {0, 1, 2}
+
+    def test_initially_dead_machine_sends_nothing(self):
+        machines = [Echo(i, 3) for i in range(3)]
+        res = run_messaging(machines,
+                            crashes=[MessageCrash(0, after_events=0)])
+        assert res.crashed == {0}
+        # the others wait for p0's pong forever: stalled.
+        assert res.stalled
+        assert not res.decisions
+
+    def test_crash_mid_run_messages_may_survive(self):
+        machines = [Echo(i, 2) for i in range(2)]
+        # p0 crashes after its start event: its pings are in flight and
+        # may still be delivered to p1, which then pongs into the void.
+        res = run_messaging(machines,
+                            crashes=[MessageCrash(0, after_events=1)])
+        assert res.crashed == {0}
+        assert 0 not in res.decisions
+
+    def test_drop_in_flight(self):
+        machines = [Echo(i, 2) for i in range(2)]
+        res = run_messaging(machines,
+                            crashes=[MessageCrash(
+                                0, after_events=1, drop_in_flight=True)])
+        # p1 never even receives the ping.
+        assert res.stalled
+
+    def test_duplicate_crash_rejected(self):
+        machines = [Echo(i, 2) for i in range(2)]
+        with pytest.raises(ValueError):
+            run_messaging(machines, crashes=[MessageCrash(0, 0),
+                                             MessageCrash(0, 1)])
+
+    def test_event_cap(self):
+        class Chatter(MessageMachine):
+            def start(self):
+                self.send(1 - self.pid, ("hi",))
+
+            def on_message(self, sender, payload):
+                self.send(sender, ("hi",))
+
+        machines = [Chatter(i, 2) for i in range(2)]
+        res = run_messaging(machines, max_events=40)
+        assert res.delivered == 40
+
+    def test_bad_destination(self):
+        class Bad(MessageMachine):
+            def start(self):
+                self.send(99, ("oops",))
+
+            def on_message(self, sender, payload):
+                pass
+
+        with pytest.raises(ValueError, match="destination"):
+            run_messaging([Bad(0, 1)])

@@ -1,0 +1,102 @@
+"""The full stack: shared-memory algorithms over message passing.
+
+messages --ABD--> registers --Afek--> snapshots --> k-set agreement.
+"""
+
+import pytest
+
+from repro.memory import BOTTOM
+from repro.memory.afek_snapshot import AfekSnapshot
+from repro.messaging import MessageCrash
+from repro.messaging.hosted import host_program_run
+from repro.runtime import ObjectProxy
+from repro.tasks import KSetAgreementTask
+
+from ..conftest import SEEDS
+
+
+def kset_over_registers(n, t, pid, value):
+    """t-resilient k-set agreement (k = t+1) written against registers:
+    Afek-snapshot over the hosted register array."""
+    view = AfekSnapshot("R", n)
+    yield from view.update(pid, value)
+    while True:
+        snap = yield from view.snapshot(pid)
+        seen = [e for e in snap if e is not BOTTOM]
+        if len(seen) >= n - t:
+            return min(seen)
+
+
+def plain_register_echo(n, pid, value):
+    regs = ObjectProxy("R")
+    yield regs.write(pid, value)
+    mine = yield regs.read(pid)
+    other = yield regs.read((pid + 1) % n)
+    return (mine, other)
+
+
+class TestHostedRegisters:
+    def test_write_then_read_roundtrip(self):
+        res = host_program_run(
+            3, 1, {pid: plain_register_echo(3, pid, f"v{pid}")
+                   for pid in range(3)}, seed=4)
+        assert res.decided_pids == {0, 1, 2}
+        for pid, (mine, other) in res.decisions.items():
+            assert mine == f"v{pid}"
+            assert other in (f"v{(pid + 1) % 3}", BOTTOM)
+
+    def test_foreign_write_rejected(self):
+        def bad(pid):
+            regs = ObjectProxy("R")
+            yield regs.write((pid + 1) % 3, "nope")
+
+        with pytest.raises(ValueError, match="single-writer"):
+            host_program_run(3, 1, {0: bad(0), 1: bad(1), 2: bad(2)})
+
+    def test_non_register_op_rejected(self):
+        def bad(pid):
+            yield ObjectProxy("other").read(0)
+
+        with pytest.raises(ValueError, match="register array"):
+            host_program_run(3, 1, {0: bad(0), 1: bad(1), 2: bad(2)})
+
+
+class TestFullStackKSet:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_kset_over_the_network(self, seed):
+        n, t = 4, 1
+        inputs = [10, 20, 30, 40]
+        res = host_program_run(
+            n, t, {pid: kset_over_registers(n, t, pid, inputs[pid])
+                   for pid in range(n)}, seed=seed)
+        assert not res.stalled
+        assert res.decided_pids == set(range(n))
+        distinct = set(res.decisions.values())
+        assert len(distinct) <= t + 1
+        assert distinct <= set(inputs)
+
+    @pytest.mark.parametrize("seed", [0, 2, 5])
+    def test_kset_with_a_machine_crash(self, seed):
+        n, t = 4, 1
+        inputs = [10, 20, 30, 40]
+        res = host_program_run(
+            n, t, {pid: kset_over_registers(n, t, pid, inputs[pid])
+                   for pid in range(n)},
+            crashes=[MessageCrash(2, after_events=5)], seed=seed)
+        assert not res.stalled
+        assert res.decided_pids == {0, 1, 3}
+        task_inputs = inputs
+        verdictish = set(res.decisions.values())
+        assert len(verdictish) <= t + 1
+        assert verdictish <= set(task_inputs)
+
+    def test_quorum_loss_stalls_the_whole_stack(self):
+        n, t = 4, 1
+        inputs = [1, 2, 3, 4]
+        res = host_program_run(
+            n, t, {pid: kset_over_registers(n, t, pid, inputs[pid])
+                   for pid in range(n)},
+            crashes=[MessageCrash(2, after_events=0),
+                     MessageCrash(3, after_events=0)],
+            max_events=20_000)
+        assert not res.decisions

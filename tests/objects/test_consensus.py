@@ -1,0 +1,50 @@
+"""x-ported consensus objects."""
+
+import pytest
+
+from repro.memory import BOTTOM, PortViolation, ProtocolViolation
+from repro.objects import XConsensusObject, consensus_array
+
+
+class TestXConsensusObject:
+    def test_first_proposal_decides(self):
+        cons = XConsensusObject("c", [0, 1, 2])
+        assert cons.apply(1, "propose", ("b",)) == "b"
+        assert cons.apply(0, "propose", ("a",)) == "b"
+        assert cons.winner == 1
+
+    def test_agreement_validity(self):
+        cons = XConsensusObject("c", [0, 1])
+        results = {cons.apply(0, "propose", ("x",)),
+                   cons.apply(1, "propose", ("y",))}
+        assert len(results) == 1
+        assert results <= {"x", "y"}
+
+    def test_ports_static(self):
+        cons = XConsensusObject("c", [0, 1])
+        with pytest.raises(PortViolation):
+            cons.apply(2, "propose", ("v",))
+
+    def test_one_shot_per_process(self):
+        cons = XConsensusObject("c", [0, 1])
+        cons.apply(0, "propose", ("v",))
+        with pytest.raises(ProtocolViolation):
+            cons.apply(0, "propose", ("w",))
+
+    def test_consensus_number_equals_port_count(self):
+        assert XConsensusObject("c", range(5)).consensus_number == 5
+
+    def test_peek(self):
+        cons = XConsensusObject("c", [0])
+        assert cons.apply(0, "peek", ()) is BOTTOM
+        cons.apply(0, "propose", (9,))
+        assert cons.apply(0, "peek", ()) == 9
+
+    def test_needs_ports(self):
+        with pytest.raises(ValueError):
+            XConsensusObject("c", [])
+
+    def test_consensus_array(self):
+        objs = consensus_array("g", [[0, 1], [2, 3]])
+        assert [o.name for o in objs] == ["g[0]", "g[1]"]
+        assert objs[1].ports == frozenset({2, 3})

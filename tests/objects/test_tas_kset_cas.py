@@ -1,0 +1,199 @@
+"""Test&set, (m,l)-set agreement, CAS, queues/stacks: the hierarchy zoo."""
+
+import math
+
+import pytest
+
+from repro.memory import (BOTTOM, ObjectStore, ProtocolViolation,
+                          RegisterArray)
+from repro.objects import (CompareAndSwapObject, KSetObject, SharedQueue,
+                           SharedStack, TestAndSetObject, WINNER, LOSER,
+                           XConsensusObject, consensus2_from_queue,
+                           consensus2_from_tas, consensus_from_cas,
+                           kset_object_implementable, tas_from_consensus)
+from repro.runtime import ObjectProxy, SeededRandomAdversary, run_processes
+
+
+class TestTestAndSet:
+    def test_first_wins(self):
+        tas = TestAndSetObject("t")
+        assert tas.apply(2, "test_and_set", ()) is True
+        assert tas.apply(0, "test_and_set", ()) is False
+        assert tas.winner == 2
+
+    def test_one_shot(self):
+        tas = TestAndSetObject("t")
+        tas.apply(0, "test_and_set", ())
+        with pytest.raises(ProtocolViolation):
+            tas.apply(0, "test_and_set", ())
+
+    def test_derived_from_consensus(self):
+        """tas_from_consensus: exactly one winner among concurrent callers."""
+        store = ObjectStore()
+        store.add(XConsensusObject("c", [0, 1, 2]))
+        proxy = ObjectProxy("c")
+
+        def prog(pid):
+            won = yield from tas_from_consensus(proxy, pid)
+            return won
+
+        res = run_processes({i: prog(i) for i in range(3)}, store,
+                            adversary=SeededRandomAdversary(4))
+        wins = [pid for pid, won in res.decisions.items() if won]
+        assert len(wins) == 1
+
+
+class TestKSetObject:
+    def test_at_most_ell_distinct(self):
+        obj = KSetObject("k", range(5), ell=2)
+        outs = [obj.apply(i, "propose", (f"v{i}",)) for i in range(5)]
+        assert len(set(outs)) <= 2
+        assert set(outs) <= {f"v{i}" for i in range(5)}
+
+    def test_anchor_semantics(self):
+        obj = KSetObject("k", range(4), ell=2)
+        assert obj.apply(0, "propose", ("a",)) == "a"
+        assert obj.apply(1, "propose", ("b",)) == "b"
+        assert obj.apply(2, "propose", ("c",)) == "a"
+        assert obj.apply(3, "peek", ()) == ["a", "b"]
+
+    def test_one_shot(self):
+        obj = KSetObject("k", range(2), ell=1)
+        obj.apply(0, "propose", ("a",))
+        with pytest.raises(ProtocolViolation):
+            obj.apply(0, "propose", ("b",))
+
+    def test_consensus_number_is_ceil_m_over_ell(self):
+        assert KSetObject("k", range(6), ell=2).consensus_number == 3
+        assert KSetObject("k", range(6), ell=6).consensus_number == 1
+
+    def test_implementability_criterion(self):
+        # ceil(m/x) <= l  (group construction possible)
+        assert kset_object_implementable(m=6, ell=3, x=2)
+        assert not kset_object_implementable(m=6, ell=2, x=2)
+        assert kset_object_implementable(m=4, ell=1, x=4)
+        with pytest.raises(ValueError):
+            kset_object_implementable(0, 1, 1)
+
+
+class TestCompareAndSwap:
+    def test_cas_semantics(self):
+        cas = CompareAndSwapObject("c")
+        assert cas.apply(0, "compare_and_swap", (BOTTOM, "a")) is BOTTOM
+        assert cas.apply(1, "compare_and_swap", (BOTTOM, "b")) == "a"
+        assert cas.apply(2, "read", ()) == "a"
+
+    def test_infinite_consensus_number(self):
+        assert CompareAndSwapObject("c").consensus_number == math.inf
+
+    def test_consensus_from_cas_many_processes(self):
+        store = ObjectStore()
+        store.add(CompareAndSwapObject("c"))
+        proxy = ObjectProxy("c")
+
+        def prog(pid):
+            decided = yield from consensus_from_cas(proxy, f"v{pid}")
+            return decided
+
+        res = run_processes({i: prog(i) for i in range(6)}, store,
+                            adversary=SeededRandomAdversary(8))
+        assert len(res.decided_values) == 1
+
+
+class TestQueueStack:
+    def test_queue_fifo(self):
+        q = SharedQueue("q")
+        q.apply(0, "enqueue", (1,))
+        q.apply(0, "enqueue", (2,))
+        assert q.apply(1, "dequeue", ()) == 1
+        assert q.apply(1, "dequeue", ()) == 2
+        assert q.apply(1, "dequeue", ()) is BOTTOM
+
+    def test_stack_lifo(self):
+        s = SharedStack("s")
+        s.apply(0, "push", (1,))
+        s.apply(0, "push", (2,))
+        assert s.apply(1, "pop", ()) == 2
+        assert s.apply(1, "peek", ()) == 1
+        s.apply(1, "pop", ())
+        assert s.apply(1, "pop", ()) is BOTTOM
+
+    def test_consensus_number_two(self):
+        assert SharedQueue("q").consensus_number == 2
+        assert SharedStack("s").consensus_number == 2
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_herlihy_2consensus_from_queue(self, seed):
+        store = ObjectStore()
+        store.add(SharedQueue("q", initial=[WINNER, LOSER]))
+        store.add(RegisterArray("ann", 2))
+        q, ann = ObjectProxy("q"), ObjectProxy("ann")
+
+        def prog(pid):
+            decided = yield from consensus2_from_queue(
+                q, ann, pid, 1 - pid, f"v{pid}")
+            return decided
+
+        res = run_processes({0: prog(0), 1: prog(1)}, store,
+                            adversary=SeededRandomAdversary(seed))
+        assert len(res.decided_values) == 1
+        assert res.decided_values <= {"v0", "v1"}
+
+
+class TestConsensusFromTAS:
+    """The other half of cn(T&S) = 2: consensus for 2 from one T&S."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_agreement_validity(self, seed):
+        store = ObjectStore()
+        store.add(TestAndSetObject("t"))
+        store.add(RegisterArray("ann", 2))
+        t, ann = ObjectProxy("t"), ObjectProxy("ann")
+
+        def prog(pid):
+            decided = yield from consensus2_from_tas(
+                t, ann, pid, 1 - pid, f"v{pid}")
+            return decided
+
+        res = run_processes({0: prog(0), 1: prog(1)}, store,
+                            adversary=SeededRandomAdversary(seed))
+        assert len(res.decided_values) == 1
+        assert res.decided_values <= {"v0", "v1"}
+
+    def test_exhaustively(self):
+        from repro.runtime.explore import explore
+
+        def build():
+            store = ObjectStore()
+            store.add(TestAndSetObject("t"))
+            store.add(RegisterArray("ann", 2))
+            t, ann = ObjectProxy("t"), ObjectProxy("ann")
+
+            def prog(pid):
+                decided = yield from consensus2_from_tas(
+                    t, ann, pid, 1 - pid, f"v{pid}")
+                return decided
+
+            return {0: prog(0), 1: prog(1)}, store
+
+        def check(result):
+            assert len(result.decided_values) == 1
+            assert result.decided_values <= {"v0", "v1"}
+
+        stats = explore(build, check, max_steps=10)
+        assert stats.complete_runs > 3
+        assert stats.truncated_runs == 0
+
+    def test_solo_decides_own(self):
+        store = ObjectStore()
+        store.add(TestAndSetObject("t"))
+        store.add(RegisterArray("ann", 2))
+        t, ann = ObjectProxy("t"), ObjectProxy("ann")
+
+        def prog(pid):
+            decided = yield from consensus2_from_tas(
+                t, ann, pid, 1 - pid, "mine")
+            return decided
+
+        res = run_processes({0: prog(0)}, store)
+        assert res.decisions[0] == "mine"

@@ -1,0 +1,94 @@
+"""Safe-agreement and x-safe-agreement invariants under random schedules
+and random crash injection (hypothesis).
+
+The three type properties (paper Sections 3.1 and 4.2):
+
+* Agreement: at most one value decided -- under EVERY schedule and crash
+  pattern.
+* Validity: the decided value was proposed.
+* Termination: conditional on the crash pattern; we check both directions
+  of the conditional where the pattern makes it decidable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import SafeAgreementFactory, XSafeAgreementFactory
+from repro.memory import ObjectStore
+from repro.runtime import CrashPlan, SeededRandomAdversary, run_processes
+
+
+def participant(factory, key, i, value):
+    inst = factory.instance(key)
+    yield from inst.propose(i, value)
+    decided = yield from inst.decide(i)
+    return decided
+
+
+def run_agreement(factory_cls, n, x, seed, crash_steps):
+    """crash_steps: dict pid -> own-step (1-based) to crash before."""
+    if factory_cls is SafeAgreementFactory:
+        factory = SafeAgreementFactory(n)
+    else:
+        factory = XSafeAgreementFactory(n, x)
+    store = ObjectStore()
+    store.add_all(factory.shared_objects())
+    plan = CrashPlan.at_own_step(crash_steps) if crash_steps else \
+        CrashPlan.none()
+    return run_processes(
+        {i: participant(factory, "k", i, f"v{i}") for i in range(n)},
+        store, adversary=SeededRandomAdversary(seed), crash_plan=plan,
+        max_steps=100_000)
+
+
+crash_maps = st.dictionaries(st.integers(0, 4), st.integers(1, 12),
+                             max_size=3)
+
+
+class TestSafeAgreementProperties:
+    @given(seed=st.integers(0, 10_000), crashes=crash_maps)
+    @settings(max_examples=150, deadline=None)
+    def test_agreement_and_validity_always(self, seed, crashes):
+        n = 5
+        res = run_agreement(SafeAgreementFactory, n, 1, seed, crashes)
+        assert not res.out_of_steps
+        assert len(res.decided_values) <= 1
+        assert res.decided_values <= {f"v{i}" for i in range(n)}
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_termination_without_crashes(self, seed):
+        n = 5
+        res = run_agreement(SafeAgreementFactory, n, 1, seed, {})
+        assert res.decided_pids == set(range(n))
+
+
+class TestXSafeAgreementProperties:
+    @given(seed=st.integers(0, 10_000), crashes=crash_maps,
+           x=st.integers(1, 3))
+    @settings(max_examples=150, deadline=None)
+    def test_agreement_and_validity_always(self, seed, crashes, x):
+        n = 5
+        res = run_agreement(XSafeAgreementFactory, n, x, seed, crashes)
+        assert not res.out_of_steps
+        assert len(res.decided_values) <= 1
+        assert res.decided_values <= {f"v{i}" for i in range(n)}
+
+    @given(seed=st.integers(0, 10_000), x=st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_termination_without_crashes(self, seed, x):
+        n = 5
+        res = run_agreement(XSafeAgreementFactory, n, x, seed, {})
+        assert res.decided_pids == set(range(n))
+
+    @given(seed=st.integers(0, 10_000),
+           victim=st.integers(0, 4), step=st.integers(1, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_single_crash_never_kills_x2_object(self, seed, victim, step):
+        """With x = 2, ONE crash (wherever it lands) leaves the object
+        live: every other participant decides."""
+        n = 5
+        res = run_agreement(XSafeAgreementFactory, n, 2, seed,
+                            {victim: step})
+        expected = set(range(n)) - res.crashed_pids
+        assert res.decided_pids == expected

@@ -1,0 +1,86 @@
+"""Hypothesis properties for the colored simulation, splitter renaming,
+adopt-commit and the synchronous engine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement.adopt_commit import COMMIT, AdoptCommit, \
+    adopt_commit_specs
+from repro.algorithms import SplitterGridRenaming, run_algorithm
+from repro.memory import build_store
+from repro.runtime import CrashPlan, SeededRandomAdversary, run_processes
+from repro.sync import SyncCrash, SyncKSetMRT, SyncPhase, run_sync
+
+
+class TestAdoptCommitProps:
+    @given(seed=st.integers(0, 10_000),
+           values=st.lists(st.integers(0, 3), min_size=3, max_size=5),
+           crashes=st.dictionaries(st.integers(0, 4), st.integers(1, 8),
+                                   max_size=2))
+    @settings(max_examples=120, deadline=None)
+    def test_coherence_and_validity_always(self, seed, values, crashes):
+        n = len(values)
+        store = build_store(adopt_commit_specs(n))
+
+        def proposer(pid):
+            out = yield from AdoptCommit("k", n).propose(pid, values[pid])
+            return out
+
+        res = run_processes(
+            {i: proposer(i) for i in range(n)}, store,
+            adversary=SeededRandomAdversary(seed),
+            crash_plan=CrashPlan.at_own_step(
+                {p: s for p, s in crashes.items() if p < n}))
+        committed = {v for tag, v in res.decisions.values()
+                     if tag == COMMIT}
+        assert len(committed) <= 1
+        for tag, v in res.decisions.values():
+            assert v in values
+            if committed:
+                assert v == next(iter(committed)) or tag != COMMIT
+        if committed:
+            v = next(iter(committed))
+            assert all(value == v for _, value in res.decisions.values())
+
+
+class TestSplitterGridProps:
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 6),
+           crashes=st.dictionaries(st.integers(0, 5), st.integers(1, 6),
+                                   max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_names_distinct_and_bounded(self, seed, n, crashes):
+        algo = SplitterGridRenaming(n)
+        res = run_algorithm(
+            algo, [None] * n,
+            adversary=SeededRandomAdversary(seed),
+            crash_plan=CrashPlan.at_own_step(
+                {p: s for p, s in crashes.items() if p < n}),
+            enforce_model=False)
+        names = list(res.decisions.values())
+        assert len(names) == len(set(names))
+        assert all(0 <= name < algo.namespace for name in names)
+        assert res.decided_pids == res.correct_pids
+
+
+class TestSyncMRTProps:
+    @given(seed=st.integers(0, 10_000), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_k_bound_under_random_crashes(self, seed, data):
+        n, t, k, m, ell = 10, 4, 2, 2, 1
+        algo = SyncKSetMRT(n, t, k, m, ell)
+        rng = random.Random(seed)
+        n_crashes = data.draw(st.integers(0, t))
+        victims = rng.sample(range(n), n_crashes)
+        crashes = []
+        for v in victims:
+            r = data.draw(st.integers(0, algo.rounds - 1))
+            phase = data.draw(st.sampled_from(list(SyncPhase)))
+            subset = frozenset(data.draw(st.sets(st.integers(0, n - 1),
+                                                 max_size=n)))
+            crashes.append(SyncCrash(v, r, phase, delivered_to=subset))
+        res = run_sync(algo, list(range(n)), crashes, seed=seed)
+        assert len(res.decided_values) <= k
+        assert res.decided_values <= set(range(n))
+        assert set(res.decisions) == set(range(n)) - res.crashed

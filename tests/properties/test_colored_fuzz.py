@@ -1,0 +1,57 @@
+"""Colored-simulation fuzzing (Section 5.5).
+
+Random legal (source, target) shapes for the colored simulation with
+random crash plans and schedules; distinctness of adopted decisions must
+hold in every run, and every correct simulator must claim a value.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (RenamingFromTAS, SplitterGridRenaming,
+                              run_algorithm)
+from repro.core import colored_simulation_possible, simulate_colored
+from repro.model import ASM
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import DistinctValuesTask
+
+
+@st.composite
+def colored_shapes(draw):
+    n_prime = draw(st.integers(3, 4))
+    t_prime = draw(st.integers(0, 1))
+    x_prime = draw(st.integers(2, 3))
+    t = draw(st.integers(1, 4))
+    # choose n to satisfy the Section 5.5 head-room condition.
+    n = max(n_prime, (n_prime - t_prime) + t) + draw(st.integers(0, 1))
+    source_kind = draw(st.sampled_from(["tas", "splitter"]))
+    source_model = ASM(n, t, 2 if source_kind == "tas" else 1)
+    assume(colored_simulation_possible(source_model,
+                                       ASM(n_prime, t_prime, x_prime)))
+    return source_kind, n, t, n_prime, t_prime, x_prime
+
+
+@given(shape=colored_shapes(),
+       seed=st.integers(0, 10_000),
+       crash_seed=st.integers(0, 5))
+@settings(max_examples=25, deadline=None)
+def test_colored_simulation_distinctness(shape, seed, crash_seed):
+    source_kind, n, t, n_prime, t_prime, x_prime = shape
+    if source_kind == "tas":
+        source = RenamingFromTAS(n, t=t)
+    else:
+        source = SplitterGridRenaming(n)
+        source.resilience = t
+    sim = simulate_colored(source, n_prime=n_prime, t_prime=t_prime,
+                           x_prime=x_prime)
+    victims = list(range(min(t_prime, crash_seed)))
+    plan = CrashPlan.at_own_step({v: 4 + 5 * v for v in victims})
+    res = run_algorithm(sim, [None] * n_prime,
+                        adversary=SeededRandomAdversary(seed),
+                        crash_plan=plan, max_steps=30_000_000)
+    assert not res.out_of_steps
+    verdict = DistinctValuesTask().validate_run(
+        [None] * n_prime, res, require_liveness=False)
+    assert verdict.ok, verdict.explain()
+    # every correct simulator adopted a (distinct) simulated decision.
+    assert res.decided_pids == res.correct_pids, res.summary()

@@ -1,0 +1,88 @@
+"""Composition fuzzing: random pipelines of the paper's constructions.
+
+Hypothesis draws a random small source algorithm, a random legal chain
+of simulations (Section 3 / Section 4 / classic BG, possibly nested),
+a random crash plan within the final model's budget and a random
+schedule -- then asserts the source task's verdict on the composite.
+This exercises the machinery's composition surface far beyond the
+hand-written chains.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (GroupedKSetFromXCons, KSetReadWrite,
+                              run_algorithm)
+from repro.core import (bg_reduce, simulate_in_read_write,
+                        simulate_with_xcons)
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+
+@st.composite
+def pipelines(draw):
+    """(algorithm, task_k, description) with a legal random structure."""
+    kind = draw(st.sampled_from(["rw", "xcons"]))
+    if kind == "rw":
+        n = draw(st.integers(3, 5))
+        t = draw(st.integers(1, min(2, n - 2)))
+        k = t + 1
+        algo = KSetReadWrite(n=n, t=t, k=k)
+    else:
+        n = draw(st.integers(3, 5))
+        x = draw(st.integers(2, min(3, n)))
+        algo = GroupedKSetFromXCons(n=n, x=x)
+        k = algo.k
+    steps = draw(st.integers(0, 2))
+    desc = [algo.name]
+    for _ in range(steps):
+        model = algo.model()
+        choices = []
+        if model.x > 1:
+            choices.append("down")
+        if model.x == 1 and model.resilience_index >= 1 and model.n >= 3:
+            choices.append("bg")
+        # lifting: pick x2 and t2 with floor(t2/x2) <= current index
+        if model.n >= 3:
+            choices.append("up")
+        if not choices:       # e.g. after BG down to ASM(2, 1, 1)
+            break
+        move = draw(st.sampled_from(choices))
+        if move == "down":
+            algo = simulate_in_read_write(
+                algo, t=model.resilience_index)
+            desc.append(f"sec3->{algo.model()}")
+        elif move == "bg":
+            algo = bg_reduce(algo)
+            desc.append(f"bg->{algo.model()}")
+        else:
+            x2 = draw(st.integers(1, min(3, model.n)))
+            idx = model.resilience_index
+            t2_max = min(model.n - 1, idx * x2 + x2 - 1)
+            t2_min = 0
+            t2 = draw(st.integers(t2_min, t2_max))
+            if x2 == 1 and t2 > idx:
+                t2 = idx
+            if algo.resilience < t2 // x2:
+                continue
+            algo = simulate_with_xcons(algo, t_prime=t2, x=x2)
+            desc.append(f"sec4->{algo.model()}")
+    return algo, k, " | ".join(desc)
+
+
+@given(pipeline=pipelines(),
+       seed=st.integers(0, 10_000),
+       crash_fraction=st.floats(0, 1))
+@settings(max_examples=25, deadline=None)
+def test_random_pipeline_preserves_task(pipeline, seed, crash_fraction):
+    algo, k, desc = pipeline
+    model = algo.model()
+    budget = int(model.t * crash_fraction)
+    victims = {v: 3 + 4 * v for v in range(budget)}
+    res = run_algorithm(algo, list(range(algo.n)),
+                        adversary=SeededRandomAdversary(seed),
+                        crash_plan=CrashPlan.at_own_step(victims),
+                        max_steps=40_000_000)
+    assert not res.out_of_steps, desc
+    verdict = KSetAgreementTask(k).validate_run(list(range(algo.n)), res)
+    assert verdict.ok, f"{desc}: {verdict.explain()} | {res.summary()}"

@@ -1,0 +1,127 @@
+"""Algebraic properties of the floor(t/x) calculus (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (canonical, equivalence_classes, equivalent, in_band,
+                        kset_solvable, max_xcons_resilience,
+                        min_x_for_resilience, multiplicative_band,
+                        resilience_index, stronger, transfer_impossibility,
+                        useless_boost, x_band_for_index)
+from repro.model import ASM
+
+
+def models(max_n=40):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(0, n - 1),
+            st.integers(1, n),
+        )).map(lambda t: ASM(*t))
+
+
+class TestEquivalenceRelation:
+    @given(models())
+    def test_reflexive(self, m):
+        assert equivalent(m, m)
+
+    @given(models(), models())
+    def test_symmetric(self, m1, m2):
+        assert equivalent(m1, m2) == equivalent(m2, m1)
+
+    @given(models(), models(), models())
+    @settings(max_examples=200)
+    def test_transitive(self, m1, m2, m3):
+        if equivalent(m1, m2) and equivalent(m2, m3):
+            assert equivalent(m1, m3)
+
+    @given(models())
+    def test_canonical_is_equivalent_fixed_point(self, m):
+        c = canonical(m)
+        assert equivalent(m, c)
+        assert c.x == 1
+        assert canonical(c) == c
+
+    @given(models(), models())
+    def test_trichotomy(self, m1, m2):
+        assert (equivalent(m1, m2) + stronger(m1, m2) +
+                stronger(m2, m1)) == 1
+
+
+class TestBands:
+    @given(st.integers(0, 30), st.integers(1, 12), st.integers(0, 400))
+    def test_band_membership_is_index_equality(self, t, x, t_prime):
+        assert in_band(t_prime, t, x) == (resilience_index(t_prime, x) == t)
+
+    @given(st.integers(0, 30), st.integers(1, 12))
+    def test_band_width_is_x(self, t, x):
+        lo, hi = multiplicative_band(t, x)
+        assert hi - lo + 1 == x
+        assert lo == t * x
+
+    @given(st.integers(0, 60), st.integers(1, 60))
+    def test_x_band_covers_exactly_matching_x(self, t_prime, t):
+        band = x_band_for_index(t_prime, t)
+        for x in range(1, t_prime + 2):
+            matches = t_prime // x == t
+            if band is None:
+                assert not matches
+            else:
+                lo, hi = band
+                assert matches == (lo <= x <= hi)
+
+    @given(st.integers(0, 40), st.integers(1, 10), st.integers(0, 10))
+    def test_useless_boost_definition(self, t, x, dx):
+        assert useless_boost(t, x, dx) == \
+            (resilience_index(t, x) == resilience_index(t, x + dx))
+
+
+class TestPartitions:
+    @given(st.integers(2, 40).flatmap(
+        lambda n: st.tuples(st.just(n), st.integers(0, n - 1))))
+    def test_partition_is_exact_cover(self, nt):
+        n, t_prime = nt
+        covered = []
+        for cls in equivalence_classes(n, t_prime):
+            lo, hi = cls.x_range
+            assert lo <= hi
+            assert cls.index == t_prime // lo == t_prime // hi
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, n + 1))
+
+    @given(st.integers(2, 40).flatmap(
+        lambda n: st.tuples(st.just(n), st.integers(0, n - 1))))
+    def test_class_indices_strictly_decrease(self, nt):
+        n, t_prime = nt
+        indices = [c.index for c in equivalence_classes(n, t_prime)]
+        assert indices == sorted(indices, reverse=True)
+        assert len(set(indices)) == len(indices)
+
+
+class TestSolvabilityFrontier:
+    @given(models(), st.integers(1, 40))
+    def test_solvability_monotone_in_k(self, m, k):
+        if kset_solvable(m, k):
+            assert kset_solvable(m, k + 1)
+
+    @given(st.integers(1, 10), st.integers(1, 10))
+    def test_max_resilience_is_tight(self, k, x):
+        t_max = max_xcons_resilience(k, x)
+        n = t_max + 2
+        assert kset_solvable(ASM(n, t_max, x), k)
+        assert not kset_solvable(ASM(n + 1, t_max + 1, x), k)
+
+    @given(st.integers(1, 10), st.integers(0, 30))
+    def test_min_x_is_tight(self, k, t_prime):
+        x = min_x_for_resilience(k, t_prime)
+        n = max(t_prime + 1, x) + 1
+        assert kset_solvable(ASM(n, t_prime, x), k)
+        if x > 1:
+            assert not kset_solvable(ASM(n, t_prime, x - 1), k)
+
+    @given(models(), models())
+    def test_impossibility_transfer_is_contrapositive(self, m1, m2):
+        # impossibility transfers m1 -> m2 iff solvable tasks transfer
+        # m2 -> m1.
+        assert transfer_impossibility(m1, m2) == \
+            (m2.resilience_index >= m1.resilience_index)

@@ -1,0 +1,50 @@
+"""End-to-end simulation properties under random schedules and crashes.
+
+For random small instances of both theorems, the simulated task's safety
+must hold under EVERY schedule, and liveness whenever the crash count
+respects the target resilience.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (GroupedKSetFromXCons, KSetReadWrite,
+                              run_algorithm)
+from repro.core import simulate_in_read_write, simulate_with_xcons
+from repro.runtime import CrashPlan, SeededRandomAdversary
+from repro.tasks import KSetAgreementTask
+
+
+class TestTheorem1Properties:
+    @given(seed=st.integers(0, 100_000),
+           victims=st.sets(st.integers(0, 3), max_size=1),
+           steps=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_section3_simulation(self, seed, victims, steps):
+        src = GroupedKSetFromXCons(n=4, x=2)      # 2-set, t' = 3
+        sim = simulate_in_read_write(src, t=1)     # ASM(4, 1, 1)
+        plan = CrashPlan.at_own_step({v: steps for v in victims})
+        res = run_algorithm(sim, [10, 20, 30, 40],
+                            adversary=SeededRandomAdversary(seed),
+                            crash_plan=plan, max_steps=500_000)
+        assert not res.out_of_steps
+        verdict = KSetAgreementTask(2).validate_run([10, 20, 30, 40], res)
+        assert verdict.ok, f"{verdict.explain()} | {res.summary()}"
+
+
+class TestTheorem3Properties:
+    @given(seed=st.integers(0, 100_000),
+           victims=st.sets(st.integers(0, 4), max_size=3),
+           steps=st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_section4_simulation(self, seed, victims, steps):
+        src = KSetReadWrite(n=5, t=1, k=2)         # ASM(5, 1, 1)
+        sim = simulate_with_xcons(src, t_prime=3, x=2)  # ASM(5, 3, 2)
+        plan = CrashPlan.at_own_step(
+            {v: steps + 3 * i for i, v in enumerate(sorted(victims))})
+        res = run_algorithm(sim, [5, 4, 3, 2, 1],
+                            adversary=SeededRandomAdversary(seed),
+                            crash_plan=plan, max_steps=800_000)
+        assert not res.out_of_steps
+        verdict = KSetAgreementTask(2).validate_run([5, 4, 3, 2, 1], res)
+        assert verdict.ok, f"{verdict.explain()} | {res.summary()}"

@@ -1,0 +1,86 @@
+"""Adversary strategies: fairness, reproducibility, targeting."""
+
+import pytest
+
+from repro.runtime import (PriorityAdversary, RoundRobinAdversary,
+                           ScriptedAdversary, SeededRandomAdversary)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        adv = RoundRobinAdversary()
+        picks = [adv.pick([0, 1, 2], i) for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_disabled(self):
+        adv = RoundRobinAdversary()
+        assert adv.pick([0, 1, 2], 0) == 0
+        assert adv.pick([0, 2], 1) == 2  # 1 disabled, wrap past it
+        assert adv.pick([0, 2], 2) == 0
+
+    def test_reset(self):
+        adv = RoundRobinAdversary()
+        adv.pick([0, 1], 0)
+        adv.reset()
+        assert adv.pick([0, 1], 0) == 0
+
+    def test_fairness_window(self):
+        adv = RoundRobinAdversary()
+        enabled = [0, 1, 2, 3]
+        picks = [adv.pick(enabled, i) for i in range(8)]
+        # every process scheduled within any window of len(enabled).
+        for start in range(4):
+            assert set(picks[start:start + 4]) == set(enabled)
+
+
+class TestSeededRandom:
+    def test_reproducible(self):
+        a, b = SeededRandomAdversary(5), SeededRandomAdversary(5)
+        enabled = list(range(4))
+        assert [a.pick(enabled, i) for i in range(50)] == \
+            [b.pick(enabled, i) for i in range(50)]
+
+    def test_reset_replays(self):
+        adv = SeededRandomAdversary(5)
+        first = [adv.pick([0, 1, 2], i) for i in range(20)]
+        adv.reset()
+        assert [adv.pick([0, 1, 2], i) for i in range(20)] == first
+
+    def test_different_seeds_differ(self):
+        enabled = list(range(5))
+        seq = {seed: tuple(SeededRandomAdversary(seed).pick(enabled, i)
+                           for i in range(30))
+               for seed in (1, 2)}
+        assert seq[1] != seq[2]
+
+    def test_only_enabled_picked(self):
+        adv = SeededRandomAdversary(9)
+        for i in range(100):
+            assert adv.pick([3, 7], i) in (3, 7)
+
+
+class TestPriority:
+    def test_prefers_listed(self):
+        adv = PriorityAdversary([2, 0])
+        assert adv.pick([0, 1, 2], 0) == 2
+        assert adv.pick([0, 1], 1) == 0
+        assert adv.pick([1], 2) == 1  # falls back
+
+    def test_fallback_round_robin(self):
+        adv = PriorityAdversary([])
+        assert [adv.pick([0, 1], i) for i in range(4)] == [0, 1, 0, 1]
+
+
+class TestScripted:
+    def test_replays_script(self):
+        adv = ScriptedAdversary([1, 1, 0])
+        assert [adv.pick([0, 1], i) for i in range(3)] == [1, 1, 0]
+
+    def test_skips_disabled_script_entries(self):
+        adv = ScriptedAdversary([1, 0])
+        assert adv.pick([0], 0) == 0  # 1 not enabled: skip to 0
+
+    def test_falls_back_after_script(self):
+        adv = ScriptedAdversary([1])
+        adv.pick([0, 1], 0)
+        assert adv.pick([0, 1], 1) in (0, 1)

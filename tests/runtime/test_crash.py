@@ -1,0 +1,73 @@
+"""Crash plans and crash points."""
+
+import pytest
+
+from repro.runtime import CrashPlan, CrashPoint, Invocation, op_on
+
+
+class TestCrashPoint:
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError):
+            CrashPoint()
+        with pytest.raises(ValueError):
+            CrashPoint(own_step=1, before_matching=lambda inv: True)
+
+    def test_own_step_is_one_based(self):
+        with pytest.raises(ValueError):
+            CrashPoint(own_step=0)
+        point = CrashPoint(own_step=1)
+        assert point.should_crash(0, Invocation("m", "w", ()))
+
+    def test_own_step_boundary(self):
+        point = CrashPoint(own_step=3)
+        assert not point.should_crash(0, None)
+        assert not point.should_crash(1, None)
+        assert point.should_crash(2, None)
+
+    def test_predicate_occurrence(self):
+        point = CrashPoint(before_matching=op_on("mem", "write"),
+                           occurrence=2)
+        w = Invocation("mem", "write", (0, 1))
+        s = Invocation("mem", "snapshot", ())
+        assert not point.should_crash(0, w)   # first match
+        assert not point.should_crash(1, s)   # non-match
+        assert point.should_crash(2, w)       # second match
+
+    def test_occurrence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CrashPoint(before_matching=lambda inv: True, occurrence=0)
+
+
+class TestCrashPlan:
+    def test_none_plan_is_empty(self):
+        assert len(CrashPlan.none()) == 0
+        assert not CrashPlan.none().should_crash(0, 0, None)
+
+    def test_initially_dead(self):
+        plan = CrashPlan.initially_dead([1, 3])
+        assert plan.victims == {1, 3}
+        assert plan.should_crash(1, 0, None)
+        assert not plan.should_crash(0, 0, None)
+
+    def test_merge_disjoint(self):
+        merged = CrashPlan.initially_dead([0]).merge(
+            CrashPlan.initially_dead([1]))
+        assert merged.victims == {0, 1}
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError):
+            CrashPlan.initially_dead([0]).merge(
+                CrashPlan.initially_dead([0]))
+
+    def test_add_duplicate_raises(self):
+        plan = CrashPlan.initially_dead([0])
+        with pytest.raises(ValueError):
+            plan.add(0, CrashPoint(own_step=2))
+
+    def test_op_on_predicate(self):
+        pred = op_on("mem")
+        assert pred(Invocation("mem", "write", ()))
+        assert pred(Invocation("mem", "snapshot", ()))
+        assert not pred(Invocation("other", "write", ()))
+        pred2 = op_on("mem", "write")
+        assert not pred2(Invocation("mem", "snapshot", ()))

@@ -1,0 +1,94 @@
+"""ProcessHandle lifecycle mechanics."""
+
+import pytest
+
+from repro.runtime import Invocation, NO_DECISION, ProcessStatus
+from repro.runtime.process import ProcessHandle, describe_pending
+from repro.runtime.ops import SpinOp
+
+
+def gen_two_ops():
+    yield Invocation("a", "read", ())
+    got = yield Invocation("b", "read", ())
+    return got
+
+
+class TestAdvance:
+    def test_first_advance_yields_first_op(self):
+        handle = ProcessHandle(0, gen_two_ops())
+        op = handle.advance()
+        assert op == Invocation("a", "read", ())
+        assert handle.pending is op
+        assert handle.alive
+
+    def test_inbox_flows_into_generator(self):
+        handle = ProcessHandle(0, gen_two_ops())
+        handle.advance()
+        handle.inbox = None
+        handle.advance()
+        handle.inbox = "result!"
+        assert handle.advance() is None
+        assert handle.decision == "result!"
+        assert handle.status is ProcessStatus.DECIDED
+        assert handle.decided
+
+    def test_none_return_is_no_decision(self):
+        def gen():
+            yield Invocation("a", "read", ())
+
+        handle = ProcessHandle(0, gen())
+        handle.advance()
+        handle.advance()
+        assert handle.status is ProcessStatus.DECIDED
+        assert handle.decision is NO_DECISION
+        assert not handle.decided
+
+    def test_exception_marks_failed_and_reraises(self):
+        def gen():
+            yield Invocation("a", "read", ())
+            raise RuntimeError("boom")
+
+        handle = ProcessHandle(0, gen())
+        handle.advance()
+        with pytest.raises(RuntimeError, match="boom"):
+            handle.advance()
+        assert handle.status is ProcessStatus.FAILED
+        assert handle.error is not None
+        assert not handle.alive
+
+
+class TestTerminalTransitions:
+    def test_crash_closes_generator(self):
+        closed = []
+
+        def gen():
+            try:
+                yield Invocation("a", "read", ())
+            finally:
+                closed.append(True)
+
+        handle = ProcessHandle(0, gen())
+        handle.advance()
+        handle.crash()
+        assert handle.status is ProcessStatus.CRASHED
+        assert closed == [True]
+        assert handle.pending is None
+
+    def test_mark_blocked(self):
+        handle = ProcessHandle(0, gen_two_ops())
+        handle.advance()
+        handle.mark_blocked()
+        assert handle.status is ProcessStatus.BLOCKED
+        assert not handle.alive
+
+
+class TestDescribePending:
+    def test_invocation(self):
+        assert "a.read()" in describe_pending(Invocation("a", "read", ()))
+
+    def test_spin(self):
+        op = SpinOp(Invocation("a", "read", ()), lambda v: True, 2)
+        assert "spin" in describe_pending(op)
+
+    def test_unknown(self):
+        assert "non-schedulable" in describe_pending(42)

@@ -1,0 +1,92 @@
+"""RunResult queries and the run harness."""
+
+import pytest
+
+from repro.memory import BOTTOM, ObjectStore, SnapshotObject
+from repro.runtime import (CrashPlan, ObjectProxy, ProcessStatus,
+                           run_processes)
+from repro.runtime.ops import wait_until
+
+MEM = ObjectProxy("mem")
+
+
+def store3():
+    store = ObjectStore()
+    store.add(SnapshotObject("mem", 3))
+    return store
+
+
+def decider(pid, value):
+    yield MEM.write(pid, value)
+    return value
+
+
+def blocker(pid):
+    yield from wait_until(lambda: MEM.snapshot(),
+                          lambda s: s[2] == "never")
+
+
+class TestRunResult:
+    def test_decided_queries(self):
+        res = run_processes({0: decider(0, "a"), 1: decider(1, "b")},
+                            store3())
+        assert res.decided_pids == {0, 1}
+        assert res.decided_values == {"a", "b"}
+        assert res.all_correct_decided()
+
+    def test_crash_queries(self):
+        res = run_processes({0: decider(0, "a"), 1: decider(1, "b")},
+                            store3(),
+                            crash_plan=CrashPlan.initially_dead([1]))
+        assert res.crashed_pids == {1}
+        assert res.correct_pids == {0}
+        assert res.all_correct_decided()
+
+    def test_blocked_queries(self):
+        res = run_processes({0: blocker(0)}, store3())
+        assert res.blocked_pids == {0}
+        assert not res.all_correct_decided()
+        assert res.deadlocked
+
+    def test_running_after_budget(self):
+        def spinner(pid):
+            while True:
+                yield MEM.write(pid, pid)
+
+        res = run_processes({0: spinner(0)}, store3(), max_steps=10)
+        assert res.running_pids == {0}
+        assert res.out_of_steps
+        assert not res.all_correct_decided()
+
+    def test_summary_mentions_everything(self):
+        res = run_processes({0: decider(0, "a"), 1: blocker(1),
+                             2: decider(2, "c")},
+                            store3(),
+                            crash_plan=CrashPlan.initially_dead([2]))
+        text = res.summary()
+        assert "decided=" in text
+        assert "crashed=[2]" in text
+        assert "blocked=[1]" in text
+        assert "DEADLOCK" in text
+
+    def test_store_attached(self):
+        res = run_processes({0: decider(0, "a")}, store3())
+        assert res.store["mem"].entries[0] == "a"
+
+    def test_trace_optional(self):
+        res = run_processes({0: decider(0, "a")}, store3())
+        assert res.trace is None
+        res = run_processes({0: decider(0, "a")}, store3(),
+                            record_trace=True)
+        assert len(res.trace) > 0
+
+
+class TestStatuses:
+    def test_status_partition(self):
+        res = run_processes({0: decider(0, 1), 1: blocker(1),
+                             2: decider(2, 3)},
+                            store3(),
+                            crash_plan=CrashPlan.initially_dead([2]))
+        assert res.statuses[0] is ProcessStatus.DECIDED
+        assert res.statuses[1] is ProcessStatus.BLOCKED
+        assert res.statuses[2] is ProcessStatus.CRASHED

@@ -1,0 +1,241 @@
+"""Scheduler semantics: atomic steps, crashes, spins, deadlock detection."""
+
+import pytest
+
+from repro.memory import BOTTOM, ObjectStore, SnapshotObject
+from repro.runtime import (CrashPlan, Invocation, ObjectProxy, ProcessStatus,
+                           RoundRobinAdversary, ScheduleError,
+                           SeededRandomAdversary, run_processes)
+from repro.runtime.ops import LocalOp, wait_until
+
+MEM = ObjectProxy("mem")
+
+
+def fresh_store(n=3):
+    store = ObjectStore()
+    store.add(SnapshotObject("mem", n))
+    return store
+
+
+def writer_then_count(pid, n):
+    yield MEM.write(pid, pid * 10)
+    snap = yield MEM.snapshot()
+    return sum(1 for e in snap if e is not BOTTOM)
+
+
+class TestBasicExecution:
+    def test_all_processes_decide(self):
+        res = run_processes({i: writer_then_count(i, 3) for i in range(3)},
+                            fresh_store())
+        assert res.decided_pids == {0, 1, 2}
+        assert not res.deadlocked and not res.out_of_steps
+
+    def test_step_counting(self):
+        res = run_processes({0: writer_then_count(0, 3)}, fresh_store())
+        assert res.steps == 2  # one write + one snapshot
+
+    def test_decision_value_is_generator_return(self):
+        def prog(pid):
+            yield MEM.write(pid, "v")
+            return "decided!"
+        res = run_processes({0: prog(0)}, fresh_store())
+        assert res.decisions[0] == "decided!"
+
+    def test_process_without_ops_decides_immediately(self):
+        def prog():
+            return 42
+            yield  # pragma: no cover
+        res = run_processes({0: prog()}, fresh_store())
+        assert res.decisions[0] == 42
+        assert res.steps == 0
+
+    def test_round_robin_interleaving_is_deterministic(self):
+        runs = [run_processes({i: writer_then_count(i, 3)
+                               for i in range(3)}, fresh_store(),
+                              adversary=RoundRobinAdversary(),
+                              record_trace=True)
+                for _ in range(2)]
+        assert [e.pid for e in runs[0].trace.steps()] == \
+            [e.pid for e in runs[1].trace.steps()]
+
+    def test_seeded_adversary_is_reproducible(self):
+        results = [run_processes({i: writer_then_count(i, 3)
+                                  for i in range(3)}, fresh_store(),
+                                 adversary=SeededRandomAdversary(99),
+                                 record_trace=True)
+                   for _ in range(2)]
+        assert [e.pid for e in results[0].trace.events] == \
+            [e.pid for e in results[1].trace.events]
+
+
+class TestCrashes:
+    def test_initially_dead_takes_no_step(self):
+        res = run_processes({0: writer_then_count(0, 3),
+                             1: writer_then_count(1, 3)},
+                            fresh_store(),
+                            crash_plan=CrashPlan.initially_dead([0]))
+        assert res.statuses[0] is ProcessStatus.CRASHED
+        assert res.decisions[1] == 1  # saw only its own write
+
+    def test_crash_after_first_step(self):
+        res = run_processes({0: writer_then_count(0, 3),
+                             1: writer_then_count(1, 3)},
+                            fresh_store(),
+                            crash_plan=CrashPlan.at_own_step({0: 2}))
+        # p0 wrote, then crashed before its snapshot.
+        assert res.statuses[0] is ProcessStatus.CRASHED
+        assert res.decisions[1] == 2  # p1 saw both writes (round robin)
+
+    def test_crash_before_matching_operation(self):
+        from repro.runtime import op_on
+        plan = CrashPlan.before_operation(0, op_on("mem", "snapshot"))
+        res = run_processes({0: writer_then_count(0, 3)}, fresh_store(),
+                            crash_plan=plan)
+        assert res.statuses[0] is ProcessStatus.CRASHED
+        assert res.store["mem"].entries[0] == 0  # the write happened
+
+
+class TestSpins:
+    def test_spin_satisfied_by_other_process(self):
+        def waiter(pid):
+            snap = yield from wait_until(
+                lambda: MEM.snapshot(), lambda s: s[1] is not BOTTOM)
+            return snap[1]
+
+        def writer(pid):
+            yield MEM.write(pid, "late")
+            return "w"
+
+        res = run_processes({0: waiter(0), 1: writer(1)}, fresh_store())
+        assert res.decisions[0] == "late"
+
+    def test_unsatisfiable_spin_is_detected_as_deadlock(self):
+        def waiter(pid):
+            yield from wait_until(lambda: MEM.snapshot(),
+                                  lambda s: s[2] == "never")
+
+        res = run_processes({0: waiter(0)}, fresh_store())
+        assert res.deadlocked
+        assert res.statuses[0] is ProcessStatus.BLOCKED
+
+    def test_deadlock_after_crash_of_needed_writer(self):
+        def waiter(pid):
+            snap = yield from wait_until(
+                lambda: MEM.snapshot(), lambda s: s[1] is not BOTTOM)
+            return snap
+
+        def writer(pid):
+            yield MEM.write(pid, "x")
+
+        res = run_processes({0: waiter(0), 1: writer(1)}, fresh_store(),
+                            crash_plan=CrashPlan.initially_dead([1]))
+        assert res.deadlocked
+        assert res.blocked_pids == {0}
+
+    def test_spin_with_period_respects_longer_cycles(self):
+        # A process alternating two conditions must not be retired before
+        # both were re-checked: period=2 keeps it alive until the write.
+        from repro.runtime.ops import SPIN_FAILED, SpinOp
+
+        def alternating(pid):
+            while True:
+                r = yield SpinOp(MEM.snapshot(),
+                                 lambda s: s[1] == "a", period=2)
+                if r is not SPIN_FAILED:
+                    return "via-a"
+                r = yield SpinOp(MEM.snapshot(),
+                                 lambda s: s[1] == "b", period=2)
+                if r is not SPIN_FAILED:
+                    return "via-b"
+
+        def writer(pid):
+            for _ in range(6):   # dawdle to let the waiter spin a while
+                yield MEM.snapshot()
+            yield MEM.write(pid, "b")
+
+        res = run_processes({0: alternating(0), 1: writer(1)},
+                            fresh_store())
+        assert res.decisions[0] == "via-b"
+
+    def test_spin_on_mutating_operation_rejected(self):
+        from repro.runtime.ops import SpinOp
+
+        def bad(pid):
+            yield SpinOp(MEM.write(pid, 1), lambda _: True)
+
+        with pytest.raises(ScheduleError):
+            run_processes({0: bad(0)}, fresh_store())
+
+
+class TestErrors:
+    def test_local_op_leak_is_an_error(self):
+        class Dummy(LocalOp):
+            pass
+
+        def bad(pid):
+            yield Dummy()
+
+        with pytest.raises(ScheduleError):
+            run_processes({0: bad(0)}, fresh_store())
+
+    def test_unknown_yield_is_an_error(self):
+        def bad(pid):
+            yield 12345
+
+        with pytest.raises(ScheduleError):
+            run_processes({0: bad(0)}, fresh_store())
+
+    def test_process_exception_propagates(self):
+        def bad(pid):
+            yield MEM.write(pid, 1)
+            raise ValueError("bug in process code")
+
+        with pytest.raises(ValueError, match="bug in process code"):
+            run_processes({0: bad(0)}, fresh_store())
+
+    def test_out_of_steps_flagged(self):
+        def spinner(pid):
+            while True:
+                yield MEM.write(pid, pid)
+
+        res = run_processes({0: spinner(0)}, fresh_store(), max_steps=50)
+        assert res.out_of_steps
+        assert res.statuses[0] is ProcessStatus.RUNNING
+
+
+class TestSpinChainReset:
+    def test_own_real_step_breaks_the_spin_chain(self):
+        """Regression: a process alternating failed spins with *read-only*
+        real steps is not stuck -- the detector must not retire it.  (A BG
+        simulator interleaves blocked threads' spins with a live thread's
+        propose steps; see tests/integration/test_theorem_matrices.py for
+        the end-to-end shape that exposed this.)"""
+        from repro.runtime.ops import SPIN_FAILED, SpinOp
+
+        progress = {"count": 0}
+
+        def mixed(pid):
+            # period=2 so two consecutive failures would retire us.
+            while progress["count"] < 3:
+                r = yield SpinOp(MEM.snapshot(), lambda s: False, period=2)
+                assert r is SPIN_FAILED
+                yield MEM.snapshot()           # real read-only step
+                progress["count"] += 1
+            yield MEM.write(pid, "done")       # real progress exists
+            return "finished"
+
+        res = run_processes({0: mixed(0)}, fresh_store())
+        assert res.decisions[0] == "finished"
+        assert not res.deadlocked
+
+    def test_pure_spinner_with_period_still_retired(self):
+        from repro.runtime.ops import SPIN_FAILED, SpinOp
+
+        def spinner(pid):
+            while True:
+                r = yield SpinOp(MEM.snapshot(), lambda s: False, period=2)
+                assert r is SPIN_FAILED
+
+        res = run_processes({0: spinner(0)}, fresh_store())
+        assert res.deadlocked
+        assert res.statuses[0] is ProcessStatus.BLOCKED

@@ -1,0 +1,57 @@
+"""Event traces: recording, querying, rendering."""
+
+from repro.memory import ObjectStore, SnapshotObject
+from repro.runtime import (CrashPlan, EventKind, ObjectProxy, Trace,
+                           run_processes)
+
+MEM = ObjectProxy("mem")
+
+
+def simple_run(record_trace=True):
+    def prog(pid):
+        yield MEM.write(pid, pid)
+        snap = yield MEM.snapshot()
+        return snap[pid]
+
+    store = ObjectStore()
+    store.add(SnapshotObject("mem", 2))
+    return run_processes({0: prog(0), 1: prog(1)}, store,
+                         crash_plan=CrashPlan.initially_dead([1]),
+                         record_trace=record_trace)
+
+
+class TestTrace:
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.record(EventKind.STEP, 0)
+        assert len(trace) == 0
+
+    def test_run_without_trace_has_none(self):
+        assert simple_run(record_trace=False).trace is None
+
+    def test_events_in_order_with_indices(self):
+        res = simple_run()
+        indices = [e.index for e in res.trace]
+        assert indices == sorted(indices)
+
+    def test_queries(self):
+        res = simple_run()
+        trace = res.trace
+        assert len(trace.crashes()) == 1
+        assert trace.crashes()[0].pid == 1
+        assert len(trace.decisions()) == 1
+        assert all(e.pid == 0 for e in trace.by_pid(0))
+        assert all(e.invocation.obj == "mem"
+                   for e in trace.on_object("mem"))
+        assert len(trace.steps()) == 2  # p0's write + snapshot
+
+    def test_render_truncates(self):
+        res = simple_run()
+        out = res.trace.render(limit=1)
+        assert "more events" in out
+
+    def test_reprs_cover_kinds(self):
+        res = simple_run()
+        text = res.trace.render()
+        assert "decides" in text
+        assert "crash" in text

@@ -1,0 +1,90 @@
+"""The synchronous round engine."""
+
+import pytest
+
+from repro.memory.store import ObjectStore
+from repro.sync import SyncAlgorithm, SyncCrash, SyncPhase, run_sync
+
+
+class EchoAll(SyncAlgorithm):
+    """Every round, broadcast own state; state becomes the received map.
+    Lets tests observe delivery semantics directly."""
+
+    def __init__(self, n, rounds=1):
+        self.n = n
+        self.rounds = rounds
+
+    def build_store(self):
+        return ObjectStore()
+
+    def initial_state(self, pid, value):
+        return value
+
+    def message(self, pid, state, r):
+        return (pid, r)
+
+    def update(self, pid, state, r, received):
+        return received
+
+    def decide(self, pid, state):
+        return state
+
+
+class TestDelivery:
+    def test_full_delivery_without_crashes(self):
+        res = run_sync(EchoAll(3), ["a", "b", "c"])
+        for pid, inbox in res.decisions.items():
+            assert set(inbox) == {0, 1, 2}
+            assert inbox[1] == (1, 0)
+
+    def test_before_objects_crash_is_silent(self):
+        crashes = [SyncCrash(0, 0, SyncPhase.BEFORE_OBJECTS)]
+        res = run_sync(EchoAll(3), ["a", "b", "c"], crashes)
+        assert res.crashed == {0}
+        for inbox in res.decisions.values():
+            assert 0 not in inbox
+
+    def test_before_broadcast_crash_is_silent(self):
+        crashes = [SyncCrash(0, 0, SyncPhase.BEFORE_BROADCAST)]
+        res = run_sync(EchoAll(3), ["a", "b", "c"], crashes)
+        for inbox in res.decisions.values():
+            assert 0 not in inbox
+
+    def test_partial_broadcast_reaches_exactly_the_subset(self):
+        crashes = [SyncCrash(0, 0, SyncPhase.DURING_BROADCAST,
+                             delivered_to=frozenset({2}))]
+        res = run_sync(EchoAll(3), ["a", "b", "c"], crashes)
+        assert 0 not in res.decisions[1]
+        assert res.decisions[2][0] == (0, 0)
+
+    def test_crashed_process_takes_no_further_rounds(self):
+        crashes = [SyncCrash(0, 0, SyncPhase.DURING_BROADCAST)]
+        res = run_sync(EchoAll(3, rounds=2), ["a", "b", "c"], crashes)
+        for inbox in res.decisions.values():
+            assert 0 not in inbox          # round-1 inbox has no p0
+
+    def test_crash_in_later_round_only(self):
+        crashes = [SyncCrash(1, 1, SyncPhase.BEFORE_OBJECTS)]
+        res = run_sync(EchoAll(3, rounds=2), ["a", "b", "c"], crashes)
+        assert res.crashed == {1}
+        assert 1 not in res.decisions
+
+
+class TestValidation:
+    def test_input_length_checked(self):
+        with pytest.raises(ValueError):
+            run_sync(EchoAll(3), ["a"])
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(ValueError):
+            run_sync(EchoAll(3), ["a", "b", "c"],
+                     [SyncCrash(0, 0), SyncCrash(0, 1)])
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            SyncCrash(0, -1)
+
+    def test_deterministic_given_seed(self):
+        runs = [run_sync(EchoAll(4, rounds=2), list("abcd"), seed=5)
+                for _ in range(2)]
+        assert runs[0].decisions == runs[1].decisions

@@ -1,0 +1,112 @@
+"""Synchronous k-set agreement in MRT-optimal rounds."""
+
+import itertools
+
+import pytest
+
+from repro.sync import SyncCrash, SyncKSetMRT, SyncPhase, committee_size, \
+    mrt_rounds, run_sync
+
+
+def worst_case_crashes(algo):
+    """Spend the full budget t ruining whole committees (d crashes per
+    ruined round) -- the adversary strategy behind the lower bound."""
+    crashes = []
+    budget = algo.t
+    r = 0
+    while budget >= algo.d and r < algo.rounds:
+        for victim in algo.committee(r):
+            crashes.append(SyncCrash(victim, r,
+                                     SyncPhase.BEFORE_OBJECTS))
+        budget -= algo.d
+        r += 1
+    # leftover crashes: partial sabotage of the next committee.
+    for victim in algo.committee(r)[:budget]:
+        crashes.append(SyncCrash(victim, r, SyncPhase.DURING_BROADCAST,
+                                 delivered_to=frozenset({victim + 1})))
+    return crashes
+
+
+class TestFormulas:
+    def test_committee_size(self):
+        assert committee_size(k=2, m=2, ell=1) == 4
+        assert committee_size(k=3, m=2, ell=2) == 2 + 1
+        assert committee_size(k=1, m=3, ell=1) == 3
+        assert committee_size(k=2, m=1, ell=1) == 2
+
+    def test_rounds_match_mrt_closed_form(self):
+        from repro.core import mrt_sync_rounds
+        for t, k, m, ell in itertools.product(
+                range(0, 8), (1, 2, 3), (1, 2, 3), (1, 2)):
+            if ell > min(k, m):
+                continue
+            assert mrt_rounds(t, k, m, ell) == \
+                mrt_sync_rounds(t, k, m, ell)
+
+    def test_needs_disjoint_committees(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            SyncKSetMRT(n=4, t=4, k=1, m=1, ell=1)  # needs n >= 4+1
+
+    def test_ell_at_most_m(self):
+        with pytest.raises(ValueError):
+            SyncKSetMRT(n=9, t=1, k=2, m=1, ell=2)
+
+
+CASES = [
+    # (n, t, k, m, ell)
+    (8, 3, 2, 1, 1),      # classic k-set: rounds = 3//2+1 = 2
+    (9, 4, 1, 2, 1),      # consensus with 2-consensus objects: 3 rounds
+    (10, 4, 2, 2, 1),     # d=4: 2 rounds
+    (9, 3, 2, 2, 2),      # (2,2) objects are trivial; d=2+0... k//l=1
+    (12, 5, 3, 2, 2),     # d = 2*1 + 1 = 3: 2 rounds
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,t,k,m,ell", CASES)
+    def test_failure_free(self, n, t, k, m, ell):
+        algo = SyncKSetMRT(n, t, k, m, ell)
+        res = run_sync(algo, list(range(n)))
+        assert len(res.decided_values) <= k
+        assert res.decided_values <= set(range(n))
+        assert set(res.decisions) == set(range(n))
+
+    @pytest.mark.parametrize("n,t,k,m,ell", CASES)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_worst_case_adversary(self, n, t, k, m, ell, seed):
+        algo = SyncKSetMRT(n, t, k, m, ell)
+        crashes = worst_case_crashes(algo)
+        assert len(crashes) <= t
+        res = run_sync(algo, list(range(n)), crashes, seed=seed)
+        assert len(res.decided_values) <= k, (
+            f"{algo.name}: {sorted(res.decided_values)}")
+        assert res.decided_values <= set(range(n))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scattered_partial_crashes(self, seed):
+        import random
+        rng = random.Random(seed)
+        algo = SyncKSetMRT(n=10, t=4, k=2, m=2, ell=1)
+        victims = rng.sample(range(10), 4)
+        crashes = []
+        for v in victims:
+            r = rng.randrange(algo.rounds)
+            subset = frozenset(rng.sample(range(10),
+                                          rng.randrange(0, 10)))
+            crashes.append(SyncCrash(v, r, SyncPhase.DURING_BROADCAST,
+                                     delivered_to=subset))
+        res = run_sync(algo, list(range(10)), crashes, seed=seed)
+        assert len(res.decided_values) <= 2
+        assert res.decided_values <= set(range(10))
+
+    def test_round_count_is_tight_downward(self):
+        """One round fewer than MRT lets the adversary force > k values:
+        the algorithm's round count is not slack."""
+        algo = SyncKSetMRT(n=10, t=4, k=2, m=2, ell=1)   # 2 rounds
+        algo.rounds = 1                                   # cheat: 1 round
+        # ruin the single round completely: silence its whole committee.
+        crashes = [SyncCrash(v, 0, SyncPhase.BEFORE_OBJECTS)
+                   for v in algo.committee(0)]
+        res = run_sync(algo, list(range(10)), crashes)
+        # nobody heard anything: everyone keeps its own input -> 6 values.
+        assert len(res.decided_values) > 2

@@ -1,0 +1,86 @@
+"""Task specifications and run validation."""
+
+import pytest
+
+from repro.algorithms import KSetReadWrite, run_algorithm
+from repro.runtime import CrashPlan
+from repro.tasks import (ConsensusTask, DistinctValuesTask,
+                         KSetAgreementTask, RenamingTask)
+
+
+class TestKSetAgreementTask:
+    def test_valid_outputs_pass(self):
+        task = KSetAgreementTask(2)
+        assert not task.check_outputs([1, 2, 3], {0: 1, 1: 2, 2: 1})
+
+    def test_too_many_values_fail(self):
+        task = KSetAgreementTask(2)
+        violations = task.check_outputs([1, 2, 3], {0: 1, 1: 2, 2: 3})
+        assert any("agreement" in v for v in violations)
+
+    def test_non_proposed_value_fails(self):
+        task = KSetAgreementTask(2)
+        violations = task.check_outputs([1, 2, 3], {0: 99})
+        assert any("validity" in v for v in violations)
+
+    def test_consensus_is_one_set(self):
+        task = ConsensusTask()
+        assert task.k == 1
+        assert task.colorless
+        assert task.set_consensus_number == 1
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KSetAgreementTask(0)
+
+    def test_validate_run_liveness(self):
+        algo = KSetReadWrite(n=3, t=1, k=2)
+        res = run_algorithm(algo, [5, 6, 7],
+                            crash_plan=CrashPlan.initially_dead([1]))
+        task = KSetAgreementTask(2)
+        verdict = task.validate_run([5, 6, 7], res)
+        assert verdict.ok
+        assert bool(verdict)
+        assert verdict.explain() == "ok"
+
+    def test_validate_run_reports_undecided(self):
+        algo = KSetReadWrite(n=3, t=1, k=2)
+        # over-crash: 2 crashes against t=1 -> survivors block.
+        res = run_algorithm(algo, [5, 6, 7],
+                            crash_plan=CrashPlan.initially_dead([0, 1]),
+                            enforce_model=False)
+        task = KSetAgreementTask(2)
+        verdict = task.validate_run([5, 6, 7], res)
+        assert not verdict.ok
+        assert verdict.undecided_correct == {2}
+        # without the liveness requirement the (empty) outputs are safe.
+        assert task.validate_run([5, 6, 7], res,
+                                 require_liveness=False).ok
+
+
+class TestColoredTasks:
+    def test_renaming_distinctness(self):
+        task = RenamingTask(3)
+        assert not task.check_outputs([None] * 3, {0: 0, 1: 2, 2: 1})
+        violations = task.check_outputs([None] * 3, {0: 0, 1: 0})
+        assert any("distinctness" in v for v in violations)
+
+    def test_renaming_namespace(self):
+        task = RenamingTask(3, namespace=5)
+        violations = task.check_outputs([None] * 3, {0: 5})
+        assert violations
+        assert not task.check_outputs([None] * 3, {0: 4})
+
+    def test_renaming_validation(self):
+        with pytest.raises(ValueError):
+            RenamingTask(0)
+        with pytest.raises(ValueError):
+            RenamingTask(3, namespace=2)
+
+    def test_renaming_is_colored(self):
+        assert not RenamingTask(3).colorless
+
+    def test_distinct_values(self):
+        task = DistinctValuesTask()
+        assert not task.check_outputs([], {0: "a", 1: "b"})
+        assert task.check_outputs([], {0: "a", 1: "a"})

@@ -1,0 +1,48 @@
+"""The benchmark harness helpers (benchmarks/harness.py)."""
+
+import os
+
+from benchmarks.harness import (RESULTS_DIR, cost_row, header, run_once,
+                                write_report)
+from repro.algorithms import KSetReadWrite
+from repro.runtime import CrashPlan
+
+
+class TestHarness:
+    def test_run_once_seeded(self):
+        algo = KSetReadWrite(n=3, t=1, k=2)
+        res = run_once(algo, [1, 2, 3], seed=5)
+        assert res.decided_pids == {0, 1, 2}
+
+    def test_run_once_round_robin(self):
+        algo = KSetReadWrite(n=3, t=1, k=2)
+        a = run_once(algo, [1, 2, 3], seed=None)
+        b = run_once(algo, [1, 2, 3], seed=None)
+        assert a.decisions == b.decisions
+
+    def test_run_once_with_crash_plan(self):
+        algo = KSetReadWrite(n=3, t=1, k=2)
+        res = run_once(algo, [1, 2, 3],
+                       crash_plan=CrashPlan.initially_dead([0]))
+        assert res.crashed_pids == {0}
+
+    def test_header_shape(self):
+        lines = header("Title", "sub1", "sub2")
+        assert lines[0] == "Title"
+        assert lines[1] == "=" * 5
+        assert lines[2:4] == ["sub1", "sub2"]
+        assert lines[-1] == ""
+
+    def test_cost_row_format(self):
+        algo = KSetReadWrite(n=3, t=1, k=2)
+        res = run_once(algo, [1, 2, 3])
+        row = cost_row("label", res)
+        assert row.startswith("label")
+        assert "steps=" in row
+
+    def test_write_report_roundtrip(self):
+        path = write_report("_harness_selftest", ["line1", "line2"])
+        assert path.startswith(RESULTS_DIR)
+        with open(path) as handle:
+            assert handle.read() == "line1\nline2\n"
+        os.remove(path)

@@ -1,0 +1,40 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_classes(self, capsys):
+        assert main(["classes", "12", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ASM(n, 4, 1)" in out
+        assert "9 <= x <= 12" in out
+
+    def test_band(self, capsys):
+        assert main(["band", "2", "3"]) == 0
+        assert "6 <= t' <= 8" in capsys.readouterr().out
+
+    def test_solve_possible_runs_construction(self, capsys):
+        assert main(["solve", "5", "3", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SOLVABLE" in out
+        assert "task verdict: ok" in out
+
+    def test_solve_impossible_exits_nonzero(self, capsys):
+        assert main(["solve", "6", "5", "2", "2"]) == 1
+        assert "IMPOSSIBLE" in capsys.readouterr().out
+
+    def test_solve_read_write_case(self, capsys):
+        assert main(["solve", "5", "1", "1", "2"]) == 0
+        assert "SOLVABLE" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "preserved" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

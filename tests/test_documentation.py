@@ -1,0 +1,81 @@
+"""Documentation deliverable enforcement.
+
+Every public module, class and function of the library must carry a
+docstring -- checked mechanically so the guarantee survives refactors.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.runtime", "repro.memory", "repro.objects",
+    "repro.agreement", "repro.bg", "repro.core", "repro.algorithms",
+    "repro.tasks", "repro.analysis", "repro.detectors", "repro.sync",
+    "repro.messaging",
+]
+
+
+def iter_modules():
+    for name in PACKAGES:
+        package = importlib.import_module(name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__,
+                                         prefix=name + "."):
+            yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for attr in dir(module):
+        if attr.startswith("_"):
+            continue
+        obj = getattr(module, attr)
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield attr, obj
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [m.__name__ for m in iter_modules()
+                        if not (m.__doc__ or "").strip()]
+        assert not undocumented, undocumented
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for attr, obj in public_members(module):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{attr}")
+        assert not undocumented, undocumented
+
+    def test_public_methods_of_core_classes_documented(self):
+        from repro.algorithms.protocol import Algorithm
+        from repro.memory.base import SharedObject
+        from repro.runtime.run import RunResult
+        from repro.tasks.task import Task
+        undocumented = []
+        for cls in (Algorithm, SharedObject, RunResult, Task):
+            for attr, member in inspect.getmembers(cls):
+                if attr.startswith("_"):
+                    continue
+                if callable(member) and not (
+                        getattr(member, "__doc__", None) or "").strip():
+                    undocumented.append(f"{cls.__name__}.{attr}")
+        assert not undocumented, undocumented
+
+
+class TestPackageSurface:
+    def test_all_lists_are_accurate(self):
+        for name in PACKAGES:
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_version(self):
+        assert repro.__version__
