@@ -17,12 +17,19 @@ Objects declare:
   statically defined processes (Section 2.3).
 * ``READONLY`` -- method names that cannot change state; only these may be
   used in busy-wait :class:`~repro.runtime.ops.SpinOp` steps.
+* ``footprint(pid, method, args)`` -- the read/write
+  :class:`~repro.runtime.ops.Footprint` of one operation, the independence
+  relation driving the DPOR explorer (`repro.runtime.dpor`).  The base
+  implementation is conservative (whole-object); objects with addressable
+  sub-state (register arrays, snapshots, families) refine it per location.
 """
 
 from __future__ import annotations
 
 from abc import ABC
 from typing import Any, FrozenSet, Optional, Tuple
+
+from ..runtime.ops import Footprint
 
 
 class _Bottom:
@@ -92,6 +99,21 @@ class SharedObject(ABC):
     def is_readonly(self, method: str) -> bool:
         """May this method be used in busy-wait (spin) steps?"""
         return method in self.READONLY
+
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        """Read/write footprint of ``method(*args)`` invoked by ``pid``.
+
+        The default is maximally conservative: read-only methods read the
+        whole object, everything else reads *and* writes it (a mutating
+        method such as compare&swap typically also observes prior state).
+        Subclasses refine this to per-location footprints; refinements
+        must only ever *shrink* the footprint of what the operation truly
+        touches, never drop an accessed location.
+        """
+        if self.is_readonly(method):
+            return Footprint.read(self.name)
+        return Footprint.readwrite(self.name)
 
     def __repr__(self) -> str:
         ports = "all" if self.ports is None else sorted(self.ports)

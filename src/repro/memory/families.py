@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
+from ..runtime.ops import WHOLE, Footprint
 from .base import BOTTOM, PortViolation, ProtocolViolation, SharedObject
 
 
@@ -63,6 +64,18 @@ class SnapshotFamily(SharedObject):
     def op_read(self, pid: int, key: Hashable, index: int) -> Any:
         return self._cells(key)[index]
 
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        # Instances (keys) are fully independent of each other; within an
+        # instance, writes touch one entry and snapshots read all of them.
+        if method == "write" and len(args) >= 2:
+            return Footprint.write(self.name, (args[0], args[1]))
+        if method == "read" and len(args) >= 2:
+            return Footprint.read(self.name, (args[0], args[1]))
+        if method == "snapshot" and args:
+            return Footprint.read(self.name, (args[0], WHOLE))
+        return super().footprint(pid, method, args)
+
     @property
     def instance_count(self) -> int:
         return len(self._instances)
@@ -83,6 +96,14 @@ class RegisterFamily(SharedObject):
 
     def op_read(self, pid: int, key: Hashable) -> Any:
         return self._values.get(key, BOTTOM)
+
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        if method == "write" and args:
+            return Footprint.write(self.name, (args[0],))
+        if method == "read" and args:
+            return Footprint.read(self.name, (args[0],))
+        return super().footprint(pid, method, args)
 
     @property
     def instance_count(self) -> int:
@@ -113,6 +134,15 @@ class TASFamily(SharedObject):
 
     def op_peek(self, pid: int, key: Hashable) -> Optional[int]:
         return self._winners.get(key)
+
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        # test&set both observes and settles the instance: read+write.
+        if method == "test_and_set" and args:
+            return Footprint.readwrite(self.name, (args[0],))
+        if method == "peek" and args:
+            return Footprint.read(self.name, (args[0],))
+        return super().footprint(pid, method, args)
 
     @property
     def instance_count(self) -> int:
@@ -166,6 +196,16 @@ class XConsFamily(SharedObject):
 
     def op_peek(self, pid: int, key: Hashable, ell: int) -> Any:
         return self._decided.get((key, ell), BOTTOM)
+
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        # One consensus instance per (key, subset) pair; a propose both
+        # reads the decided value and may settle it.
+        if method == "propose" and len(args) >= 2:
+            return Footprint.readwrite(self.name, (args[0], args[1]))
+        if method == "peek" and len(args) >= 2:
+            return Footprint.read(self.name, (args[0], args[1]))
+        return super().footprint(pid, method, args)
 
     @property
     def instance_count(self) -> int:

@@ -11,8 +11,9 @@ building block of the Afek et al. snapshot construction in
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Optional
+from typing import Any, FrozenSet, Optional, Tuple
 
+from ..runtime.ops import Footprint
 from .base import BOTTOM, PortViolation, SharedObject
 
 
@@ -40,6 +41,14 @@ class AtomicRegister(SharedObject):
                 f"owned by p{self.writer}")
         self.value = value
         self.write_count += 1
+
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        # A blind register write observes nothing: write-only footprint,
+        # so two writes conflict but a write commutes with nothing else.
+        if method == "write":
+            return Footprint.write(self.name)
+        return super().footprint(pid, method, args)
 
 
 class RegisterArray(SharedObject):
@@ -79,3 +88,12 @@ class RegisterArray(SharedObject):
             raise PortViolation(
                 f"p{pid} wrote single-writer cell {self.name}[{index}]")
         self.cells[index] = value
+
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        # Per-cell footprints: accesses to distinct cells are independent.
+        if method == "read" and args:
+            return Footprint.read(self.name, args[0])
+        if method == "write" and args:
+            return Footprint.write(self.name, args[0])
+        return super().footprint(pid, method, args)

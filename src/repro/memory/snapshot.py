@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
+from ..runtime.ops import WHOLE, Footprint
 from .base import BOTTOM, PortViolation, SharedObject
 
 
@@ -84,3 +85,19 @@ class SnapshotObject(SharedObject):
     def op_read(self, pid: int, index: int) -> Any:
         self._check_index(index)
         return self.entries[index]
+
+    def footprint(self, pid: int, method: str,
+                  args: Tuple[Any, ...]) -> Footprint:
+        # Writes touch one entry; snapshots read every entry.  Writes to
+        # distinct entries are therefore independent, while any write is
+        # dependent with any snapshot.
+        if method == "write" and args:
+            return Footprint.write(self.name, args[0])
+        if method == "update":
+            entry = (pid if self.owner_map is None else self._entry_of(pid))
+            return Footprint.write(self.name, entry)
+        if method == "read" and args:
+            return Footprint.read(self.name, args[0])
+        if method == "snapshot":
+            return Footprint.read(self.name, WHOLE)
+        return super().footprint(pid, method, args)

@@ -61,3 +61,12 @@ class ObjectStore:
 
     def is_readonly(self, inv: Invocation) -> bool:
         return self[inv.obj].is_readonly(inv.method)
+
+    def footprint(self, pid: int, inv: Invocation):
+        """Read/write footprint of ``inv`` when invoked by ``pid``.
+
+        Delegates to the target object (see
+        :meth:`~repro.memory.base.SharedObject.footprint`); the DPOR
+        explorer uses the result as its independence relation.
+        """
+        return self[inv.obj].footprint(pid, inv.method, inv.args)

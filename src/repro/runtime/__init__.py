@@ -10,8 +10,11 @@ ASM(n, t, x) model.
 from .adversary import (Adversary, PriorityAdversary, RoundRobinAdversary,
                         ScriptedAdversary, SeededRandomAdversary)
 from .crash import CrashPlan, CrashPoint, op_on
+from .dpor import (Counterexample, CounterexampleFound, explore_dpor,
+                   replay_schedule, shrink_schedule)
 from .explore import ExplorationStats, explore
-from .ops import (SPIN_FAILED, Invocation, LocalOp, ObjectProxy, SpinOp,
+from .ops import (EMPTY_FOOTPRINT, SPIN_FAILED, WHOLE, Footprint,
+                  Invocation, LocalOp, ObjectProxy, SpinOp, conflicts,
                   indexed_proxy, spin, wait_until)
 from .process import NO_DECISION, ProcessHandle, ProcessStatus
 from .run import RunResult, run_processes
@@ -22,8 +25,11 @@ __all__ = [
     "Adversary", "PriorityAdversary", "RoundRobinAdversary",
     "ScriptedAdversary", "SeededRandomAdversary",
     "CrashPlan", "CrashPoint", "op_on",
+    "Counterexample", "CounterexampleFound", "explore_dpor",
+    "replay_schedule", "shrink_schedule",
     "ExplorationStats", "explore",
-    "SPIN_FAILED", "Invocation", "LocalOp", "ObjectProxy", "SpinOp",
+    "EMPTY_FOOTPRINT", "SPIN_FAILED", "WHOLE", "Footprint",
+    "Invocation", "LocalOp", "ObjectProxy", "SpinOp", "conflicts",
     "indexed_proxy", "spin", "wait_until",
     "NO_DECISION", "ProcessHandle", "ProcessStatus",
     "RunResult", "run_processes",

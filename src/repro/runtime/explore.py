@@ -35,20 +35,44 @@ from .trace import Trace
 
 @dataclass
 class ExplorationStats:
-    """What the explorer covered."""
+    """What the explorer covered.
+
+    ``pruned_runs`` is only nonzero under partial-order reduction
+    (``reduction="dpor"``): a lower bound on the schedules proven
+    redundant and skipped (each unexplored branch roots a whole subtree,
+    so the true saving is at least this large).
+    """
 
     complete_runs: int = 0
     truncated_runs: int = 0
     max_depth_seen: int = 0
+    pruned_runs: int = 0
 
     @property
     def total_runs(self) -> int:
         return self.complete_runs + self.truncated_runs
 
+    @property
+    def reduction_ratio(self) -> float:
+        """Explored fraction of (explored + provably pruned) branches.
+
+        1.0 means no reduction; smaller is better.  This is an *upper
+        bound* on the true explored fraction, because ``pruned_runs``
+        undercounts the schedules each pruned branch stood for.
+        """
+        denominator = self.total_runs + self.pruned_runs
+        if denominator == 0:
+            return 1.0
+        return self.total_runs / denominator
+
     def __str__(self) -> str:
-        return (f"{self.complete_runs} complete + "
+        text = (f"{self.complete_runs} complete + "
                 f"{self.truncated_runs} truncated runs, "
                 f"max depth {self.max_depth_seen}")
+        if self.pruned_runs:
+            text += (f", {self.pruned_runs} pruned branches "
+                     f"(reduction ratio <= {self.reduction_ratio:.3f})")
+        return text
 
 
 class _Replay(Adversary):
@@ -138,19 +162,46 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             check: Callable[[RunResult], None],
             crash_plan_factory: Optional[Callable[[], CrashPlan]] = None,
             max_steps: int = 24,
-            max_runs: int = 200_000) -> ExplorationStats:
-    """Enumerate every schedule of the system built by ``build``.
+            max_runs: int = 200_000,
+            reduction: str = "naive") -> ExplorationStats:
+    """Exhaustively check every schedule of the system built by ``build``.
 
     ``build()`` must return a fresh ``(programs, store)`` pair each call
     (generators are single-use).  ``check(result)`` is invoked on every
     complete run and should assert the safety property under test.
     Prefixes longer than ``max_steps`` are counted as truncated (bounded
-    exploration).  Raises if ``max_runs`` is exceeded -- shrink the
-    configuration instead of silently sampling.
+    exploration).  The ``max_runs`` budget is inclusive: exactly
+    ``max_runs`` runs may execute; needing even one more raises
+    ``RuntimeError`` -- shrink the configuration instead of silently
+    sampling.
+
+    ``reduction`` selects the engine:
+
+    * ``"naive"`` -- enumerate every interleaving by stateless prefix
+      replay (the historical behaviour; O(branching^depth)).
+    * ``"dpor"`` -- dynamic partial-order reduction
+      (:func:`repro.runtime.dpor.explore_dpor`): one representative per
+      class of schedules equivalent up to commuting independent steps.
+      Same terminal states, far fewer runs; property failures are shrunk
+      to a minimal replayable counterexample.
     """
+    if reduction == "dpor":
+        from .dpor import explore_dpor
+        return explore_dpor(build, check,
+                            crash_plan_factory=crash_plan_factory,
+                            max_steps=max_steps, max_runs=max_runs)
+    if reduction != "naive":
+        raise ValueError(f"unknown reduction {reduction!r} "
+                         f"(expected 'naive' or 'dpor')")
     stats = ExplorationStats()
     stack: List[List[int]] = [[]]
     while stack:
+        if stats.total_runs >= max_runs:
+            # Inclusive budget: the stack is non-empty, so at least one
+            # more run would be needed to finish the exploration.
+            raise RuntimeError(
+                f"exploration exceeded max_runs={max_runs}; "
+                f"shrink the configuration ({stats})")
         prefix = stack.pop()
         stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
         result, enabled = _run_prefix(build, prefix,
@@ -163,8 +214,4 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
         else:
             for pid in reversed(enabled):
                 stack.append(prefix + [pid])
-        if stats.total_runs > max_runs:
-            raise RuntimeError(
-                f"exploration exceeded max_runs={max_runs}; "
-                f"shrink the configuration ({stats})")
     return stats

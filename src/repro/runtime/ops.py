@@ -28,7 +28,7 @@ top-level scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, FrozenSet, Tuple
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,136 @@ class Invocation:
     def __repr__(self) -> str:
         rendered = ", ".join(repr(a) for a in self.args)
         return f"{self.obj}.{self.method}({rendered})"
+
+
+# ---------------------------------------------------------------------------
+# Read/write footprints (the independence relation of the DPOR explorer).
+# ---------------------------------------------------------------------------
+
+class _WholeObject:
+    """Wildcard location: the entire state of an object.
+
+    Used by operations whose footprint is not confined to one addressable
+    location (snapshots read every entry; a queue dequeue touches the whole
+    queue).  A wildcard overlaps every location of the same object.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    def __reduce__(self):
+        return (_WholeObject, ())
+
+
+#: Wildcard location covering an object's whole state.
+WHOLE = _WholeObject()
+
+#: A location is ``(object_name, key)`` where ``key`` is a hashable
+#: address inside the object (a cell index, a family key, a
+#: ``(family_key, index)`` pair, ...) or :data:`WHOLE`.
+Location = Tuple[str, Any]
+
+
+def _keys_overlap(k1: Any, k2: Any) -> bool:
+    """Do two intra-object location keys address overlapping state?
+
+    :data:`WHOLE` overlaps everything.  Tuple keys are compared
+    element-wise so a wildcard *component* works too: the snapshot-family
+    location ``(key, WHOLE)`` overlaps ``(key, 3)`` but not
+    ``(other_key, 3)``.  Keys of differing tuple lengths are treated as
+    overlapping (conservative: unknown addressing scheme).
+    """
+    if k1 is WHOLE or k2 is WHOLE:
+        return True
+    if isinstance(k1, tuple) and isinstance(k2, tuple):
+        if len(k1) != len(k2):
+            return True
+        return all(_keys_overlap(a, b) for a, b in zip(k1, k2))
+    if isinstance(k1, tuple) or isinstance(k2, tuple):
+        return True
+    return k1 == k2
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The shared-memory read and write sets of one atomic step.
+
+    Every schedulable operation maps to a footprint (the object's
+    :meth:`~repro.memory.base.SharedObject.footprint` hook computes it);
+    two steps of *different* processes are **independent** -- executing
+    them in either order yields the same state and the same results --
+    exactly when their footprints do not :func:`conflict <conflicts>`.
+    This is the independence relation the DPOR explorer
+    (`repro.runtime.dpor`) prunes schedules with, so over-approximating a
+    footprint is always safe and under-approximating one is never safe.
+    """
+
+    reads: FrozenSet[Location] = frozenset()
+    writes: FrozenSet[Location] = frozenset()
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def read(cls, obj: str, key: Any = WHOLE) -> "Footprint":
+        return cls(reads=frozenset({(obj, key)}))
+
+    @classmethod
+    def write(cls, obj: str, key: Any = WHOLE) -> "Footprint":
+        return cls(writes=frozenset({(obj, key)}))
+
+    @classmethod
+    def readwrite(cls, obj: str, key: Any = WHOLE) -> "Footprint":
+        loc = frozenset({(obj, key)})
+        return cls(reads=loc, writes=loc)
+
+    def merge(self, other: "Footprint") -> "Footprint":
+        return Footprint(reads=self.reads | other.reads,
+                         writes=self.writes | other.writes)
+
+    # -- queries -------------------------------------------------------
+    @property
+    def is_readonly(self) -> bool:
+        return not self.writes
+
+    def __repr__(self) -> str:
+        def render(locs):
+            return "{" + ", ".join(
+                f"{o}[{k!r}]" for o, k in sorted(
+                    locs, key=lambda loc: (loc[0], repr(loc[1])))) + "}"
+        return f"Footprint(r={render(self.reads)}, w={render(self.writes)})"
+
+
+#: Footprint of a step touching no shared state (e.g. a crash event).
+EMPTY_FOOTPRINT = Footprint()
+
+
+def _locations_overlap(xs: FrozenSet[Location],
+                       ys: FrozenSet[Location]) -> bool:
+    for obj1, key1 in xs:
+        for obj2, key2 in ys:
+            if obj1 == obj2 and _keys_overlap(key1, key2):
+                return True
+    return False
+
+
+def conflicts(a: Footprint, b: Footprint) -> bool:
+    """Do two footprints conflict (write/write or read/write overlap)?
+
+    Non-conflicting footprints commute: the two steps are independent.
+    ``None`` stands for an unknown footprint and conflicts with
+    everything (maximally conservative).
+    """
+    if a is None or b is None:
+        return True
+    return (_locations_overlap(a.writes, b.writes)
+            or _locations_overlap(a.writes, b.reads)
+            or _locations_overlap(a.reads, b.writes))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,97 @@
+"""Exhaustive agreement checks that only finish under DPOR.
+
+The 3-process/1-crash configurations here have schedule spaces too large
+for naive enumeration under a modest run budget, but collapse to a few
+dozen Mazurkiewicz traces under partial-order reduction.  Each test
+first pins the hardness (naive exceeds the budget) and then proves the
+property over ALL interleavings with ``reduction="dpor"``.
+"""
+
+import pytest
+
+from repro.agreement.adopt_commit import COMMIT, AdoptCommit, adopt_commit_specs
+from repro.memory import build_store
+from repro.runtime import CrashPlan, explore
+from repro.scenarios import check_scenarios
+
+pytestmark = pytest.mark.exhaustive
+
+NAIVE_BUDGET = 1500
+
+
+def _adopt_commit_crashy_build():
+    """3 proposers with divergent values; p0 crashes mid-propose."""
+    values = ["a", "b", "b"]
+
+    def build():
+        store = build_store(adopt_commit_specs(3))
+
+        def proposer(pid):
+            out = yield from AdoptCommit("k", 3).propose(pid, values[pid])
+            return out
+
+        return {i: proposer(i) for i in range(3)}, store
+
+    return build, (lambda: CrashPlan.at_own_step({0: 3})), values
+
+
+def _check_adopt_commit_coherence(values):
+    def check(result):
+        outs = list(result.decisions.values())
+        # p0 may crash before returning; the survivors must still finish.
+        assert {1, 2} <= result.decided_pids, result.summary()
+        committed = {v for tag, v in outs if tag == COMMIT}
+        assert len(committed) <= 1, f"coherence violated: {outs}"
+        if committed:
+            winner = next(iter(committed))
+            assert all(v == winner for _, v in outs), \
+                f"coherence violated: {outs}"
+        assert {v for _, v in outs} <= set(values), \
+            f"validity violated: {outs}"
+
+    return check
+
+
+class TestAdoptCommitExhaustive:
+    def test_naive_cannot_finish_under_budget(self):
+        build, plan, values = _adopt_commit_crashy_build()
+        with pytest.raises(RuntimeError, match="max_runs"):
+            explore(build, _check_adopt_commit_coherence(values),
+                    crash_plan_factory=plan, max_steps=16,
+                    max_runs=NAIVE_BUDGET)
+
+    def test_dpor_proves_coherence_exhaustively(self):
+        build, plan, values = _adopt_commit_crashy_build()
+        stats = explore(build, _check_adopt_commit_coherence(values),
+                        crash_plan_factory=plan, max_steps=16,
+                        max_runs=NAIVE_BUDGET, reduction="dpor")
+        # Same budget that defeats naive enumeration; every complete run
+        # satisfied coherence + validity and nothing was truncated.
+        assert stats.truncated_runs == 0
+        assert stats.complete_runs > 0
+        assert stats.pruned_runs > 0
+        assert stats.reduction_ratio < 1.0
+
+
+class TestXSafeAgreementExhaustive:
+    """Figure 6 x-safe-agreement: one crash (< x) cannot block it."""
+
+    def _scenario(self):
+        return check_scenarios(n=3, x=2)["x-safe-agreement"]
+
+    def test_naive_cannot_finish_under_budget(self):
+        sc = self._scenario()
+        with pytest.raises(RuntimeError, match="max_runs"):
+            explore(sc.build, sc.check,
+                    crash_plan_factory=sc.crash_plan_factory,
+                    max_steps=sc.max_steps, max_runs=NAIVE_BUDGET)
+
+    def test_dpor_proves_validity_exhaustively(self):
+        sc = self._scenario()
+        stats = explore(sc.build, sc.check,
+                        crash_plan_factory=sc.crash_plan_factory,
+                        max_steps=sc.max_steps, max_runs=NAIVE_BUDGET,
+                        reduction="dpor")
+        assert stats.truncated_runs == 0
+        assert stats.complete_runs > 0
+        assert stats.pruned_runs > 0

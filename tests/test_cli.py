@@ -38,3 +38,51 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCheckCommand:
+    """``python -m repro check``: exit codes 0 / 1 / 2."""
+
+    def test_list_scenarios(self, capsys):
+        assert main(["check", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("safe-agreement", "adopt-commit", "x-safe-agreement",
+                     "queue-2cons", "broken-demo"):
+            assert name in out
+
+    def test_passing_scenario_exits_zero(self, capsys):
+        assert main(["check", "queue-2cons"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "pruned" in out  # DPOR is the default engine
+
+    def test_sized_scenario_exits_zero(self, capsys):
+        assert main(["check", "adopt-commit", "--n", "2"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_shrunk_counterexample(self, capsys):
+        assert main(["check", "broken-demo"]) == 1
+        out = capsys.readouterr().out
+        assert "PROPERTY VIOLATED" in out
+        assert "shrunk from" in out
+        assert "prefix" in out
+
+    def test_budget_exceeded_exits_two(self, capsys):
+        assert main(["check", "adopt-commit", "--max-runs", "2"]) == 2
+        assert "BUDGET EXCEEDED" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["check", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_naive_violation_reports_cleanly(self, capsys):
+        assert main(["check", "broken-demo", "--naive"]) == 1
+        out = capsys.readouterr().out
+        assert "PROPERTY VIOLATED" in out
+        assert "rerun without --naive" in out
+
+    def test_naive_flag_matches_dpor_verdict(self, capsys):
+        assert main(["check", "queue-2cons", "--naive"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "pruned" not in out
