@@ -11,6 +11,13 @@ Commands:
 * ``check NAME``    -- exhaustively model-check a named scenario over
   ALL interleavings (DPOR-accelerated); exit 0 = property holds,
   1 = counterexample found (printed shrunk), 2 = budget exceeded.
+  ``check --list`` enumerates the registered scenarios.
+* ``lint [PATHS]``  -- static protocol-discipline linter over process
+  code (see docs/static_analysis.md); exit 0 = clean, 1 = violations,
+  2 = unparsable/unreadable input.
+* ``audit NAME``    -- dynamic footprint-soundness audit of a named
+  scenario (every executed operation is checked against the footprint
+  it declares to DPOR); exit codes mirror ``check``.
 * ``demo``          -- a one-minute tour (runs the quickstart scenario).
 """
 
@@ -68,17 +75,20 @@ def cmd_check(args: argparse.Namespace) -> int:
     from .scenarios import SOUND_SCENARIOS, check_scenarios
 
     scenarios = check_scenarios(n=args.n, x=args.x)
-    if args.scenario == "list":
+    if args.list or args.scenario in (None, "list"):
+        if args.scenario is None and not args.list:
+            print("no scenario given; registered scenarios "
+                  "(also: --list):", file=sys.stderr)
         for name, sc in scenarios.items():
             print(f"{name:18s} {sc.description}")
-        return 0
+        return 0 if (args.list or args.scenario == "list") else 2
     if args.scenario == "all":
         names = list(SOUND_SCENARIOS)
     elif args.scenario in scenarios:
         names = [args.scenario]
     else:
         print(f"unknown scenario {args.scenario!r}; try "
-              f"'list' or one of: {', '.join(scenarios)}",
+              f"'--list' or one of: {', '.join(scenarios)}",
               file=sys.stderr)
         return 2
 
@@ -118,6 +128,67 @@ def cmd_check(args: argparse.Namespace) -> int:
                   f"(bounded: {stats})")
         else:
             print(f"[{name}] PASSED: {stats}")
+    return exit_code
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically lint protocol code (exit 0/1/2 like ``check``)."""
+    from .lint import all_rules, lint_paths, select_rules
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code} {rule.name:22s} {rule.description}")
+        return 0
+    try:
+        rules = (select_rules(args.select.split(","))
+                 if args.select else None)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    violations, errors = lint_paths(args.paths, rules=rules)
+    for violation in violations:
+        print(violation.render())
+    for error in errors:
+        print(error.render(), file=sys.stderr)
+    if errors:
+        return 2
+    if violations:
+        print(f"lint: {len(violations)} violation(s)")
+        return 1
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Dynamically audit footprint declarations over a scenario."""
+    from .lint import FootprintViolation, audit_scenario
+    from .scenarios import check_scenarios
+
+    scenarios = check_scenarios(n=args.n, x=args.x)
+    if args.scenario == "all":
+        names = list(scenarios)
+    elif args.scenario in scenarios:
+        names = [args.scenario]
+    else:
+        print(f"unknown scenario {args.scenario!r}; one of: "
+              f"all, {', '.join(scenarios)}", file=sys.stderr)
+        return 2
+
+    exit_code = 0
+    for name in names:
+        sc = scenarios[name]
+        try:
+            report = audit_scenario(sc, max_steps=args.max_steps,
+                                    perturb=not args.no_perturb)
+        except FootprintViolation as exc:
+            print(f"[{name}] FOOTPRINT VIOLATION")
+            print(exc)
+            exit_code = max(exit_code, 1)
+            continue
+        except RuntimeError as exc:
+            print(f"[{name}] BUDGET EXCEEDED: {exc}", file=sys.stderr)
+            exit_code = max(exit_code, 2)
+            continue
+        print(f"[{name}] AUDIT PASSED: {report}")
     return exit_code
 
 
@@ -169,9 +240,11 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "check",
         help="exhaustively model-check a named scenario (DPOR)")
-    p.add_argument("scenario",
+    p.add_argument("scenario", nargs="?", default=None,
                    help="scenario name, 'all' (sound scenarios), or "
                         "'list'")
+    p.add_argument("--list", action="store_true",
+                   help="enumerate the registered scenarios and exit")
     p.add_argument("--n", type=int, default=3,
                    help="process count for sized scenarios (default 3)")
     p.add_argument("--x", type=int, default=2,
@@ -185,6 +258,37 @@ def main(argv=None) -> int:
                    help="disable partial-order reduction (enumerate "
                         "every interleaving)")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="static protocol-discipline linter (AST rules)")
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files/directories to lint "
+                        "(default: src/repro)")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule codes/names to run "
+                        "(default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "audit",
+        help="dynamic footprint-soundness audit of a scenario")
+    p.add_argument("scenario",
+                   help="scenario name or 'all' (every registered "
+                        "scenario)")
+    p.add_argument("--n", type=int, default=3,
+                   help="process count for sized scenarios (default 3)")
+    p.add_argument("--x", type=int, default=2,
+                   help="consensus number x for x-safe-agreement "
+                        "(default 2)")
+    p.add_argument("--max-steps", type=int, default=100_000,
+                   help="per-run step budget (default 100000)")
+    p.add_argument("--no-perturb", action="store_true",
+                   help="skip the replay-based read audit (state-diff "
+                        "write audit only)")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("demo", help="one-minute tour")
     p.set_defaults(func=cmd_demo)

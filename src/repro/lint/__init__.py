@@ -1,0 +1,27 @@
+"""Static and dynamic analysis for the protocol/footprint discipline.
+
+Two prongs, surfaced as ``python -m repro lint`` / ``python -m repro
+audit`` and documented in ``docs/static_analysis.md``:
+
+* `repro.lint.rules` + `repro.lint.linter` -- an AST linter over
+  protocol process code with a pluggable rule registry (discipline
+  bypasses, nondeterminism sources, non-descriptor yields, static
+  x-port violations);
+* `repro.lint.audit` -- a dynamic footprint-soundness auditor that
+  validates every executed operation against the read/write footprint
+  it declares to the DPOR explorer.
+"""
+
+from .audit import (DEFAULT_AUDIT_SEEDS, AuditingStore, AuditReport,
+                    FootprintViolation, audit_scenario)
+from .linter import (LintError, discover_files, lint_paths, lint_source,
+                     select_rules)
+from .rules import RULES, LintViolation, ModuleInfo, Rule, all_rules, rule
+
+__all__ = [
+    "DEFAULT_AUDIT_SEEDS", "AuditingStore", "AuditReport",
+    "FootprintViolation", "audit_scenario",
+    "LintError", "discover_files", "lint_paths", "lint_source",
+    "select_rules",
+    "RULES", "LintViolation", "ModuleInfo", "Rule", "all_rules", "rule",
+]

@@ -1,0 +1,124 @@
+"""Lint driver: file discovery, parsing, suppression, reporting.
+
+The driver walks the given paths for ``.py`` files, parses each into a
+:class:`~repro.lint.rules.ModuleInfo`, runs every registered rule (or a
+selected subset) and filters the findings through suppression comments:
+
+* ``# lint: ignore[CODE]`` (or the rule name) on the offending line
+  suppresses that finding;
+* ``# lint: skip-file`` anywhere in a file exempts the whole file.
+
+Unparsable or unreadable files are reported as :class:`LintError`
+findings, which the CLI maps to exit code 2 (mirroring the ``check``
+command's budget/error exit).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .rules import LintViolation, ModuleInfo, Rule, all_rules
+
+#: Suppression comment grammar: ``# lint: ignore[D101]`` / ``ignore[name]``.
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9_,\- ]+)\]")
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file the linter could not analyze (I/O or syntax error)."""
+
+    path: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}: error: {self.message}"
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in {"__pycache__", ".git"})
+                found.extend(os.path.join(root, name)
+                             for name in sorted(names)
+                             if name.endswith(".py"))
+        else:
+            found.append(path)
+    return found
+
+
+def select_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Registered rules, optionally filtered by code or name."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {token.strip() for token in select}
+    chosen = [r for r in rules if r.code in wanted or r.name in wanted]
+    unknown = wanted - {r.code for r in rules} - {r.name for r in rules}
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    return chosen
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[List[Rule]] = None
+                ) -> List[LintViolation]:
+    """Lint one module given as source text (the test-suite entry point)."""
+    tree = ast.parse(source, filename=path)
+    module = ModuleInfo(path=path, source=source, tree=tree)
+    findings: List[LintViolation] = []
+    for rule in (rules if rules is not None else all_rules()):
+        findings.extend(rule.check(module))
+    return _apply_suppressions(module, findings)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[List[Rule]] = None
+               ) -> Tuple[List[LintViolation], List[LintError]]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(violations, errors)``; a clean run is ``([], [])``.
+    """
+    violations: List[LintViolation] = []
+    errors: List[LintError] = []
+    for path in discover_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            errors.append(LintError(path, str(exc)))
+            continue
+        try:
+            violations.extend(lint_source(source, path=path, rules=rules))
+        except SyntaxError as exc:
+            errors.append(LintError(path, f"syntax error: {exc.msg} "
+                                          f"(line {exc.lineno})"))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations, errors
+
+
+def _apply_suppressions(module: ModuleInfo,
+                        findings: List[LintViolation]
+                        ) -> List[LintViolation]:
+    if any(_SKIP_FILE_RE.search(line) for line in module.lines):
+        return []
+    kept = []
+    for violation in findings:
+        line = (module.lines[violation.line - 1]
+                if 0 < violation.line <= len(module.lines) else "")
+        match = _IGNORE_RE.search(line)
+        if match:
+            tokens = {t.strip() for t in match.group(1).split(",")}
+            if violation.code in tokens or violation.rule in tokens:
+                continue
+        kept.append(violation)
+    return kept

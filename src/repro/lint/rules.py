@@ -1,0 +1,364 @@
+"""Static protocol-discipline lint rules.
+
+Every rule inspects the AST of one module and reports
+:class:`LintViolation` instances.  Rules register themselves in
+:data:`RULES` via the :func:`rule` decorator, so adding a check is one
+class away -- the driver (`repro.lint.linter`) and the CLI pick it up
+automatically.
+
+Most rules scope themselves to **process code**: functions that contain
+a ``yield`` in their own body (protocol generators).  That is exactly
+the code the scheduler drives one atomic step at a time, where the
+discipline matters:
+
+* shared state may only be touched by *yielding* an
+  :class:`~repro.runtime.ops.Invocation` (never by calling an object's
+  ``op_*`` handler or a store's ``apply`` directly) -- a bypass executes
+  outside the scheduler's atomic-step accounting, invisible to traces,
+  crash plans and the DPOR explorer;
+* process code must be deterministic given the schedule -- any
+  nondeterminism source (the shared ``random`` module RNG, wall-clock
+  time, ``id()``, iteration over unordered sets) breaks the prefix
+  replay that both exploration engines and counterexample shrinking
+  rely on;
+* every ``yield`` must produce an operation descriptor -- yielding a
+  bare literal burns a scheduler step on garbage and usually signals a
+  forgotten proxy call.
+
+One rule (:class:`XPortArity`) is not generator-scoped: it checks the
+statically-checkable slice of the paper's port discipline, i.e. literal
+port sets wired to object constructors whose consensus number the port
+set must not exceed (Section 2.3: an object of consensus number x is
+accessible by at most x statically defined processes).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Type
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding: rule, location, and a human-readable message."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.code} [{self.rule}] {self.message}")
+
+
+class Rule:
+    """Base class for lint rules; subclasses set code/name/description."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: "ModuleInfo") -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def violation(self, module: "ModuleInfo", node: ast.AST,
+                  message: str) -> LintViolation:
+        return LintViolation(
+            code=self.code, rule=self.name, path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), message=message)
+
+
+#: Registry of rule classes, keyed by code (also addressable by name).
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: register a rule under its code."""
+    if not cls.code or not cls.name:
+        raise ValueError(f"rule {cls.__name__} needs a code and a name")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [RULES[code]() for code in sorted(RULES)]
+
+
+class ModuleInfo:
+    """One parsed module plus the helpers rules share."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def generator_functions(self) -> Iterator[ast.AST]:
+        """Every function whose *own* body yields (protocol generators)."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(isinstance(inner, (ast.Yield, ast.YieldFrom))
+                       for inner in _own_body_walk(node)):
+                    yield node
+
+
+def _own_body_walk(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions
+    (each nested function is its own process-code scope)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# D101: shared-state mutation that bypasses the yield/Invocation discipline
+# ---------------------------------------------------------------------------
+
+@rule
+class DirectStateAccess(Rule):
+    code = "D101"
+    name = "direct-state-access"
+    description = (
+        "Process code called an object's op_* handler or a store's "
+        "apply() directly instead of yielding an Invocation; the step "
+        "bypasses the scheduler (no atomicity accounting, no trace, no "
+        "DPOR footprint).")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for func in module.generator_functions():
+            for node in _own_body_walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = node.func
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if target.attr.startswith("op_"):
+                    yield self.violation(
+                        module, node,
+                        f"direct call of operation handler "
+                        f"'.{target.attr}(...)' inside a protocol "
+                        f"generator; yield the Invocation instead")
+                elif target.attr == "apply":
+                    yield self.violation(
+                        module, node,
+                        "direct '.apply(...)' call inside a protocol "
+                        "generator bypasses the scheduler; yield the "
+                        "Invocation instead")
+
+
+# ---------------------------------------------------------------------------
+# N201: nondeterminism sources that break schedule replay
+# ---------------------------------------------------------------------------
+
+#: Module-level functions whose results vary between replays.
+_NONDET_CALLS = {
+    "random": {"random", "randint", "randrange", "choice", "choices",
+               "shuffle", "sample", "uniform", "getrandbits", "betavariate",
+               "gauss", "normalvariate", "triangular"},
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns", "process_time"},
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "secrets": None,  # the whole module is a nondeterminism source
+}
+
+
+@rule
+class Nondeterminism(Rule):
+    code = "N201"
+    name = "nondeterminism"
+    description = (
+        "Process code used a source of nondeterminism (shared random "
+        "RNG, wall clock, id(), unordered set iteration); DPOR and "
+        "counterexample replay require runs to be a pure function of "
+        "the schedule.")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for func in module.generator_functions():
+            for node in _own_body_walk(func):
+                yield from self._check_node(module, node)
+
+    def _check_node(self, module, node) -> Iterator[LintViolation]:
+        if isinstance(node, ast.Call):
+            yield from self._check_call(module, node)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            iterable = node.iter
+            if self._is_unordered(iterable):
+                yield self.violation(
+                    module, iterable,
+                    "iteration over an unordered set in process code; "
+                    "iteration order varies between runs -- iterate a "
+                    "sorted() or a list instead")
+
+    def _check_call(self, module, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "id":
+                yield self.violation(
+                    module, node,
+                    "id() depends on memory layout and varies between "
+                    "replays; use the pid or an explicit counter")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if not isinstance(base, ast.Name):
+            return
+        allowed = _NONDET_CALLS.get(base.id)
+        if base.id in _NONDET_CALLS and (allowed is None
+                                         or func.attr in allowed):
+            yield self.violation(
+                module, node,
+                f"'{base.id}.{func.attr}(...)' is a nondeterminism "
+                f"source in process code; derive choices from the pid "
+                f"or a seeded random.Random instance created outside "
+                f"the protocol")
+
+    @staticmethod
+    def _is_unordered(node: ast.AST) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in {"set", "frozenset"})
+
+
+# ---------------------------------------------------------------------------
+# Y301: yields that cannot be operation descriptors
+# ---------------------------------------------------------------------------
+
+@rule
+class YieldDescriptor(Rule):
+    code = "Y301"
+    name = "yield-descriptor"
+    description = (
+        "A protocol generator yielded a bare literal (or nothing); the "
+        "scheduler only accepts Invocation/SpinOp descriptors, so this "
+        "is a dropped operation or a stray generator yield.")
+
+    _LITERALS = (ast.Constant, ast.List, ast.Dict, ast.Set, ast.Tuple,
+                 ast.JoinedStr)
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for func in module.generator_functions():
+            markers = self._generator_markers(func)
+            for node in _own_body_walk(func):
+                if not isinstance(node, ast.Yield):
+                    continue
+                if node.value is None:
+                    if node in markers:
+                        continue
+                    yield self.violation(
+                        module, node,
+                        "bare 'yield' in a protocol generator; every "
+                        "step must yield an Invocation or SpinOp")
+                elif isinstance(node.value, self._LITERALS):
+                    rendered = ast.dump(node.value)
+                    if len(rendered) > 40:
+                        rendered = rendered[:40] + "..."
+                    yield self.violation(
+                        module, node,
+                        f"yield of literal {rendered}; the scheduler "
+                        f"only executes Invocation/SpinOp descriptors")
+
+    @staticmethod
+    def _generator_markers(func: ast.AST) -> set:
+        """Unreachable bare yields directly after a return.
+
+        ``return value`` followed by a dead ``yield`` is the idiom for
+        'this function is a generator that decides immediately'; the
+        yield never executes, so it is exempt.
+        """
+        markers = set()
+        nodes = [func]
+        nodes.extend(_own_body_walk(func))
+        for node in nodes:
+            for stmts in (getattr(node, "body", None),
+                          getattr(node, "orelse", None),
+                          getattr(node, "finalbody", None)):
+                if not isinstance(stmts, list):
+                    continue
+                for prev, cur in zip(stmts, stmts[1:]):
+                    if (isinstance(prev, ast.Return)
+                            and isinstance(cur, ast.Expr)
+                            and isinstance(cur.value, ast.Yield)
+                            and cur.value.value is None):
+                        markers.add(cur.value)
+        return markers
+
+
+# ---------------------------------------------------------------------------
+# X401: statically-checkable x-port violations
+# ---------------------------------------------------------------------------
+
+#: Constructors/spec kinds with a fixed consensus number whose port set
+#: is bounded by it (paper Section 2.3).  XConsensusObject/KSetObject
+#: size their consensus number from the port set and cannot violate.
+_FIXED_CN_CONSTRUCTORS = {"TestAndSetObject": 2}
+_FIXED_CN_KINDS = {"tas": 2, "queue": 2, "stack": 2}
+
+
+@rule
+class XPortArity(Rule):
+    code = "X401"
+    name = "x-port-arity"
+    description = (
+        "An object of consensus number x was wired to a literal port "
+        "set of more than x processes; the ASM model only permits "
+        "consensus-number-x objects accessible by at most x statically "
+        "defined processes.")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(module, node)
+
+    def _check_call(self, module, node: ast.Call):
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if callee is None:
+            return
+        ports = self._literal_ports(node)
+        if ports is None:
+            return
+        if callee in _FIXED_CN_CONSTRUCTORS:
+            cn = _FIXED_CN_CONSTRUCTORS[callee]
+            if ports > cn:
+                yield self.violation(
+                    module, node,
+                    f"{callee} has consensus number {cn} but is wired "
+                    f"to {ports} ports")
+        elif callee == "make_spec" and node.args:
+            kind = node.args[0]
+            if (isinstance(kind, ast.Constant)
+                    and kind.value in _FIXED_CN_KINDS):
+                cn = _FIXED_CN_KINDS[kind.value]
+                if ports > cn:
+                    yield self.violation(
+                        module, node,
+                        f"spec kind {kind.value!r} has consensus number "
+                        f"{cn} but is wired to {ports} ports")
+
+    @staticmethod
+    def _literal_ports(node: ast.Call):
+        """Size of a literal ports= collection, or None if not literal."""
+        for kw in node.keywords:
+            if kw.arg == "ports" and isinstance(
+                    kw.value, (ast.List, ast.Tuple, ast.Set)):
+                return len(kw.value.elts)
+        return None

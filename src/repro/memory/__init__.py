@@ -2,7 +2,8 @@
 declarative specs, and the object store."""
 
 from .afek_snapshot import AfekSnapshot
-from .base import BOTTOM, PortViolation, ProtocolViolation, SharedObject
+from .base import (BOTTOM, MISSING_STATE, PortViolation, ProtocolViolation,
+                   SharedObject)
 from .families import (RegisterFamily, SnapshotFamily, TASFamily,
                        XConsFamily)
 from .immediate_snapshot import (ImmediateSnapshot,
@@ -14,7 +15,8 @@ from .store import ObjectStore, UnknownObject
 
 __all__ = [
     "AfekSnapshot",
-    "BOTTOM", "PortViolation", "ProtocolViolation", "SharedObject",
+    "BOTTOM", "MISSING_STATE", "PortViolation", "ProtocolViolation",
+    "SharedObject",
     "RegisterFamily", "SnapshotFamily", "TASFamily", "XConsFamily",
     "ImmediateSnapshot", "check_immediate_snapshot_views",
     "AtomicRegister", "RegisterArray",

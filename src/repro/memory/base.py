@@ -56,6 +56,33 @@ class _Bottom:
 BOTTOM = _Bottom()
 
 
+class _MissingState:
+    """Sentinel for 'this location has no semantic default value'.
+
+    Returned by the base :meth:`SharedObject.audit_default`; lazily
+    populated objects (families) override the hook with their real
+    default (⊥-equivalents) so that materializing an absent instance is
+    not mistaken for a state change by the footprint auditor.
+    """
+
+    _instance: Optional["_MissingState"] = None
+
+    def __new__(cls) -> "_MissingState":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<absent>"
+
+    def __reduce__(self):
+        return (_MissingState, ())
+
+
+#: Singleton "location does not exist" value used by the footprint auditor.
+MISSING_STATE = _MissingState()
+
+
 class PortViolation(RuntimeError):
     """A process accessed an object outside its static port set."""
 
@@ -114,6 +141,50 @@ class SharedObject(ABC):
         if self.is_readonly(method):
             return Footprint.read(self.name)
         return Footprint.readwrite(self.name)
+
+    # -- footprint-audit hooks -----------------------------------------
+    #: Attributes that are observability instrumentation (step counters,
+    #: static configuration), not shared protocol state.  The default
+    #: :meth:`audit_state` omits them so that e.g. a snapshot bumping its
+    #: snapshot_count is not reported as a write by a read-only method.
+    AUDIT_EXCLUDE: FrozenSet[str] = frozenset({"name", "ports"})
+
+    def audit_state(self) -> dict:
+        """Map of intra-object location key -> current state fragment.
+
+        The footprint auditor (`repro.lint.audit`) diffs this map around
+        every executed operation and checks the changed keys against the
+        operation's *declared* :meth:`footprint`.  Keys must use the same
+        addressing scheme as the footprints the object declares (cell
+        indices, family ``(key, index)`` tuples, ... or :data:`WHOLE`);
+        values must be deepcopy-able and comparable with ``==``.  The
+        default exposes the whole instance dictionary (minus
+        :data:`AUDIT_EXCLUDE`) under the :data:`WHOLE` key, matching the
+        conservative default footprint; objects with refined per-location
+        footprints override this with the matching per-location view.
+        """
+        from ..runtime.ops import WHOLE
+        return {WHOLE: {k: v for k, v in vars(self).items()
+                        if k not in self.AUDIT_EXCLUDE}}
+
+    def audit_set(self, key: Any, value: Any) -> bool:
+        """Overwrite the state at location ``key`` with ``value``.
+
+        Used by the auditor's read-soundness pass to poison locations an
+        operation did *not* declare as read before replaying it on a
+        copy.  Returns False when the object cannot address ``key``
+        (the auditor then skips perturbing that location).
+        """
+        return False
+
+    def audit_default(self, key: Any) -> Any:
+        """Semantic value of a location absent from :meth:`audit_state`.
+
+        Lazily-populated objects return their ⊥-equivalent here so the
+        auditor treats 'instance not yet materialized' and 'instance
+        holding only defaults' as the same state.
+        """
+        return MISSING_STATE
 
     def __repr__(self) -> str:
         ports = "all" if self.ports is None else sorted(self.ports)

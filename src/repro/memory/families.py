@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from ..runtime.ops import WHOLE, Footprint
-from .base import BOTTOM, PortViolation, ProtocolViolation, SharedObject
+from .base import (BOTTOM, MISSING_STATE, PortViolation, ProtocolViolation,
+                   SharedObject)
 
 
 class SnapshotFamily(SharedObject):
@@ -76,6 +77,23 @@ class SnapshotFamily(SharedObject):
             return Footprint.read(self.name, (args[0], WHOLE))
         return super().footprint(pid, method, args)
 
+    def audit_state(self):
+        return {(key, index): value
+                for key, cells in self._instances.items()
+                for index, value in enumerate(cells)}
+
+    def audit_set(self, key, value) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 2
+                and isinstance(key[1], int) and 0 <= key[1] < self.size):
+            return False
+        self._cells(key[0])[key[1]] = value
+        return True
+
+    def audit_default(self, key):
+        # An absent instance is semantically all-⊥: lazily materializing
+        # it (e.g. a snapshot of a never-written instance) is no write.
+        return BOTTOM
+
     @property
     def instance_count(self) -> int:
         return len(self._instances)
@@ -104,6 +122,18 @@ class RegisterFamily(SharedObject):
         if method == "read" and args:
             return Footprint.read(self.name, (args[0],))
         return super().footprint(pid, method, args)
+
+    def audit_state(self):
+        return {(key,): value for key, value in self._values.items()}
+
+    def audit_set(self, key, value) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 1):
+            return False
+        self._values[key[0]] = value
+        return True
+
+    def audit_default(self, key):
+        return BOTTOM
 
     @property
     def instance_count(self) -> int:
@@ -143,6 +173,21 @@ class TASFamily(SharedObject):
         if method == "peek" and args:
             return Footprint.read(self.name, (args[0],))
         return super().footprint(pid, method, args)
+
+    def audit_state(self):
+        return {(key,): (self._winners.get(key),
+                         frozenset(self._callers.get(key, ())))
+                for key in set(self._winners) | set(self._callers)}
+
+    def audit_set(self, key, value) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 1):
+            return False
+        self._winners[key[0]] = value
+        self._callers[key[0]] = value
+        return True
+
+    def audit_default(self, key):
+        return (None, frozenset())
 
     @property
     def instance_count(self) -> int:
@@ -206,6 +251,21 @@ class XConsFamily(SharedObject):
         if method == "peek" and len(args) >= 2:
             return Footprint.read(self.name, (args[0], args[1]))
         return super().footprint(pid, method, args)
+
+    def audit_state(self):
+        return {inst: (self._decided.get(inst, BOTTOM),
+                       frozenset(self._proposers.get(inst, ())))
+                for inst in set(self._decided) | set(self._proposers)}
+
+    def audit_set(self, key, value) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 2):
+            return False
+        self._decided[key] = value
+        self._proposers[key] = value
+        return True
+
+    def audit_default(self, key):
+        return (BOTTOM, frozenset())
 
     @property
     def instance_count(self) -> int:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, FrozenSet, Optional, Tuple
 
-from ..runtime.ops import Footprint
+from ..runtime.ops import WHOLE, Footprint
 from .base import BOTTOM, PortViolation, SharedObject
 
 
@@ -49,6 +49,16 @@ class AtomicRegister(SharedObject):
         if method == "write":
             return Footprint.write(self.name)
         return super().footprint(pid, method, args)
+
+    def audit_state(self):
+        # The register is one location; write_count is instrumentation.
+        return {WHOLE: self.value}
+
+    def audit_set(self, key, value) -> bool:
+        if key is not WHOLE:
+            return False
+        self.value = value
+        return True
 
 
 class RegisterArray(SharedObject):
@@ -97,3 +107,12 @@ class RegisterArray(SharedObject):
         if method == "write" and args:
             return Footprint.write(self.name, args[0])
         return super().footprint(pid, method, args)
+
+    def audit_state(self):
+        return dict(enumerate(self.cells))
+
+    def audit_set(self, key, value) -> bool:
+        if not (isinstance(key, int) and 0 <= key < self.size):
+            return False
+        self.cells[key] = value
+        return True

@@ -101,3 +101,14 @@ class SnapshotObject(SharedObject):
         if method == "snapshot":
             return Footprint.read(self.name, WHOLE)
         return super().footprint(pid, method, args)
+
+    def audit_state(self):
+        # One location per entry; the write/snapshot counters are
+        # instrumentation, not shared protocol state.
+        return dict(enumerate(self.entries))
+
+    def audit_set(self, key, value) -> bool:
+        if not (isinstance(key, int) and 0 <= key < self.size):
+            return False
+        self.entries[key] = value
+        return True

@@ -1,0 +1,100 @@
+"""Deliberately-broken protocol code and objects for the lint tests.
+
+Every planted bug here must be caught: the *static* bugs (discipline
+bypass, nondeterminism, literal yields, oversized port sets) by the
+linter's rules, and the *dynamic* bugs (the lying-footprint objects at
+the bottom) by the footprint auditor's state diff / perturbation replay.
+This module is parsed by the linter and imported by the audit tests; it
+is never linted as part of the repo self-lint.
+"""
+
+import random
+
+from repro.memory.base import BOTTOM
+from repro.memory.registers import AtomicRegister, RegisterArray
+from repro.memory.specs import make_spec
+from repro.objects.test_and_set import TestAndSetObject
+from repro.runtime.ops import ObjectProxy
+
+reg = ObjectProxy("reg")
+
+
+# --------------------------------------------------------------------------
+# Static violations (one function per rule; line comments name the rule)
+# --------------------------------------------------------------------------
+
+def bypasses_scheduler(store):
+    """D101: touches shared objects without yielding Invocations."""
+    arr = store["reg"]
+    arr.op_write(0, 1, "sneaky")          # D101 direct op_* call
+    result = store.apply(0, reg.read(1))  # D101 direct store dispatch
+    yield reg.read(0)
+    return result
+
+
+def nondeterministic_process(pid):
+    """N201: schedule replay would diverge between runs."""
+    victim = random.choice([0, 1])        # N201 shared-RNG call
+    marker = id(object())                 # N201 memory-layout id()
+    for peer in {0, 1, 2}:                # N201 unordered set iteration
+        yield reg.read(peer)
+    yield reg.write(pid, (victim, marker))
+
+
+def yields_garbage(pid):
+    """Y301: yields that cannot be operation descriptors."""
+    yield 42                              # Y301 literal yield
+    yield                                 # Y301 bare yield mid-protocol
+    yield reg.read(pid)
+
+
+def oversubscribed_ports():
+    """X401: consensus-number-2 objects wired to 3+ processes."""
+    tas = TestAndSetObject("t", ports=[0, 1, 2])          # X401
+    spec = make_spec("tas", "t2", ports=(0, 1, 2, 3))     # X401
+    yield reg.read(0)
+    return tas, spec
+
+
+# --------------------------------------------------------------------------
+# Dynamic violations: objects whose declared footprints lie
+# --------------------------------------------------------------------------
+
+class LeakyRegisterArray(RegisterArray):
+    """Declares a per-cell write footprint but also corrupts cell 0.
+
+    The auditor's state diff sees cell 0 change under an operation whose
+    declared write set is only the addressed cell.
+    """
+
+    def op_write(self, pid, index, value):
+        super().op_write(pid, index, value)
+        if index != 0:
+            self.cells[0] = ("leak", value)
+
+
+class SpyingRegister(AtomicRegister):
+    """Declares a blind (write-only) write but observes the prior value.
+
+    The auditor's perturbation replay poisons the undeclared read and
+    watches the written value change.
+    """
+
+    def op_write(self, pid, value):
+        prior = self.value
+        self.value = value if prior is BOTTOM else (prior, value)
+
+
+class UnderdeclaredSnapshotArray(RegisterArray):
+    """A whole-array 'collect' operation declared as a one-cell read."""
+
+    READONLY = frozenset({"read", "collect"})
+
+    def op_collect(self, pid):
+        return tuple(self.cells)
+
+    def footprint(self, pid, method, args):
+        from repro.runtime.ops import Footprint
+        if method == "collect":
+            return Footprint.read(self.name, 0)  # lies: reads every cell
+        return super().footprint(pid, method, args)

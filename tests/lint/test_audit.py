@@ -1,0 +1,119 @@
+"""Dynamic footprint auditor: violation reporting and clean passes."""
+
+import pytest
+
+from repro.lint import AuditingStore, FootprintViolation
+from repro.memory import (BOTTOM, AtomicRegister, ObjectStore,
+                          RegisterArray, SnapshotFamily, SnapshotObject)
+from repro.runtime import Invocation, RoundRobinAdversary, run_processes
+
+from .fixtures.broken_protocol import (LeakyRegisterArray, SpyingRegister,
+                                       UnderdeclaredSnapshotArray)
+
+
+def store_with(*objects):
+    store = ObjectStore()
+    store.add_all(objects)
+    return AuditingStore(store)
+
+
+class TestWriteSoundness:
+    def test_leaky_write_caught_by_state_diff(self):
+        audited = store_with(LeakyRegisterArray("arr", 3))
+        with pytest.raises(FootprintViolation) as exc:
+            audited.apply(0, Invocation("arr", "write", (2, "v")))
+        message = str(exc.value)
+        assert "write-soundness" in message
+        assert "'arr'" in message          # the object
+        assert "arr.write(2, 'v')" in message  # the operation
+        assert "declared" in message and "observed" in message
+        assert exc.value.kind == "write"
+
+    def test_honest_write_passes(self):
+        audited = store_with(RegisterArray("arr", 3))
+        audited.apply(0, Invocation("arr", "write", (2, "v")))
+        assert audited.audited_ops == 1
+
+    def test_cross_object_mutation_caught(self):
+        class Corruptor(AtomicRegister):
+            def __init__(self, name, victim):
+                super().__init__(name)
+                self._victim = victim
+
+            def op_write(self, pid, value):
+                super().op_write(pid, value)
+                self._victim.value = "corrupted"
+
+        victim = AtomicRegister("victim")
+        audited = store_with(Corruptor("evil", victim), victim)
+        with pytest.raises(FootprintViolation) as exc:
+            audited.apply(0, Invocation("evil", "write", ("v",)))
+        assert "victim" in str(exc.value)
+
+
+class TestReadSoundness:
+    def test_spying_write_caught_by_perturbation(self):
+        audited = store_with(SpyingRegister("r"))
+        with pytest.raises(FootprintViolation) as exc:
+            audited.apply(0, Invocation("r", "write", ("a",)))
+        assert exc.value.kind == "read"
+        assert "declared" in str(exc.value)
+
+    def test_underdeclared_collect_caught(self):
+        audited = store_with(UnderdeclaredSnapshotArray("arr", 3))
+        audited.apply(0, Invocation("arr", "write", (1, "x")))
+        with pytest.raises(FootprintViolation) as exc:
+            audited.apply(0, Invocation("arr", "collect", ()))
+        assert exc.value.kind == "read"
+        assert "result changed" in str(exc.value)
+
+    def test_honest_blind_write_passes(self):
+        audited = store_with(AtomicRegister("r"))
+        audited.apply(0, Invocation("r", "write", ("a",)))
+        audited.apply(1, Invocation("r", "write", ("b",)))
+        assert audited.audited_ops == 2
+
+    def test_perturbation_can_be_disabled(self):
+        store = ObjectStore()
+        store.add(SpyingRegister("r"))
+        audited = AuditingStore(store, perturb=False)
+        audited.apply(0, Invocation("r", "write", ("a",)))  # not caught
+        assert audited.audited_ops == 1
+
+
+class TestMemoryFamilyDeclarations:
+    """The shipped per-location footprints are audit-clean."""
+
+    def test_snapshot_family_lazy_instantiation_is_not_a_write(self):
+        audited = store_with(SnapshotFamily("SA", 3))
+        # Snapshot of a never-touched instance materializes it lazily;
+        # the ⊥-default must not read as an undeclared write.
+        snap = audited.apply(0, Invocation("SA", "snapshot", ("k",)))
+        assert snap == (BOTTOM, BOTTOM, BOTTOM)
+        audited.apply(1, Invocation("SA", "write", ("k", 1, "v")))
+        assert audited.apply(2, Invocation("SA", "snapshot", ("k",))) == \
+            (BOTTOM, "v", BOTTOM)
+        assert audited.audited_ops == 3
+
+    def test_snapshot_object_per_entry_footprints(self):
+        audited = store_with(SnapshotObject("mem", 3))
+        audited.apply(1, Invocation("mem", "write", (1, "v1")))
+        audited.apply(2, Invocation("mem", "update", ("v2",)))
+        assert audited.apply(0, Invocation("mem", "snapshot", ())) == \
+            (BOTTOM, "v1", "v2")
+
+    def test_audited_store_is_a_drop_in_for_runs(self):
+        store = ObjectStore()
+        store.add(RegisterArray("reg", 2))
+        audited = AuditingStore(store)
+
+        def prog(pid):
+            yield Invocation("reg", "write", (pid, f"v{pid}"))
+            mine = yield Invocation("reg", "read", (pid,))
+            return mine
+
+        result = run_processes({i: prog(i) for i in range(2)}, audited,
+                               adversary=RoundRobinAdversary())
+        assert result.decisions == {0: "v0", 1: "v1"}
+        assert audited.audited_ops == 4
+        assert audited.op_count == 4

@@ -1,0 +1,231 @@
+"""Positive and negative fixtures for every registered lint rule."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.lint import all_rules, lint_paths, lint_source, select_rules
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def lint(source, **kwargs):
+    return lint_source(textwrap.dedent(source), **kwargs)
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestRegistry:
+    def test_every_rule_has_identity(self):
+        rules = all_rules()
+        assert len(rules) >= 4
+        for rule in rules:
+            assert rule.code and rule.name and rule.description
+
+    def test_select_by_code_and_name(self):
+        assert [r.code for r in select_rules(["D101"])] == ["D101"]
+        assert [r.code for r in select_rules(["nondeterminism"])] == \
+            ["N201"]
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            select_rules(["Z999"])
+
+
+class TestDirectStateAccess:
+    def test_op_call_in_generator_flagged(self):
+        found = lint("""
+            def prog(store, reg):
+                store["r"].op_write(0, "v")
+                yield reg.read(0)
+        """)
+        assert codes(found) == ["D101"]
+        assert "op_write" in found[0].message
+
+    def test_store_apply_in_generator_flagged(self):
+        found = lint("""
+            def prog(store, inv):
+                result = store.apply(0, inv)
+                yield inv
+        """)
+        assert codes(found) == ["D101"]
+
+    def test_yielded_invocations_clean(self):
+        assert lint("""
+            def prog(reg):
+                yield reg.write(0, "v")
+                value = yield reg.read(0)
+                return value
+        """) == []
+
+    def test_op_methods_outside_generators_allowed(self):
+        # Object implementations may call their own handlers (e.g.
+        # SnapshotObject.op_update delegates to op_write).
+        assert lint("""
+            class Obj:
+                def op_update(self, pid, value):
+                    return self.op_write(pid, pid, value)
+        """) == []
+
+
+class TestNondeterminism:
+    def test_random_call_flagged(self):
+        found = lint("""
+            def prog(reg):
+                yield reg.write(0, random.choice([1, 2]))
+        """)
+        assert codes(found) == ["N201"]
+
+    def test_wall_clock_flagged(self):
+        found = lint("""
+            def prog(reg):
+                yield reg.write(0, time.time())
+        """)
+        assert codes(found) == ["N201"]
+
+    def test_id_flagged(self):
+        found = lint("""
+            def prog(reg):
+                yield reg.write(0, id(reg))
+        """)
+        assert codes(found) == ["N201"]
+
+    def test_set_iteration_flagged(self):
+        found = lint("""
+            def prog(reg):
+                for peer in {1, 2, 3}:
+                    yield reg.read(peer)
+        """)
+        assert codes(found) == ["N201"]
+
+    def test_seeded_rng_and_sorted_iteration_clean(self):
+        assert lint("""
+            def prog(reg, seed):
+                rng = random.Random(seed)
+                for peer in sorted({1, 2, 3}):
+                    yield reg.read(peer)
+        """) == []
+
+    def test_nondeterminism_outside_process_code_allowed(self):
+        # Harness/adversary code is not schedule-replayed.
+        assert lint("""
+            def pick_seed():
+                return random.choice([1, 2, 3])
+        """) == []
+
+
+class TestYieldDescriptor:
+    def test_literal_yield_flagged(self):
+        found = lint("""
+            def prog(reg):
+                yield 42
+                yield reg.read(0)
+        """)
+        assert codes(found) == ["Y301"]
+
+    def test_bare_yield_flagged(self):
+        found = lint("""
+            def prog(reg):
+                yield
+                yield reg.read(0)
+        """)
+        assert codes(found) == ["Y301"]
+
+    def test_generator_marker_after_return_allowed(self):
+        # The 'decide immediately' idiom: dead yield after return.
+        assert lint("""
+            def prog(pid, value):
+                return value
+                yield
+        """) == []
+
+    def test_descriptor_yields_clean(self):
+        assert lint("""
+            def prog(reg, pred):
+                yield reg.write(0, "v")
+                snap = yield SpinOp(reg.read(0), pred)
+                result = yield from helper(reg)
+                return (snap, result)
+        """) == []
+
+
+class TestXPortArity:
+    def test_constructor_with_oversized_ports_flagged(self):
+        found = lint("""
+            t = TestAndSetObject("t", ports=[0, 1, 2])
+        """)
+        assert codes(found) == ["X401"]
+        assert "consensus number 2" in found[0].message
+
+    def test_make_spec_with_oversized_ports_flagged(self):
+        found = lint("""
+            spec = make_spec("queue", "q", ports=(0, 1, 2))
+        """)
+        assert codes(found) == ["X401"]
+
+    def test_within_arity_clean(self):
+        assert lint("""
+            t = TestAndSetObject("t", ports=[0, 1])
+            spec = make_spec("tas", "t2", ports=(3, 4))
+        """) == []
+
+    def test_non_literal_ports_not_flagged(self):
+        # Dynamic port sets are the auditor's (runtime's) job.
+        assert lint("""
+            t = TestAndSetObject("t", ports=compute_ports())
+        """) == []
+
+
+class TestSuppression:
+    def test_line_suppression_by_code_and_name(self):
+        assert lint("""
+            def prog(reg):
+                yield 42  # lint: ignore[Y301]
+                yield reg.read(0)
+        """) == []
+        assert lint("""
+            def prog(reg):
+                yield 42  # lint: ignore[yield-descriptor]
+                yield reg.read(0)
+        """) == []
+
+    def test_suppression_is_rule_specific(self):
+        found = lint("""
+            def prog(reg):
+                yield 42  # lint: ignore[D101]
+                yield reg.read(0)
+        """)
+        assert codes(found) == ["Y301"]
+
+    def test_skip_file(self):
+        assert lint("""
+            # lint: skip-file
+            def prog(reg):
+                yield 42
+        """) == []
+
+
+class TestFixtureFile:
+    """The planted-bug fixture is caught by the static rules."""
+
+    def test_every_planted_static_bug_is_caught(self):
+        violations, errors = lint_paths(
+            [os.path.join(FIXTURES, "broken_protocol.py")])
+        assert errors == []
+        found = set(codes(violations))
+        assert found == {"D101", "N201", "Y301", "X401"}
+        # Two discipline bypasses, three nondeterminism sources, two bad
+        # yields, two oversized port sets.
+        assert len(codes(violations)) == 9
+
+    def test_repo_protocol_dirs_are_clean(self):
+        violations, errors = lint_paths([
+            os.path.join(REPO_ROOT, "src", "repro", d)
+            for d in ("agreement", "bg", "core", "objects", "tasks")])
+        assert errors == []
+        assert violations == []

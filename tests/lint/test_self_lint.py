@@ -1,0 +1,58 @@
+"""The repo's own lint job, run as part of tier-1.
+
+Two guarantees, marked ``lint`` (parallel to the ``exhaustive`` marker):
+
+* the repo's protocol code is clean under every registered rule
+  (``python -m repro lint src/repro`` exits 0), and
+* every footprint declaration shipped in ``src/repro/memory`` is sound:
+  the dynamic auditor replays every registered scenario under a battery
+  of adversaries without a single operation escaping its declared
+  read/write sets.  This is the regression pin for the DPOR
+  independence relation -- an under-declared footprint would silently
+  prune real interleavings from the exhaustive proofs.
+"""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.lint import audit_scenario, lint_paths
+from repro.scenarios import check_scenarios
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+@pytest.mark.lint
+class TestSelfLint:
+    def test_repo_is_lint_clean(self):
+        violations, errors = lint_paths([SRC])
+        assert errors == []
+        assert violations == [], "\n".join(
+            v.render() for v in violations)
+
+    def test_lint_cli_exits_zero_on_repo(self, capsys):
+        assert main(["lint", SRC]) == 0
+
+
+@pytest.mark.lint
+class TestFootprintAuditRegression:
+    """All shipped footprint declarations pass the dynamic audit."""
+
+    @pytest.mark.parametrize("name", sorted(check_scenarios()))
+    def test_scenario_audit_clean(self, name):
+        scenario = check_scenarios(n=3, x=2)[name]
+        report = audit_scenario(scenario)
+        assert report.runs == 8
+        assert report.audited_ops > 0
+
+    def test_two_process_sizing_also_clean(self):
+        for scenario in check_scenarios(n=2, x=2).values():
+            assert audit_scenario(scenario).audited_ops > 0
+
+    def test_audit_cli_all_scenarios(self, capsys):
+        assert main(["audit", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("AUDIT PASSED") == 5

@@ -1,8 +1,14 @@
 """The ``python -m repro`` command-line interface."""
 
+import os
+
 import pytest
 
 from repro.__main__ import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_FIXTURE = os.path.join(REPO_ROOT, "tests", "lint", "fixtures",
+                            "broken_protocol.py")
 
 
 class TestCLI:
@@ -50,6 +56,19 @@ class TestCheckCommand:
                      "queue-2cons", "broken-demo"):
             assert name in out
 
+    def test_list_flag_enumerates_scenarios(self, capsys):
+        assert main(["check", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("safe-agreement", "adopt-commit", "x-safe-agreement",
+                     "queue-2cons", "broken-demo"):
+            assert name in out
+
+    def test_missing_scenario_lists_but_exits_two(self, capsys):
+        assert main(["check"]) == 2
+        captured = capsys.readouterr()
+        assert "no scenario given" in captured.err
+        assert "safe-agreement" in captured.out
+
     def test_passing_scenario_exits_zero(self, capsys):
         assert main(["check", "queue-2cons"]) == 0
         out = capsys.readouterr().out
@@ -86,3 +105,87 @@ class TestCheckCommand:
         out = capsys.readouterr().out
         assert "PASSED" in out
         assert "pruned" not in out
+
+
+class TestLintCommand:
+    """``python -m repro lint``: exit codes 0 / 1 / 2."""
+
+    def test_clean_repo_exits_zero(self, capsys):
+        src = os.path.join(REPO_ROOT, "src", "repro")
+        assert main(["lint", src]) == 0
+
+    def test_planted_bugs_exit_one_with_findings(self, capsys):
+        assert main(["lint", LINT_FIXTURE]) == 1
+        out = capsys.readouterr().out
+        for code in ("D101", "N201", "Y301", "X401"):
+            assert code in out
+        assert "violation(s)" in out
+
+    def test_select_restricts_rules(self, capsys):
+        assert main(["lint", LINT_FIXTURE, "--select", "Y301"]) == 1
+        out = capsys.readouterr().out
+        assert "Y301" in out
+        assert "D101" not in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", LINT_FIXTURE, "--select", "Z999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/no/such/path.py"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("D101", "N201", "Y301", "X401"):
+            assert code in out
+
+
+class TestAuditCommand:
+    """``python -m repro audit``: exit codes 0 / 1 / 2."""
+
+    def test_clean_scenario_exits_zero(self, capsys):
+        assert main(["audit", "queue-2cons"]) == 0
+        out = capsys.readouterr().out
+        assert "AUDIT PASSED" in out
+        assert "operations audited" in out
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["audit", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_budget_exceeded_exits_two(self, capsys):
+        assert main(["audit", "queue-2cons", "--max-steps", "2"]) == 2
+        assert "BUDGET EXCEEDED" in capsys.readouterr().err
+
+    def test_violation_exits_one(self, capsys, monkeypatch):
+        # Swap a scenario's store for one with a lying footprint.
+        from repro import scenarios as scen
+        from tests.lint.fixtures.broken_protocol import SpyingRegister
+
+        real = scen.check_scenarios
+        def sabotaged(n=3, x=2):
+            registry = real(n=n, x=x)
+            sc = registry["queue-2cons"]
+            original_build = sc.build
+
+            def build():
+                programs, store = original_build()
+                store.add(SpyingRegister("spy"))
+                from repro.runtime import Invocation
+
+                def spy_prog():
+                    yield Invocation("spy", "write", ("a",))
+                    yield Invocation("spy", "write", ("b",))
+
+                programs[99] = spy_prog()
+                return programs, store
+
+            sc.build = build
+            return registry
+
+        monkeypatch.setattr(scen, "check_scenarios", sabotaged)
+        assert main(["audit", "queue-2cons"]) == 1
+        out = capsys.readouterr().out
+        assert "FOOTPRINT VIOLATION" in out
+        assert "read-soundness" in out
