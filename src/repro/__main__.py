@@ -69,11 +69,27 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0 if verdict.ok else 1
 
 
+def _resolve_jobs_arg(value):
+    """Parse a ``--jobs`` flag value; returns (jobs_or_None, error)."""
+    if value is None:
+        return None, None
+    from .runtime import resolve_jobs
+    try:
+        return resolve_jobs(value), None
+    except ValueError as exc:
+        return None, str(exc)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Exhaustively check one named scenario (or ``all`` sound ones)."""
     from .runtime import CounterexampleFound, explore
-    from .scenarios import SOUND_SCENARIOS, check_scenarios
+    from .runtime.parallel import explore_parallel
+    from .scenarios import SOUND_SCENARIOS, ScenarioRef, check_scenarios
 
+    jobs, jobs_error = _resolve_jobs_arg(args.jobs)
+    if jobs_error is not None:
+        print(f"check: {jobs_error}", file=sys.stderr)
+        return 2
     scenarios = check_scenarios(n=args.n, x=args.x)
     if args.list or args.scenario in (None, "list"):
         if args.scenario is None and not args.list:
@@ -99,13 +115,23 @@ def cmd_check(args: argparse.Namespace) -> int:
         max_steps = args.max_steps or sc.max_steps
         max_runs = args.max_runs or sc.max_runs
         print(f"[{name}] {sc.description}")
+        extra = f", jobs={jobs}" if jobs is not None else ""
         print(f"[{name}] exploring ({reduction}, max_steps={max_steps}, "
-              f"max_runs={max_runs}) ...")
+              f"max_runs={max_runs}{extra}) ...")
         try:
-            stats = explore(sc.build, sc.check,
-                            crash_plan_factory=sc.crash_plan_factory,
-                            max_steps=max_steps, max_runs=max_runs,
-                            reduction=reduction)
+            if jobs is not None:
+                # Workers rebuild the scenario by name (closures do not
+                # pickle); the ref pins the CLI's sizing flags.
+                stats = explore_parallel(
+                    crash_plan_factory=sc.crash_plan_factory,
+                    max_steps=max_steps, max_runs=max_runs,
+                    jobs=jobs, reduction=reduction,
+                    scenario=ScenarioRef(name, n=args.n, x=args.x))
+            else:
+                stats = explore(sc.build, sc.check,
+                                crash_plan_factory=sc.crash_plan_factory,
+                                max_steps=max_steps, max_runs=max_runs,
+                                reduction=reduction)
         except CounterexampleFound as exc:
             print(f"[{name}] PROPERTY VIOLATED ({exc.stats})")
             print(exc.counterexample.describe())
@@ -163,6 +189,10 @@ def cmd_audit(args: argparse.Namespace) -> int:
     from .lint import FootprintViolation, audit_scenario
     from .scenarios import check_scenarios
 
+    jobs, jobs_error = _resolve_jobs_arg(args.jobs)
+    if jobs_error is not None:
+        print(f"audit: {jobs_error}", file=sys.stderr)
+        return 2
     scenarios = check_scenarios(n=args.n, x=args.x)
     if args.scenario == "all":
         names = list(scenarios)
@@ -178,7 +208,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
         sc = scenarios[name]
         try:
             report = audit_scenario(sc, max_steps=args.max_steps,
-                                    perturb=not args.no_perturb)
+                                    perturb=not args.no_perturb,
+                                    jobs=jobs)
         except FootprintViolation as exc:
             print(f"[{name}] FOOTPRINT VIOLATION")
             print(exc)
@@ -257,6 +288,10 @@ def main(argv=None) -> int:
     p.add_argument("--naive", action="store_true",
                    help="disable partial-order reduction (enumerate "
                         "every interleaving)")
+    p.add_argument("--jobs", default=None, metavar="N",
+                   help="shard exploration across N worker processes "
+                        "('auto' = cpu count); run counts are identical "
+                        "for every N")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -288,6 +323,9 @@ def main(argv=None) -> int:
     p.add_argument("--no-perturb", action="store_true",
                    help="skip the replay-based read audit (state-diff "
                         "write audit only)")
+    p.add_argument("--jobs", default=None, metavar="N",
+                   help="audit the scenario's adversaries across N "
+                        "worker processes ('auto' = cpu count)")
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("demo", help="one-minute tour")

@@ -62,6 +62,14 @@ class FootprintViolation(RuntimeError):
             f"  declared: {declared!r}\n"
             f"  observed: {evidence}")
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into our 6-argument ``__init__``; rebuild from the
+        # real fields instead so violations survive worker pipes.
+        return (FootprintViolation,
+                (self.obj_name, self.pid, self.invocation,
+                 self.declared, self.kind, self.evidence))
+
 
 class _Poison:
     """Unique marker written into undeclared locations before a replay.
@@ -300,35 +308,76 @@ class AuditReport:
         return text
 
 
+def _audit_one(scenario, adversary, max_steps: int, perturb: bool):
+    """One audited run; returns ``(audited_ops, skipped_ops, name)``."""
+    from ..runtime import run_processes
+    programs, store = scenario.build()
+    audited = AuditingStore(store, perturb=perturb)
+    crash_plan = (scenario.crash_plan_factory()
+                  if scenario.crash_plan_factory else None)
+    result = run_processes(programs, audited, adversary=adversary,
+                           crash_plan=crash_plan, max_steps=max_steps)
+    if result.out_of_steps:
+        raise RuntimeError(
+            f"audit of {scenario.name!r} exhausted max_steps="
+            f"{max_steps} under {type(adversary).__name__}")
+    return (audited.audited_ops, audited.skipped_ops,
+            type(adversary).__name__)
+
+
 def audit_scenario(scenario, adversaries: Optional[Sequence] = None,
                    max_steps: int = 100_000,
-                   perturb: bool = True) -> AuditReport:
+                   perturb: bool = True,
+                   jobs: Optional[int] = None) -> AuditReport:
     """Run ``scenario`` under auditing with a battery of adversaries.
 
     Raises :class:`FootprintViolation` on the first unsound declaration
     and ``RuntimeError`` if a run exhausts ``max_steps``; returns an
     :class:`AuditReport` when every executed operation stayed inside its
-    declared footprint.
+    declared footprint.  With ``jobs``, the per-adversary runs execute
+    on a worker pool (:func:`repro.runtime.parallel.run_pool`); failures
+    are re-raised in adversary order, so the outcome does not depend on
+    worker timing.
     """
-    from ..runtime import (RoundRobinAdversary, SeededRandomAdversary,
-                           run_processes)
+    from ..runtime import RoundRobinAdversary, SeededRandomAdversary
     if adversaries is None:
         adversaries = [RoundRobinAdversary()] + [
             SeededRandomAdversary(seed) for seed in DEFAULT_AUDIT_SEEDS]
     report = AuditReport(scenario=scenario.name)
+
+    if jobs is not None and jobs > 1:
+        from ..runtime.parallel import run_pool
+
+        def run_one(index):
+            try:
+                return _audit_one(scenario, adversaries[index],
+                                  max_steps, perturb), None
+            except (FootprintViolation, RuntimeError) as exc:
+                # Ship the typed failure as a value: run_pool's generic
+                # error channel is strings, and the caller re-raises.
+                return None, exc
+
+        outcomes = run_pool(list(range(len(adversaries))), run_one,
+                            jobs=jobs)
+        for index, (value, error) in enumerate(outcomes):
+            if error is not None:
+                raise RuntimeError(
+                    f"audit worker failed on adversary {index}: {error}")
+            ok, failure = value
+            if failure is not None:
+                raise failure
+            audited_ops, skipped_ops, name = ok
+            report.runs += 1
+            report.audited_ops += audited_ops
+            report.skipped_ops += skipped_ops
+            report.adversaries.append(name)
+        return report
+
     for adversary in adversaries:
-        programs, store = scenario.build()
-        audited = AuditingStore(store, perturb=perturb)
-        crash_plan = (scenario.crash_plan_factory()
-                      if scenario.crash_plan_factory else None)
-        result = run_processes(programs, audited, adversary=adversary,
-                               crash_plan=crash_plan, max_steps=max_steps)
-        if result.out_of_steps:
-            raise RuntimeError(
-                f"audit of {scenario.name!r} exhausted max_steps="
-                f"{max_steps} under {type(adversary).__name__}")
+        audited_ops, skipped_ops, name = _audit_one(
+            scenario, adversary, max_steps, perturb)
         report.runs += 1
-        report.audited_ops += audited.audited_ops
-        report.skipped_ops += audited.skipped_ops
-        report.adversaries.append(type(adversary).__name__)
+        report.audited_ops += audited_ops
+        report.skipped_ops += skipped_ops
+        report.adversaries.append(name)
     return report

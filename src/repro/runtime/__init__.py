@@ -12,7 +12,9 @@ from .adversary import (Adversary, PriorityAdversary, RoundRobinAdversary,
 from .crash import CrashPlan, CrashPoint, op_on
 from .dpor import (Counterexample, CounterexampleFound, explore_dpor,
                    replay_schedule, shrink_schedule)
-from .explore import ExplorationStats, explore
+from .explore import ExplorationStats, ShardViolation, explore
+from .parallel import (explore_parallel, fork_available, resolve_jobs,
+                       run_pool)
 from .ops import (EMPTY_FOOTPRINT, SPIN_FAILED, WHOLE, Footprint,
                   Invocation, LocalOp, ObjectProxy, SpinOp, conflicts,
                   indexed_proxy, spin, wait_until)
@@ -27,7 +29,8 @@ __all__ = [
     "CrashPlan", "CrashPoint", "op_on",
     "Counterexample", "CounterexampleFound", "explore_dpor",
     "replay_schedule", "shrink_schedule",
-    "ExplorationStats", "explore",
+    "ExplorationStats", "ShardViolation", "explore",
+    "explore_parallel", "fork_available", "resolve_jobs", "run_pool",
     "EMPTY_FOOTPRINT", "SPIN_FAILED", "WHOLE", "Footprint",
     "Invocation", "LocalOp", "ObjectProxy", "SpinOp", "conflicts",
     "indexed_proxy", "spin", "wait_until",

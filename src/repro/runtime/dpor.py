@@ -51,12 +51,12 @@ plans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Generator, List, Optional, Set,
-                    Tuple)
+from typing import (Any, Callable, Dict, Generator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from .adversary import Adversary
 from .crash import CrashPlan
-from .explore import ExplorationStats
+from .explore import ExplorationStats, ShardViolation
 from .ops import EMPTY_FOOTPRINT, Footprint, Invocation, SpinOp, conflicts
 from .process import ProcessHandle, ProcessStatus
 from .run import RunResult
@@ -468,45 +468,61 @@ def _work_remains(path: List[_Node]) -> bool:
         for node in path)
 
 
-def explore_dpor(build: Builder,
-                 check: Callable[[RunResult], None],
-                 crash_plan_factory: Optional[Callable[[], CrashPlan]]
-                 = None,
-                 max_steps: int = 24,
-                 max_runs: int = 200_000,
-                 shrink: bool = True) -> ExplorationStats:
-    """Explore one representative schedule per Mazurkiewicz trace.
+def _explore_core(build: Builder,
+                  check: Callable[[RunResult], None],
+                  crash_plan_factory: Optional[Callable[[], CrashPlan]]
+                  = None,
+                  max_steps: int = 24,
+                  max_runs: int = 200_000,
+                  shrink: bool = True,
+                  prefix: Sequence[int] = (),
+                  root_sleep: Sequence[int] = (),
+                  collect: bool = False) -> ExplorationStats:
+    """DPOR exploration of the subtree rooted at ``prefix``.
 
-    Same contract as :func:`repro.runtime.explore.explore` -- ``build()``
-    returns a fresh ``(programs, store)`` pair, ``check(result)`` asserts
-    the safety property on every complete run, prefixes longer than
-    ``max_steps`` count as truncated, and exceeding ``max_runs`` complete
-    + truncated runs raises ``RuntimeError`` (inclusive bound) -- but
-    schedules equivalent up to commuting independent steps are explored
-    only once.  ``stats.pruned_runs`` reports a *lower bound* on the
-    schedules avoided (unexplored candidate branches plus sleep-blocked
-    subtrees); the true saving is typically far larger, since each pruned
-    branch roots a whole subtree.
+    With an empty ``prefix`` this is the full serial search.  With a
+    non-empty prefix (shard mode, see :mod:`repro.runtime.parallel`) the
+    prefix is replayed first and DFS proceeds only *below* its final
+    state: backtrack points that race detection plants into prefix
+    states are ignored here, which is sound because the frontier
+    expansion that produced the shard scheduled every non-sleeping
+    candidate at each pre-frontier state, so sibling shards cover those
+    orderings.  ``root_sleep`` carries the shard root's sleep set across
+    the process boundary.
 
-    On a ``check`` failure the failing schedule is shrunk
-    (:func:`shrink_schedule`, unless ``shrink=False``) and a
-    :class:`CounterexampleFound` is raised from the original error.
+    With ``collect=True`` the first check failure is recorded as
+    ``stats.violation`` (schedule measured from the true root, prefix
+    included) and the walk returns instead of raising, so a coordinator
+    can pick the winning violation deterministically across shards.
     """
     stats = ExplorationStats()
     sysm = _System(build, crash_plan_factory)
     path: List[_Node] = [_make_node(sysm, None, None, None, [], set())]
+    for pid in prefix:
+        node = path[-1]
+        node.visited = True
+        if pid not in node.candidates:
+            raise RuntimeError(
+                f"shard prefix diverged: {pid} not schedulable at depth "
+                f"{len(path) - 1} (candidates: {node.candidates})")
+        node.done.add(pid)
+        fp = sysm.execute(pid)
+        child = _make_node(sysm, node, pid, fp, path, set())
+        path.append(child)
+    base = len(path) - 1
+    path[-1].sleep = set(root_sleep)
     synced = True
 
     def pop_leaf() -> None:
         nonlocal synced
         path.pop()
         synced = False
-        if stats.total_runs >= max_runs and _work_remains(path):
+        if stats.total_runs >= max_runs and _work_remains(path[base:]):
             raise RuntimeError(
                 f"exploration exceeded max_runs={max_runs}; "
                 f"shrink the configuration ({stats})")
 
-    while path:
+    while len(path) > base:
         node = path[-1]
         depth = len(path) - 1
         if not node.visited:
@@ -520,6 +536,13 @@ def explore_dpor(build: Builder,
                     check(result)
                 except Exception as exc:  # noqa: BLE001 - property failed
                     schedule = [n.in_pid for n in path[1:]]
+                    if collect:
+                        stats.violation = ShardViolation(
+                            order_key=tuple(prefix),
+                            schedule=tuple(schedule),
+                            message=f"{type(exc).__name__}: {exc}",
+                            error_type=type(exc).__name__)
+                        return stats
                     if shrink:
                         counterexample = shrink_schedule(
                             build, check, schedule,
@@ -575,3 +598,47 @@ def explore_dpor(build: Builder,
         path.append(child)
         _update_backtracks(path)
     return stats
+
+
+def explore_dpor(build: Builder,
+                 check: Callable[[RunResult], None],
+                 crash_plan_factory: Optional[Callable[[], CrashPlan]]
+                 = None,
+                 max_steps: int = 24,
+                 max_runs: int = 200_000,
+                 shrink: bool = True,
+                 jobs=None,
+                 prefix_factor: Optional[int] = None) -> ExplorationStats:
+    """Explore one representative schedule per Mazurkiewicz trace.
+
+    Same contract as :func:`repro.runtime.explore.explore` -- ``build()``
+    returns a fresh ``(programs, store)`` pair, ``check(result)`` asserts
+    the safety property on every complete run, prefixes longer than
+    ``max_steps`` count as truncated, and exceeding ``max_runs`` complete
+    + truncated runs raises ``RuntimeError`` (inclusive bound) -- but
+    schedules equivalent up to commuting independent steps are explored
+    only once.  ``stats.pruned_runs`` reports a *lower bound* on the
+    schedules avoided (unexplored candidate branches plus sleep-blocked
+    subtrees); the true saving is typically far larger, since each pruned
+    branch roots a whole subtree.
+
+    On a ``check`` failure the failing schedule is shrunk
+    (:func:`shrink_schedule`, unless ``shrink=False``) and a
+    :class:`CounterexampleFound` is raised from the original error.
+
+    ``jobs=None`` (default) runs the classic single-process search; any
+    explicit value routes to sharded exploration
+    (:func:`repro.runtime.parallel.explore_parallel`), whose run counts
+    depend on the sharding but never on how many workers execute it.
+    """
+    if jobs is not None:
+        from .parallel import DEFAULT_PREFIX_FACTOR, explore_parallel
+        return explore_parallel(
+            build, check, crash_plan_factory=crash_plan_factory,
+            max_steps=max_steps, max_runs=max_runs, jobs=jobs,
+            reduction="dpor", shrink=shrink,
+            prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR)
+    return _explore_core(build, check,
+                         crash_plan_factory=crash_plan_factory,
+                         max_steps=max_steps, max_runs=max_runs,
+                         shrink=shrink)

@@ -23,7 +23,8 @@ prefixes -- this is bounded model checking, and the bound is reported).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Generator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from .adversary import Adversary
 from .crash import CrashPlan
@@ -31,6 +32,25 @@ from .process import ProcessHandle
 from .run import RunResult
 from .scheduler import Scheduler
 from .trace import Trace
+
+
+@dataclass(frozen=True)
+class ShardViolation:
+    """The first property failure observed inside one exploration shard.
+
+    Shards are identified by the frontier prefix they explore from
+    (``order_key``); merging statistics from many shards keeps the
+    violation whose shard prefix sorts first lexicographically, which is
+    the violation a serial walk of the shards in prefix order would have
+    found first -- independent of worker timing.  ``schedule`` is the
+    full failing schedule from the root (frontier prefix included), fit
+    for :func:`repro.runtime.dpor.replay_schedule` and ddmin shrinking.
+    """
+
+    order_key: Tuple[int, ...]
+    schedule: Tuple[int, ...]
+    message: str
+    error_type: str = "AssertionError"
 
 
 @dataclass
@@ -41,16 +61,48 @@ class ExplorationStats:
     (``reduction="dpor"``): a lower bound on the schedules proven
     redundant and skipped (each unexplored branch roots a whole subtree,
     so the true saving is at least this large).
+
+    ``violation`` is only set by shard-mode exploration (see
+    :mod:`repro.runtime.parallel`), where property failures are
+    *collected* rather than raised so that every shard finishes and the
+    merged statistics stay deterministic; the serial engines raise
+    immediately instead.
     """
 
     complete_runs: int = 0
     truncated_runs: int = 0
     max_depth_seen: int = 0
     pruned_runs: int = 0
+    violation: Optional[ShardViolation] = None
 
     @property
     def total_runs(self) -> int:
         return self.complete_runs + self.truncated_runs
+
+    def merge(self, other: "ExplorationStats") -> "ExplorationStats":
+        """Deterministically combine the statistics of two shards.
+
+        Run counts add, the depth watermark takes the max, and when both
+        sides carry a violation the one whose shard prefix sorts first
+        (lexicographic ``order_key``) wins -- so folding any number of
+        shard results in *any* order yields the same merged outcome as
+        exploring the shards serially in prefix order.  Neither operand
+        is mutated.
+        """
+        if self.violation is None:
+            violation = other.violation
+        elif (other.violation is None
+              or self.violation.order_key <= other.violation.order_key):
+            violation = self.violation
+        else:
+            violation = other.violation
+        return ExplorationStats(
+            complete_runs=self.complete_runs + other.complete_runs,
+            truncated_runs=self.truncated_runs + other.truncated_runs,
+            max_depth_seen=max(self.max_depth_seen, other.max_depth_seen),
+            pruned_runs=self.pruned_runs + other.pruned_runs,
+            violation=violation,
+        )
 
     @property
     def reduction_ratio(self) -> float:
@@ -158,12 +210,63 @@ def _run_prefix(build: Callable[[], Tuple[Dict[int, Generator], Any]],
     return None, sorted(candidates)
 
 
+def _explore_naive(build: Callable[[], Tuple[Dict[int, Generator], Any]],
+                   check: Callable[[RunResult], None],
+                   crash_plan_factory: Optional[Callable[[], CrashPlan]],
+                   max_steps: int,
+                   max_runs: int,
+                   root: Sequence[int] = (),
+                   collect: bool = False) -> ExplorationStats:
+    """Naive DFS over all schedules extending ``root``.
+
+    With ``collect=True`` (shard mode) the first check failure is
+    recorded as ``stats.violation`` and the walk stops there instead of
+    raising, so the coordinator can merge shard outcomes
+    deterministically.
+    """
+    stats = ExplorationStats()
+    stack: List[List[int]] = [list(root)]
+    while stack:
+        if stats.total_runs >= max_runs:
+            # Inclusive budget: the stack is non-empty, so at least one
+            # more run would be needed to finish the exploration.
+            raise RuntimeError(
+                f"exploration exceeded max_runs={max_runs}; "
+                f"shrink the configuration ({stats})")
+        prefix = stack.pop()
+        stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
+        result, enabled = _run_prefix(build, prefix,
+                                      crash_plan_factory, max_steps)
+        if result is not None:
+            stats.complete_runs += 1
+            if collect:
+                try:
+                    check(result)
+                except Exception as exc:
+                    stats.violation = ShardViolation(
+                        order_key=tuple(root),
+                        schedule=tuple(prefix),
+                        message=f"{type(exc).__name__}: {exc}",
+                        error_type=type(exc).__name__)
+                    return stats
+            else:
+                check(result)
+        elif len(prefix) >= max_steps:
+            stats.truncated_runs += 1
+        else:
+            for pid in reversed(enabled):
+                stack.append(prefix + [pid])
+    return stats
+
+
 def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             check: Callable[[RunResult], None],
             crash_plan_factory: Optional[Callable[[], CrashPlan]] = None,
             max_steps: int = 24,
             max_runs: int = 200_000,
-            reduction: str = "naive") -> ExplorationStats:
+            reduction: str = "naive",
+            jobs: Optional[Union[int, str]] = None,
+            prefix_factor: Optional[int] = None) -> ExplorationStats:
     """Exhaustively check every schedule of the system built by ``build``.
 
     ``build()`` must return a fresh ``(programs, store)`` pair each call
@@ -184,34 +287,30 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
       class of schedules equivalent up to commuting independent steps.
       Same terminal states, far fewer runs; property failures are shrunk
       to a minimal replayable counterexample.
+
+    ``jobs`` selects the execution backend.  ``None`` (the default)
+    keeps the classic single-process engine.  Any explicit value --
+    ``1``, ``4``, ``"auto"`` -- switches to sharded exploration
+    (:func:`repro.runtime.parallel.explore_parallel`): the schedule tree
+    is split at a frontier of prefixes and the shards are explored by a
+    worker pool.  Which shards exist depends only on ``prefix_factor``,
+    never on ``jobs``, so run counts and counterexamples are identical
+    for ``jobs=1`` and ``jobs=N``.
     """
+    if reduction not in ("naive", "dpor"):
+        raise ValueError(f"unknown reduction {reduction!r} "
+                         f"(expected 'naive' or 'dpor')")
+    if jobs is not None:
+        from .parallel import DEFAULT_PREFIX_FACTOR, explore_parallel
+        return explore_parallel(
+            build, check, crash_plan_factory=crash_plan_factory,
+            max_steps=max_steps, max_runs=max_runs, jobs=jobs,
+            reduction=reduction,
+            prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR)
     if reduction == "dpor":
         from .dpor import explore_dpor
         return explore_dpor(build, check,
                             crash_plan_factory=crash_plan_factory,
                             max_steps=max_steps, max_runs=max_runs)
-    if reduction != "naive":
-        raise ValueError(f"unknown reduction {reduction!r} "
-                         f"(expected 'naive' or 'dpor')")
-    stats = ExplorationStats()
-    stack: List[List[int]] = [[]]
-    while stack:
-        if stats.total_runs >= max_runs:
-            # Inclusive budget: the stack is non-empty, so at least one
-            # more run would be needed to finish the exploration.
-            raise RuntimeError(
-                f"exploration exceeded max_runs={max_runs}; "
-                f"shrink the configuration ({stats})")
-        prefix = stack.pop()
-        stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
-        result, enabled = _run_prefix(build, prefix,
-                                      crash_plan_factory, max_steps)
-        if result is not None:
-            stats.complete_runs += 1
-            check(result)
-        elif len(prefix) >= max_steps:
-            stats.truncated_runs += 1
-        else:
-            for pid in reversed(enabled):
-                stack.append(prefix + [pid])
-    return stats
+    return _explore_naive(build, check, crash_plan_factory,
+                          max_steps, max_runs)

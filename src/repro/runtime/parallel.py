@@ -1,0 +1,469 @@
+"""Multiprocess schedule exploration: shard the tree, merge deterministically.
+
+Exhaustive checking is embarrassingly parallel *if* the schedule tree is
+split carefully: ``build()`` is a pure factory, so any process can replay
+a prefix from scratch and own the whole subtree below it.  The coordinator
+here
+
+1. expands a **frontier** serially -- BFS over the schedule tree until at
+   least ``prefix_factor x max(16, cpu_count, jobs)`` open prefixes exist
+   (terminal/truncated states met on the way are checked and counted
+   immediately).  Under DPOR the expansion schedules *every* non-sleeping
+   candidate at each pre-frontier state -- a trivially persistent set --
+   and propagates sleep sets to the frontier nodes with the exact rule
+   the serial engine uses, so the union of shard subtrees covers the same
+   Mazurkiewicz traces the serial search would;
+2. farms each frontier prefix out to a ``fork``-based worker pool
+   (:func:`run_pool`), each worker replaying its prefix and exploring the
+   subtree with the ordinary serial engine in *collect* mode (property
+   failures are recorded, not raised, so every shard finishes);
+3. **merges** shard statistics in frontier order via
+   :meth:`ExplorationStats.merge` -- run counts and the winning violation
+   (first by lexicographic prefix order) are therefore reproducible
+   regardless of worker timing -- and only then shrinks the winning
+   schedule with ddmin, in-process.
+
+Determinism contract: the frontier target is independent of ``jobs``
+(for any ``jobs <= max(16, cpu_count)``), so ``jobs=1`` and ``jobs=N``
+explore the *identical* shards and report identical statistics and
+counterexamples; ``jobs`` only controls how many OS processes execute
+them.  Degradation is graceful: with ``jobs=1``, a single shard, or no
+``fork`` start method, shards run in-process; a worker that dies
+mid-shard (e.g. SIGKILL) has its orphaned shard re-executed in-process,
+which is sound because shards are deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import multiprocessing.connection  # noqa: F401 - mp.connection.wait
+import os
+import pickle
+from typing import (Any, Callable, Dict, Generator, List, Optional,
+                    Sequence, Tuple, Union)
+
+from .crash import CrashPlan
+from .dpor import (Counterexample, CounterexampleFound, _explore_core,
+                   _System, replay_schedule, shrink_schedule)
+from .explore import (ExplorationStats, ShardViolation, _explore_naive,
+                      _run_prefix)
+from .ops import conflicts
+from .run import RunResult
+
+Builder = Callable[[], Tuple[Dict[int, Generator], Any]]
+
+#: Frontier prefixes generated per potential worker (tunable; larger
+#: values give better load balance at the cost of more serial expansion).
+DEFAULT_PREFIX_FACTOR = 4
+
+#: Floor on the worker-count term of the frontier target.  Keeping the
+#: target at ``prefix_factor * max(_FRONTIER_BASE, cpu_count, jobs)``
+#: makes the sharding -- and hence all merged statistics -- identical
+#: for every ``jobs <= max(_FRONTIER_BASE, cpu_count)``.
+_FRONTIER_BASE = 16
+
+#: Seconds between liveness checks while waiting on the result queue.
+_POLL_INTERVAL = 0.05
+
+
+def fork_available() -> bool:
+    """Can this platform start workers by ``fork``?
+
+    Sharded exploration ships closures to workers by fork-time memory
+    inheritance, so ``spawn``-only platforms degrade to serial.
+    """
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Union[int, str, None]) -> int:
+    """Normalize a ``--jobs`` value: ``"auto"`` means ``cpu_count``.
+
+    Raises ``ValueError`` on anything that is not a positive integer or
+    the string ``"auto"`` (CLI callers turn that into exit code 2).
+    """
+    if jobs is None:
+        return 1
+    if isinstance(jobs, str):
+        if jobs == "auto":
+            return os.cpu_count() or 1
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            raise ValueError(
+                f"jobs must be a positive integer or 'auto', got {jobs!r}")
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ValueError(
+            f"jobs must be a positive integer or 'auto', got {jobs!r}")
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# The worker pool.
+# ---------------------------------------------------------------------------
+
+def _run_task(runner: Callable[[Any], Any], payload: Any,
+              fault: Optional[str], in_worker: bool):
+    """Execute one task, honouring injected test faults.
+
+    Fault kinds (comma-separated): ``sigkill`` makes a *worker* die
+    silently before running (ignored in-process, so re-execution
+    succeeds); ``raise`` fails the task everywhere (so re-execution
+    fails too).  Returns ``(value, error_message_or_None)``.
+    """
+    kinds = set(fault.split(",")) if fault else set()
+    if "sigkill" in kinds and in_worker:
+        import signal
+        os.kill(os.getpid(), signal.SIGKILL)
+    try:
+        if "raise" in kinds:
+            raise RuntimeError("injected shard fault")
+        return runner(payload), None
+    except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _worker_loop(task_conn, result_conn,
+                 runner: Callable[[Any], Any],
+                 fault_plan: Optional[Dict[int, str]]) -> None:
+    """Worker main: drain the private task pipe until the sentinel.
+
+    The worker pickles each outcome itself and ships opaque bytes; a
+    value that fails to pickle therefore surfaces as a task error
+    instead of wedging the coordinator.  Every channel is private to
+    this worker, so even SIGKILL cannot corrupt a sibling's stream (a
+    shared ``mp.Queue`` would hang survivors if a worker died holding
+    its write lock).
+    """
+    while True:
+        item = task_conn.recv()
+        if item is None:
+            return
+        idx, payload = item
+        fault = (fault_plan or {}).get(idx)
+        outcome = _run_task(runner, payload, fault, in_worker=True)
+        try:
+            blob = pickle.dumps((idx, outcome))
+        except Exception as exc:  # noqa: BLE001 - unpicklable result
+            blob = pickle.dumps(
+                (idx, (None, f"unpicklable task result: "
+                             f"{type(exc).__name__}: {exc}")))
+        result_conn.send_bytes(blob)
+
+
+class _Worker:
+    """One pool worker: a forked process plus its two private pipes."""
+
+    __slots__ = ("proc", "task_conn", "result_conn", "inflight")
+
+    def __init__(self, ctx, runner, fault_plan) -> None:
+        task_recv, self.task_conn = ctx.Pipe(duplex=False)
+        self.result_conn, result_send = ctx.Pipe(duplex=False)
+        self.proc = ctx.Process(
+            target=_worker_loop,
+            args=(task_recv, result_send, runner, fault_plan),
+            daemon=True)
+        self.proc.start()
+        # Close the child's ends in the coordinator so EOF is observable
+        # the moment the worker dies.
+        task_recv.close()
+        result_send.close()
+        self.inflight: Optional[int] = None
+
+
+def run_pool(payloads: Sequence[Any],
+             runner: Callable[[Any], Any],
+             jobs: int,
+             fault_plan: Optional[Dict[int, str]] = None
+             ) -> List[Tuple[Any, Optional[str]]]:
+    """Run ``runner(payload)`` for every payload on up to ``jobs`` forks.
+
+    Returns one ``(value, error_message_or_None)`` outcome per payload,
+    in payload order.  Degrades to in-process execution when ``jobs <=
+    1``, there is at most one payload, or the platform lacks ``fork``.
+    Each worker owns private task/result pipes, so when a worker dies
+    (observed as EOF on its result pipe) the coordinator knows exactly
+    which task it held and re-executes it in-process -- sound because
+    tasks are deterministic.  ``fault_plan`` maps payload index to an
+    injected fault kind (tests only; see :func:`_run_task`).
+    """
+    n = len(payloads)
+    if n == 0:
+        return []
+    if jobs <= 1 or n <= 1 or not fork_available():
+        return [_run_task(runner, p,
+                          (fault_plan or {}).get(i), in_worker=False)
+                for i, p in enumerate(payloads)]
+
+    ctx = mp.get_context("fork")
+    pending = list(range(n))          # task indices not yet handed out
+    outcomes: List[Optional[Tuple[Any, Optional[str]]]] = [None] * n
+    done = 0
+    workers = [_Worker(ctx, runner, fault_plan)
+               for _ in range(min(jobs, n))]
+    live = list(workers)
+
+    def assign(worker: _Worker) -> None:
+        if pending and worker.inflight is None:
+            idx = pending.pop(0)
+            worker.inflight = idx
+            worker.task_conn.send((idx, payloads[idx]))
+
+    def settle(idx: int, outcome) -> None:
+        nonlocal done
+        if outcomes[idx] is None:
+            outcomes[idx] = outcome
+            done += 1
+
+    def recover(idx: int) -> None:
+        # Deterministic in-process re-execution of an orphaned task.
+        settle(idx, _run_task(runner, payloads[idx],
+                              (fault_plan or {}).get(idx),
+                              in_worker=False))
+
+    try:
+        for worker in live:
+            assign(worker)
+        while done < n:
+            if not live:
+                for idx in list(pending):
+                    recover(idx)
+                pending.clear()
+                break
+            ready = mp.connection.wait(
+                [w.result_conn for w in live], timeout=_POLL_INTERVAL)
+            conns = {id(w.result_conn): w for w in live}
+            for conn in ready:
+                worker = conns[id(conn)]
+                try:
+                    idx, outcome = pickle.loads(conn.recv_bytes())
+                except (EOFError, OSError):
+                    # Worker died mid-task: retire it, rerun its task.
+                    live.remove(worker)
+                    if (worker.inflight is not None
+                            and outcomes[worker.inflight] is None):
+                        recover(worker.inflight)
+                    continue
+                settle(idx, outcome)
+                worker.inflight = None
+                assign(worker)
+    finally:
+        for worker in workers:
+            try:
+                worker.task_conn.send(None)
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+        for worker in workers:
+            worker.proc.join(timeout=2)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+    return [outcome for outcome in outcomes]  # all settled
+
+
+# ---------------------------------------------------------------------------
+# Frontier expansion.
+# ---------------------------------------------------------------------------
+
+def _expand_frontier(build: Builder,
+                     check: Callable[[RunResult], None],
+                     crash_plan_factory,
+                     max_steps: int,
+                     max_runs: int,
+                     target: int,
+                     use_sleep: bool):
+    """Serial BFS until at least ``target`` open prefixes exist.
+
+    Returns ``(stats, shards)`` where each shard is ``(prefix,
+    sleep_set)`` in lexicographic prefix order.  Terminal and truncated
+    states met during expansion are counted (and checked -- violations
+    are *collected* into ``stats.violation``, first-by-prefix wins) so
+    frontier + shard statistics add up exactly to a full exploration.
+    With ``use_sleep`` (DPOR mode) every non-sleeping candidate is
+    scheduled at each expanded state -- a trivially persistent set -- and
+    children inherit sleep sets by the serial engine's exact rule.
+    """
+    from collections import deque
+
+    stats = ExplorationStats()
+    open_nodes: deque = deque([((), frozenset())])
+    while open_nodes and len(open_nodes) < target:
+        prefix, sleep = open_nodes.popleft()
+        if stats.total_runs >= max_runs:
+            raise RuntimeError(
+                f"exploration exceeded max_runs={max_runs}; "
+                f"shrink the configuration ({stats})")
+        stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
+        if use_sleep:
+            sysm = _System(build, crash_plan_factory)
+            for pid in prefix:
+                sysm.execute(pid)
+            cands = sysm.candidates()
+            if not cands:
+                stats.complete_runs += 1
+                result = sysm.result()
+            else:
+                result = None
+        else:
+            result, cands = _run_prefix(build, list(prefix),
+                                        crash_plan_factory, max_steps)
+            if result is not None:
+                stats.complete_runs += 1
+        if result is not None:
+            try:
+                check(result)
+            except Exception as exc:  # noqa: BLE001 - collected
+                stats = stats.merge(ExplorationStats(
+                    violation=ShardViolation(
+                        order_key=tuple(prefix), schedule=tuple(prefix),
+                        message=f"{type(exc).__name__}: {exc}",
+                        error_type=type(exc).__name__)))
+            continue
+        if len(prefix) >= max_steps:
+            stats.truncated_runs += 1
+            continue
+        if use_sleep:
+            explorable = [p for p in cands if p not in sleep]
+            if not explorable:
+                stats.pruned_runs += 1
+                continue
+            pending_fps = sysm.alive_footprints()
+            done: set = set()
+            for pick in explorable:
+                # Child sleep set: exactly the serial engine's rule,
+                # evaluated against the footprint ``pick`` executes.
+                child_sys = _System(build, crash_plan_factory)
+                for pid in prefix:
+                    child_sys.execute(pid)
+                child_sys.candidates()
+                fp = child_sys.execute(pick)
+                child_sleep = frozenset(
+                    q for q in (set(sleep) | done) - {pick}
+                    if q in pending_fps
+                    and not conflicts(pending_fps[q], fp))
+                open_nodes.append((prefix + (pick,), child_sleep))
+                done.add(pick)
+        else:
+            for pick in cands:
+                open_nodes.append((prefix + (pick,), frozenset()))
+    return stats, sorted(open_nodes, key=lambda shard: shard[0])
+
+
+# ---------------------------------------------------------------------------
+# The coordinator.
+# ---------------------------------------------------------------------------
+
+def explore_parallel(build: Optional[Builder] = None,
+                     check: Optional[Callable[[RunResult], None]] = None,
+                     *,
+                     crash_plan_factory=None,
+                     max_steps: int = 24,
+                     max_runs: int = 200_000,
+                     jobs: Union[int, str] = 1,
+                     reduction: str = "dpor",
+                     prefix_factor: int = DEFAULT_PREFIX_FACTOR,
+                     shrink: bool = True,
+                     scenario=None,
+                     fault_plan: Optional[Dict[int, str]] = None
+                     ) -> ExplorationStats:
+    """Sharded exhaustive exploration across a worker pool.
+
+    Same contract as :func:`repro.runtime.explore.explore`: ``check``
+    failures raise (``CounterexampleFound`` with a ddmin-shrunk,
+    replayable counterexample under DPOR; plain ``AssertionError`` under
+    naive), exceeding ``max_runs`` total runs raises ``RuntimeError``.
+    All statistics and the winning counterexample depend only on the
+    sharding (``prefix_factor``), never on ``jobs`` or worker timing.
+
+    ``scenario`` may be a :class:`repro.scenarios.ScenarioRef`; workers
+    then rebuild ``build``/``check`` by name instead of relying on
+    fork-inherited closures (and the coordinator fills in any missing
+    ``build``/``check``/``crash_plan_factory`` from it).  ``fault_plan``
+    injects worker faults by shard index (tests only).
+    """
+    if scenario is not None and (build is None or check is None):
+        resolved = scenario.resolve()
+        build = build or resolved.build
+        check = check or resolved.check
+        if crash_plan_factory is None:
+            crash_plan_factory = resolved.crash_plan_factory
+    if build is None or check is None:
+        raise ValueError("explore_parallel needs build+check or a scenario")
+    if reduction not in ("naive", "dpor"):
+        raise ValueError(f"unknown reduction {reduction!r} "
+                         f"(expected 'naive' or 'dpor')")
+    jobs = resolve_jobs(jobs)
+    use_sleep = reduction == "dpor"
+    target = prefix_factor * max(_FRONTIER_BASE, os.cpu_count() or 1, jobs)
+    stats, shards = _expand_frontier(build, check, crash_plan_factory,
+                                     max_steps, max_runs, target,
+                                     use_sleep)
+
+    # Worker-side shard runner.  Workers resolve the scenario once per
+    # process (closures do not survive pickling; a ScenarioRef does) and
+    # fall back to the fork-inherited closures otherwise.
+    ctx_holder: Dict[str, Any] = {}
+
+    def shard_context():
+        if "build" not in ctx_holder:
+            if scenario is not None:
+                resolved = scenario.resolve()
+                ctx_holder["build"] = resolved.build
+                ctx_holder["check"] = check if scenario is None \
+                    else resolved.check
+                ctx_holder["cpf"] = (crash_plan_factory
+                                     if scenario is None
+                                     else resolved.crash_plan_factory)
+            else:
+                ctx_holder["build"] = build
+                ctx_holder["check"] = check
+                ctx_holder["cpf"] = crash_plan_factory
+        return ctx_holder["build"], ctx_holder["check"], ctx_holder["cpf"]
+
+    def run_shard(payload):
+        prefix, sleep = payload
+        b, c, cpf = shard_context()
+        if use_sleep:
+            return _explore_core(
+                b, c, crash_plan_factory=cpf, max_steps=max_steps,
+                max_runs=max_runs, prefix=prefix, root_sleep=sleep,
+                collect=True)
+        return _explore_naive(b, c, cpf, max_steps, max_runs,
+                              root=prefix, collect=True)
+
+    outcomes = run_pool(shards, run_shard, jobs, fault_plan=fault_plan)
+    for idx, outcome in enumerate(outcomes):
+        value, error = outcome
+        if error is not None:
+            raise RuntimeError(
+                f"parallel exploration failed on shard {idx} "
+                f"(prefix {list(shards[idx][0])}): {error}")
+        stats = stats.merge(value)
+
+    viol = stats.violation
+    if viol is not None:
+        # The winning (first-by-prefix-order) violation.  Shrinking and
+        # raising happen in the coordinator so the artifact carries live
+        # closures regardless of which worker found it.
+        if reduction == "naive":
+            raise AssertionError(viol.message)
+        if shrink:
+            counterexample = shrink_schedule(
+                build, check, list(viol.schedule),
+                crash_plan_factory=crash_plan_factory,
+                max_steps=max(max_steps, len(viol.schedule)))
+        else:
+            schedule = list(viol.schedule)
+            result = replay_schedule(
+                build, schedule, crash_plan_factory=crash_plan_factory,
+                max_steps=max(max_steps, len(schedule)))
+            counterexample = Counterexample(
+                prefix=schedule, tail=[], original_schedule=schedule,
+                error=AssertionError(viol.message), result=result,
+                build=build, check=check,
+                crash_plan_factory=crash_plan_factory,
+                max_steps=max(max_steps, len(schedule)))
+        raise CounterexampleFound(counterexample, stats)
+    if stats.total_runs > max_runs:
+        raise RuntimeError(
+            f"exploration exceeded max_runs={max_runs}; "
+            f"shrink the configuration ({stats})")
+    return stats

@@ -256,3 +256,34 @@ def check_scenarios(n: int = 3, x: int = 2) -> Dict[str, CheckScenario]:
 #: Scenario names suitable for ``check all`` (the sound ones).
 SOUND_SCENARIOS: List[str] = [
     "safe-agreement", "adopt-commit", "x-safe-agreement", "queue-2cons"]
+
+
+def build_scenario(name: str, n: int = 3, x: int = 2) -> CheckScenario:
+    """Rebuild one registry scenario by name (for worker processes).
+
+    Scenario ``build``/``check`` callables close over local state and do
+    not pickle; a ``(name, n, x)`` triple does.  Raises ``KeyError`` for
+    unknown names, listing what exists.
+    """
+    registry = check_scenarios(n=n, x=x)
+    if name not in registry:
+        raise KeyError(f"unknown scenario {name!r} "
+                       f"(expected one of {sorted(registry)})")
+    return registry[name]
+
+
+@dataclass(frozen=True)
+class ScenarioRef:
+    """A picklable by-name reference to a registry scenario.
+
+    Parallel exploration ships this to worker processes instead of the
+    scenario's closures; each worker calls :meth:`resolve` once to
+    rebuild the identical scenario locally.
+    """
+
+    name: str
+    n: int = 3
+    x: int = 2
+
+    def resolve(self) -> CheckScenario:
+        return build_scenario(self.name, n=self.n, x=self.x)

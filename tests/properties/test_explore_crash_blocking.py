@@ -1,0 +1,203 @@
+"""The blocking lemma (paper Section 3), checked over ALL schedules.
+
+Safe-agreement's termination caveat is exactly the paper's doorway
+argument: ``sa_decide`` terminates provided no simulator crashes
+*between* its level-1 write and its level-0/2 overwrite (the doorway of
+``sa_propose``).  A crash inside that window leaves an UNSTABLE entry
+forever, blocking every decider on that one instance -- and, crucially,
+*only* on that instance: a crash inside instance ``a``'s doorway says
+nothing about instance ``b``.  That "blocks at most one simulated
+process per crash" containment is what lets the BG simulation trade one
+simulator crash for one blocked simulated process.
+
+These tests explore every interleaving (DPOR) of a 3-process system
+using two safe-agreement instances from one factory, under one injected
+crash (`runtime/crash.py`), and pin both directions:
+
+* crash INSIDE the doorway of ``a`` + deciders on ``a``  -> some runs
+  deadlock with the late survivors proven BLOCKED (a decider whose
+  snapshot beats p0's level-1 write still legitimately decides), and
+  every decision that does happen satisfies agreement + validity;
+* crash INSIDE the doorway of ``a`` + deciders on ``b``  -> every run
+  terminates with agreement + validity (containment);
+* crash OUTSIDE the doorway (before the level-1 write, or after the
+  overwrite) -> deciding on ``a`` always terminates.
+
+Exact deadlock detection (period-1 spin stutter pruning) is what makes
+the blocking direction checkable: a run whose survivors spin on a
+provably-false snapshot predicate is a *complete*, deadlocked run, not a
+truncated one.  The parallel variants re-prove the blocking direction
+through the sharded backend, pinning serial/parallel agreement under
+crash plans too.
+"""
+
+import pytest
+
+from repro.agreement import SafeAgreementFactory
+from repro.memory import ObjectStore
+from repro.runtime import CrashPlan, ProcessStatus, explore
+
+pytestmark = pytest.mark.exhaustive
+
+N = 3
+#: p0's own-step index of each phase of ``propose(a)`` (1-based; the
+#: crash plan fires *before* the given own step).  Steps 1-3 are the
+#: level-1 write, the snapshot, and the level-0/2 overwrite; the doorway
+#: is after step 1 has executed and before step 3 has -- i.e. crashing
+#: before own step 2 or 3 lands inside it.
+BEFORE_WRITE, IN_DOORWAY_EARLY, IN_DOORWAY_LATE, AFTER_PROPOSE = 1, 2, 3, 4
+
+
+def _build_two_instances(decide_on):
+    """3 processes: propose on ``a``, then on ``b``, then decide on one."""
+
+    def build():
+        factory = SafeAgreementFactory(N)
+        store = ObjectStore()
+        store.add_all(factory.shared_objects())
+
+        def participant(i):
+            a, b = factory.instance("a"), factory.instance("b")
+            yield from a.propose(i, f"a{i}")
+            yield from b.propose(i, f"b{i}")
+            inst = a if decide_on == "a" else b
+            decided = yield from inst.decide(i)
+            return decided
+
+        return {i: participant(i) for i in range(N)}, store
+
+    return build
+
+
+def _crash_plan_factory(own_step):
+    return lambda: CrashPlan.at_own_step({0: own_step})
+
+
+def _explore(build, check, own_step, jobs=None):
+    return explore(build, check,
+                   crash_plan_factory=_crash_plan_factory(own_step),
+                   max_steps=30, max_runs=200_000, reduction="dpor",
+                   jobs=jobs)
+
+
+def _make_blocking_check(counts=None):
+    """Per-run safety for doorway-crash runs with deciders on ``a``.
+
+    A survivor whose decide-snapshot lands *before* p0's level-1 write
+    legitimately decides (the doorway is empty at that point), so the
+    lemma is containment, not universal blocking: every survivor either
+    decides (with agreement + validity) or is proven BLOCKED on p0's
+    forever-UNSTABLE entry -- never FAILED, never a missed decision in a
+    terminated run.  ``counts`` (serial mode only: closures do not
+    mutate back across worker forks) tallies run shapes so the caller
+    can assert blocking actually bites in some schedule and not in all.
+    """
+    proposals = {f"a{i}" for i in range(N)}
+
+    def check(result):
+        assert result.statuses[0] is ProcessStatus.CRASHED
+        if result.decided_values:
+            assert len(result.decided_values) == 1, \
+                f"agreement violated: {sorted(result.decided_values)}"
+            assert result.decided_values <= proposals, \
+                f"validity violated: {sorted(result.decided_values)}"
+        if result.deadlocked:
+            blocked = {pid for pid in (1, 2)
+                       if result.statuses[pid] is ProcessStatus.BLOCKED}
+            assert blocked, f"deadlock without spinners: {result.summary()}"
+            assert result.decided_pids | blocked == {1, 2}, \
+                f"survivor neither decided nor blocked: {result.summary()}"
+            if counts is not None:
+                counts["blocked"] = counts.get("blocked", 0) + 1
+        else:
+            assert result.decided_pids == {1, 2}, \
+                (f"terminated run with undecided survivor: "
+                 f"{result.summary()}")
+            if counts is not None:
+                counts["all_decided"] = counts.get("all_decided", 0) + 1
+
+    return check
+
+
+def _make_check_decided(instance_tag, deciders):
+    proposals = {f"{instance_tag}{i}" for i in range(N)}
+
+    def check(result):
+        assert not result.deadlocked, \
+            (f"crash outside {instance_tag}'s doorway must not block: "
+             f"{result.summary()}")
+        assert result.decided_pids == deciders, \
+            f"survivors did not all decide: {result.summary()}"
+        assert len(result.decided_values) == 1, \
+            f"agreement violated: {sorted(result.decided_values)}"
+        assert result.decided_values <= proposals, \
+            f"validity violated: {sorted(result.decided_values)}"
+
+    return check
+
+
+class TestDoorwayCrashBlocks:
+    @pytest.mark.parametrize("own_step",
+                             [IN_DOORWAY_EARLY, IN_DOORWAY_LATE])
+    def test_doorway_crash_blocks_some_schedules_and_only_blocks(
+            self, own_step):
+        build = _build_two_instances(decide_on="a")
+        counts = {}
+        stats = _explore(build, _make_blocking_check(counts), own_step)
+        assert stats.complete_runs > 0
+        assert stats.truncated_runs == 0, \
+            f"verdict must not be depth-bounded: {stats}"
+        # Blocking is real: some schedule leaves a survivor spinning on
+        # p0's unstable entry forever ...
+        assert counts.get("blocked", 0) > 0, \
+            f"no schedule exhibited doorway blocking: {counts}"
+        # ... but not inevitable: a survivor whose decide beats p0's
+        # level-1 write terminates, so blocking stays per-schedule.
+        assert counts.get("all_decided", 0) > 0, \
+            f"every schedule blocked -- doorway model too strong: {counts}"
+
+    @pytest.mark.parametrize("own_step",
+                             [IN_DOORWAY_EARLY, IN_DOORWAY_LATE])
+    def test_other_instance_is_unaffected(self, own_step):
+        # Containment: the same doorway crash in ``a`` blocks at most
+        # that one instance -- deciding on ``b`` always terminates with
+        # agreement + validity among the survivors.
+        build = _build_two_instances(decide_on="b")
+        check = _make_check_decided("b", deciders={1, 2})
+        stats = _explore(build, check, own_step)
+        assert stats.complete_runs > 0
+        assert stats.truncated_runs == 0
+
+
+class TestNonDoorwayCrashDoesNotBlock:
+    @pytest.mark.parametrize("own_step", [BEFORE_WRITE, AFTER_PROPOSE])
+    def test_deciding_on_a_terminates(self, own_step):
+        # Before the level-1 write p0 never enters a's doorway; after
+        # the overwrite it has already left it.  Either way a stays
+        # decidable.
+        build = _build_two_instances(decide_on="a")
+        check = _make_check_decided("a", deciders={1, 2})
+        stats = _explore(build, check, own_step)
+        assert stats.complete_runs > 0
+        assert stats.truncated_runs == 0
+
+
+@pytest.mark.parallel
+class TestBlockingLemmaParallelMode:
+    """The same lemma through the sharded backend (serial vs parallel)."""
+
+    def test_blocking_direction_jobs1_equals_jobs2(self):
+        build = _build_two_instances(decide_on="a")
+        check = _make_blocking_check()  # pure: counters don't cross forks
+        serial = _explore(build, check, IN_DOORWAY_EARLY, jobs=1)
+        parallel = _explore(build, check, IN_DOORWAY_EARLY, jobs=2)
+        assert serial == parallel
+        assert serial.complete_runs > 0 and serial.truncated_runs == 0
+
+    def test_containment_direction_jobs1_equals_jobs2(self):
+        build = _build_two_instances(decide_on="b")
+        check = _make_check_decided("b", deciders={1, 2})
+        serial = _explore(build, check, IN_DOORWAY_LATE, jobs=1)
+        parallel = _explore(build, check, IN_DOORWAY_LATE, jobs=2)
+        assert serial == parallel
+        assert serial.complete_runs > 0 and serial.truncated_runs == 0

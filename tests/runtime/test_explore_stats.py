@@ -1,0 +1,90 @@
+"""``ExplorationStats.merge``: the deterministic shard-combining rule."""
+
+import itertools
+
+from repro.runtime import ExplorationStats, ShardViolation
+
+
+def _viol(order_key, schedule=None, message="AssertionError: boom"):
+    return ShardViolation(order_key=tuple(order_key),
+                          schedule=tuple(schedule or order_key),
+                          message=message)
+
+
+class TestMergeCounts:
+    def test_empty_plus_empty(self):
+        merged = ExplorationStats().merge(ExplorationStats())
+        assert merged == ExplorationStats()
+
+    def test_empty_is_identity(self):
+        stats = ExplorationStats(complete_runs=7, truncated_runs=2,
+                                 max_depth_seen=9, pruned_runs=4)
+        assert ExplorationStats().merge(stats) == stats
+        assert stats.merge(ExplorationStats()) == stats
+
+    def test_disjoint_counts_add(self):
+        a = ExplorationStats(complete_runs=3, truncated_runs=1,
+                             max_depth_seen=5, pruned_runs=2)
+        b = ExplorationStats(complete_runs=10, truncated_runs=0,
+                             max_depth_seen=8, pruned_runs=1)
+        merged = a.merge(b)
+        assert merged.complete_runs == 13
+        assert merged.truncated_runs == 1
+        assert merged.max_depth_seen == 8  # watermark, not a sum
+        assert merged.pruned_runs == 3
+        assert merged.total_runs == 14
+        assert merged.violation is None
+
+    def test_operands_not_mutated(self):
+        a = ExplorationStats(complete_runs=1)
+        b = ExplorationStats(complete_runs=2, violation=_viol((0,)))
+        a.merge(b)
+        assert a.complete_runs == 1 and a.violation is None
+        assert b.complete_runs == 2 and b.violation is not None
+
+
+class TestMergeViolations:
+    def test_one_sided_violation_survives(self):
+        v = _viol((1, 0))
+        assert ExplorationStats(violation=v).merge(
+            ExplorationStats()).violation == v
+        assert ExplorationStats().merge(
+            ExplorationStats(violation=v)).violation == v
+
+    def test_both_sides_first_by_prefix_order_wins(self):
+        early = _viol((0, 1), message="early")
+        late = _viol((1, 0), message="late")
+        assert ExplorationStats(violation=early).merge(
+            ExplorationStats(violation=late)).violation == early
+        # ... and in the other merge order too: worker timing must not
+        # decide which counterexample the coordinator reports.
+        assert ExplorationStats(violation=late).merge(
+            ExplorationStats(violation=early)).violation == early
+
+    def test_prefix_order_is_lexicographic_not_length(self):
+        shallow = _viol((0, 1))          # shard rooted higher in the tree
+        deep = _viol((0, 0, 5))          # longer but lexicographically first
+        merged = ExplorationStats(violation=shallow).merge(
+            ExplorationStats(violation=deep))
+        assert merged.violation == deep
+
+    def test_equal_keys_left_operand_wins(self):
+        a = _viol((2,), message="a")
+        b = _viol((2,), message="b")
+        assert ExplorationStats(violation=a).merge(
+            ExplorationStats(violation=b)).violation == a
+
+    def test_fold_order_independence(self):
+        shards = [
+            ExplorationStats(complete_runs=1, violation=_viol((3,))),
+            ExplorationStats(complete_runs=2),
+            ExplorationStats(complete_runs=4, violation=_viol((1, 2))),
+            ExplorationStats(truncated_runs=1, violation=_viol((1, 1))),
+        ]
+        results = set()
+        for perm in itertools.permutations(shards):
+            merged = ExplorationStats()
+            for shard in perm:
+                merged = merged.merge(shard)
+            results.add((merged.total_runs, merged.violation.order_key))
+        assert results == {(8, (1, 1))}

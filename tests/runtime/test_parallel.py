@@ -1,0 +1,194 @@
+"""The multiprocess exploration backend: pool, sharding, recovery.
+
+Fast correctness tests for :mod:`repro.runtime.parallel` -- the heavier
+cross-scenario serial-vs-parallel comparisons live in
+``tests/properties/test_parallel_differential.py`` (``parallel`` tier).
+"""
+
+import os
+
+import pytest
+
+from repro.runtime import CounterexampleFound, explore, explore_dpor
+from repro.runtime.parallel import (explore_parallel, fork_available,
+                                    resolve_jobs, run_pool)
+from repro.scenarios import ScenarioRef, build_scenario, check_scenarios
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveJobs:
+    def test_none_means_one(self):
+        assert resolve_jobs(None) == 1
+
+    def test_auto_is_cpu_count(self):
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+
+    def test_ints_and_int_strings(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs("4") == 4
+        assert resolve_jobs(1) == 1
+
+    @pytest.mark.parametrize("bad", [0, -3, "0", "banana", 2.5, True])
+    def test_rejects_non_positive_and_garbage(self, bad):
+        with pytest.raises(ValueError, match="positive integer or 'auto'"):
+            resolve_jobs(bad)
+
+
+class TestRunPool:
+    def test_results_in_payload_order(self):
+        outcomes = run_pool(list(range(10)), _square, jobs=3)
+        assert outcomes == [(i * i, None) for i in range(10)]
+
+    def test_serial_degradation_paths(self):
+        # jobs=1 and single-payload both stay in-process.
+        assert run_pool([3, 4], _square, jobs=1) == [(9, None), (16, None)]
+        assert run_pool([5], _square, jobs=8) == [(25, None)]
+        assert run_pool([], _square, jobs=4) == []
+
+    def test_task_exception_becomes_error_outcome(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("bad payload")
+            return x
+
+        outcomes = run_pool([1, 2, 3], boom, jobs=2)
+        assert outcomes[0] == (1, None)
+        assert outcomes[1] == (None, "ValueError: bad payload")
+        assert outcomes[2] == (3, None)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_sigkilled_worker_task_is_recovered(self):
+        # The fault plan SIGKILLs whichever worker picks up payload 2;
+        # the coordinator must re-run that task in-process and still
+        # return every outcome in order.
+        outcomes = run_pool([1, 2, 3, 4], _square, jobs=2,
+                            fault_plan={2: "sigkill"})
+        assert outcomes == [(1, None), (4, None), (9, None), (16, None)]
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_reexecution_failure_surfaces_as_error(self):
+        # 'sigkill,raise': the worker dies AND the in-process re-run
+        # fails, so the outcome must be an error, not a hang or a lie.
+        outcomes = run_pool([1, 2], _square, jobs=2,
+                            fault_plan={0: "sigkill,raise"})
+        assert outcomes[0] == (None, "RuntimeError: injected shard fault")
+        assert outcomes[1] == (4, None)
+
+
+class TestScenarioRef:
+    def test_ref_resolves_to_registry_scenario(self):
+        ref = ScenarioRef("safe-agreement", n=2)
+        sc = ref.resolve()
+        assert sc.name == "safe-agreement"
+        stats = explore(sc.build, sc.check, max_steps=sc.max_steps,
+                        reduction="dpor")
+        assert stats.complete_runs > 0
+
+    def test_ref_is_picklable(self):
+        import pickle
+        ref = ScenarioRef("x-safe-agreement", n=3, x=2)
+        assert pickle.loads(pickle.dumps(ref)) == ref
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            build_scenario("no-such-scenario")
+
+
+class TestExploreParallel:
+    def test_jobs_one_equals_jobs_two_dpor(self):
+        sc = check_scenarios(n=2)["safe-agreement"]
+        s1 = explore(sc.build, sc.check, max_steps=sc.max_steps,
+                     reduction="dpor", jobs=1)
+        s2 = explore(sc.build, sc.check, max_steps=sc.max_steps,
+                     reduction="dpor", jobs=2)
+        assert s1 == s2
+        assert s1.complete_runs > 0 and s1.truncated_runs == 0
+
+    def test_sharded_naive_matches_classic_naive_exactly(self):
+        # Naive sharding partitions the schedule tree exactly, so even
+        # the classic (jobs=None) engine must agree run for run.
+        sc = check_scenarios(n=2)["safe-agreement"]
+        classic = explore(sc.build, sc.check, max_steps=sc.max_steps,
+                          reduction="naive")
+        sharded = explore(sc.build, sc.check, max_steps=sc.max_steps,
+                          reduction="naive", jobs=2)
+        assert (classic.complete_runs, classic.truncated_runs) == \
+            (sharded.complete_runs, sharded.truncated_runs)
+
+    def test_explore_dpor_jobs_kwarg_routes_to_parallel(self):
+        sc = check_scenarios(n=2)["safe-agreement"]
+        via_dpor = explore_dpor(sc.build, sc.check,
+                                max_steps=sc.max_steps, jobs=2)
+        via_explore = explore(sc.build, sc.check, max_steps=sc.max_steps,
+                              reduction="dpor", jobs=2)
+        assert via_dpor == via_explore
+
+    def test_scenario_ref_entry_point(self):
+        stats = explore_parallel(jobs=2, max_steps=12,
+                                 scenario=ScenarioRef("queue-2cons"))
+        assert stats.complete_runs == 2
+
+    def test_counterexample_identical_across_job_counts(self):
+        sc = check_scenarios()["broken-demo"]
+        found = []
+        for jobs in (1, 2):
+            with pytest.raises(CounterexampleFound) as excinfo:
+                explore(sc.build, sc.check, max_steps=sc.max_steps,
+                        reduction="dpor", jobs=jobs)
+            found.append(excinfo.value)
+        assert found[0].counterexample.prefix == \
+            found[1].counterexample.prefix
+        assert found[0].counterexample.schedule == \
+            found[1].counterexample.schedule
+        assert found[0].stats == found[1].stats
+        assert found[0].counterexample.reproduces()
+
+    def test_budget_error_is_deterministic(self):
+        sc = check_scenarios(n=2)["safe-agreement"]
+        messages = []
+        for jobs in (1, 2):
+            with pytest.raises(RuntimeError, match="max_runs") as excinfo:
+                explore(sc.build, sc.check, max_steps=sc.max_steps,
+                        max_runs=2, reduction="dpor", jobs=jobs)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+
+    def test_unknown_reduction_rejected(self):
+        sc = check_scenarios(n=2)["safe-agreement"]
+        with pytest.raises(ValueError, match="unknown reduction"):
+            explore_parallel(sc.build, sc.check, jobs=2,
+                             reduction="magic")
+        with pytest.raises(ValueError, match="explore_parallel needs"):
+            explore_parallel(jobs=2)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestWorkerFailureRecovery:
+    """Satellite: SIGKILL a pool worker mid-exploration.
+
+    adopt-commit at n=3 is the smallest registry scenario whose schedule
+    tree outgrows the frontier target, so real shards reach real workers
+    (2-process scenarios fit inside the frontier and would test nothing).
+    """
+
+    def test_killed_worker_stats_match_serial(self):
+        sc = check_scenarios(n=3)["adopt-commit"]
+        serial = explore_parallel(sc.build, sc.check,
+                                  max_steps=sc.max_steps, jobs=1)
+        killed = explore_parallel(sc.build, sc.check,
+                                  max_steps=sc.max_steps, jobs=2,
+                                  fault_plan={0: "sigkill"})
+        assert killed == serial
+
+    def test_reexecution_failure_raises_runtime_error(self):
+        # 'sigkill,raise' fails the orphaned shard's in-process re-run
+        # too: the coordinator must raise RuntimeError (the CLI maps it
+        # to exit code 2), never return partial statistics.
+        sc = check_scenarios(n=3)["adopt-commit"]
+        with pytest.raises(RuntimeError,
+                           match="parallel exploration failed on shard"):
+            explore_parallel(sc.build, sc.check, max_steps=sc.max_steps,
+                             jobs=2, fault_plan={0: "sigkill,raise"})

@@ -107,6 +107,60 @@ class TestCheckCommand:
         assert "pruned" not in out
 
 
+@pytest.mark.parallel
+class TestCheckJobsFlag:
+    """``check --jobs``: sharded exploration end-to-end (exit 0/1/2)."""
+
+    def test_jobs_passes_and_reports_job_count(self, capsys):
+        assert main(["check", "queue-2cons", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "jobs=2" in out
+
+    def test_jobs_auto_resolves_to_cpu_count(self, capsys):
+        assert main(["check", "queue-2cons", "--jobs", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert f"jobs={os.cpu_count() or 1}" in out
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "banana", "2.5"])
+    def test_bad_jobs_value_exits_two(self, bad, capsys):
+        assert main(["check", "queue-2cons", "--jobs", bad]) == 2
+        assert "positive integer or 'auto'" in capsys.readouterr().err
+
+    def test_violation_still_shrinks_under_jobs(self, capsys):
+        assert main(["check", "broken-demo", "--jobs", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "PROPERTY VIOLATED" in out
+        assert "shrunk from" in out
+
+    def test_naive_reduction_composes_with_jobs(self, capsys):
+        assert main(["check", "queue-2cons", "--naive",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "naive" in out and "jobs=2" in out
+
+    def test_budget_exceeded_exits_two_under_jobs(self, capsys):
+        assert main(["check", "adopt-commit", "--max-runs", "2",
+                     "--jobs", "2"]) == 2
+        assert "BUDGET EXCEEDED" in capsys.readouterr().err
+
+
+@pytest.mark.parallel
+class TestAuditJobsFlag:
+    """``audit --jobs``: the adversary battery on a worker pool."""
+
+    def test_jobs_audit_passes(self, capsys):
+        assert main(["audit", "queue-2cons", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "AUDIT PASSED" in out
+        assert "operations audited" in out
+
+    def test_bad_jobs_value_exits_two(self, capsys):
+        assert main(["audit", "queue-2cons", "--jobs", "nope"]) == 2
+        assert "positive integer or 'auto'" in capsys.readouterr().err
+
+
 class TestLintCommand:
     """``python -m repro lint``: exit codes 0 / 1 / 2."""
 
