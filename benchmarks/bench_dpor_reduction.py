@@ -97,9 +97,14 @@ def test_dpor_reduction_report():
         "safe-agreement is <= 0.25.")
     lines.append(f"{'scenario':<38} {'naive':>8} {'dpor':>7} "
                  f"{'ratio':>7} {'states':>7}")
+    table = []
     for label, sc in scenarios.items():
         states, naive_stats, _, dpor_stats = _compare(sc)
         ratio = dpor_stats.total_runs / naive_stats.total_runs
+        table.append({"scenario": label,
+                      "naive_runs": naive_stats.total_runs,
+                      "dpor_runs": dpor_stats.total_runs,
+                      "ratio": ratio, "states": len(states)})
         lines.append(f"{label:<38} {naive_stats.total_runs:>8} "
                      f"{dpor_stats.total_runs:>7} {ratio:>7.4f} "
                      f"{len(states):>7}")
@@ -111,5 +116,5 @@ def test_dpor_reduction_report():
     for label, sc in scenarios.items():
         _, stats = _terminal_states(sc, "dpor")
         lines.append(f"  {label:<36} {stats}")
-    path = write_report("dpor_reduction", lines)
+    path = write_report("dpor_reduction", lines, data={"table": table})
     assert path.endswith("dpor_reduction.txt")

@@ -47,9 +47,12 @@ def test_fig1_report():
         "FIG1: safe-agreement (paper Figure 1)",
         "termination/agreement/validity per n; crash-in-propose matrix")
     lines.append(f"{'n':>4} {'steps':>7} {'decided':>8} {'values':>7}")
+    rounds = []
     for n in (2, 4, 8, 16, 32):
         res = round_of(n)
         assert len(res.decided_values) == 1
+        rounds.append({"n": n, "steps": res.steps,
+                       "decided": len(res.decisions)})
         lines.append(f"{n:>4} {res.steps:>7} {len(res.decisions):>8} "
                      f"{len(res.decided_values):>7}")
     lines.append("")
@@ -62,11 +65,14 @@ def test_fig1_report():
         ("after propose completes", CrashPlan.at_own_step({0: 4}),
          "others decide"),
     ]
+    crash_matrix = []
     for label, plan, expect in scenarios:
         res = round_of(4, crash_plan=plan)
         outcome = ("all decide" if len(res.decisions) == 4 else
                    "others BLOCK forever" if res.deadlocked else
                    "others decide")
         assert outcome == expect, (label, res.summary())
+        crash_matrix.append({"scenario": label, "outcome": outcome})
         lines.append(f"  {label:<34} -> {outcome}   [{res.summary()}]")
-    write_report("fig1_safe_agreement", lines)
+    write_report("fig1_safe_agreement", lines,
+                 data={"rounds": rounds, "crash_matrix": crash_matrix})

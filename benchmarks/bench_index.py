@@ -1,13 +1,26 @@
-"""INDEX -- collect all benchmark reports into one index file.
+"""INDEX -- collect all benchmark reports into one index + summary.
 
 Run last (pytest collects alphabetically, but the file regenerates the
 index from whatever reports exist), producing
-``benchmarks/results/INDEX.md`` with the first line of every report.
+
+* ``benchmarks/results/INDEX.md`` -- the first line of every ``.txt``
+  report, human-facing;
+* ``benchmarks/results/BENCH_summary.json`` -- every machine-readable
+  ``.json`` twin folded into one versioned record, the checked-in seed
+  of the cross-PR perf trajectory (diff it between PRs to see run
+  counts, ratios, and measured series move).
+
+Both files are written atomically, like every other report.
 """
 
+import json
 import os
 
-from .harness import RESULTS_DIR, write_report
+from repro.analysis.metrics import METRICS_SCHEMA_VERSION, atomic_write_text
+
+from .harness import RESULTS_DIR
+
+SUMMARY_NAME = "BENCH_summary.json"
 
 
 def test_build_results_index():
@@ -24,6 +37,48 @@ def test_build_results_index():
     lines = ["# Benchmark results index", ""]
     lines += entries or ["(no reports yet — run `pytest benchmarks/ -q`)"]
     path = os.path.join(RESULTS_DIR, "INDEX.md")
-    with open(path, "w") as handle:
-        handle.write("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
     assert os.path.exists(path)
+
+
+def build_bench_summary(results_dir: str = RESULTS_DIR) -> dict:
+    """Fold every ``results/*.json`` bench record into one summary.
+
+    Per-bench entries keep the structured ``data`` minus the raw table
+    lines (the ``.txt`` embeds those already); the summary is keyed by
+    bench name so cross-PR diffs are stable.
+    """
+    benches = {}
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".json") or name == SUMMARY_NAME:
+            continue
+        with open(os.path.join(results_dir, name)) as handle:
+            record = json.load(handle)
+        if record.get("kind") != "bench_report":
+            continue
+        data = {key: value for key, value in record.get("data", {}).items()
+                if key != "lines"}
+        benches[record["name"]] = {
+            "schema_version": record.get("schema_version"),
+            **data,
+        }
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "kind": "bench_summary",
+        "bench_count": len(benches),
+        "benches": benches,
+    }
+
+
+def test_build_bench_summary():
+    """Aggregate the JSON twins into BENCH_summary.json (atomic)."""
+    if not os.path.isdir(RESULTS_DIR):
+        return
+    summary = build_bench_summary()
+    path = os.path.join(RESULTS_DIR, SUMMARY_NAME)
+    atomic_write_text(path, json.dumps(summary, indent=2,
+                                       sort_keys=True) + "\n")
+    with open(path) as handle:
+        reread = json.load(handle)
+    assert reread["kind"] == "bench_summary"
+    assert reread["bench_count"] == len(reread["benches"])

@@ -77,9 +77,12 @@ def test_parallel_speedup_report():
         f"are available (this machine: {cores}).")
     lines.append(f"{'jobs':>5} {'total_runs':>11} {'elapsed_s':>10} "
                  f"{'runs/sec':>9} {'speedup':>8}")
+    series = []
     for jobs, stats, elapsed in rows:
         speedup = base_time / elapsed if elapsed > 0 else float("inf")
         rate = stats.total_runs / elapsed if elapsed > 0 else float("inf")
+        series.append({"jobs": jobs, "total_runs": stats.total_runs,
+                       "elapsed_seconds": elapsed, "speedup": speedup})
         lines.append(f"{jobs:>5} {stats.total_runs:>11} {elapsed:>10.2f} "
                      f"{rate:>9.0f} {speedup:>8.2f}")
         if jobs == 4 and cores >= 4:
@@ -93,5 +96,6 @@ def test_parallel_speedup_report():
                      "determinism assertion (identical total_runs and "
                      "full ExplorationStats at every job count) ran "
                      "unconditionally and passed.")
-    path = write_report("parallel_speedup", lines)
+    path = write_report("parallel_speedup", lines,
+                        data={"cores": cores, "series": series})
     assert path.endswith("parallel_speedup.txt")

@@ -13,15 +13,26 @@ Absolute timings are not comparable to the paper (it reports none -- it
 is a theory paper); the reproduced content is the *shape*: who
 terminates, what agreement holds, where the solvability frontier and the
 blocking bounds fall.
+
+Every report is written atomically (temp file + ``os.replace``) -- an
+interrupted bench leaves the previous table intact, never a truncated
+one for EXPERIMENTS.md to embed -- and every ``.txt`` table gets a
+machine-readable ``.json`` twin (same name, versioned record schema;
+see docs/observability.md).  ``benchmarks/bench_index.py`` folds the
+JSON twins into ``results/BENCH_summary.json``, the seed of the
+cross-PR perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.algorithms import Algorithm, run_algorithm
 from repro.analysis import collect_stats
+from repro.analysis.metrics import (METRICS_SCHEMA_VERSION, RunMetrics,
+                                    atomic_write_text)
 from repro.runtime import (CrashPlan, RoundRobinAdversary, RunResult,
                            SeededRandomAdversary)
 
@@ -42,14 +53,36 @@ def run_once(algorithm: Algorithm,
                          enforce_model=enforce_model)
 
 
-def write_report(name: str, lines: Iterable[str]) -> str:
-    """Persist a reproduced table under benchmarks/results/."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
+def write_report(name: str, lines: Iterable[str],
+                 data: Optional[Dict[str, Any]] = None) -> str:
+    """Persist a reproduced table under benchmarks/results/.
+
+    Writes ``<name>.txt`` atomically and a ``<name>.json`` twin
+    carrying the same lines as a versioned record, plus any structured
+    ``data`` the bench wants machines to read (series, ratios,
+    measured counts) without parsing the prose table.
+    """
+    lines = list(lines)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    text = "\n".join(lines) + "\n"
-    with open(path, "w") as handle:
-        handle.write(text)
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    write_json(name, lines=lines, data=data)
     return path
+
+
+def write_json(name: str, lines: Sequence[str],
+               data: Optional[Dict[str, Any]] = None) -> str:
+    """Write the machine-readable ``results/<name>.json`` record."""
+    record = RunMetrics(
+        kind="bench_report", name=name,
+        schema_version=METRICS_SCHEMA_VERSION,
+        data={
+            "title": lines[0] if lines else "",
+            "lines": list(lines),
+            **(data or {}),
+        })
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    return atomic_write_text(
+        path, json.dumps(record.to_dict(), indent=2) + "\n")
 
 
 def cost_row(label: str, result: RunResult) -> str:

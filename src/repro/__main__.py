@@ -11,7 +11,10 @@ Commands:
 * ``check NAME``    -- exhaustively model-check a named scenario over
   ALL interleavings (DPOR-accelerated); exit 0 = property holds,
   1 = counterexample found (printed shrunk), 2 = budget exceeded.
-  ``check --list`` enumerates the registered scenarios.
+  ``check --list`` enumerates the registered scenarios.  ``--metrics``
+  prints a per-scenario observability summary; ``--metrics-out PATH``
+  writes one JSON-lines run record per scenario (atomically; see
+  docs/observability.md for the schema).
 * ``lint [PATHS]``  -- static protocol-discipline linter over process
   code (see docs/static_analysis.md); exit 0 = clean, 1 = violations,
   2 = unparsable/unreadable input.
@@ -25,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional
 
 from .core import (kset_solvable, multiplicative_band, partition_table,
                    simulate_with_xcons)
@@ -80,6 +84,21 @@ def _resolve_jobs_arg(value):
         return None, str(exc)
 
 
+def _emit_metrics(records, show_table: bool,
+                  out_path: Optional[str]) -> None:
+    """Print and/or atomically persist collected run records."""
+    if not records:
+        return
+    if show_table:
+        from .analysis.metrics import render_metrics_table
+        print()
+        for line in render_metrics_table(records):
+            print(line)
+    if out_path:
+        from .analysis.metrics import write_jsonl
+        write_jsonl(out_path, records)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Exhaustively check one named scenario (or ``all`` sound ones)."""
     from .runtime import CounterexampleFound, explore
@@ -109,6 +128,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         return 2
 
     reduction = "naive" if args.naive else "dpor"
+    collect_metrics = args.metrics or args.metrics_out
+    records = []
     exit_code = 0
     for name in names:
         sc = scenarios[name]
@@ -118,6 +139,19 @@ def cmd_check(args: argparse.Namespace) -> int:
         extra = f", jobs={jobs}" if jobs is not None else ""
         print(f"[{name}] exploring ({reduction}, max_steps={max_steps}, "
               f"max_runs={max_runs}{extra}) ...")
+        metrics = None
+        if collect_metrics:
+            from time import perf_counter
+
+            from .analysis.metrics import ExplorationMetrics
+            metrics = ExplorationMetrics(scenario=name, engine=reduction,
+                                         jobs=jobs if jobs else 1)
+            wall_start = perf_counter()
+
+        def settle_metrics():
+            if metrics is not None:
+                records.append(metrics.finalize(
+                    perf_counter() - wall_start).to_dict())
         try:
             if jobs is not None:
                 # Workers rebuild the scenario by name (closures do not
@@ -126,15 +160,27 @@ def cmd_check(args: argparse.Namespace) -> int:
                     crash_plan_factory=sc.crash_plan_factory,
                     max_steps=max_steps, max_runs=max_runs,
                     jobs=jobs, reduction=reduction,
-                    scenario=ScenarioRef(name, n=args.n, x=args.x))
+                    scenario=ScenarioRef(name, n=args.n, x=args.x),
+                    metrics=metrics)
             else:
                 stats = explore(sc.build, sc.check,
                                 crash_plan_factory=sc.crash_plan_factory,
                                 max_steps=max_steps, max_runs=max_runs,
-                                reduction=reduction)
+                                reduction=reduction, metrics=metrics)
         except CounterexampleFound as exc:
             print(f"[{name}] PROPERTY VIOLATED ({exc.stats})")
             print(exc.counterexample.describe())
+            if metrics is not None:
+                if exc.stats is not None:
+                    metrics.record_stats(exc.stats)
+                metrics.record_violation(
+                    error_type=type(exc.counterexample.error).__name__,
+                    prefix=exc.counterexample.prefix,
+                    schedule=exc.counterexample.schedule)
+                if not metrics.ddmin_replays:
+                    metrics.ddmin_replays = \
+                        exc.counterexample.ddmin_attempts
+                settle_metrics()
             exit_code = max(exit_code, 1)
             continue
         except AssertionError as exc:
@@ -143,17 +189,25 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(f"[{name}] PROPERTY VIOLATED: {exc}")
             print(f"[{name}] (rerun without --naive for a shrunk "
                   f"counterexample)")
+            if metrics is not None:
+                metrics.record_violation(error_type=type(exc).__name__)
+                settle_metrics()
             exit_code = max(exit_code, 1)
             continue
         except RuntimeError as exc:
             print(f"[{name}] BUDGET EXCEEDED: {exc}", file=sys.stderr)
+            if metrics is not None:
+                metrics.record_budget_exceeded()
+                settle_metrics()
             exit_code = max(exit_code, 2)
             continue
+        settle_metrics()
         if stats.truncated_runs:
             print(f"[{name}] PASSED up to depth {max_steps} "
                   f"(bounded: {stats})")
         else:
             print(f"[{name}] PASSED: {stats}")
+    _emit_metrics(records, args.metrics, args.metrics_out)
     return exit_code
 
 
@@ -203,9 +257,27 @@ def cmd_audit(args: argparse.Namespace) -> int:
               f"all, {', '.join(scenarios)}", file=sys.stderr)
         return 2
 
+    collect_metrics = args.metrics or args.metrics_out
+    records = []
     exit_code = 0
     for name in names:
         sc = scenarios[name]
+        if collect_metrics:
+            from time import perf_counter
+
+            from .analysis.metrics import RunMetrics
+            wall_start = perf_counter()
+
+        def settle_metrics(outcome, report=None):
+            if not collect_metrics:
+                return
+            data = {"outcome": outcome, "jobs": jobs if jobs else 1,
+                    "wall_seconds": perf_counter() - wall_start}
+            if report is not None:
+                data.update(runs=report.runs,
+                            audited_ops=report.audited_ops)
+            records.append(
+                RunMetrics(kind="audit", name=name, data=data).to_dict())
         try:
             report = audit_scenario(sc, max_steps=args.max_steps,
                                     perturb=not args.no_perturb,
@@ -213,13 +285,17 @@ def cmd_audit(args: argparse.Namespace) -> int:
         except FootprintViolation as exc:
             print(f"[{name}] FOOTPRINT VIOLATION")
             print(exc)
+            settle_metrics("violation")
             exit_code = max(exit_code, 1)
             continue
         except RuntimeError as exc:
             print(f"[{name}] BUDGET EXCEEDED: {exc}", file=sys.stderr)
+            settle_metrics("budget_exceeded")
             exit_code = max(exit_code, 2)
             continue
+        settle_metrics("passed", report)
         print(f"[{name}] AUDIT PASSED: {report}")
+    _emit_metrics(records, args.metrics, args.metrics_out)
     return exit_code
 
 
@@ -292,6 +368,13 @@ def main(argv=None) -> int:
                    help="shard exploration across N worker processes "
                         "('auto' = cpu count); run counts are identical "
                         "for every N")
+    p.add_argument("--metrics", action="store_true",
+                   help="print a per-scenario observability summary "
+                        "(phases, prune/sleep rates, runs/sec)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write one JSON-lines run record per scenario "
+                        "to PATH (atomic; schema in "
+                        "docs/observability.md)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -326,6 +409,11 @@ def main(argv=None) -> int:
     p.add_argument("--jobs", default=None, metavar="N",
                    help="audit the scenario's adversaries across N "
                         "worker processes ('auto' = cpu count)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print a per-scenario observability summary")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write one JSON-lines run record per scenario "
+                        "to PATH (atomic)")
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("demo", help="one-minute tour")

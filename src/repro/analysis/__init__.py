@@ -1,15 +1,23 @@
 """Verification and measurement: linearizability checking, blocking
-certificates for the paper's lemmas, run statistics."""
+certificates for the paper's lemmas, run statistics, and observability
+records for exploration/audit/benchmark runs."""
 
 from .certificates import BlockingCertificate, blocking_certificate
 from .linearizability import (OpRecord, RegisterSpec, SequentialSpec,
                               SnapshotSpec, check_linearizable,
                               check_snapshot_history)
+from .metrics import (METRICS_SCHEMA_VERSION, PHASES, TIMING_KEYS,
+                      ExplorationMetrics, RunMetrics, atomic_write_text,
+                      deterministic_view, render_metrics_table,
+                      write_jsonl)
 from .stats import RunStats, collect_stats
 
 __all__ = [
     "BlockingCertificate", "blocking_certificate",
     "OpRecord", "RegisterSpec", "SequentialSpec", "SnapshotSpec",
     "check_linearizable", "check_snapshot_history",
+    "METRICS_SCHEMA_VERSION", "PHASES", "TIMING_KEYS",
+    "ExplorationMetrics", "RunMetrics", "atomic_write_text",
+    "deterministic_view", "render_metrics_table", "write_jsonl",
     "RunStats", "collect_stats",
 ]

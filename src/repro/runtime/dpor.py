@@ -202,6 +202,8 @@ class Counterexample:
     check: Callable[[RunResult], None]
     crash_plan_factory: Optional[Callable[[], CrashPlan]] = None
     max_steps: int = 1_000_000
+    #: Replays ddmin spent shrinking (0 when shrinking was skipped).
+    ddmin_attempts: int = 0
 
     @property
     def schedule(self) -> List[int]:
@@ -373,6 +375,7 @@ def shrink_schedule(build: Builder,
         check=check,
         crash_plan_factory=crash_plan_factory,
         max_steps=max_steps,
+        ddmin_attempts=attempts,
     )
 
 
@@ -477,7 +480,9 @@ def _explore_core(build: Builder,
                   shrink: bool = True,
                   prefix: Sequence[int] = (),
                   root_sleep: Sequence[int] = (),
-                  collect: bool = False) -> ExplorationStats:
+                  collect: bool = False,
+                  counters: Optional[Dict[str, Any]] = None
+                  ) -> ExplorationStats:
     """DPOR exploration of the subtree rooted at ``prefix``.
 
     With an empty ``prefix`` this is the full serial search.  With a
@@ -494,6 +499,12 @@ def _explore_core(build: Builder,
     ``stats.violation`` (schedule measured from the true root, prefix
     included) and the walk returns instead of raising, so a coordinator
     can pick the winning violation deterministically across shards.
+
+    ``counters`` is an optional plain-dict metrics channel (picklable,
+    so shard workers can ship it back over their result pipe): sleep-set
+    hit accounting, ddmin replay counts, and shrink wall-clock go there,
+    never into ``ExplorationStats`` -- collecting metrics cannot perturb
+    the deterministic statistics contract.
     """
     stats = ExplorationStats()
     sysm = _System(build, crash_plan_factory)
@@ -544,10 +555,19 @@ def _explore_core(build: Builder,
                             error_type=type(exc).__name__)
                         return stats
                     if shrink:
+                        from time import perf_counter
+                        shrink_start = perf_counter()
                         counterexample = shrink_schedule(
                             build, check, schedule,
                             crash_plan_factory=crash_plan_factory,
                             max_steps=max(max_steps, len(schedule)))
+                        if counters is not None:
+                            counters["shrink_seconds"] = (
+                                counters.get("shrink_seconds", 0.0)
+                                + perf_counter() - shrink_start)
+                            counters["ddmin_replays"] = (
+                                counters.get("ddmin_replays", 0)
+                                + counterexample.ddmin_attempts)
                     else:
                         counterexample = Counterexample(
                             prefix=schedule, tail=[],
@@ -564,6 +584,12 @@ def _explore_core(build: Builder,
                 pop_leaf()
                 continue
             explorable = [p for p in node.candidates if p not in node.sleep]
+            if counters is not None:
+                counters["sleep_checks"] = (counters.get("sleep_checks", 0)
+                                            + len(node.candidates))
+                counters["sleep_hits"] = (counters.get("sleep_hits", 0)
+                                          + len(node.candidates)
+                                          - len(explorable))
             if not explorable:
                 # Every candidate sleeps: the whole subtree is equivalent
                 # to schedules already explored elsewhere.
@@ -608,7 +634,8 @@ def explore_dpor(build: Builder,
                  max_runs: int = 200_000,
                  shrink: bool = True,
                  jobs=None,
-                 prefix_factor: Optional[int] = None) -> ExplorationStats:
+                 prefix_factor: Optional[int] = None,
+                 metrics: Optional[Any] = None) -> ExplorationStats:
     """Explore one representative schedule per Mazurkiewicz trace.
 
     Same contract as :func:`repro.runtime.explore.explore` -- ``build()``
@@ -630,6 +657,11 @@ def explore_dpor(build: Builder,
     explicit value routes to sharded exploration
     (:func:`repro.runtime.parallel.explore_parallel`), whose run counts
     depend on the sharding but never on how many workers execute it.
+
+    ``metrics`` is an optional
+    :class:`repro.analysis.metrics.ExplorationMetrics` collector;
+    timing and sleep-set/ddmin counters are recorded beside the returned
+    statistics, which stay bit-for-bit unchanged.
     """
     if jobs is not None:
         from .parallel import DEFAULT_PREFIX_FACTOR, explore_parallel
@@ -637,8 +669,28 @@ def explore_dpor(build: Builder,
             build, check, crash_plan_factory=crash_plan_factory,
             max_steps=max_steps, max_runs=max_runs, jobs=jobs,
             reduction="dpor", shrink=shrink,
-            prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR)
-    return _explore_core(build, check,
-                         crash_plan_factory=crash_plan_factory,
-                         max_steps=max_steps, max_runs=max_runs,
-                         shrink=shrink)
+            prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR,
+            metrics=metrics)
+    if metrics is None:
+        return _explore_core(build, check,
+                             crash_plan_factory=crash_plan_factory,
+                             max_steps=max_steps, max_runs=max_runs,
+                             shrink=shrink)
+    from time import perf_counter
+    counters: Dict[str, Any] = {}
+    start = perf_counter()
+    try:
+        stats = _explore_core(build, check,
+                              crash_plan_factory=crash_plan_factory,
+                              max_steps=max_steps, max_runs=max_runs,
+                              shrink=shrink, counters=counters)
+    finally:
+        # A serial run is one shard; shrink time was split out into the
+        # counters channel, so keep the shard phase to the search proper.
+        elapsed = perf_counter() - start
+        metrics.record_phase(
+            "shard_execution",
+            max(0.0, elapsed - counters.get("shrink_seconds", 0.0)))
+        metrics.absorb_counters(counters)
+    metrics.record_stats(stats)
+    return stats

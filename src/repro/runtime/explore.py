@@ -216,17 +216,26 @@ def _explore_naive(build: Callable[[], Tuple[Dict[int, Generator], Any]],
                    max_steps: int,
                    max_runs: int,
                    root: Sequence[int] = (),
-                   collect: bool = False) -> ExplorationStats:
+                   collect: bool = False,
+                   counters: Optional[Dict[str, Any]] = None
+                   ) -> ExplorationStats:
     """Naive DFS over all schedules extending ``root``.
 
     With ``collect=True`` (shard mode) the first check failure is
     recorded as ``stats.violation`` and the walk stops there instead of
     raising, so the coordinator can merge shard outcomes
-    deterministically.
+    deterministically.  ``counters`` is an optional plain-dict metrics
+    channel (see :mod:`repro.analysis.metrics`); the naive walk reports
+    only its open-node watermark (``peak_frontier``), and never touches
+    ``ExplorationStats`` -- exploration statistics stay bit-for-bit
+    identical whether or not metrics are collected.
     """
     stats = ExplorationStats()
     stack: List[List[int]] = [list(root)]
     while stack:
+        if counters is not None and len(stack) > counters.get(
+                "peak_frontier", 0):
+            counters["peak_frontier"] = len(stack)
         if stats.total_runs >= max_runs:
             # Inclusive budget: the stack is non-empty, so at least one
             # more run would be needed to finish the exploration.
@@ -266,7 +275,8 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             max_runs: int = 200_000,
             reduction: str = "naive",
             jobs: Optional[Union[int, str]] = None,
-            prefix_factor: Optional[int] = None) -> ExplorationStats:
+            prefix_factor: Optional[int] = None,
+            metrics: Optional[Any] = None) -> ExplorationStats:
     """Exhaustively check every schedule of the system built by ``build``.
 
     ``build()`` must return a fresh ``(programs, store)`` pair each call
@@ -296,6 +306,12 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
     worker pool.  Which shards exist depends only on ``prefix_factor``,
     never on ``jobs``, so run counts and counterexamples are identical
     for ``jobs=1`` and ``jobs=N``.
+
+    ``metrics`` is an optional
+    :class:`repro.analysis.metrics.ExplorationMetrics` collector.  It
+    records wall-clock phases and engine counters *beside* the returned
+    ``ExplorationStats``, which stays untouched: collecting metrics
+    never changes what is explored or reported.
     """
     if reduction not in ("naive", "dpor"):
         raise ValueError(f"unknown reduction {reduction!r} "
@@ -306,11 +322,27 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             build, check, crash_plan_factory=crash_plan_factory,
             max_steps=max_steps, max_runs=max_runs, jobs=jobs,
             reduction=reduction,
-            prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR)
+            prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR,
+            metrics=metrics)
     if reduction == "dpor":
         from .dpor import explore_dpor
         return explore_dpor(build, check,
                             crash_plan_factory=crash_plan_factory,
-                            max_steps=max_steps, max_runs=max_runs)
-    return _explore_naive(build, check, crash_plan_factory,
-                          max_steps, max_runs)
+                            max_steps=max_steps, max_runs=max_runs,
+                            metrics=metrics)
+    if metrics is None:
+        return _explore_naive(build, check, crash_plan_factory,
+                              max_steps, max_runs)
+    from time import perf_counter
+    counters: Dict[str, Any] = {}
+    start = perf_counter()
+    try:
+        stats = _explore_naive(build, check, crash_plan_factory,
+                               max_steps, max_runs, counters=counters)
+    finally:
+        # A serial run is one shard; timing and watermarks are recorded
+        # even when a check failure or budget error propagates.
+        metrics.record_phase("shard_execution", perf_counter() - start)
+        metrics.absorb_counters(counters)
+    metrics.record_stats(stats)
+    return stats

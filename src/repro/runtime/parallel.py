@@ -65,6 +65,11 @@ _FRONTIER_BASE = 16
 #: Seconds between liveness checks while waiting on the result queue.
 _POLL_INTERVAL = 0.05
 
+#: Seconds granted at each stage of worker teardown (cooperative exit,
+#: then SIGTERM, then SIGKILL) before escalating.  Module-level so tests
+#: can shrink it.
+_JOIN_TIMEOUT = 2.0
+
 
 def fork_available() -> bool:
     """Can this platform start workers by ``fork``?
@@ -108,18 +113,23 @@ def _run_task(runner: Callable[[Any], Any], payload: Any,
     Fault kinds (comma-separated): ``sigkill`` makes a *worker* die
     silently before running (ignored in-process, so re-execution
     succeeds); ``raise`` fails the task everywhere (so re-execution
-    fails too).  Returns ``(value, error_message_or_None)``.
+    fails too).  Returns ``((value, error_message_or_None), seconds)``
+    where ``seconds`` is the task's own wall-clock (metrics only --
+    never part of exploration statistics).
     """
+    from time import perf_counter
     kinds = set(fault.split(",")) if fault else set()
     if "sigkill" in kinds and in_worker:
         import signal
         os.kill(os.getpid(), signal.SIGKILL)
+    start = perf_counter()
     try:
         if "raise" in kinds:
             raise RuntimeError("injected shard fault")
-        return runner(payload), None
+        return (runner(payload), None), perf_counter() - start
     except Exception as exc:  # noqa: BLE001 - reported to the coordinator
-        return None, f"{type(exc).__name__}: {exc}"
+        return (None, f"{type(exc).__name__}: {exc}"), \
+            perf_counter() - start
 
 
 def _worker_loop(task_conn, result_conn,
@@ -133,29 +143,41 @@ def _worker_loop(task_conn, result_conn,
     this worker, so even SIGKILL cannot corrupt a sibling's stream (a
     shared ``mp.Queue`` would hang survivors if a worker died holding
     its write lock).
+
+    The test-only ``fault_plan`` entry ``-1: "sigstop"`` makes the
+    worker SIGSTOP itself *on receiving the shutdown sentinel* -- a
+    simulated wedged worker that exercises the coordinator's
+    join/terminate/kill teardown escalation without ever stalling task
+    traffic.
     """
     while True:
         item = task_conn.recv()
         if item is None:
+            if "sigstop" in set(((fault_plan or {}).get(-1) or "")
+                                .split(",")):
+                import signal
+                os.kill(os.getpid(), signal.SIGSTOP)
             return
         idx, payload = item
         fault = (fault_plan or {}).get(idx)
-        outcome = _run_task(runner, payload, fault, in_worker=True)
+        outcome, seconds = _run_task(runner, payload, fault,
+                                     in_worker=True)
         try:
-            blob = pickle.dumps((idx, outcome))
+            blob = pickle.dumps((idx, outcome, seconds))
         except Exception as exc:  # noqa: BLE001 - unpicklable result
             blob = pickle.dumps(
                 (idx, (None, f"unpicklable task result: "
-                             f"{type(exc).__name__}: {exc}")))
+                             f"{type(exc).__name__}: {exc}"), seconds))
         result_conn.send_bytes(blob)
 
 
 class _Worker:
     """One pool worker: a forked process plus its two private pipes."""
 
-    __slots__ = ("proc", "task_conn", "result_conn", "inflight")
+    __slots__ = ("wid", "proc", "task_conn", "result_conn", "inflight")
 
-    def __init__(self, ctx, runner, fault_plan) -> None:
+    def __init__(self, wid: int, ctx, runner, fault_plan) -> None:
+        self.wid = wid
         task_recv, self.task_conn = ctx.Pipe(duplex=False)
         self.result_conn, result_send = ctx.Pipe(duplex=False)
         self.proc = ctx.Process(
@@ -173,7 +195,8 @@ class _Worker:
 def run_pool(payloads: Sequence[Any],
              runner: Callable[[Any], Any],
              jobs: int,
-             fault_plan: Optional[Dict[int, str]] = None
+             fault_plan: Optional[Dict[int, str]] = None,
+             task_log: Optional[List[Dict[str, Any]]] = None
              ) -> List[Tuple[Any, Optional[str]]]:
     """Run ``runner(payload)`` for every payload on up to ``jobs`` forks.
 
@@ -185,21 +208,43 @@ def run_pool(payloads: Sequence[Any],
     which task it held and re-executes it in-process -- sound because
     tasks are deterministic.  ``fault_plan`` maps payload index to an
     injected fault kind (tests only; see :func:`_run_task`).
+
+    ``task_log``, when given, receives one ``{"index", "worker",
+    "seconds"}`` entry per executed task (metrics only); worker ``-1``
+    is the coordinator process itself (degraded pools and orphaned-task
+    recovery).
+
+    Teardown never leaks children: each worker gets ``_JOIN_TIMEOUT``
+    seconds to exit after the sentinel, is SIGTERMed and re-joined on
+    timeout, and SIGKILLed (then reaped with a final ``join``) if it is
+    *still* alive -- a wedged worker can therefore neither linger as a
+    zombie nor survive the pool as a stopped orphan.
     """
     n = len(payloads)
     if n == 0:
         return []
+
+    def log_task(idx: int, wid: int, seconds: float) -> None:
+        if task_log is not None:
+            task_log.append(
+                {"index": idx, "worker": wid, "seconds": seconds})
+
     if jobs <= 1 or n <= 1 or not fork_available():
-        return [_run_task(runner, p,
-                          (fault_plan or {}).get(i), in_worker=False)
-                for i, p in enumerate(payloads)]
+        outcomes = []
+        for i, p in enumerate(payloads):
+            outcome, seconds = _run_task(runner, p,
+                                         (fault_plan or {}).get(i),
+                                         in_worker=False)
+            log_task(i, -1, seconds)
+            outcomes.append(outcome)
+        return outcomes
 
     ctx = mp.get_context("fork")
     pending = list(range(n))          # task indices not yet handed out
     outcomes: List[Optional[Tuple[Any, Optional[str]]]] = [None] * n
     done = 0
-    workers = [_Worker(ctx, runner, fault_plan)
-               for _ in range(min(jobs, n))]
+    workers = [_Worker(wid, ctx, runner, fault_plan)
+               for wid in range(min(jobs, n))]
     live = list(workers)
 
     def assign(worker: _Worker) -> None:
@@ -216,9 +261,11 @@ def run_pool(payloads: Sequence[Any],
 
     def recover(idx: int) -> None:
         # Deterministic in-process re-execution of an orphaned task.
-        settle(idx, _run_task(runner, payloads[idx],
-                              (fault_plan or {}).get(idx),
-                              in_worker=False))
+        outcome, seconds = _run_task(runner, payloads[idx],
+                                     (fault_plan or {}).get(idx),
+                                     in_worker=False)
+        log_task(idx, -1, seconds)
+        settle(idx, outcome)
 
     try:
         for worker in live:
@@ -235,7 +282,8 @@ def run_pool(payloads: Sequence[Any],
             for conn in ready:
                 worker = conns[id(conn)]
                 try:
-                    idx, outcome = pickle.loads(conn.recv_bytes())
+                    idx, outcome, seconds = pickle.loads(
+                        conn.recv_bytes())
                 except (EOFError, OSError):
                     # Worker died mid-task: retire it, rerun its task.
                     live.remove(worker)
@@ -243,6 +291,7 @@ def run_pool(payloads: Sequence[Any],
                             and outcomes[worker.inflight] is None):
                         recover(worker.inflight)
                     continue
+                log_task(idx, worker.wid, seconds)
                 settle(idx, outcome)
                 worker.inflight = None
                 assign(worker)
@@ -253,9 +302,22 @@ def run_pool(payloads: Sequence[Any],
             except Exception:  # noqa: BLE001 - teardown best-effort
                 pass
         for worker in workers:
-            worker.proc.join(timeout=2)
+            worker.proc.join(timeout=_JOIN_TIMEOUT)
             if worker.proc.is_alive():
                 worker.proc.terminate()
+                worker.proc.join(timeout=_JOIN_TIMEOUT)
+            if worker.proc.is_alive():
+                # SIGTERM can sit pending forever on a stopped process;
+                # SIGKILL cannot be blocked or deferred.  The final
+                # join has no timeout: it only reaps an already-dead
+                # child, and skipping it is exactly the zombie leak.
+                worker.proc.kill()
+                worker.proc.join()
+            for conn in (worker.task_conn, worker.result_conn):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
     return [outcome for outcome in outcomes]  # all settled
 
 
@@ -269,7 +331,8 @@ def _expand_frontier(build: Builder,
                      max_steps: int,
                      max_runs: int,
                      target: int,
-                     use_sleep: bool):
+                     use_sleep: bool,
+                     counters: Optional[Dict[str, Any]] = None):
     """Serial BFS until at least ``target`` open prefixes exist.
 
     Returns ``(stats, shards)`` where each shard is ``(prefix,
@@ -280,12 +343,17 @@ def _expand_frontier(build: Builder,
     With ``use_sleep`` (DPOR mode) every non-sleeping candidate is
     scheduled at each expanded state -- a trivially persistent set -- and
     children inherit sleep sets by the serial engine's exact rule.
+    ``counters`` is the optional plain-dict metrics channel (frontier
+    watermark and sleep-set accounting; never exploration statistics).
     """
     from collections import deque
 
     stats = ExplorationStats()
     open_nodes: deque = deque([((), frozenset())])
     while open_nodes and len(open_nodes) < target:
+        if counters is not None and len(open_nodes) > counters.get(
+                "peak_frontier", 0):
+            counters["peak_frontier"] = len(open_nodes)
         prefix, sleep = open_nodes.popleft()
         if stats.total_runs >= max_runs:
             raise RuntimeError(
@@ -322,6 +390,11 @@ def _expand_frontier(build: Builder,
             continue
         if use_sleep:
             explorable = [p for p in cands if p not in sleep]
+            if counters is not None:
+                counters["sleep_checks"] = (counters.get("sleep_checks", 0)
+                                            + len(cands))
+                counters["sleep_hits"] = (counters.get("sleep_hits", 0)
+                                          + len(cands) - len(explorable))
             if not explorable:
                 stats.pruned_runs += 1
                 continue
@@ -344,6 +417,9 @@ def _expand_frontier(build: Builder,
         else:
             for pick in cands:
                 open_nodes.append((prefix + (pick,), frozenset()))
+    if counters is not None and len(open_nodes) > counters.get(
+            "peak_frontier", 0):
+        counters["peak_frontier"] = len(open_nodes)
     return stats, sorted(open_nodes, key=lambda shard: shard[0])
 
 
@@ -362,7 +438,8 @@ def explore_parallel(build: Optional[Builder] = None,
                      prefix_factor: int = DEFAULT_PREFIX_FACTOR,
                      shrink: bool = True,
                      scenario=None,
-                     fault_plan: Optional[Dict[int, str]] = None
+                     fault_plan: Optional[Dict[int, str]] = None,
+                     metrics: Optional[Any] = None
                      ) -> ExplorationStats:
     """Sharded exhaustive exploration across a worker pool.
 
@@ -378,6 +455,14 @@ def explore_parallel(build: Optional[Builder] = None,
     fork-inherited closures (and the coordinator fills in any missing
     ``build``/``check``/``crash_plan_factory`` from it).  ``fault_plan``
     injects worker faults by shard index (tests only).
+
+    ``metrics`` is an optional
+    :class:`repro.analysis.metrics.ExplorationMetrics` collector: the
+    coordinator records per-phase wall-clock (frontier expansion, shard
+    execution, merge, shrink), per-worker shard counts and busy time,
+    and the engines' sleep-set/frontier counters.  All of it lives
+    outside ``ExplorationStats``, whose jobs-independent bit-for-bit
+    contract is unaffected by metrics collection.
     """
     if scenario is not None and (build is None or check is None):
         resolved = scenario.resolve()
@@ -393,9 +478,16 @@ def explore_parallel(build: Optional[Builder] = None,
     jobs = resolve_jobs(jobs)
     use_sleep = reduction == "dpor"
     target = prefix_factor * max(_FRONTIER_BASE, os.cpu_count() or 1, jobs)
+    from time import perf_counter
+    counters: Optional[Dict[str, Any]] = {} if metrics is not None else None
+    phase_start = perf_counter()
     stats, shards = _expand_frontier(build, check, crash_plan_factory,
                                      max_steps, max_runs, target,
-                                     use_sleep)
+                                     use_sleep, counters=counters)
+    if metrics is not None:
+        metrics.record_phase("frontier_expansion",
+                             perf_counter() - phase_start)
+        metrics.shard_count = len(shards)
 
     # Worker-side shard runner.  Workers resolve the scenario once per
     # process (closures do not survive pickling; a ScenarioRef does) and
@@ -419,24 +511,51 @@ def explore_parallel(build: Optional[Builder] = None,
         return ctx_holder["build"], ctx_holder["check"], ctx_holder["cpf"]
 
     def run_shard(payload):
+        # Shards always report their counters -- a plain picklable dict
+        # riding back beside the statistics -- because the worker cannot
+        # know whether the coordinator is collecting metrics.
         prefix, sleep = payload
         b, c, cpf = shard_context()
+        shard_counters: Dict[str, Any] = {}
         if use_sleep:
-            return _explore_core(
+            shard_stats = _explore_core(
                 b, c, crash_plan_factory=cpf, max_steps=max_steps,
                 max_runs=max_runs, prefix=prefix, root_sleep=sleep,
-                collect=True)
-        return _explore_naive(b, c, cpf, max_steps, max_runs,
-                              root=prefix, collect=True)
+                collect=True, counters=shard_counters)
+        else:
+            shard_stats = _explore_naive(b, c, cpf, max_steps, max_runs,
+                                         root=prefix, collect=True,
+                                         counters=shard_counters)
+        return shard_stats, shard_counters
 
-    outcomes = run_pool(shards, run_shard, jobs, fault_plan=fault_plan)
+    task_log: Optional[List[Dict[str, Any]]] = \
+        [] if metrics is not None else None
+    phase_start = perf_counter()
+    outcomes = run_pool(shards, run_shard, jobs, fault_plan=fault_plan,
+                        task_log=task_log)
+    if metrics is not None:
+        metrics.record_phase("shard_execution",
+                             perf_counter() - phase_start)
+        metrics.record_worker_tasks(task_log)
+    phase_start = perf_counter()
     for idx, outcome in enumerate(outcomes):
         value, error = outcome
         if error is not None:
             raise RuntimeError(
                 f"parallel exploration failed on shard {idx} "
                 f"(prefix {list(shards[idx][0])}): {error}")
-        stats = stats.merge(value)
+        shard_stats, shard_counters = value
+        stats = stats.merge(shard_stats)
+        if counters is not None:
+            for key, delta in shard_counters.items():
+                if key == "peak_frontier":
+                    counters[key] = max(counters.get(key, 0), delta)
+                else:
+                    counters[key] = counters.get(key, 0) + delta
+    if metrics is not None:
+        metrics.record_phase("merge", perf_counter() - phase_start)
+        metrics.record_stats(stats)
+        metrics.absorb_counters(counters)
 
     viol = stats.violation
     if viol is not None:
@@ -446,10 +565,15 @@ def explore_parallel(build: Optional[Builder] = None,
         if reduction == "naive":
             raise AssertionError(viol.message)
         if shrink:
+            phase_start = perf_counter()
             counterexample = shrink_schedule(
                 build, check, list(viol.schedule),
                 crash_plan_factory=crash_plan_factory,
                 max_steps=max(max_steps, len(viol.schedule)))
+            if metrics is not None:
+                metrics.record_phase("shrink",
+                                     perf_counter() - phase_start)
+                metrics.ddmin_replays += counterexample.ddmin_attempts
         else:
             schedule = list(viol.schedule)
             result = replay_schedule(

@@ -192,3 +192,61 @@ class TestWorkerFailureRecovery:
                            match="parallel exploration failed on shard"):
             explore_parallel(sc.build, sc.check, max_steps=sc.max_steps,
                              jobs=2, fault_plan={0: "sigkill,raise"})
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestWedgedWorkerTeardown:
+    """Bugfix regression: teardown of a worker that stops responding.
+
+    ``fault_plan={-1: "sigstop"}`` makes each worker SIGSTOP itself on
+    receipt of the shutdown sentinel -- the moment the old teardown
+    relied on SIGTERM alone.  A stopped process leaves SIGTERM pending
+    forever, so the coordinator must escalate to SIGKILL and then
+    *reap* the corpse with a final blocking join; skipping that join is
+    exactly the zombie leak this class pins down.  ``_JOIN_TIMEOUT`` is
+    shrunk so the escalation path runs in milliseconds.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fast_escalation(self, monkeypatch):
+        import repro.runtime.parallel as par
+        monkeypatch.setattr(par, "_JOIN_TIMEOUT", 0.2)
+
+    @staticmethod
+    def _leaked_children():
+        """(pid, state) for every child of this process that is a
+        zombie ('Z', dead but unreaped) or stopped ('T', wedged)."""
+        me = str(os.getpid())
+        leaked = []
+        for entry in os.listdir("/proc"):
+            if not entry.isdigit():
+                continue
+            try:
+                with open(f"/proc/{entry}/stat") as handle:
+                    # Field 2 (comm) may contain spaces; split after it.
+                    fields = handle.read().rsplit(")", 1)[1].split()
+            except OSError:
+                continue  # raced with process exit
+            state, ppid = fields[0], fields[1]
+            if ppid == me and state in ("Z", "T"):
+                leaked.append((int(entry), state))
+        return leaked
+
+    def test_run_pool_reaps_wedged_workers(self):
+        import multiprocessing
+
+        outcomes = run_pool(list(range(8)), _square, jobs=2,
+                            fault_plan={-1: "sigstop"})
+        assert outcomes == [(i * i, None) for i in range(8)]
+        assert self._leaked_children() == []
+        assert multiprocessing.active_children() == []
+
+    def test_explore_parallel_reaps_wedged_workers(self):
+        sc = check_scenarios(n=3)["adopt-commit"]
+        serial = explore_parallel(sc.build, sc.check,
+                                  max_steps=sc.max_steps, jobs=1)
+        wedged = explore_parallel(sc.build, sc.check,
+                                  max_steps=sc.max_steps, jobs=2,
+                                  fault_plan={-1: "sigstop"})
+        assert wedged == serial
+        assert self._leaked_children() == []

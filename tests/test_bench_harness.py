@@ -1,10 +1,12 @@
 """The benchmark harness helpers (benchmarks/harness.py)."""
 
+import json
 import os
 
 from benchmarks.harness import (RESULTS_DIR, cost_row, header, run_once,
-                                write_report)
+                                write_json, write_report)
 from repro.algorithms import KSetReadWrite
+from repro.analysis.metrics import METRICS_SCHEMA_VERSION
 from repro.runtime import CrashPlan
 
 
@@ -43,6 +45,64 @@ class TestHarness:
     def test_write_report_roundtrip(self):
         path = write_report("_harness_selftest", ["line1", "line2"])
         assert path.startswith(RESULTS_DIR)
-        with open(path) as handle:
-            assert handle.read() == "line1\nline2\n"
-        os.remove(path)
+        try:
+            with open(path) as handle:
+                assert handle.read() == "line1\nline2\n"
+        finally:
+            os.remove(path)
+            os.remove(os.path.join(RESULTS_DIR, "_harness_selftest.json"))
+
+    def test_write_report_emits_versioned_json_twin(self):
+        write_report("_harness_selftest", ["Title line", "row"],
+                     data={"series": [1, 2, 3]})
+        json_path = os.path.join(RESULTS_DIR, "_harness_selftest.json")
+        try:
+            with open(json_path) as handle:
+                record = json.load(handle)
+        finally:
+            os.remove(json_path)
+            os.remove(os.path.join(RESULTS_DIR, "_harness_selftest.txt"))
+        assert record["schema_version"] == METRICS_SCHEMA_VERSION
+        assert record["kind"] == "bench_report"
+        assert record["name"] == "_harness_selftest"
+        assert record["data"]["title"] == "Title line"
+        assert record["data"]["lines"] == ["Title line", "row"]
+        assert record["data"]["series"] == [1, 2, 3]
+
+    def test_write_report_replaces_atomically(self, monkeypatch):
+        # A writer interrupted before the final os.replace must leave
+        # the previous report intact and clean up its temp file -- an
+        # aborted bench can never publish a truncated table.
+        path = write_report("_harness_selftest", ["old content"])
+        try:
+            import repro.analysis.metrics as metrics_mod
+
+            def boom(src, dst):
+                raise KeyboardInterrupt("interrupted mid-bench")
+
+            monkeypatch.setattr(metrics_mod.os, "replace", boom)
+            try:
+                write_report("_harness_selftest", ["new content"])
+                assert False, "interruption did not propagate"
+            except KeyboardInterrupt:
+                pass
+            monkeypatch.undo()
+            with open(path) as handle:
+                assert handle.read() == "old content\n"
+            leftovers = [name for name in os.listdir(RESULTS_DIR)
+                         if name.startswith("._harness_selftest")]
+            assert leftovers == []
+        finally:
+            os.remove(path)
+            os.remove(os.path.join(RESULTS_DIR, "_harness_selftest.json"))
+
+    def test_write_json_standalone(self):
+        path = write_json("_harness_selftest", ["only line"],
+                          data={"k": 1})
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        finally:
+            os.remove(path)
+        assert record["data"]["k"] == 1
+        assert record["data"]["title"] == "only line"

@@ -161,6 +161,81 @@ class TestAuditJobsFlag:
         assert "positive integer or 'auto'" in capsys.readouterr().err
 
 
+@pytest.mark.metrics
+class TestMetricsFlags:
+    """``--metrics`` / ``--metrics-out``: machine-readable run records."""
+
+    @staticmethod
+    def _records(path):
+        import json
+        with open(path) as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    def test_metrics_table_rides_along_with_check(self, capsys):
+        assert main(["check", "safe-agreement", "--n", "2",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "runs/s" in out
+
+    def test_metrics_out_writes_versioned_jsonl(self, tmp_path):
+        from repro.analysis.metrics import METRICS_SCHEMA_VERSION
+        out_path = str(tmp_path / "metrics.jsonl")
+        assert main(["check", "safe-agreement", "--n", "2",
+                     "--metrics-out", out_path]) == 0
+        (record,) = self._records(out_path)
+        assert record["schema_version"] == METRICS_SCHEMA_VERSION
+        assert record["kind"] == "exploration"
+        assert record["scenario"] == "safe-agreement"
+        assert record["outcome"] == "passed"
+        assert record["total_runs"] > 0
+
+    def test_jobs_record_deterministically_matches_serial(self, tmp_path):
+        """Acceptance bar: jobs=4 record == jobs=1 record byte-for-byte
+        once the timing/worker fields are stripped."""
+        import json
+
+        from repro.analysis.metrics import deterministic_view
+        views = {}
+        for jobs in ("1", "4"):
+            out_path = str(tmp_path / f"jobs{jobs}.jsonl")
+            assert main(["check", "safe-agreement", "--n", "2",
+                         "--jobs", jobs, "--metrics-out", out_path]) == 0
+            (record,) = self._records(out_path)
+            views[jobs] = json.dumps(deterministic_view(record),
+                                     sort_keys=True)
+        assert views["1"] == views["4"]
+
+    def test_violation_record_carries_shrunk_counterexample(self,
+                                                            tmp_path,
+                                                            capsys):
+        out_path = str(tmp_path / "metrics.jsonl")
+        assert main(["check", "broken-demo",
+                     "--metrics-out", out_path]) == 1
+        (record,) = self._records(out_path)
+        assert record["outcome"] == "violation"
+        assert record["violation"]["error_type"] == "AssertionError"
+        assert record["violation"]["schedule"]
+        assert record["ddmin_replays"] > 0
+
+    def test_budget_exceeded_record(self, tmp_path, capsys):
+        out_path = str(tmp_path / "metrics.jsonl")
+        assert main(["check", "adopt-commit", "--max-runs", "2",
+                     "--metrics-out", out_path]) == 2
+        (record,) = self._records(out_path)
+        assert record["outcome"] == "budget_exceeded"
+
+    def test_audit_emits_run_metrics(self, tmp_path):
+        out_path = str(tmp_path / "metrics.jsonl")
+        assert main(["audit", "queue-2cons",
+                     "--metrics-out", out_path]) == 0
+        (record,) = self._records(out_path)
+        assert record["kind"] == "audit"
+        assert record["name"] == "queue-2cons"
+        assert record["data"]["outcome"] == "passed"
+        assert record["data"]["audited_ops"] > 0
+
+
 class TestLintCommand:
     """``python -m repro lint``: exit codes 0 / 1 / 2."""
 
