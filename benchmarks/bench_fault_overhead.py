@@ -1,0 +1,92 @@
+"""Fault-layer overhead: the no-fault path must stay near-free.
+
+The Byzantine layer threads through the scheduler as two value-rewrite
+hooks that are consulted only when the installed plan defines them; a
+plain :class:`CrashPlan` (or no plan) skips them entirely, and a
+behavior-free :class:`FaultPlan` must explore bit-for-bit the same
+schedule tree.  This bench pins both claims and measures what attaching
+the layer actually costs on DPOR exploration of 2-process adopt-commit:
+
+* **baseline** -- no crash plan at all;
+* **lifted** -- a behavior-free ``FaultPlan`` (hooks present, inert);
+* **byzantine** -- a ``CorruptWrite`` behavior firing on every write
+  (the check relaxes to liveness-only: corrupted proposals
+  legitimately change decided values).
+"""
+
+import time
+
+from repro.runtime import FaultPlan, byzantine_writer, explore
+from repro.scenarios import check_scenarios
+
+from .harness import header, write_report
+
+
+def _explore(crash_plan_factory, check=None):
+    sc = check_scenarios(n=2)["adopt-commit"]
+    return explore(sc.build, check or sc.check,
+                   crash_plan_factory=crash_plan_factory,
+                   max_steps=sc.max_steps, reduction="dpor")
+
+
+def _liveness_only(result):
+    assert not result.deadlocked, result.summary()
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fault_overhead_bench(benchmark):
+    """Time one DPOR sweep with the inert fault layer attached."""
+    stats = benchmark(lambda: _explore(lambda: FaultPlan()))
+    assert stats.complete_runs > 0
+
+
+def test_fault_overhead_report():
+    baseline_stats = _explore(None)
+    lifted_stats = _explore(lambda: FaultPlan())
+    assert baseline_stats == lifted_stats, \
+        "behavior-free FaultPlan changed what DPOR explored"
+    def byz_plan():
+        return byzantine_writer(0, "corrupted", obj="AC1",
+                                method="write")
+
+    byz_stats = _explore(byz_plan, check=_liveness_only)
+
+    t_base = _best_of(lambda: _explore(None))
+    t_lift = _best_of(lambda: _explore(lambda: FaultPlan()))
+    t_byz = _best_of(lambda: _explore(byz_plan, check=_liveness_only))
+
+    lines = header(
+        "Fault-layer overhead (DPOR, 2-process adopt-commit)",
+        "baseline = no plan; lifted = behavior-free FaultPlan; "
+        "byzantine = CorruptWrite on every write of p0")
+    lines.append(f"{'variant':<12} {'runs':>6} {'pruned':>7} "
+                 f"{'best-of-5 (s)':>14} {'vs baseline':>12}")
+    for label, stats, seconds in (
+            ("baseline", baseline_stats, t_base),
+            ("lifted", lifted_stats, t_lift),
+            ("byzantine", byz_stats, t_byz)):
+        lines.append(f"{label:<12} {stats.total_runs:>6} "
+                     f"{stats.pruned_runs:>7} {seconds:>14.4f} "
+                     f"{seconds / t_base:>11.2f}x")
+    lines.append("")
+    lines.append("lifted == baseline stats: the inert layer is "
+                 "bit-for-bit free in coverage; its wall-clock cost "
+                 "is the hook dispatch alone.")
+    write_report("fault_overhead", lines, data={
+        "baseline_runs": baseline_stats.total_runs,
+        "lifted_runs": lifted_stats.total_runs,
+        "byzantine_runs": byz_stats.total_runs,
+        "baseline_seconds": t_base,
+        "lifted_seconds": t_lift,
+        "byzantine_seconds": t_byz,
+        "lifted_overhead_ratio": t_lift / t_base,
+        "byzantine_overhead_ratio": t_byz / t_base,
+    })

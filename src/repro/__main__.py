@@ -10,17 +10,24 @@ Commands:
   ASM(N, T, X) and, on the possible side, run the paper's construction.
 * ``check NAME``    -- exhaustively model-check a named scenario over
   ALL interleavings (DPOR-accelerated); exit 0 = property holds,
-  1 = counterexample found (printed shrunk), 2 = budget exceeded.
+  1 = counterexample found (printed shrunk), 2 = configuration error,
+  3 = a ``--timeout`` / ``--max-runs`` budget interrupted the sweep
+  (partial coverage, no violation found so far).
   ``check --list`` enumerates the registered scenarios.  ``--metrics``
   prints a per-scenario observability summary; ``--metrics-out PATH``
   writes one JSON-lines run record per scenario (atomically; see
-  docs/observability.md for the schema).
+  docs/observability.md for the schema -- interrupted sweeps emit a
+  record flagged ``"partial": true``).
 * ``lint [PATHS]``  -- static protocol-discipline linter over process
   code (see docs/static_analysis.md); exit 0 = clean, 1 = violations,
   2 = unparsable/unreadable input.
 * ``audit NAME``    -- dynamic footprint-soundness audit of a named
   scenario (every executed operation is checked against the footprint
   it declares to DPOR); exit codes mirror ``check``.
+* ``mutants``       -- mutation-soundness harness: run every planted
+  protocol mutant (see ``repro.mutants`` and docs/fault_injection.md)
+  and verify the expected detection stage catches it; exit 0 only when
+  every mutant is caught.
 * ``demo``          -- a one-minute tour (runs the quickstart scenario).
 """
 
@@ -101,7 +108,8 @@ def _emit_metrics(records, show_table: bool,
 
 def cmd_check(args: argparse.Namespace) -> int:
     """Exhaustively check one named scenario (or ``all`` sound ones)."""
-    from .runtime import CounterexampleFound, explore
+    from .runtime import (CounterexampleFound, ExplorationInterrupted,
+                          explore)
     from .runtime.parallel import explore_parallel
     from .scenarios import SOUND_SCENARIOS, ScenarioRef, check_scenarios
 
@@ -154,19 +162,26 @@ def cmd_check(args: argparse.Namespace) -> int:
                     perf_counter() - wall_start).to_dict())
         try:
             if jobs is not None:
+                from time import monotonic
+
                 # Workers rebuild the scenario by name (closures do not
-                # pickle); the ref pins the CLI's sizing flags.
+                # pickle); the ref pins the CLI's sizing flags.  The
+                # wall-clock budget ships as an absolute monotonic
+                # deadline, valid across fork on Linux.
+                deadline = (monotonic() + args.timeout
+                            if args.timeout else None)
                 stats = explore_parallel(
                     crash_plan_factory=sc.crash_plan_factory,
                     max_steps=max_steps, max_runs=max_runs,
                     jobs=jobs, reduction=reduction,
                     scenario=ScenarioRef(name, n=args.n, x=args.x),
-                    metrics=metrics)
+                    metrics=metrics, deadline=deadline)
             else:
                 stats = explore(sc.build, sc.check,
                                 crash_plan_factory=sc.crash_plan_factory,
                                 max_steps=max_steps, max_runs=max_runs,
-                                reduction=reduction, metrics=metrics)
+                                reduction=reduction, metrics=metrics,
+                                timeout=args.timeout or None)
         except CounterexampleFound as exc:
             print(f"[{name}] PROPERTY VIOLATED ({exc.stats})")
             print(exc.counterexample.describe())
@@ -193,6 +208,19 @@ def cmd_check(args: argparse.Namespace) -> int:
                 metrics.record_violation(error_type=type(exc).__name__)
                 settle_metrics()
             exit_code = max(exit_code, 1)
+            continue
+        except ExplorationInterrupted as exc:
+            # Graceful degradation: the budget stopped the sweep before
+            # the tree was done.  Partial coverage is reported (flagged
+            # ``"partial": true`` in the metrics record) and the
+            # distinct exit code 3 separates "ran out of budget" from
+            # "found a violation" (1) and "bad invocation" (2).
+            print(f"[{name}] INTERRUPTED ({exc.reason}): {exc}",
+                  file=sys.stderr)
+            if metrics is not None:
+                metrics.record_interrupted(exc.reason, exc.stats)
+                settle_metrics()
+            exit_code = max(exit_code, 3)
             continue
         except RuntimeError as exc:
             print(f"[{name}] BUDGET EXCEEDED: {exc}", file=sys.stderr)
@@ -274,8 +302,11 @@ def cmd_audit(args: argparse.Namespace) -> int:
             data = {"outcome": outcome, "jobs": jobs if jobs else 1,
                     "wall_seconds": perf_counter() - wall_start}
             if report is not None:
+                # Adversary reprs carry the seeds (see lint.audit):
+                # the record alone reproduces a randomized audit.
                 data.update(runs=report.runs,
-                            audited_ops=report.audited_ops)
+                            audited_ops=report.audited_ops,
+                            adversaries=list(report.adversaries))
             records.append(
                 RunMetrics(kind="audit", name=name, data=data).to_dict())
         try:
@@ -296,6 +327,46 @@ def cmd_audit(args: argparse.Namespace) -> int:
         settle_metrics("passed", report)
         print(f"[{name}] AUDIT PASSED: {report}")
     _emit_metrics(records, args.metrics, args.metrics_out)
+    return exit_code
+
+
+def cmd_mutants(args: argparse.Namespace) -> int:
+    """Run the mutation-soundness harness (see ``repro.mutants``)."""
+    from .mutants import MUTANTS, get_mutant
+
+    if args.list:
+        for mutant in MUTANTS:
+            print(f"{mutant.name:26s} [{mutant.expected_stage:7s}] "
+                  f"{mutant.description}")
+        return 0
+    if args.name:
+        try:
+            selected = [get_mutant(args.name)]
+        except KeyError as exc:
+            print(f"mutants: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        selected = list(MUTANTS)
+
+    exit_code = 0
+    for mutant in selected:
+        stage = mutant.detect()
+        if stage is None:
+            print(f"[{mutant.name}] NOT DETECTED -- "
+                  f"{mutant.description}", file=sys.stderr)
+            print(f"[{mutant.name}] the {mutant.expected_stage} stage "
+                  f"was expected to catch this mutant; a hole in the "
+                  f"detection matrix", file=sys.stderr)
+            exit_code = 1
+        elif stage != mutant.expected_stage:
+            print(f"[{mutant.name}] detected by {stage}, but the "
+                  f"pinned stage is {mutant.expected_stage} -- the "
+                  f"detection matrix shifted", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"[{mutant.name}] detected by {stage}")
+    if exit_code == 0:
+        print(f"all {len(selected)} mutant(s) detected")
     return exit_code
 
 
@@ -361,6 +432,11 @@ def main(argv=None) -> int:
                    help="override the scenario's depth bound")
     p.add_argument("--max-runs", type=int, default=0,
                    help="override the scenario's run budget")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="wall-clock budget per scenario; on expiry the "
+                        "sweep stops cleanly, emits a partial metrics "
+                        "record, and exits 3")
     p.add_argument("--naive", action="store_true",
                    help="disable partial-order reduction (enumerate "
                         "every interleaving)")
@@ -415,6 +491,15 @@ def main(argv=None) -> int:
                    help="write one JSON-lines run record per scenario "
                         "to PATH (atomic)")
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "mutants",
+        help="mutation-soundness harness over planted protocol bugs")
+    p.add_argument("name", nargs="?", default=None,
+                   help="run one mutant by name (default: all)")
+    p.add_argument("--list", action="store_true",
+                   help="list the planted mutants and exit")
+    p.set_defaults(func=cmd_mutants)
 
     p = sub.add_parser("demo", help="one-minute tour")
     p.set_defaults(func=cmd_demo)

@@ -35,7 +35,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
 #: Bump on any change to the key set or meaning of emitted records.
-METRICS_SCHEMA_VERSION = 1
+#: v2 added ``partial`` / ``interrupt_reason`` (graceful degradation
+#: under ``--timeout`` / ``--max-runs`` budgets, see
+#: ``docs/fault_injection.md``).
+METRICS_SCHEMA_VERSION = 2
 
 #: The wall-clock phases of a sharded exploration, in execution order.
 #: Serial engines report their whole walk as ``shard_execution`` (a
@@ -146,6 +149,12 @@ class ExplorationMetrics:
         self.engine = engine
         self.jobs = jobs
         self.outcome = "passed"
+        # Set when an exploration budget (max_runs / timeout) stopped
+        # the sweep before the state space was exhausted.  The counters
+        # below then describe *partial* coverage and must not be read
+        # as a proof of absence of violations.
+        self.partial = False
+        self.interrupt_reason: Optional[str] = None
         # Deterministic counters.
         self.complete_runs = 0
         self.truncated_runs = 0
@@ -222,7 +231,23 @@ class ExplorationMetrics:
             "schedule": list(schedule) if schedule is not None else None,
         }
 
+    def record_interrupted(self, reason: str, stats: Any = None) -> None:
+        """Mark the record as a budget-interrupted partial sweep.
+
+        ``reason`` is :attr:`ExplorationInterrupted.reason` (``max_runs``
+        or ``timeout``); ``stats`` is the partial
+        :class:`~repro.runtime.explore.ExplorationStats` carried by the
+        exception, folded in so the record reflects how far the sweep
+        got before the budget fired.
+        """
+        self.outcome = "interrupted"
+        self.partial = True
+        self.interrupt_reason = reason
+        if stats is not None:
+            self.record_stats(stats)
+
     def record_budget_exceeded(self) -> None:
+        """Legacy alias kept for older callers (pre-v2 records)."""
         self.outcome = "budget_exceeded"
 
     def finalize(self, wall_seconds: Optional[float] = None
@@ -266,6 +291,8 @@ class ExplorationMetrics:
             "scenario": self.scenario,
             "engine": self.engine,
             "outcome": self.outcome,
+            "partial": self.partial,
+            "interrupt_reason": self.interrupt_reason,
             "complete_runs": self.complete_runs,
             "truncated_runs": self.truncated_runs,
             "total_runs": self.total_runs,

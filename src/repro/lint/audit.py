@@ -309,7 +309,13 @@ class AuditReport:
 
 
 def _audit_one(scenario, adversary, max_steps: int, perturb: bool):
-    """One audited run; returns ``(audited_ops, skipped_ops, name)``."""
+    """One audited run; returns ``(audited_ops, skipped_ops, repr)``.
+
+    The adversary is reported by ``repr`` rather than class name so a
+    seeded adversary's seed lands in the report (and in the metrics
+    record): a failing randomized audit is reproducible from the report
+    alone.
+    """
     from ..runtime import run_processes
     programs, store = scenario.build()
     audited = AuditingStore(store, perturb=perturb)
@@ -320,9 +326,8 @@ def _audit_one(scenario, adversary, max_steps: int, perturb: bool):
     if result.out_of_steps:
         raise RuntimeError(
             f"audit of {scenario.name!r} exhausted max_steps="
-            f"{max_steps} under {type(adversary).__name__}")
-    return (audited.audited_ops, audited.skipped_ops,
-            type(adversary).__name__)
+            f"{max_steps} under {adversary!r}")
+    return (audited.audited_ops, audited.skipped_ops, repr(adversary))
 
 
 def audit_scenario(scenario, adversaries: Optional[Sequence] = None,

@@ -4,11 +4,15 @@ substrate that grounds shared-memory models in networks."""
 from .abd import ABDProcess, ReadOp, WriteOp, run_abd
 from .engine import (Envelope, MessageCrash, MessageMachine,
                      MessagingResult, run_messaging)
+from .faults import (DelayFault, DropFault, DuplicateFault, MessageFault,
+                     MessageFaultPlan, ReorderFault)
 from .hosted import HostedProcess, host_program_run
 
 __all__ = [
     "ABDProcess", "ReadOp", "WriteOp", "run_abd",
     "Envelope", "MessageCrash", "MessageMachine", "MessagingResult",
     "run_messaging",
+    "DelayFault", "DropFault", "DuplicateFault", "MessageFault",
+    "MessageFaultPlan", "ReorderFault",
     "HostedProcess", "host_program_run",
 ]

@@ -167,12 +167,16 @@ class ABDProcess(MessageMachine):
 def run_abd(n: int, t: int, writer: int,
             scripts: Sequence[Sequence[Any]],
             crashes=(), seed: int = 0,
-            max_events: int = 100_000):
+            max_events: int = 100_000, faults=None):
     """Wire up and run one ABD system; returns (result, history).
 
     ``scripts[pid]`` is pid's operation sequence.  The returned history
     is the merged list of completed operations with global-time
-    intervals, ready for the linearizability checker.
+    intervals, ready for the linearizability checker.  ``faults`` is an
+    optional :class:`repro.messaging.faults.MessageFaultPlan` passed
+    straight to :func:`run_messaging` -- ABD's quorum phases must stay
+    atomic under drop / duplicate / delay / reorder, which is exactly
+    what the fault-matrix tests exercise.
     """
     from .engine import run_messaging
     ticks = [0]
@@ -184,7 +188,7 @@ def run_abd(n: int, t: int, writer: int,
     machines = [ABDProcess(pid, n, t, writer, scripts[pid], clock)
                 for pid in range(n)]
     result = run_messaging(machines, crashes=crashes, seed=seed,
-                           max_events=max_events)
+                           max_events=max_events, faults=faults)
     history = [record for machine in machines
                for record in machine.history]
     return result, history

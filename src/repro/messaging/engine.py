@@ -29,12 +29,20 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 @dataclass(frozen=True)
 class Envelope:
-    """One in-flight message."""
+    """One in-flight message.
+
+    ``not_before`` is a delivery-count horizon set by delay faults
+    (:class:`repro.messaging.faults.DelayFault`): the envelope is not
+    deliverable until that many total deliveries have happened.  The
+    default 0 means "immediately deliverable" -- fault-free runs never
+    see anything else.
+    """
 
     uid: int
     sender: int
     dest: int
     payload: Any
+    not_before: int = 0
 
 
 class MessageMachine(ABC):
@@ -99,7 +107,8 @@ def run_messaging(machines: Sequence[MessageMachine],
                   crashes: Sequence[MessageCrash] = (),
                   seed: int = 0,
                   max_events: int = 100_000,
-                  fifo: bool = False) -> MessagingResult:
+                  fifo: bool = False,
+                  faults: Optional[Any] = None) -> MessagingResult:
     """Drive the machines until quiescence, decision, or the event cap.
 
     ``fifo=False`` (default) delivers in adversarial (seeded-random)
@@ -107,25 +116,45 @@ def run_messaging(machines: Sequence[MessageMachine],
     The run ends when every live machine has decided, or no deliverable
     message remains (stalled -- e.g. too many crashes for a quorum), or
     ``max_events`` deliveries happened.
+
+    ``faults`` is an optional
+    :class:`repro.messaging.faults.MessageFaultPlan` (duck-typed, so
+    this module never imports that one): each sent envelope is routed
+    through ``faults.on_send`` (drop / duplicate / delay / reorder) and
+    the plan's own ``crashes`` are merged with the ``crashes``
+    argument.  ``faults=None`` leaves every code path and the rng call
+    sequence exactly as before -- fault-free runs are bit-for-bit
+    unchanged.
     """
     n = len(machines)
     rng = random.Random(seed)
-    crash_at = {c.victim: c for c in crashes}
-    if len(crash_at) != len(list(crashes)):
+    all_crashes = list(crashes)
+    if faults is not None:
+        faults.reset()
+        all_crashes.extend(faults.crashes)
+    crash_at = {c.victim: c for c in all_crashes}
+    if len(crash_at) != len(all_crashes):
         raise ValueError("one crash per victim")
     crashed: Set[int] = set()
     events_processed = {pid: 0 for pid in range(n)}
     network: List[Envelope] = []
     uid_counter = 0
 
-    def flush(machine: MessageMachine) -> None:
+    def alloc_uid() -> int:
         nonlocal uid_counter
+        uid = uid_counter
+        uid_counter += 1
+        return uid
+
+    def flush(machine: MessageMachine) -> None:
         for dest, payload in machine.outbox:
             if not 0 <= dest < n:
                 raise ValueError(f"bad destination {dest}")
-            network.append(Envelope(uid_counter, machine.pid, dest,
-                                    payload))
-            uid_counter += 1
+            env = Envelope(alloc_uid(), machine.pid, dest, payload)
+            if faults is None:
+                network.append(env)
+            else:
+                network.extend(faults.on_send(env, alloc_uid))
         machine.outbox.clear()
 
     def maybe_crash(pid: int) -> bool:
@@ -149,11 +178,19 @@ def run_messaging(machines: Sequence[MessageMachine],
     delivered = 0
     while delivered < max_events:
         deliverable = [i for i, env in enumerate(network)
-                       if env.dest not in crashed]
+                       if env.dest not in crashed
+                       and env.not_before <= delivered]
         live_undecided = [m for m in machines
                           if m.pid not in crashed and not m.decided]
         if not live_undecided:
             break
+        if not deliverable and faults is not None:
+            # Force-release: delay and reorder are *bounded* faults --
+            # a starved network frees held/delayed traffic instead of
+            # letting the plan fake an unplanned crash.
+            network.extend(faults.drain())
+            deliverable = [i for i, env in enumerate(network)
+                           if env.dest not in crashed]
         if not deliverable:
             break
         index = deliverable[0] if fifo else rng.choice(deliverable)
@@ -170,6 +207,10 @@ def run_messaging(machines: Sequence[MessageMachine],
         else:
             flush(machine)
 
+    if faults is not None:
+        # Anything still held back by a reorder rule counts as
+        # undelivered, exactly like in-flight network traffic.
+        network.extend(faults.drain())
     live_undecided = [m for m in machines
                       if m.pid not in crashed and not m.decided]
     return MessagingResult(

@@ -1,0 +1,188 @@
+"""Deterministic message-level fault plans for the messaging engine.
+
+The asynchronous network of :func:`repro.messaging.engine.run_messaging`
+already delivers in adversarial order; this module adds the *other*
+standard message-level adversary capabilities as composable, seeded-
+deterministic rules (companion to the process-level Byzantine layer in
+:mod:`repro.runtime.faults` -- see ``docs/fault_injection.md``):
+
+* **drop** -- a matched message silently never enters the network
+  (message loss; distinct from a crash because the sender stays live);
+* **duplicate** -- a matched message is injected twice, with distinct
+  uids (at-least-once links);
+* **bounded delay** -- a matched message carries
+  :attr:`~repro.messaging.engine.Envelope.not_before` and cannot be
+  delivered until that many total deliveries have happened (it is
+  *bounded*: a starved network force-releases delayed traffic rather
+  than letting delay masquerade as an unplanned crash);
+* **per-pair reorder** -- consecutive messages on one ``sender -> dest``
+  link are swapped (non-FIFO links), at most ``swaps`` times.
+
+Rules are keyed by ``(sender, dest, occurrence)`` with ``None`` as a
+wildcard, mirroring the occurrence-counted triggers of
+:class:`repro.runtime.crash.CrashPoint`.  A plan also carries
+:class:`~repro.messaging.engine.MessageCrash` instances, making the
+legacy ``crashes=`` argument one case of the unified plan.
+
+Determinism: rules fire on occurrence counts over the (deterministic)
+send sequence, never on wall clock or fresh randomness, so a run with a
+given ``seed`` + plan replays exactly.  Plans are reusable: the engine
+calls :meth:`MessageFaultPlan.reset` at the start of every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .engine import Envelope, MessageCrash
+
+__all__ = [
+    "DelayFault", "DropFault", "DuplicateFault", "MessageFault",
+    "MessageFaultPlan", "ReorderFault",
+]
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Base selector: which messages a rule applies to.
+
+    ``sender`` / ``dest`` restrict the rule to one link endpoint
+    (``None`` = any); ``occurrence`` selects the k-th matching message
+    (1-based).  Subclasses define what happens to the selected message.
+    """
+
+    sender: Optional[int] = None
+    dest: Optional[int] = None
+    occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.occurrence < 1:
+            raise ValueError("occurrence is 1-based")
+
+    def matches(self, env: Envelope) -> bool:
+        return ((self.sender is None or env.sender == self.sender)
+                and (self.dest is None or env.dest == self.dest))
+
+
+@dataclass(frozen=True)
+class DropFault(MessageFault):
+    """The selected message is lost: it never enters the network."""
+
+
+@dataclass(frozen=True)
+class DuplicateFault(MessageFault):
+    """The selected message is injected twice (distinct uids)."""
+
+
+@dataclass(frozen=True)
+class DelayFault(MessageFault):
+    """The selected message cannot be delivered before ``not_before``
+    total deliveries have happened (an absolute delivery-count horizon,
+    so the delay is deterministic and independent of wall clock)."""
+
+    not_before: int = 0
+
+
+@dataclass(frozen=True)
+class ReorderFault(MessageFault):
+    """Swap consecutive message pairs on the selected link.
+
+    The first matching message is held back; when the next one arrives
+    the two enter the network in swapped order.  At most ``swaps``
+    swaps are performed; ``occurrence`` is ignored (the rule is
+    link-scoped, not message-scoped).  Held messages that never get a
+    partner are force-released by the engine, never silently lost.
+    """
+
+    swaps: int = 1
+
+
+class MessageFaultPlan:
+    """A composable, reusable set of message-level fault rules.
+
+    ``faults`` are consulted in order per sent message; the first rule
+    that *fires* (matches and hits its occurrence / swap budget)
+    applies, so rule order is part of the plan.  ``crashes`` carries
+    :class:`MessageCrash` instances, folding the legacy crash argument
+    into the unified plan.
+
+    The plan keeps per-rule occurrence counters and the reorder
+    holdback buffer as run-scoped state; ``run_messaging`` resets it at
+    the start of every run, so one plan object can drive many seeds.
+    The ``dropped`` / ``duplicated`` / ``delayed`` / ``reordered``
+    counters report what actually fired in the last run.
+    """
+
+    def __init__(self, faults: Sequence[MessageFault] = (),
+                 crashes: Sequence[MessageCrash] = ()) -> None:
+        self.faults: Tuple[MessageFault, ...] = tuple(faults)
+        self.crashes: Tuple[MessageCrash, ...] = tuple(crashes)
+        for fault in self.faults:
+            if not isinstance(fault, MessageFault):
+                raise TypeError(f"not a MessageFault: {fault!r}")
+        self.reset()
+
+    @classmethod
+    def from_crashes(cls, crashes: Sequence[MessageCrash]
+                     ) -> "MessageFaultPlan":
+        """Wrap plain crashes as a (message-fault-free) plan."""
+        return cls(faults=(), crashes=crashes)
+
+    def reset(self) -> None:
+        """Clear run-scoped state so the plan can drive a fresh run."""
+        self._seen: List[int] = [0] * len(self.faults)
+        self._swaps_done: List[int] = [0] * len(self.faults)
+        self._held: Dict[int, Envelope] = {}
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.reordered = 0
+
+    # -- engine interface ----------------------------------------------
+
+    def on_send(self, env: Envelope, alloc_uid: Callable[[], int]
+                ) -> List[Envelope]:
+        """Rewrite one sent envelope into the envelopes that actually
+        enter the network (possibly none, possibly several)."""
+        for idx, rule in enumerate(self.faults):
+            if not rule.matches(env):
+                continue
+            if isinstance(rule, ReorderFault):
+                if self._swaps_done[idx] >= rule.swaps:
+                    continue
+                held = self._held.pop(idx, None)
+                if held is None:
+                    self._held[idx] = env
+                    return []
+                self._swaps_done[idx] += 1
+                self.reordered += 1
+                return [env, held]
+            self._seen[idx] += 1
+            if self._seen[idx] != rule.occurrence:
+                continue
+            if isinstance(rule, DropFault):
+                self.dropped += 1
+                return []
+            if isinstance(rule, DuplicateFault):
+                self.duplicated += 1
+                return [env, replace(env, uid=alloc_uid())]
+            if isinstance(rule, DelayFault):
+                self.delayed += 1
+                return [replace(env, not_before=rule.not_before)]
+        return [env]
+
+    def drain(self) -> List[Envelope]:
+        """Force-release every held (reorder) envelope, in rule order.
+
+        Called by the engine when the network would otherwise stall, and
+        again at the end of the run, so holdback can never silently
+        drop a message -- only :class:`DropFault` may lose traffic.
+        """
+        held = [self._held[idx] for idx in sorted(self._held)]
+        self._held.clear()
+        return held
+
+    def __repr__(self) -> str:
+        return (f"MessageFaultPlan(faults={list(self.faults)!r}, "
+                f"crashes={list(self.crashes)!r})")

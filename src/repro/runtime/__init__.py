@@ -12,7 +12,11 @@ from .adversary import (Adversary, PriorityAdversary, RoundRobinAdversary,
 from .crash import CrashPlan, CrashPoint, op_on
 from .dpor import (Counterexample, CounterexampleFound, explore_dpor,
                    replay_schedule, shrink_schedule)
-from .explore import ExplorationStats, ShardViolation, explore
+from .explore import (ExplorationInterrupted, ExplorationStats,
+                      ShardViolation, explore)
+from .faults import (ArbitraryPropose, CorruptWrite, FaultBehavior,
+                     FaultPlan, FaultTrigger, StaleReadReplay,
+                     byzantine_writer)
 from .parallel import (explore_parallel, fork_available, resolve_jobs,
                        run_pool)
 from .ops import (EMPTY_FOOTPRINT, SPIN_FAILED, WHOLE, Footprint,
@@ -29,7 +33,10 @@ __all__ = [
     "CrashPlan", "CrashPoint", "op_on",
     "Counterexample", "CounterexampleFound", "explore_dpor",
     "replay_schedule", "shrink_schedule",
-    "ExplorationStats", "ShardViolation", "explore",
+    "ExplorationInterrupted", "ExplorationStats", "ShardViolation",
+    "explore",
+    "ArbitraryPropose", "CorruptWrite", "FaultBehavior", "FaultPlan",
+    "FaultTrigger", "StaleReadReplay", "byzantine_writer",
     "explore_parallel", "fork_available", "resolve_jobs", "run_pool",
     "EMPTY_FOOTPRINT", "SPIN_FAILED", "WHOLE", "Footprint",
     "Invocation", "LocalOp", "ObjectProxy", "SpinOp", "conflicts",

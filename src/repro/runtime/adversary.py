@@ -51,6 +51,9 @@ class RoundRobinAdversary(Adversary):
     def reset(self) -> None:
         self._last = None
 
+    def __repr__(self) -> str:
+        return "RoundRobinAdversary()"
+
 
 class SeededRandomAdversary(Adversary):
     """Uniform random choice among enabled processes, from a fixed seed."""
@@ -64,6 +67,11 @@ class SeededRandomAdversary(Adversary):
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+
+    def __repr__(self) -> str:
+        # The seed must survive into reports: a failing randomized run
+        # is only reproducible if its repr round-trips the RNG state.
+        return f"SeededRandomAdversary(seed={self.seed})"
 
 
 class PriorityAdversary(Adversary):

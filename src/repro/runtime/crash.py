@@ -64,13 +64,27 @@ class CrashPoint:
             return self._matches_seen >= self.occurrence
         return False
 
+    def reset(self) -> None:
+        """Zero the predicate match counter so the point can be reused.
+
+        Predicate triggers count matches across calls; a point carried
+        into a second run without a reset would fire ``occurrence``
+        matches too early.  The scheduler resets every plan it is handed
+        (see :class:`~repro.runtime.scheduler.Scheduler`), so one plan
+        object may safely back many runs (e.g. a ``crash_plan_factory``
+        returning a shared instance to ``explore``).
+        """
+        self._matches_seen = 0
+
 
 class CrashPlan:
     """Maps victim pids to crash points.
 
-    The plan is validated against a model's ``t`` by the run harness.  Plans
-    are single-use (predicate triggers keep counters); build a fresh plan per
-    run, typically via the classmethod constructors.
+    The plan is validated against a model's ``t`` by the run harness.
+    Predicate triggers keep per-run counters, but the scheduler calls
+    :meth:`reset` at the start of every run, so a single plan object may
+    back any number of runs (a ``crash_plan_factory`` returning a shared
+    instance is safe).
     """
 
     def __init__(self, points: Optional[Dict[int, CrashPoint]] = None) -> None:
@@ -123,6 +137,11 @@ class CrashPlan:
         if point is None:
             return False
         return point.should_crash(steps_taken, op)
+
+    def reset(self) -> None:
+        """Reset every crash point's per-run state (match counters)."""
+        for point in self.points.values():
+            point.reset()
 
     def __repr__(self) -> str:
         return f"CrashPlan({self.points!r})"

@@ -56,7 +56,8 @@ from typing import (Any, Callable, Dict, Generator, List, Optional,
 
 from .adversary import Adversary
 from .crash import CrashPlan
-from .explore import ExplorationStats, ShardViolation
+from .explore import (ExplorationStats, ShardViolation, _max_runs_interrupt,
+                      _past_deadline, _timeout_interrupt)
 from .ops import EMPTY_FOOTPRINT, Footprint, Invocation, SpinOp, conflicts
 from .process import ProcessHandle, ProcessStatus
 from .run import RunResult
@@ -481,7 +482,8 @@ def _explore_core(build: Builder,
                   prefix: Sequence[int] = (),
                   root_sleep: Sequence[int] = (),
                   collect: bool = False,
-                  counters: Optional[Dict[str, Any]] = None
+                  counters: Optional[Dict[str, Any]] = None,
+                  deadline: Optional[float] = None
                   ) -> ExplorationStats:
     """DPOR exploration of the subtree rooted at ``prefix``.
 
@@ -529,9 +531,9 @@ def _explore_core(build: Builder,
         path.pop()
         synced = False
         if stats.total_runs >= max_runs and _work_remains(path[base:]):
-            raise RuntimeError(
-                f"exploration exceeded max_runs={max_runs}; "
-                f"shrink the configuration ({stats})")
+            raise _max_runs_interrupt(max_runs, stats)
+        if _past_deadline(deadline) and _work_remains(path[base:]):
+            raise _timeout_interrupt(stats)
 
     while len(path) > base:
         node = path[-1]
@@ -635,7 +637,8 @@ def explore_dpor(build: Builder,
                  shrink: bool = True,
                  jobs=None,
                  prefix_factor: Optional[int] = None,
-                 metrics: Optional[Any] = None) -> ExplorationStats:
+                 metrics: Optional[Any] = None,
+                 deadline: Optional[float] = None) -> ExplorationStats:
     """Explore one representative schedule per Mazurkiewicz trace.
 
     Same contract as :func:`repro.runtime.explore.explore` -- ``build()``
@@ -662,6 +665,12 @@ def explore_dpor(build: Builder,
     :class:`repro.analysis.metrics.ExplorationMetrics` collector;
     timing and sleep-set/ddmin counters are recorded beside the returned
     statistics, which stay bit-for-bit unchanged.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant (computed
+    by :func:`repro.runtime.explore.explore` from its ``timeout``);
+    crossing it raises
+    :class:`~repro.runtime.explore.ExplorationInterrupted` with the
+    partial statistics.
     """
     if jobs is not None:
         from .parallel import DEFAULT_PREFIX_FACTOR, explore_parallel
@@ -670,12 +679,12 @@ def explore_dpor(build: Builder,
             max_steps=max_steps, max_runs=max_runs, jobs=jobs,
             reduction="dpor", shrink=shrink,
             prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR,
-            metrics=metrics)
+            metrics=metrics, deadline=deadline)
     if metrics is None:
         return _explore_core(build, check,
                              crash_plan_factory=crash_plan_factory,
                              max_steps=max_steps, max_runs=max_runs,
-                             shrink=shrink)
+                             shrink=shrink, deadline=deadline)
     from time import perf_counter
     counters: Dict[str, Any] = {}
     start = perf_counter()
@@ -683,7 +692,8 @@ def explore_dpor(build: Builder,
         stats = _explore_core(build, check,
                               crash_plan_factory=crash_plan_factory,
                               max_steps=max_steps, max_runs=max_runs,
-                              shrink=shrink, counters=counters)
+                              shrink=shrink, counters=counters,
+                              deadline=deadline)
     finally:
         # A serial run is one shard; shrink time was split out into the
         # counters channel, so keep the shard phase to the search proper.

@@ -26,12 +26,58 @@ from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Generator, List, Optional,
                     Sequence, Tuple, Union)
 
+from time import monotonic
+
 from .adversary import Adversary
 from .crash import CrashPlan
 from .process import ProcessHandle
 from .run import RunResult
 from .scheduler import Scheduler
 from .trace import Trace
+
+
+class ExplorationInterrupted(RuntimeError):
+    """Exploration stopped cleanly at an explicit budget boundary.
+
+    Raised when the run-count budget (``max_runs``) or the wall-clock
+    budget (``timeout``) is exhausted before the schedule tree is done.
+    Carries the partial :attr:`stats` accumulated up to the interruption
+    and a machine-readable :attr:`reason` (``"max_runs"`` or
+    ``"timeout"``), so callers can emit a partial metrics record (the
+    CLI maps this to exit code 3 and an ``ExplorationMetrics`` record
+    flagged ``"partial": true``).  Subclasses ``RuntimeError``: existing
+    budget-error expectations -- including ``pytest.raises(RuntimeError,
+    match="max_runs")`` -- keep working unchanged.
+    """
+
+    def __init__(self, reason: str, message: str,
+                 stats: Optional["ExplorationStats"] = None) -> None:
+        self.reason = reason
+        self.stats = stats
+        super().__init__(message)
+
+
+def _max_runs_interrupt(max_runs: int,
+                        stats: "ExplorationStats"
+                        ) -> ExplorationInterrupted:
+    return ExplorationInterrupted(
+        "max_runs",
+        f"exploration exceeded max_runs={max_runs}; "
+        f"shrink the configuration ({stats})",
+        stats)
+
+
+def _timeout_interrupt(stats: "ExplorationStats"
+                       ) -> ExplorationInterrupted:
+    return ExplorationInterrupted(
+        "timeout",
+        f"exploration exceeded its wall-clock timeout; "
+        f"partial coverage: {stats}",
+        stats)
+
+
+def _past_deadline(deadline: Optional[float]) -> bool:
+    return deadline is not None and monotonic() >= deadline
 
 
 @dataclass(frozen=True)
@@ -217,7 +263,8 @@ def _explore_naive(build: Callable[[], Tuple[Dict[int, Generator], Any]],
                    max_runs: int,
                    root: Sequence[int] = (),
                    collect: bool = False,
-                   counters: Optional[Dict[str, Any]] = None
+                   counters: Optional[Dict[str, Any]] = None,
+                   deadline: Optional[float] = None
                    ) -> ExplorationStats:
     """Naive DFS over all schedules extending ``root``.
 
@@ -239,9 +286,9 @@ def _explore_naive(build: Callable[[], Tuple[Dict[int, Generator], Any]],
         if stats.total_runs >= max_runs:
             # Inclusive budget: the stack is non-empty, so at least one
             # more run would be needed to finish the exploration.
-            raise RuntimeError(
-                f"exploration exceeded max_runs={max_runs}; "
-                f"shrink the configuration ({stats})")
+            raise _max_runs_interrupt(max_runs, stats)
+        if _past_deadline(deadline):
+            raise _timeout_interrupt(stats)
         prefix = stack.pop()
         stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
         result, enabled = _run_prefix(build, prefix,
@@ -276,7 +323,8 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             reduction: str = "naive",
             jobs: Optional[Union[int, str]] = None,
             prefix_factor: Optional[int] = None,
-            metrics: Optional[Any] = None) -> ExplorationStats:
+            metrics: Optional[Any] = None,
+            timeout: Optional[float] = None) -> ExplorationStats:
     """Exhaustively check every schedule of the system built by ``build``.
 
     ``build()`` must return a fresh ``(programs, store)`` pair each call
@@ -312,10 +360,16 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
     records wall-clock phases and engine counters *beside* the returned
     ``ExplorationStats``, which stays untouched: collecting metrics
     never changes what is explored or reported.
+
+    ``timeout`` is a wall-clock budget in seconds.  Both budgets stop
+    exploration *cleanly*: the engines raise
+    :class:`ExplorationInterrupted` carrying the partial statistics and
+    the triggering reason, instead of discarding the work done so far.
     """
     if reduction not in ("naive", "dpor"):
         raise ValueError(f"unknown reduction {reduction!r} "
                          f"(expected 'naive' or 'dpor')")
+    deadline = monotonic() + timeout if timeout is not None else None
     if jobs is not None:
         from .parallel import DEFAULT_PREFIX_FACTOR, explore_parallel
         return explore_parallel(
@@ -323,22 +377,23 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             max_steps=max_steps, max_runs=max_runs, jobs=jobs,
             reduction=reduction,
             prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR,
-            metrics=metrics)
+            metrics=metrics, deadline=deadline)
     if reduction == "dpor":
         from .dpor import explore_dpor
         return explore_dpor(build, check,
                             crash_plan_factory=crash_plan_factory,
                             max_steps=max_steps, max_runs=max_runs,
-                            metrics=metrics)
+                            metrics=metrics, deadline=deadline)
     if metrics is None:
         return _explore_naive(build, check, crash_plan_factory,
-                              max_steps, max_runs)
+                              max_steps, max_runs, deadline=deadline)
     from time import perf_counter
     counters: Dict[str, Any] = {}
     start = perf_counter()
     try:
         stats = _explore_naive(build, check, crash_plan_factory,
-                               max_steps, max_runs, counters=counters)
+                               max_steps, max_runs, counters=counters,
+                               deadline=deadline)
     finally:
         # A serial run is one shard; timing and watermarks are recorded
         # even when a check failure or budget error propagates.

@@ -1,0 +1,317 @@
+"""Process-level fault injection beyond clean crashes.
+
+The paper's model (Section 2.3) admits only crash failures, and
+:mod:`repro.runtime.crash` injects exactly those.  The related work the
+repo tracks (Imbs-Raynal-Stainer, *From Byzantine Failures to Crash
+Failures*, PAPERS.md) studies richer fault models that *reduce* to
+crashes; this module lets the verification stack exercise them directly:
+a :class:`FaultPlan` generalizes :class:`~repro.runtime.crash.CrashPlan`
+with per-pid **Byzantine behaviors** that rewrite the *values* a process
+writes, proposes, or observes, while keeping crash semantics (and every
+trigger predicate :class:`~repro.runtime.crash.CrashPoint` supports)
+unchanged.
+
+Behaviors fire on the same triggers crash points use -- the victim's
+own-step index, or the k-th operation matching a predicate -- wrapped in
+a :class:`FaultTrigger`:
+
+* :class:`CorruptWrite` -- rewrite the arguments of a matching mutating
+  invocation (value corruption on write/propose);
+* :class:`ArbitraryPropose` -- replace the *last* argument of a matching
+  invocation with a fixed arbitrary value (the classic Byzantine
+  "proposes whatever it wants");
+* :class:`StaleReadReplay` -- once triggered, matching read results are
+  replaced with the value the same process observed on its *previous*
+  matching read (a stale-replica replay; the first observation is cached
+  and then served forever).
+
+Soundness under DPOR: behaviors may only alter argument and result
+*values*, never the object, method, or location structure of an
+operation, so the footprints the explorer prunes with are preserved
+exactly.  All three built-in behaviors obey this by construction;
+:meth:`FaultPlan.rewrite_invocation` enforces it and refuses rewritten
+invocations that change object or method.
+
+A :class:`FaultPlan` flows through every ``crash_plan`` /
+``crash_plan_factory`` parameter in the stack (``Scheduler``,
+``explore``, ``explore_dpor``, ``explore_parallel``, scenario
+registry): it *is* a ``CrashPlan``, and the scheduler only consults the
+rewrite hooks when they exist -- with no plan (or a plain ``CrashPlan``)
+installed, execution is bit-for-bit the pre-fault-layer behavior.
+
+Message-level faults (drop/duplicate/delay/reorder) live in
+:mod:`repro.messaging.faults`; the registry of planted protocol mutants
+that proves this machinery *detects* bugs is :mod:`repro.mutants`.  See
+``docs/fault_injection.md`` for the full DSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .crash import CrashPlan, CrashPoint, op_on
+from .ops import Invocation
+
+__all__ = [
+    "ArbitraryPropose", "CorruptWrite", "FaultBehavior", "FaultPlan",
+    "FaultTrigger", "StaleReadReplay", "byzantine_writer",
+]
+
+
+@dataclass
+class FaultTrigger:
+    """When a Byzantine behavior becomes active.
+
+    The exact trigger vocabulary of :class:`CrashPoint` -- either the
+    victim's 1-based ``own_step`` index, or the ``occurrence``-th
+    operation matching ``matching`` -- but *activating* a behavior
+    instead of crashing.  ``once=True`` (default) fires the behavior on
+    exactly the triggering operation; ``once=False`` keeps it active
+    for every later matching operation too (a persistent corruption).
+    """
+
+    own_step: Optional[int] = None
+    matching: Optional[Callable[[Invocation], bool]] = None
+    occurrence: int = 1
+    once: bool = True
+    _matches_seen: int = field(default=0, repr=False)
+    _latched: bool = field(default=False, repr=False)
+    _eval_key: Optional[int] = field(default=None, repr=False)
+    _eval_hit: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if (self.own_step is None) == (self.matching is None):
+            raise ValueError(
+                "specify exactly one of own_step / matching")
+        if self.own_step is not None and self.own_step < 1:
+            raise ValueError("own_step is 1-based and must be >= 1")
+        if self.occurrence < 1:
+            raise ValueError("occurrence is 1-based and must be >= 1")
+
+    def fires(self, steps_taken: int, inv: Optional[Invocation]) -> bool:
+        """Does the behavior apply to the step about to execute?
+
+        Idempotent per step: the scheduler consults both the invocation
+        and the result hook with the same ``steps_taken``, so the first
+        call evaluates (advancing the match counter, like
+        ``CrashPoint``) and the second returns the cached decision.
+        :meth:`reset` re-arms everything for the next run.
+        """
+        if self._eval_key == steps_taken:
+            return self._eval_hit
+        self._eval_key = steps_taken
+        self._eval_hit = self._evaluate(steps_taken, inv)
+        return self._eval_hit
+
+    def _evaluate(self, steps_taken: int, inv: Optional[Invocation]) -> bool:
+        if self.own_step is not None:
+            if self.once:
+                return steps_taken + 1 == self.own_step
+            return steps_taken + 1 >= self.own_step
+        if inv is None or not self.matching(inv):
+            return False
+        if self._latched:
+            return not self.once
+        self._matches_seen += 1
+        if self._matches_seen == self.occurrence:
+            self._latched = True
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._matches_seen = 0
+        self._latched = False
+        self._eval_key = None
+        self._eval_hit = False
+
+
+class FaultBehavior:
+    """One Byzantine behavior attached to a victim pid.
+
+    Subclasses override :meth:`rewrite_invocation` (mutate what the
+    victim *does*) and/or :meth:`rewrite_result` (mutate what it
+    *observes*).  The default implementations are identities.  Value-only
+    contract: rewrites must preserve ``inv.obj`` and ``inv.method`` so
+    DPOR footprints stay exact (enforced by :class:`FaultPlan`).
+    """
+
+    def __init__(self, trigger: FaultTrigger) -> None:
+        self.trigger = trigger
+
+    def rewrite_invocation(self, inv: Invocation) -> Invocation:
+        return inv
+
+    def rewrite_result(self, pid: int, inv: Invocation, result: Any) -> Any:
+        return result
+
+    def reset(self) -> None:
+        self.trigger.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.trigger!r})"
+
+
+class CorruptWrite(FaultBehavior):
+    """Rewrite the arguments of a matching mutating invocation.
+
+    ``corrupt`` maps the original args tuple to the corrupted one; the
+    default replaces the last argument with ``value``.  Classic use:
+    a process that publishes a corrupted value into a snapshot entry.
+    """
+
+    def __init__(self, trigger: FaultTrigger,
+                 corrupt: Optional[Callable[[Tuple[Any, ...]],
+                                            Tuple[Any, ...]]] = None,
+                 value: Any = None) -> None:
+        super().__init__(trigger)
+        if corrupt is None:
+            def corrupt(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+                if not args:
+                    return args
+                return args[:-1] + (value,)
+        self.corrupt = corrupt
+
+    def rewrite_invocation(self, inv: Invocation) -> Invocation:
+        return Invocation(inv.obj, inv.method, tuple(self.corrupt(inv.args)))
+
+
+class ArbitraryPropose(FaultBehavior):
+    """Replace the last argument of a matching invocation with ``value``.
+
+    The Byzantine "arbitrary-value proposal": the victim invokes the
+    protocol correctly but feeds it a value nobody proposed.
+    """
+
+    def __init__(self, trigger: FaultTrigger, value: Any) -> None:
+        super().__init__(trigger)
+        self.value = value
+
+    def rewrite_invocation(self, inv: Invocation) -> Invocation:
+        if not inv.args:
+            return inv
+        return Invocation(inv.obj, inv.method,
+                          inv.args[:-1] + (self.value,))
+
+
+class StaleReadReplay(FaultBehavior):
+    """Serve the victim stale results for matching read operations.
+
+    The first matching result after the trigger fires is cached per
+    ``(obj, method, args)`` site; every later firing read of the same
+    site observes that cached (now stale) value instead of the current
+    one -- a replica that stopped applying updates.  Attach with a
+    ``once=False`` trigger for the persistent-staleness reading.
+    """
+
+    def __init__(self, trigger: FaultTrigger) -> None:
+        super().__init__(trigger)
+        self._cache: Dict[Tuple[Any, ...], Any] = {}
+
+    def rewrite_result(self, pid: int, inv: Invocation, result: Any) -> Any:
+        site = (inv.obj, inv.method, inv.args)
+        if site in self._cache:
+            return self._cache[site]
+        self._cache[site] = result
+        return result
+
+    def reset(self) -> None:
+        super().reset()
+        self._cache.clear()
+
+
+class FaultPlan(CrashPlan):
+    """A composable fault plan: crash points plus Byzantine behaviors.
+
+    Subclasses :class:`CrashPlan`, so it threads through every
+    ``crash_plan`` / ``crash_plan_factory`` parameter unchanged; the
+    scheduler additionally consults :meth:`rewrite_invocation` /
+    :meth:`rewrite_result` on every step of a process that has behaviors
+    attached.  ``behaviors`` maps victim pid to a list of
+    :class:`FaultBehavior`; behaviors compose in list order.
+    """
+
+    def __init__(self,
+                 points: Optional[Dict[int, CrashPoint]] = None,
+                 behaviors: Optional[Dict[int, List[FaultBehavior]]] = None
+                 ) -> None:
+        super().__init__(points)
+        self.behaviors: Dict[int, List[FaultBehavior]] = {
+            pid: list(items) for pid, items in (behaviors or {}).items()}
+
+    @classmethod
+    def from_crash_plan(cls, plan: CrashPlan) -> "FaultPlan":
+        """Lift an existing crash plan (its points are shared)."""
+        return cls(points=plan.points)
+
+    def attach(self, pid: int, behavior: FaultBehavior) -> "FaultPlan":
+        """Attach one more behavior to ``pid`` (chainable)."""
+        self.behaviors.setdefault(pid, []).append(behavior)
+        return self
+
+    @property
+    def byzantine_pids(self) -> frozenset:
+        return frozenset(self.behaviors)
+
+    def reset(self) -> None:
+        super().reset()
+        for items in self.behaviors.values():
+            for behavior in items:
+                behavior.reset()
+
+    # -- scheduler hooks -----------------------------------------------
+    def rewrite_invocation(self, pid: int, steps_taken: int,
+                           inv: Invocation) -> Invocation:
+        """Rewrite the invocation ``pid`` is about to execute.
+
+        Only the *values* may change: a behavior that alters the object
+        or method would invalidate the footprint DPOR pruned with, so
+        such rewrites are rejected loudly.
+        """
+        for behavior in self.behaviors.get(pid, ()):
+            if behavior.trigger.fires(steps_taken, inv):
+                rewritten = behavior.rewrite_invocation(inv)
+                if (rewritten.obj != inv.obj
+                        or rewritten.method != inv.method):
+                    raise ValueError(
+                        f"fault behavior {behavior!r} rewrote "
+                        f"{inv.obj}.{inv.method} into "
+                        f"{rewritten.obj}.{rewritten.method}; behaviors "
+                        f"may only alter values (footprint soundness)")
+                inv = rewritten
+        return inv
+
+    def rewrite_result(self, pid: int, steps_taken: int, inv: Invocation,
+                       result: Any) -> Any:
+        """Rewrite the result ``pid`` observes from an executed step.
+
+        Consulted with the same ``steps_taken`` as the matching
+        :meth:`rewrite_invocation` call; :meth:`FaultTrigger.fires` is
+        idempotent per step, so both hooks see one consistent firing
+        decision without double-advancing match counters.
+        """
+        for behavior in self.behaviors.get(pid, ()):
+            if behavior.trigger.fires(steps_taken, inv):
+                result = behavior.rewrite_result(pid, inv, result)
+        return result
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(points={self.points!r}, "
+                f"behaviors={self.behaviors!r})")
+
+
+def byzantine_writer(pid: int, value: Any,
+                     obj: Optional[str] = None,
+                     method: Optional[str] = None,
+                     occurrence: int = 1,
+                     once: bool = False) -> FaultPlan:
+    """Convenience plan: ``pid`` corrupts matching writes with ``value``.
+
+    With no ``obj``/``method`` every mutating invocation of ``pid``
+    matches from the first one on.
+    """
+    predicate = (op_on(obj, method) if obj is not None
+                 else (lambda inv: True))
+    trigger = FaultTrigger(matching=predicate, occurrence=occurrence,
+                           once=once)
+    return FaultPlan().attach(pid, CorruptWrite(trigger, value=value))

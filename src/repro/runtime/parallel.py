@@ -45,8 +45,9 @@ from typing import (Any, Callable, Dict, Generator, List, Optional,
 from .crash import CrashPlan
 from .dpor import (Counterexample, CounterexampleFound, _explore_core,
                    _System, replay_schedule, shrink_schedule)
-from .explore import (ExplorationStats, ShardViolation, _explore_naive,
-                      _run_prefix)
+from .explore import (ExplorationInterrupted, ExplorationStats,
+                      ShardViolation, _explore_naive, _max_runs_interrupt,
+                      _past_deadline, _run_prefix, _timeout_interrupt)
 from .ops import conflicts
 from .run import RunResult
 
@@ -69,6 +70,15 @@ _POLL_INTERVAL = 0.05
 #: then SIGTERM, then SIGKILL) before escalating.  Module-level so tests
 #: can shrink it.
 _JOIN_TIMEOUT = 2.0
+
+#: In-process attempts granted to a failed task (a dead worker's orphan
+#: or a worker-reported error) before the failure is surfaced.
+_RETRY_MAX_ATTEMPTS = 3
+
+#: Base/cap of the exponential backoff slept between retry attempts
+#: (0.05s, 0.1s, ... capped).  Module-level so tests can shrink them.
+_RETRY_BACKOFF_BASE = 0.05
+_RETRY_BACKOFF_CAP = 1.0
 
 
 def fork_available() -> bool:
@@ -107,15 +117,21 @@ def resolve_jobs(jobs: Union[int, str, None]) -> int:
 # ---------------------------------------------------------------------------
 
 def _run_task(runner: Callable[[Any], Any], payload: Any,
-              fault: Optional[str], in_worker: bool):
+              fault: Optional[str], in_worker: bool,
+              attempt: int = 0):
     """Execute one task, honouring injected test faults.
 
     Fault kinds (comma-separated): ``sigkill`` makes a *worker* die
     silently before running (ignored in-process, so re-execution
     succeeds); ``raise`` fails the task everywhere (so re-execution
-    fails too).  Returns ``((value, error_message_or_None), seconds)``
-    where ``seconds`` is the task's own wall-clock (metrics only --
-    never part of exploration statistics).
+    fails too); ``flaky`` fails in workers and on the *first* in-process
+    retry but succeeds from the second retry on -- it distinguishes the
+    capped-backoff retry ladder from a single re-execution.  ``attempt``
+    is 0 for the original (worker or degraded in-process) execution and
+    counts the coordinator's in-process retries from 1.  Returns
+    ``((value, error_message_or_None), seconds)`` where ``seconds`` is
+    the task's own wall-clock (metrics only -- never part of
+    exploration statistics).
     """
     from time import perf_counter
     kinds = set(fault.split(",")) if fault else set()
@@ -126,6 +142,8 @@ def _run_task(runner: Callable[[Any], Any], payload: Any,
     try:
         if "raise" in kinds:
             raise RuntimeError("injected shard fault")
+        if "flaky" in kinds and (in_worker or attempt < 2):
+            raise RuntimeError("injected flaky shard fault")
         return (runner(payload), None), perf_counter() - start
     except Exception as exc:  # noqa: BLE001 - reported to the coordinator
         return (None, f"{type(exc).__name__}: {exc}"), \
@@ -209,6 +227,15 @@ def run_pool(payloads: Sequence[Any],
     tasks are deterministic.  ``fault_plan`` maps payload index to an
     injected fault kind (tests only; see :func:`_run_task`).
 
+    A failed task -- a dead worker's orphan or a worker-reported error
+    -- is retried in-process up to ``_RETRY_MAX_ATTEMPTS`` times with
+    capped exponential backoff between attempts
+    (``_RETRY_BACKOFF_BASE`` doubling up to ``_RETRY_BACKOFF_CAP``), so
+    a transiently-failing shard recovers instead of aborting the whole
+    exploration; the last error is surfaced when every attempt fails.
+    The degraded (in-process) pool keeps single-shot execution: there
+    is no worker boundary for a transient fault to hide behind.
+
     ``task_log``, when given, receives one ``{"index", "worker",
     "seconds"}`` entry per executed task (metrics only); worker ``-1``
     is the coordinator process itself (degraded pools and orphaned-task
@@ -259,13 +286,26 @@ def run_pool(payloads: Sequence[Any],
             outcomes[idx] = outcome
             done += 1
 
-    def recover(idx: int) -> None:
-        # Deterministic in-process re-execution of an orphaned task.
-        outcome, seconds = _run_task(runner, payloads[idx],
-                                     (fault_plan or {}).get(idx),
-                                     in_worker=False)
-        log_task(idx, -1, seconds)
-        settle(idx, outcome)
+    def recover(idx: int, last_error: Optional[str] = None) -> None:
+        # In-process re-execution of a failed task: up to
+        # _RETRY_MAX_ATTEMPTS attempts with capped exponential backoff
+        # between them (tasks are deterministic modulo infrastructure
+        # faults, so a retry that succeeds is as good as a worker run).
+        from time import sleep
+        for attempt in range(1, _RETRY_MAX_ATTEMPTS + 1):
+            if attempt > 1:
+                sleep(min(_RETRY_BACKOFF_BASE * (2 ** (attempt - 2)),
+                          _RETRY_BACKOFF_CAP))
+            outcome, seconds = _run_task(runner, payloads[idx],
+                                         (fault_plan or {}).get(idx),
+                                         in_worker=False,
+                                         attempt=attempt)
+            log_task(idx, -1, seconds)
+            if outcome[1] is None:
+                settle(idx, outcome)
+                return
+            last_error = outcome[1]
+        settle(idx, (None, last_error))
 
     try:
         for worker in live:
@@ -292,7 +332,12 @@ def run_pool(payloads: Sequence[Any],
                         recover(worker.inflight)
                     continue
                 log_task(idx, worker.wid, seconds)
-                settle(idx, outcome)
+                if outcome[1] is not None:
+                    # Worker-reported failure: walk the retry ladder
+                    # before surfacing it (the worker stays usable).
+                    recover(idx, last_error=outcome[1])
+                else:
+                    settle(idx, outcome)
                 worker.inflight = None
                 assign(worker)
     finally:
@@ -332,7 +377,8 @@ def _expand_frontier(build: Builder,
                      max_runs: int,
                      target: int,
                      use_sleep: bool,
-                     counters: Optional[Dict[str, Any]] = None):
+                     counters: Optional[Dict[str, Any]] = None,
+                     deadline: Optional[float] = None):
     """Serial BFS until at least ``target`` open prefixes exist.
 
     Returns ``(stats, shards)`` where each shard is ``(prefix,
@@ -356,9 +402,9 @@ def _expand_frontier(build: Builder,
             counters["peak_frontier"] = len(open_nodes)
         prefix, sleep = open_nodes.popleft()
         if stats.total_runs >= max_runs:
-            raise RuntimeError(
-                f"exploration exceeded max_runs={max_runs}; "
-                f"shrink the configuration ({stats})")
+            raise _max_runs_interrupt(max_runs, stats)
+        if _past_deadline(deadline):
+            raise _timeout_interrupt(stats)
         stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
         if use_sleep:
             sysm = _System(build, crash_plan_factory)
@@ -439,7 +485,8 @@ def explore_parallel(build: Optional[Builder] = None,
                      shrink: bool = True,
                      scenario=None,
                      fault_plan: Optional[Dict[int, str]] = None,
-                     metrics: Optional[Any] = None
+                     metrics: Optional[Any] = None,
+                     deadline: Optional[float] = None
                      ) -> ExplorationStats:
     """Sharded exhaustive exploration across a worker pool.
 
@@ -463,6 +510,15 @@ def explore_parallel(build: Optional[Builder] = None,
     and the engines' sleep-set/frontier counters.  All of it lives
     outside ``ExplorationStats``, whose jobs-independent bit-for-bit
     contract is unaffected by metrics collection.
+
+    ``deadline`` (absolute ``time.monotonic()`` instant; valid across
+    ``fork`` on Linux since CLOCK_MONOTONIC is system-wide) bounds the
+    wall clock: the frontier expansion and every shard check it, and an
+    exceeded budget -- like an exceeded ``max_runs`` -- surfaces as
+    :class:`~repro.runtime.explore.ExplorationInterrupted` carrying the
+    statistics merged from the frontier and every shard that reported
+    back, so the caller can emit a partial record instead of losing the
+    coverage already paid for.
     """
     if scenario is not None and (build is None or check is None):
         resolved = scenario.resolve()
@@ -483,7 +539,8 @@ def explore_parallel(build: Optional[Builder] = None,
     phase_start = perf_counter()
     stats, shards = _expand_frontier(build, check, crash_plan_factory,
                                      max_steps, max_runs, target,
-                                     use_sleep, counters=counters)
+                                     use_sleep, counters=counters,
+                                     deadline=deadline)
     if metrics is not None:
         metrics.record_phase("frontier_expansion",
                              perf_counter() - phase_start)
@@ -513,19 +570,30 @@ def explore_parallel(build: Optional[Builder] = None,
     def run_shard(payload):
         # Shards always report their counters -- a plain picklable dict
         # riding back beside the statistics -- because the worker cannot
-        # know whether the coordinator is collecting metrics.
+        # know whether the coordinator is collecting metrics.  A budget
+        # interruption inside the shard is marshalled as a third tuple
+        # element (reason) rather than an error string, so the partial
+        # statistics survive the worker pipe and the coordinator can
+        # merge them before re-raising.
         prefix, sleep = payload
         b, c, cpf = shard_context()
         shard_counters: Dict[str, Any] = {}
-        if use_sleep:
-            shard_stats = _explore_core(
-                b, c, crash_plan_factory=cpf, max_steps=max_steps,
-                max_runs=max_runs, prefix=prefix, root_sleep=sleep,
-                collect=True, counters=shard_counters)
-        else:
-            shard_stats = _explore_naive(b, c, cpf, max_steps, max_runs,
-                                         root=prefix, collect=True,
-                                         counters=shard_counters)
+        try:
+            if use_sleep:
+                shard_stats = _explore_core(
+                    b, c, crash_plan_factory=cpf, max_steps=max_steps,
+                    max_runs=max_runs, prefix=prefix, root_sleep=sleep,
+                    collect=True, counters=shard_counters,
+                    deadline=deadline)
+            else:
+                shard_stats = _explore_naive(b, c, cpf, max_steps,
+                                             max_runs, root=prefix,
+                                             collect=True,
+                                             counters=shard_counters,
+                                             deadline=deadline)
+        except ExplorationInterrupted as exc:
+            return (exc.stats or ExplorationStats(), shard_counters,
+                    exc.reason)
         return shard_stats, shard_counters
 
     task_log: Optional[List[Dict[str, Any]]] = \
@@ -538,13 +606,21 @@ def explore_parallel(build: Optional[Builder] = None,
                              perf_counter() - phase_start)
         metrics.record_worker_tasks(task_log)
     phase_start = perf_counter()
+    interrupt_reason: Optional[str] = None
     for idx, outcome in enumerate(outcomes):
         value, error = outcome
         if error is not None:
             raise RuntimeError(
                 f"parallel exploration failed on shard {idx} "
                 f"(prefix {list(shards[idx][0])}): {error}")
-        shard_stats, shard_counters = value
+        if len(value) == 3:
+            # An interrupted shard: merge its partial statistics, then
+            # surface the first (by shard order) interruption reason.
+            shard_stats, shard_counters, reason = value
+            if interrupt_reason is None:
+                interrupt_reason = reason
+        else:
+            shard_stats, shard_counters = value
         stats = stats.merge(shard_stats)
         if counters is not None:
             for key, delta in shard_counters.items():
@@ -586,8 +662,11 @@ def explore_parallel(build: Optional[Builder] = None,
                 crash_plan_factory=crash_plan_factory,
                 max_steps=max(max_steps, len(schedule)))
         raise CounterexampleFound(counterexample, stats)
-    if stats.total_runs > max_runs:
-        raise RuntimeError(
-            f"exploration exceeded max_runs={max_runs}; "
-            f"shrink the configuration ({stats})")
+    # A found violation outranks a budget interruption (above); with no
+    # violation, a shard-side interruption surfaces with the statistics
+    # merged from every shard that reported back.
+    if interrupt_reason == "max_runs" or stats.total_runs > max_runs:
+        raise _max_runs_interrupt(max_runs, stats)
+    if interrupt_reason == "timeout":
+        raise _timeout_interrupt(stats)
     return stats

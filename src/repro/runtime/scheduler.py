@@ -57,7 +57,20 @@ class Scheduler:
         self.handles = handles
         self.store = store
         self.adversary = adversary
-        self.crash_plan = crash_plan or CrashPlan.none()
+        # `is None`, not truthiness: a FaultPlan with behaviors but no
+        # crash points has len() == 0 and must still be honoured.
+        self.crash_plan = (CrashPlan.none() if crash_plan is None
+                           else crash_plan)
+        # Every run builds a fresh Scheduler (run(), the explorers'
+        # manual drives, the DPOR _System), so resetting here guarantees
+        # a plan object shared across runs starts each run pristine.
+        reset = getattr(self.crash_plan, "reset", None)
+        if reset is not None:
+            reset()
+        # Byzantine rewrite hooks (see repro.runtime.faults.FaultPlan)
+        # are duck-typed: plain CrashPlans skip both branches entirely,
+        # keeping the no-fault path bit-for-bit unchanged.
+        self._rewrites = hasattr(self.crash_plan, "rewrite_invocation")
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.max_steps = max_steps
         self.steps = 0
@@ -145,7 +158,11 @@ class Scheduler:
         if not self.store.is_readonly(op.invocation):
             raise ScheduleError(
                 f"spin on non-read-only operation {op.invocation!r}")
+        taken = handle.steps_taken
         result = self.store.apply(handle.pid, op.invocation)
+        if self._rewrites:
+            result = self.crash_plan.rewrite_result(
+                handle.pid, taken, op.invocation, result)
         self.steps += 1
         handle.steps_taken += 1
         if op.predicate(result):
@@ -163,7 +180,14 @@ class Scheduler:
             self._resume(handle, SPIN_FAILED)
 
     def _invoke_step(self, handle: ProcessHandle, op: Invocation) -> None:
-        result = self.store.apply(handle.pid, op)
+        if self._rewrites:
+            taken = handle.steps_taken
+            op = self.crash_plan.rewrite_invocation(handle.pid, taken, op)
+            result = self.store.apply(handle.pid, op)
+            result = self.crash_plan.rewrite_result(
+                handle.pid, taken, op, result)
+        else:
+            result = self.store.apply(handle.pid, op)
         self.steps += 1
         handle.steps_taken += 1
         self.trace.record(EventKind.STEP, handle.pid, op, result)

@@ -27,11 +27,14 @@ from repro.analysis.metrics import (METRICS_SCHEMA_VERSION, PHASES,
 from repro.runtime import ExplorationStats, explore
 from repro.scenarios import check_scenarios
 
-#: The golden exploration-record schema, version 1.  Adding, removing,
-#: or renaming a key is a schema change: bump METRICS_SCHEMA_VERSION
-#: and update this fixture (and docs/observability.md) deliberately.
-EXPLORATION_KEYS_V1 = [
+#: The golden exploration-record schema, version 2 (v1 plus the
+#: ``partial`` / ``interrupt_reason`` pair added for budget-interrupted
+#: sweeps).  Adding, removing, or renaming a key is a schema change:
+#: bump METRICS_SCHEMA_VERSION and update this fixture (and
+#: docs/observability.md) deliberately.
+EXPLORATION_KEYS_V2 = [
     "schema_version", "kind", "scenario", "engine", "outcome",
+    "partial", "interrupt_reason",
     "complete_runs", "truncated_runs", "total_runs", "pruned_runs",
     "prune_ratio", "max_depth_seen", "shard_count",
     "peak_frontier_size", "sleep_set_hits", "sleep_set_checks",
@@ -40,18 +43,18 @@ EXPLORATION_KEYS_V1 = [
 ]
 
 #: Deterministic subset: everything minus the timing/worker keys.
-DETERMINISTIC_KEYS_V1 = [key for key in EXPLORATION_KEYS_V1
+DETERMINISTIC_KEYS_V2 = [key for key in EXPLORATION_KEYS_V2
                          if key not in TIMING_KEYS]
 
 
 @pytest.mark.metrics
 class TestGoldenSchema:
-    def test_schema_version_is_one(self):
-        assert METRICS_SCHEMA_VERSION == 1
+    def test_schema_version_is_two(self):
+        assert METRICS_SCHEMA_VERSION == 2
 
     def test_exploration_record_key_set_is_pinned(self):
         record = ExplorationMetrics(scenario="s").finalize().to_dict()
-        assert list(record) == EXPLORATION_KEYS_V1
+        assert list(record) == EXPLORATION_KEYS_V2
         assert record["schema_version"] == METRICS_SCHEMA_VERSION
         assert record["kind"] == "exploration"
 
@@ -63,10 +66,22 @@ class TestGoldenSchema:
                 max_steps=sc.max_steps, reduction="dpor", jobs=2,
                 metrics=metrics)
         record = json.loads(json.dumps(metrics.finalize().to_dict()))
-        assert list(record) == EXPLORATION_KEYS_V1
+        assert list(record) == EXPLORATION_KEYS_V2
         assert record["total_runs"] == (record["complete_runs"]
                                         + record["truncated_runs"])
         assert record["phases"].keys() == set(PHASES)
+
+    def test_record_interrupted_marks_partial(self):
+        metrics = ExplorationMetrics(scenario="s")
+        stats = ExplorationStats(complete_runs=7, truncated_runs=1,
+                                 max_depth_seen=9)
+        metrics.record_interrupted("timeout", stats)
+        record = metrics.finalize().to_dict()
+        assert record["outcome"] == "interrupted"
+        assert record["partial"] is True
+        assert record["interrupt_reason"] == "timeout"
+        assert record["complete_runs"] == 7
+        assert record["total_runs"] == 8
 
     def test_run_metrics_key_set_is_pinned(self):
         record = RunMetrics(kind="audit", name="x",
@@ -77,7 +92,7 @@ class TestGoldenSchema:
     def test_deterministic_view_strips_exactly_timing_and_workers(self):
         record = ExplorationMetrics(scenario="s").finalize().to_dict()
         view = deterministic_view(record)
-        assert list(view) == DETERMINISTIC_KEYS_V1
+        assert list(view) == DETERMINISTIC_KEYS_V2
         # Nested timing keys are stripped too (audit data records).
         nested = {"data": {"wall_seconds": 1.0, "runs": 8,
                            "inner": [{"busy_seconds": 2.0, "ok": 1}]}}

@@ -99,3 +99,43 @@ class TestEngine:
 
         with pytest.raises(ValueError, match="destination"):
             run_messaging([Bad(0, 1)])
+
+
+class Collector(MessageMachine):
+    """Broadcasts one tag including itself; decides on all n senders."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.got = []
+
+    def start(self):
+        self.broadcast(("tag",), include_self=True)
+
+    def on_message(self, sender, payload):
+        self.got.append(sender)
+        if len(self.got) == self.n:
+            self.decide(tuple(sorted(self.got)))
+
+
+class TestEngineEdges:
+    def test_self_delivery_goes_through_the_network(self):
+        # broadcast(include_self=True) enqueues the self-addressed
+        # envelope like any other: it is delivered asynchronously by
+        # the loop, not synchronously during start().
+        machines = [Collector(i, 2) for i in range(2)]
+        assert not machines[0].got         # nothing during __init__
+        res = run_messaging(machines, fifo=True)
+        assert res.decided_pids == {0, 1}
+        for got in res.decisions.values():
+            assert got == (0, 1)
+        assert res.delivered == 4          # 2 machines x 2 envelopes
+
+    def test_decision_before_crash_is_discarded(self):
+        # p0 decides on its 3rd event and the crash plan kills it right
+        # there: a crashed process's decision must not surface.
+        machines = [Echo(i, 2) for i in range(2)]
+        res = run_messaging(machines,
+                            crashes=[MessageCrash(0, after_events=3)])
+        assert res.crashed == {0}
+        assert machines[0].decided          # it did decide internally
+        assert 0 not in res.decisions       # ...but the crash wins

@@ -1,0 +1,161 @@
+"""Message-level fault plans: drop, duplicate, delay, reorder."""
+
+import pytest
+
+from repro.analysis import RegisterSpec, check_linearizable
+from repro.messaging import (DelayFault, DropFault, DuplicateFault,
+                             Envelope, MessageCrash, MessageFaultPlan,
+                             ReadOp, ReorderFault, WriteOp, run_abd,
+                             run_messaging)
+
+from .test_engine import Echo
+
+
+def _alloc():
+    uids = iter(range(1000, 2000))
+    return lambda: next(uids)
+
+
+class TestRules:
+    def test_occurrence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DropFault(occurrence=0)
+
+    def test_drop_selects_kth_match(self):
+        plan = MessageFaultPlan([DropFault(sender=0, occurrence=2)])
+        alloc = _alloc()
+        a, b, c = (Envelope(i, 0, 1, f"m{i}") for i in range(3))
+        assert plan.on_send(a, alloc) == [a]
+        assert plan.on_send(b, alloc) == []
+        assert plan.on_send(c, alloc) == [c]
+        assert plan.dropped == 1
+
+    def test_duplicate_allocates_fresh_uid(self):
+        plan = MessageFaultPlan([DuplicateFault(sender=0, dest=1)])
+        env = Envelope(0, 0, 1, ("ping",))
+        out = plan.on_send(env, _alloc())
+        assert [e.payload for e in out] == [("ping",), ("ping",)]
+        assert out[0].uid == 0
+        assert out[1].uid == 1000      # a real uid, not a clone
+        assert plan.duplicated == 1
+
+    def test_delay_sets_delivery_horizon(self):
+        plan = MessageFaultPlan([DelayFault(sender=0, not_before=7)])
+        out = plan.on_send(Envelope(0, 0, 1, "x"), _alloc())
+        assert out[0].not_before == 7
+        assert plan.delayed == 1
+
+    def test_reorder_swaps_one_adjacent_pair(self):
+        plan = MessageFaultPlan([ReorderFault(sender=0, dest=1)])
+        alloc = _alloc()
+        a, b, c = (Envelope(i, 0, 1, f"m{i}") for i in range(3))
+        assert plan.on_send(a, alloc) == []          # held back
+        assert plan.on_send(b, alloc) == [b, a]      # swapped pair
+        assert plan.on_send(c, alloc) == [c]         # budget spent
+        assert plan.reordered == 1
+
+    def test_drain_releases_held_messages(self):
+        plan = MessageFaultPlan([ReorderFault(sender=0)])
+        a = Envelope(0, 0, 1, "a")
+        assert plan.on_send(a, _alloc()) == []
+        assert plan.drain() == [a]
+        assert plan.drain() == []
+
+    def test_non_fault_subclasses_rejected(self):
+        with pytest.raises(TypeError):
+            MessageFaultPlan(["drop"])
+
+
+class TestEngineIntegration:
+    def test_dropped_ping_stalls_only_the_sender(self):
+        # p0's ping to p1 is lost: p1 never pongs, p0 waits forever;
+        # p1 still decides off p0's pong.  A drop is not a crash.
+        plan = MessageFaultPlan([DropFault(sender=0, dest=1,
+                                           occurrence=1)])
+        machines = [Echo(i, 2) for i in range(2)]
+        res = run_messaging(machines, faults=plan, seed=3)
+        assert plan.dropped == 1
+        assert res.stalled
+        assert res.crashed == set()
+        assert 0 not in res.decisions
+        assert 1 in res.decisions
+
+    def test_extreme_delay_is_force_released(self):
+        # A delay horizon far past the run's total traffic must not
+        # fake a crash: the starved network force-releases the message
+        # and everyone still decides.
+        plan = MessageFaultPlan([DelayFault(sender=0, dest=1,
+                                            occurrence=1,
+                                            not_before=10**6)])
+        machines = [Echo(i, 2) for i in range(2)]
+        res = run_messaging(machines, faults=plan, seed=3)
+        assert plan.delayed == 1
+        assert not res.stalled
+        assert res.decided_pids == {0, 1}
+
+    def test_unpartnered_reorder_holdback_is_force_released(self):
+        # Only one message ever flows 1 -> 0 in Echo's ping phase at a
+        # time; the held envelope must come back, not vanish.
+        plan = MessageFaultPlan([ReorderFault(sender=1, dest=0,
+                                              swaps=5)])
+        machines = [Echo(i, 2) for i in range(2)]
+        res = run_messaging(machines, faults=plan, seed=3)
+        assert not res.stalled
+        assert res.decided_pids == {0, 1}
+
+    def test_plan_crashes_match_legacy_argument(self):
+        crash = MessageCrash(0, after_events=0)
+        legacy = run_messaging([Echo(i, 3) for i in range(3)],
+                               crashes=[crash], seed=5)
+        folded = run_messaging([Echo(i, 3) for i in range(3)], seed=5,
+                               faults=MessageFaultPlan.from_crashes(
+                                   [crash]))
+        assert folded.crashed == legacy.crashed == {0}
+        assert folded.decisions == legacy.decisions
+        assert folded.delivered == legacy.delivered
+
+    def test_duplicate_crash_across_plan_and_argument_rejected(self):
+        plan = MessageFaultPlan.from_crashes([MessageCrash(0, 0)])
+        with pytest.raises(ValueError, match="one crash per victim"):
+            run_messaging([Echo(i, 2) for i in range(2)],
+                          crashes=[MessageCrash(0, 1)], faults=plan)
+
+    def test_empty_plan_is_bit_for_bit_no_plan(self):
+        base = run_messaging([Echo(i, 3) for i in range(3)], seed=11)
+        under = run_messaging([Echo(i, 3) for i in range(3)], seed=11,
+                              faults=MessageFaultPlan())
+        assert under.decisions == base.decisions
+        assert under.delivered == base.delivered
+        assert under.undelivered == base.undelivered
+
+    def test_plan_is_reusable_across_runs(self):
+        plan = MessageFaultPlan([DropFault(sender=0, dest=1,
+                                           occurrence=1)])
+        for _ in range(2):
+            res = run_messaging([Echo(i, 2) for i in range(2)],
+                                faults=plan, seed=3)
+            assert plan.dropped == 1   # reset re-armed the rule
+            assert res.stalled
+
+
+class TestABDUnderFaults:
+    SCRIPTS = [[WriteOp("a"), WriteOp("b")],
+               [ReadOp(), ReadOp()],
+               [ReadOp(), ReadOp()]]
+    PLANS = [
+        MessageFaultPlan([DropFault(sender=0, dest=1, occurrence=1)]),
+        MessageFaultPlan([DuplicateFault(sender=0, occurrence=2)]),
+        MessageFaultPlan([DelayFault(sender=0, dest=2, occurrence=1,
+                                     not_before=30)]),
+        MessageFaultPlan([ReorderFault(sender=0, dest=1, swaps=3)]),
+    ]
+
+    @pytest.mark.parametrize("plan_index", range(len(PLANS)))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_abd_stays_linearizable(self, plan_index, seed):
+        # ABD's quorum phases tolerate lossy/at-least-once/non-FIFO
+        # links: with n=3, t=1 every fault plan above is within spec.
+        res, hist = run_abd(3, 1, writer=0, scripts=self.SCRIPTS,
+                            seed=seed, faults=self.PLANS[plan_index])
+        assert not res.stalled
+        assert check_linearizable(hist, RegisterSpec())

@@ -79,3 +79,37 @@ def test_broken_demo_matches_classic_serial_counterexample():
         sharded.value.counterexample.prefix
     assert classic.value.counterexample.schedule == \
         sharded.value.counterexample.schedule
+
+
+def test_dpor_jobs_agree_with_byzantine_faults_active():
+    # The sharding claim must survive the fault layer: with a Byzantine
+    # behavior attached (and crashes lifted into the FaultPlan), shard
+    # statistics still cannot depend on the worker count.  Adopt-commit
+    # is the scenario whose proposals are opaque values, so corrupting
+    # them is type-safe; the check is relaxed to liveness-only because
+    # a corrupted proposal legitimately changes decided values.
+    from repro.runtime import FaultPlan, byzantine_writer
+
+    sc = check_scenarios(n=2)["adopt-commit"]
+
+    def fault_factory():
+        plan = byzantine_writer(0, "v1", obj="AC1", method="write")
+        if sc.crash_plan_factory is not None:
+            base = sc.crash_plan_factory()
+            plan = FaultPlan(points=base.points,
+                             behaviors=plan.behaviors)
+        return plan
+
+    def relaxed_check(result):
+        assert not result.deadlocked, result.summary()
+
+    serial = explore(sc.build, relaxed_check,
+                     crash_plan_factory=fault_factory,
+                     max_steps=sc.max_steps, max_runs=sc.max_runs,
+                     reduction="dpor", jobs=1)
+    parallel = explore(sc.build, relaxed_check,
+                       crash_plan_factory=fault_factory,
+                       max_steps=sc.max_steps, max_runs=sc.max_runs,
+                       reduction="dpor", jobs=4)
+    assert serial == parallel
+    assert serial.complete_runs > 0

@@ -71,3 +71,18 @@ class TestCrashPlan:
         assert not pred(Invocation("other", "write", ()))
         pred2 = op_on("mem", "write")
         assert not pred2(Invocation("mem", "snapshot", ()))
+
+
+class TestPlanReuse:
+    def test_reset_rearms_occurrence_counters(self):
+        # Regression: a predicate crash point keeps a per-run match
+        # counter; reset() (called by the scheduler at run start) must
+        # re-arm it so one plan object can back any number of runs.
+        point = CrashPoint(before_matching=op_on("mem", "write"),
+                           occurrence=2)
+        plan = CrashPlan({0: point})
+        w = Invocation("mem", "write", (0, 1))
+        for _ in range(2):
+            plan.reset()
+            assert not plan.should_crash(0, 0, w)
+            assert plan.should_crash(0, 1, w)

@@ -1,0 +1,175 @@
+"""Byzantine fault plans: triggers, value rewrites, DPOR soundness."""
+
+import pytest
+
+from repro.memory import ObjectStore, SnapshotObject
+from repro.runtime import (ArbitraryPropose, CounterexampleFound,
+                           FaultBehavior, FaultPlan, FaultTrigger,
+                           Invocation, ObjectProxy, ScriptedAdversary,
+                           StaleReadReplay, byzantine_writer, explore,
+                           op_on, run_processes)
+from repro.scenarios import SOUND_SCENARIOS, build_scenario
+
+MEM = ObjectProxy("mem")
+
+
+def store3():
+    store = ObjectStore()
+    store.add(SnapshotObject("mem", 3))
+    return store
+
+
+class TestFaultTrigger:
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError):
+            FaultTrigger()
+        with pytest.raises(ValueError):
+            FaultTrigger(own_step=1, matching=lambda inv: True)
+
+    def test_own_step_is_one_based(self):
+        with pytest.raises(ValueError):
+            FaultTrigger(own_step=0)
+
+    def test_occurrence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultTrigger(matching=lambda inv: True, occurrence=0)
+
+    def test_fires_is_idempotent_per_step(self):
+        # The scheduler consults the trigger twice per step (invocation
+        # hook + result hook); the second call must not advance the
+        # match counter, or occurrence=2 would fire one step early.
+        trigger = FaultTrigger(matching=lambda inv: True, occurrence=2)
+        inv = Invocation("mem", "write", (0, "v"))
+        assert not trigger.fires(0, inv)
+        assert not trigger.fires(0, inv)      # cached, not re-counted
+        assert trigger.fires(1, inv)
+
+    def test_persistent_own_step(self):
+        trigger = FaultTrigger(own_step=2, once=False)
+        assert not trigger.fires(0, None)
+        assert trigger.fires(1, None)
+        assert trigger.fires(2, None)
+
+    def test_reset_rearms(self):
+        trigger = FaultTrigger(matching=lambda inv: True)
+        inv = Invocation("mem", "write", (0, "v"))
+        assert trigger.fires(0, inv)
+        trigger.reset()
+        assert trigger.fires(0, inv)
+
+
+def writer_then_done(pid, value):
+    yield MEM.write(pid, value)
+    return "done"
+
+
+def snapshot_cell(cell):
+    snap = yield MEM.snapshot()
+    return snap[cell]
+
+
+class TestBehaviors:
+    def test_corrupt_write_observed_by_reader(self):
+        plan = byzantine_writer(0, "evil")
+        res = run_processes({0: writer_then_done(0, "good"),
+                             1: snapshot_cell(0)},
+                            store3(), crash_plan=plan)
+        assert res.decisions[1] == "evil"
+
+    def test_arbitrary_propose_replaces_last_arg(self):
+        plan = FaultPlan().attach(
+            0, ArbitraryPropose(
+                FaultTrigger(matching=op_on("mem", "write")), value=99))
+        res = run_processes({0: writer_then_done(0, 1),
+                             1: snapshot_cell(0)},
+                            store3(), crash_plan=plan)
+        assert res.decisions[1] == 99
+
+    def test_stale_read_replay_serves_cached_value(self):
+        def writer():
+            yield MEM.write(0, "v1")
+            yield MEM.write(0, "v2")
+            return "done"
+
+        def reader():
+            s1 = yield MEM.snapshot()
+            s2 = yield MEM.snapshot()
+            return (s1[0], s2[0])
+
+        plan = FaultPlan().attach(
+            1, StaleReadReplay(FaultTrigger(
+                matching=op_on("mem", "snapshot"), once=False)))
+        res = run_processes({0: writer(), 1: reader()}, store3(),
+                            adversary=ScriptedAdversary([0, 1, 0, 1]),
+                            crash_plan=plan)
+        # Without the fault the second snapshot would observe "v2".
+        assert res.decisions[1] == ("v1", "v1")
+
+    def test_structure_rewrites_are_rejected(self):
+        class Rogue(FaultBehavior):
+            def rewrite_invocation(self, inv):
+                return Invocation("elsewhere", inv.method, inv.args)
+
+        plan = FaultPlan().attach(0, Rogue(FaultTrigger(own_step=1)))
+        with pytest.raises(ValueError, match="footprint soundness"):
+            run_processes({0: writer_then_done(0, "x")}, store3(),
+                          crash_plan=plan)
+
+    def test_plan_is_reusable_across_runs(self):
+        # The scheduler resets the plan at run start; a once-triggered
+        # behavior must fire again in the second run.
+        plan = byzantine_writer(0, "evil", obj="mem", method="write",
+                                occurrence=1, once=True)
+        for _ in range(2):
+            res = run_processes({0: writer_then_done(0, "good"),
+                                 1: snapshot_cell(0)},
+                                store3(), crash_plan=plan)
+            assert res.decisions[1] == "evil"
+
+    def test_byzantine_pids_and_repr(self):
+        plan = byzantine_writer(2, "evil")
+        assert plan.byzantine_pids == frozenset({2})
+        assert "CorruptWrite" in repr(plan)
+
+
+class TestNoFaultInvariance:
+    @pytest.mark.parametrize("name", SOUND_SCENARIOS)
+    def test_fault_plan_wrapper_is_bit_for_bit(self, name):
+        # Lifting a scenario's crash plan into a (behavior-free)
+        # FaultPlan must not change what DPOR explores: identical run
+        # counts, depth and pruning -- the rewrite hooks are value-only
+        # and inert when no behaviors are attached.
+        scenario = build_scenario(name, n=2, x=2)
+
+        def lifted_factory():
+            if scenario.crash_plan_factory is None:
+                return FaultPlan()
+            return FaultPlan.from_crash_plan(
+                scenario.crash_plan_factory())
+
+        base = explore(scenario.build, scenario.check,
+                       crash_plan_factory=scenario.crash_plan_factory,
+                       max_steps=scenario.max_steps, reduction="dpor")
+        lifted = explore(scenario.build, scenario.check,
+                         crash_plan_factory=lifted_factory,
+                         max_steps=scenario.max_steps, reduction="dpor")
+        assert base == lifted
+
+
+class TestExploreWithFaults:
+    def test_explore_detects_byzantine_corruption(self):
+        def build():
+            def p0():
+                yield MEM.write(0, "good")
+                snap = yield MEM.snapshot()
+                return snap[0]
+
+            return {0: p0()}, store3()
+
+        def check(result):
+            assert result.decisions[0] == "good"
+
+        with pytest.raises(CounterexampleFound):
+            explore(build, check,
+                    crash_plan_factory=lambda: byzantine_writer(0, "evil"),
+                    max_steps=4, reduction="dpor")

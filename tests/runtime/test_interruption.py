@@ -1,0 +1,42 @@
+"""Budget interruption: ExplorationInterrupted carries partial stats."""
+
+import pytest
+
+from repro.runtime import ExplorationInterrupted, explore
+from repro.scenarios import build_scenario
+
+
+class TestInterruption:
+    def test_max_runs_carries_reason_and_partial_stats(self):
+        scenario = build_scenario("adopt-commit")
+        with pytest.raises(ExplorationInterrupted) as info:
+            explore(scenario.build, scenario.check,
+                    max_steps=scenario.max_steps, max_runs=2,
+                    reduction="dpor")
+        assert info.value.reason == "max_runs"
+        assert info.value.stats is not None
+        assert info.value.stats.total_runs == 2
+
+    def test_timeout_carries_reason(self):
+        scenario = build_scenario("adopt-commit")
+        with pytest.raises(ExplorationInterrupted) as info:
+            explore(scenario.build, scenario.check,
+                    max_steps=scenario.max_steps, timeout=1e-9,
+                    reduction="dpor")
+        assert info.value.reason == "timeout"
+
+    def test_legacy_runtimeerror_match_still_works(self):
+        # ExplorationInterrupted subclasses RuntimeError and keeps the
+        # historical message, so pre-existing budget expectations hold.
+        scenario = build_scenario("adopt-commit")
+        with pytest.raises(RuntimeError, match="max_runs"):
+            explore(scenario.build, scenario.check,
+                    max_steps=scenario.max_steps, max_runs=1)
+
+    def test_parallel_interrupt_carries_reason(self):
+        scenario = build_scenario("adopt-commit")
+        with pytest.raises(ExplorationInterrupted) as info:
+            explore(scenario.build, scenario.check,
+                    max_steps=scenario.max_steps, max_runs=2,
+                    reduction="dpor", jobs=2)
+        assert info.value.reason == "max_runs"

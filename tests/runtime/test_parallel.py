@@ -250,3 +250,17 @@ class TestWedgedWorkerTeardown:
                                   fault_plan={-1: "sigstop"})
         assert wedged == serial
         assert self._leaked_children() == []
+
+
+class TestRetryLadder:
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_flaky_task_survives_multi_attempt_recovery(self, monkeypatch):
+        # 'flaky' fails in the worker AND on the first in-process retry,
+        # succeeding only from the second retry on: a single
+        # re-execution would surface an error, the capped-backoff
+        # ladder must not.  Backoff is zeroed so the test stays fast.
+        from repro.runtime import parallel
+        monkeypatch.setattr(parallel, "_RETRY_BACKOFF_BASE", 0.0)
+        outcomes = run_pool([1, 2], _square, jobs=2,
+                            fault_plan={0: "flaky"})
+        assert outcomes == [(1, None), (4, None)]

@@ -86,9 +86,20 @@ class TestCheckCommand:
         assert "shrunk from" in out
         assert "prefix" in out
 
-    def test_budget_exceeded_exits_two(self, capsys):
-        assert main(["check", "adopt-commit", "--max-runs", "2"]) == 2
-        assert "BUDGET EXCEEDED" in capsys.readouterr().err
+    def test_max_runs_interrupt_exits_three(self, capsys):
+        assert main(["check", "adopt-commit", "--max-runs", "2"]) == 3
+        err = capsys.readouterr().err
+        assert "INTERRUPTED" in err
+        assert "max_runs" in err
+
+    def test_timeout_interrupt_exits_three(self, capsys):
+        # A zero-width wall-clock budget interrupts even the smallest
+        # sweep on the first deadline check.
+        assert main(["check", "adopt-commit",
+                     "--timeout", "0.000001"]) == 3
+        err = capsys.readouterr().err
+        assert "INTERRUPTED" in err
+        assert "timeout" in err
 
     def test_unknown_scenario_exits_two(self, capsys):
         assert main(["check", "no-such-scenario"]) == 2
@@ -140,10 +151,12 @@ class TestCheckJobsFlag:
         assert "PASSED" in out
         assert "naive" in out and "jobs=2" in out
 
-    def test_budget_exceeded_exits_two_under_jobs(self, capsys):
+    def test_max_runs_interrupt_exits_three_under_jobs(self, capsys):
         assert main(["check", "adopt-commit", "--max-runs", "2",
-                     "--jobs", "2"]) == 2
-        assert "BUDGET EXCEEDED" in capsys.readouterr().err
+                     "--jobs", "2"]) == 3
+        err = capsys.readouterr().err
+        assert "INTERRUPTED" in err
+        assert "max_runs" in err
 
 
 @pytest.mark.parallel
@@ -218,12 +231,30 @@ class TestMetricsFlags:
         assert record["violation"]["schedule"]
         assert record["ddmin_replays"] > 0
 
-    def test_budget_exceeded_record(self, tmp_path, capsys):
+    def test_interrupted_record_is_partial(self, tmp_path, capsys):
         out_path = str(tmp_path / "metrics.jsonl")
         assert main(["check", "adopt-commit", "--max-runs", "2",
-                     "--metrics-out", out_path]) == 2
+                     "--metrics-out", out_path]) == 3
         (record,) = self._records(out_path)
-        assert record["outcome"] == "budget_exceeded"
+        assert record["outcome"] == "interrupted"
+        assert record["partial"] is True
+        assert record["interrupt_reason"] == "max_runs"
+        # The partial stats carried by the interruption land in the
+        # record: coverage up to the budget, not zeros.
+        assert record["total_runs"] == 2
+
+    def test_timeout_record_is_partial_and_atomic(self, tmp_path,
+                                                  capsys):
+        """An interrupted sweep still writes one atomic record -- no
+        temp droppings next to it (the mkstemp+replace contract)."""
+        out_path = str(tmp_path / "metrics.jsonl")
+        assert main(["check", "adopt-commit", "--timeout", "0.000001",
+                     "--metrics-out", out_path]) == 3
+        (record,) = self._records(out_path)
+        assert record["outcome"] == "interrupted"
+        assert record["partial"] is True
+        assert record["interrupt_reason"] == "timeout"
+        assert os.listdir(tmp_path) == ["metrics.jsonl"]
 
     def test_audit_emits_run_metrics(self, tmp_path):
         out_path = str(tmp_path / "metrics.jsonl")
@@ -234,6 +265,19 @@ class TestMetricsFlags:
         assert record["name"] == "queue-2cons"
         assert record["data"]["outcome"] == "passed"
         assert record["data"]["audited_ops"] > 0
+
+    def test_audit_record_reproduces_adversary_seeds(self, tmp_path):
+        """The audit record names every adversary *with its seed*, so a
+        failing randomized audit replays from the record alone."""
+        from repro.lint.audit import DEFAULT_AUDIT_SEEDS
+        out_path = str(tmp_path / "metrics.jsonl")
+        assert main(["audit", "queue-2cons",
+                     "--metrics-out", out_path]) == 0
+        (record,) = self._records(out_path)
+        adversaries = record["data"]["adversaries"]
+        assert "RoundRobinAdversary()" in adversaries
+        for seed in DEFAULT_AUDIT_SEEDS:
+            assert f"SeededRandomAdversary(seed={seed})" in adversaries
 
 
 class TestLintCommand:
