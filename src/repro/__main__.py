@@ -28,6 +28,14 @@ Commands:
   protocol mutant (see ``repro.mutants`` and docs/fault_injection.md)
   and verify the expected detection stage catches it; exit 0 only when
   every mutant is caught.
+* ``sweep``         -- generative corollary sweep: synthesize ``--count``
+  seeded configurations (see ``repro.generative`` and
+  docs/generative_sweep.md), run each one's experiment, and cross-check
+  the outcome against the solvability oracle's ``floor(t/x)``
+  prediction; exit 0 = full agreement, 1 = a disagreement (printed with
+  its shrunk minimal witness), 2 = configuration error, 3 = the
+  ``--timeout`` budget interrupted the sweep (partial record emitted,
+  resumable via ``--resume``).
 * ``demo``          -- a one-minute tour (runs the quickstart scenario).
 """
 
@@ -124,10 +132,23 @@ def cmd_check(args: argparse.Namespace) -> int:
                   "(also: --list):", file=sys.stderr)
         for name, sc in scenarios.items():
             print(f"{name:18s} {sc.description}")
+        print(f"{'generated:S:I':18s} [generative] explorable "
+              f"configuration I of sweep batch S (synthesized; see "
+              f"'sweep --describe' and docs/generative_sweep.md)")
         return 0 if (args.list or args.scenario == "list") else 2
     if args.scenario == "all":
         names = list(SOUND_SCENARIOS)
     elif args.scenario in scenarios:
+        names = [args.scenario]
+    elif args.scenario.startswith("generated:"):
+        # Synthesized scenarios resolve through the generative grammar;
+        # the ref round-trips by name, so --jobs sharding is unchanged.
+        from .scenarios import build_scenario
+        try:
+            scenarios[args.scenario] = build_scenario(args.scenario)
+        except KeyError as exc:
+            print(f"check: {exc.args[0]}", file=sys.stderr)
+            return 2
         names = [args.scenario]
     else:
         print(f"unknown scenario {args.scenario!r}; try "
@@ -370,6 +391,97 @@ def cmd_mutants(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _sweep_resume_skip(path: str, seed: int):
+    """Indices an earlier sweep of ``seed`` verified; (skip, error)."""
+    import json
+    import os
+    if not os.path.exists(path):
+        return None, f"resume file {path!r} does not exist"
+    verified = None
+    with open(path) as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if (record.get("kind") == "sweep"
+                    and record.get("data", {}).get("seed") == seed):
+                verified = record["data"].get("verified", [])
+    if verified is None:
+        return None, (f"no sweep record for seed {seed} in {path!r} "
+                      f"(a resume must reuse the original --seed)")
+    return verified, None
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Generative corollary sweep (see ``repro.generative``)."""
+    from .generative import (config_from_choices, execute_config,
+                             generate_batch, run_sweep)
+
+    jobs, jobs_error = _resolve_jobs_arg(args.jobs)
+    if jobs_error is not None:
+        print(f"sweep: {jobs_error}", file=sys.stderr)
+        return 2
+    if args.count < 1:
+        print("sweep: --count must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.describe:
+        for cfg in generate_batch(args.seed, args.count):
+            kind = "explore" if cfg.explorable else "execute"
+            print(f"{cfg.describe():48s} [{kind}] "
+                  f"choices={list(cfg.choices)}")
+        return 0
+
+    if args.replay is not None:
+        try:
+            choices = [int(piece) for piece
+                       in args.replay.split(",") if piece.strip()]
+        except ValueError:
+            print(f"sweep: --replay wants a comma-separated integer "
+                  f"tape, got {args.replay!r}", file=sys.stderr)
+            return 2
+        outcome = execute_config(config_from_choices(choices))
+        print(outcome.describe())
+        return 0 if outcome.agree else 1
+
+    skip = ()
+    if args.resume:
+        skip, resume_error = _sweep_resume_skip(args.resume, args.seed)
+        if resume_error is not None:
+            print(f"sweep: {resume_error}", file=sys.stderr)
+            return 2
+        print(f"[sweep] resuming seed={args.seed}: skipping "
+              f"{len(skip)} verified configuration(s)")
+
+    extra = f", jobs={jobs}" if jobs is not None else ""
+    print(f"[sweep] seed={args.seed} count={args.count}{extra}: "
+          f"synthesizing and cross-checking against the oracle ...")
+    result = run_sweep(args.seed, args.count, jobs=jobs,
+                       timeout=args.timeout or None, skip=skip,
+                       shrink=not args.no_shrink)
+    for outcome in result.disagreements:
+        print(f"[sweep] {outcome.describe()}")
+        if outcome.shrunk_choices is not None:
+            print(f"[sweep]   shrunk witness: "
+                  f"{outcome.shrunk_config.describe()} "
+                  f"(--replay "
+                  f"{','.join(map(str, outcome.shrunk_choices))})")
+    if result.interrupted:
+        print(f"[sweep] INTERRUPTED ({result.interrupt_reason}): "
+              f"{len(result.remaining)} configuration(s) left; rerun "
+              f"with --resume to continue", file=sys.stderr)
+    print(f"[sweep] {result.summary()}")
+
+    records = [result.to_record()] if (args.metrics
+                                       or args.metrics_out) else []
+    _emit_metrics(records, args.metrics, args.metrics_out)
+    if result.disagreements:
+        return 1
+    if result.interrupted:
+        return 3
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """A one-minute tour of the headline result."""
     from .algorithms import KSetReadWrite, run_algorithm
@@ -500,6 +612,46 @@ def main(argv=None) -> int:
     p.add_argument("--list", action="store_true",
                    help="list the planted mutants and exit")
     p.set_defaults(func=cmd_mutants)
+
+    p = sub.add_parser(
+        "sweep",
+        help="generative corollary sweep vs the solvability oracle")
+    p.add_argument("--seed", type=int, default=0,
+                   help="batch seed; the synthesized configurations "
+                        "are a pure function of it (default 0)")
+    p.add_argument("--count", type=int, default=50,
+                   help="configurations to synthesize (default 50)")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="wall-clock budget for the whole sweep; on "
+                        "expiry the sweep stops cleanly, emits a "
+                        "partial metrics record listing completed and "
+                        "remaining indices, and exits 3")
+    p.add_argument("--jobs", default=None, metavar="N",
+                   help="shard each explorable configuration across N "
+                        "worker processes ('auto' = cpu count); "
+                        "verdicts and records are identical for "
+                        "every N")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="skip configurations a previous sweep of the "
+                        "same seed verified (PATH = its --metrics-out "
+                        "file)")
+    p.add_argument("--describe", action="store_true",
+                   help="print the synthesized batch without "
+                        "executing anything")
+    p.add_argument("--replay", default=None, metavar="CHOICES",
+                   help="rebuild one configuration from a "
+                        "comma-separated choice tape (as printed for "
+                        "shrunk witnesses) and cross-check it")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report disagreements without shrinking them "
+                        "to minimal tapes")
+    p.add_argument("--metrics", action="store_true",
+                   help="print an observability summary")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the sweep's JSON-lines run record to "
+                        "PATH (atomic; required for --resume)")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("demo", help="one-minute tour")
     p.set_defaults(func=cmd_demo)

@@ -1,0 +1,34 @@
+"""Generative corollary sweep: synthesized scenarios vs the oracle.
+
+This package closes the loop between the paper's *calculus* and the
+repo's *machines*.  A seeded, Hypothesis-style generator
+(:mod:`~repro.generative.generator`) synthesizes (n, t, x)
+configurations, task choices, and fault plans from recorded integer
+choice tapes (:mod:`~repro.generative.source`); a solvability oracle
+(:mod:`~repro.generative.oracle`) predicts each configuration's
+verdict from ``⌊t/x⌋``; and the sweep driver
+(:mod:`~repro.generative.sweep`) runs the actual experiment --
+exhaustive DPOR exploration, lifted-algorithm runs, ABD histories,
+footprint audits -- failing loudly (with a shrunk, replayable witness)
+whenever prediction and observation disagree.
+
+Entry points: ``python -m repro sweep --seed S --count N`` and the
+``sweep``-marked pytest tier; see ``docs/generative_sweep.md``.
+"""
+
+from .generator import (EXPLORABLE_FAMILIES, FAMILIES, GeneratedConfig,
+                        config_from_choices, generate_batch,
+                        generate_config, generated_scenario, scenario_for)
+from .oracle import (Prediction, SolvabilityOracle, floor_index,
+                     reference_index)
+from .source import ChoiceSource, shrink_choices
+from .sweep import ConfigOutcome, SweepResult, execute_config, run_sweep
+
+__all__ = [
+    "ChoiceSource", "shrink_choices",
+    "Prediction", "SolvabilityOracle", "floor_index", "reference_index",
+    "EXPLORABLE_FAMILIES", "FAMILIES", "GeneratedConfig",
+    "config_from_choices", "generate_batch", "generate_config",
+    "generated_scenario", "scenario_for",
+    "ConfigOutcome", "SweepResult", "execute_config", "run_sweep",
+]

@@ -1,0 +1,410 @@
+"""The scenario grammar: choice sequences -> (n, t, x) configurations.
+
+Every synthesized configuration is a pure function of a recorded
+integer choice sequence (see :mod:`repro.generative.source`), drawn
+from one of eight **families**, each pairing an executable experiment
+with a verdict the solvability oracle can predict:
+
+========== ============================================== ============
+family     experiment                                     oracle rule
+========== ============================================== ============
+calculus   resilience-index lattice point (t, x, k)       k > ⌊t/x⌋
+construct  KSetReadWrite lifted by ``simulate_with_xcons``k > ⌊t'/x⌋
+blocking   x-safe-agreement, c crash-before-publish       ⌊c/x⌋ >= 1
+byzantine  safe-agreement under value-only CorruptWrite   always pass
+renaming   test&set slot scan into M names                M >= n
+snapshot   write-then-snapshot vs the k-IS size bound     k >= n - 1
+message    ABD under a legal message-fault plan           always pass
+audit      footprint audit of a generated scenario        always pass
+========== ============================================== ============
+
+Families marked *explorable* (blocking, byzantine, renaming, snapshot)
+compile to a :class:`repro.scenarios.CheckScenario` via
+:func:`generated_scenario` and run through the exhaustive DPOR
+explorer; the rest execute directly (see
+:mod:`repro.generative.sweep`).  Explorable configurations are
+addressable as ``generated:SEED:INDEX`` in the scenario registry, so
+``python -m repro check generated:7:3`` and parallel exploration via
+:class:`repro.scenarios.ScenarioRef` work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from ..agreement import SafeAgreementFactory, XSafeAgreementFactory
+from ..memory import BOTTOM, ObjectStore, SnapshotFamily, TASFamily
+from ..runtime import CrashPlan, ObjectProxy, RunResult
+from ..runtime.crash import op_on
+from ..runtime.faults import CorruptWrite, FaultPlan, FaultTrigger
+from ..scenarios import CheckScenario
+from ..tasks import KImmediateSnapshotTask
+from .oracle import SolvabilityOracle
+from .source import ChoiceSource
+
+#: Families whose experiment is exhaustive schedule exploration; only
+#: these resolve through the ``generated:`` scenario namespace.
+EXPLORABLE_FAMILIES = frozenset(
+    {"blocking", "byzantine", "renaming", "snapshot"})
+
+#: All families, in the (stable) order reports enumerate them.
+FAMILIES = ("calculus", "construction", "blocking", "byzantine",
+            "renaming", "snapshot", "message", "audit")
+
+#: Weighted family wheel: calculus points are cheap, so they dominate;
+#: every family keeps enough mass to appear in a 200-config batch.
+_FAMILY_WHEEL = (("calculus",) * 5 + ("blocking",) * 2 + ("renaming",) * 2
+                 + ("snapshot",) * 2 + ("construction",) * 2
+                 + ("byzantine",) + ("message",) + ("audit",))
+
+
+@dataclass(frozen=True)
+class GeneratedConfig:
+    """One synthesized configuration, fully determined by its tape.
+
+    ``choices`` is the recorded choice sequence; replaying it through
+    :func:`config_from_choices` regenerates ``family`` and ``params``
+    exactly, which is what makes shrinking and ``--replay`` possible.
+    ``seed``/``index`` are bookkeeping (-1 when rebuilt from a bare
+    tape).
+    """
+
+    seed: int
+    index: int
+    family: str
+    params: Dict[str, int] = field(compare=False)
+    choices: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}")
+
+    @property
+    def name(self) -> str:
+        """The registry name, ``generated:SEED:INDEX``."""
+        return f"generated:{self.seed}:{self.index}"
+
+    @property
+    def explorable(self) -> bool:
+        """True when the experiment is exhaustive exploration."""
+        return self.family in EXPLORABLE_FAMILIES
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        params = ", ".join(f"{k}={v}"
+                           for k, v in sorted(self.params.items()))
+        return f"{self.name} {self.family}({params})"
+
+
+def _draw(source: ChoiceSource) -> Tuple[str, Dict[str, int]]:
+    """Draw one (family, params) pair from the grammar."""
+    family = source.pick(_FAMILY_WHEEL)
+    if family == "calculus":
+        return family, {"t": source.choose(13),
+                        "x": 1 + source.choose(6),
+                        "k": 1 + source.choose(6)}
+    if family == "construction":
+        # Source algorithm solves (index+1)-set agreement ⌊t'/x⌋-
+        # resiliently; the lift must preserve that for any t' with the
+        # same index (r is the "wasted" crash remainder, kept >= 1 at
+        # index 0 so the lifted model is never failure-free).
+        x = 2 + source.choose(2)
+        index = source.choose(3)
+        r = 1 + source.choose(x - 1) if index == 0 else source.choose(x)
+        return family, {"x": x, "t_prime": index * x + r,
+                        "k": index + 1, "n": index + 2}
+    if family == "blocking":
+        n = 2 + source.choose(2)
+        return family, {"n": n, "x": 1 + source.choose(n),
+                        "crashes": source.choose(n + 1)}
+    if family == "byzantine":
+        return family, {"n": 2, "victim": source.choose(2),
+                        "persistent": source.choose(2)}
+    if family == "renaming":
+        n = 2 + source.choose(2)
+        return family, {"n": n, "namespace": 1 + source.choose(2 * n)}
+    if family == "snapshot":
+        n = 2 + source.choose(2)
+        return family, {"n": n, "k": source.choose(n + 1)}
+    if family == "message":
+        return family, {"plan": source.choose(5), "seed": source.choose(6)}
+    # audit
+    return family, {"base": source.choose(2), "n": 2 + source.choose(2),
+                    "perturb": source.choose(2)}
+
+
+def generate_config(seed: int, index: int) -> GeneratedConfig:
+    """Configuration ``index`` of batch ``seed`` (pure function)."""
+    source = ChoiceSource.from_seed(seed, index)
+    family, params = _draw(source)
+    return GeneratedConfig(seed=seed, index=index, family=family,
+                           params=params, choices=tuple(source.choices))
+
+
+def generate_batch(seed: int, count: int) -> Tuple[GeneratedConfig, ...]:
+    """The first ``count`` configurations of batch ``seed``."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    return tuple(generate_config(seed, i) for i in range(count))
+
+
+def config_from_choices(choices: Sequence[int],
+                        seed: int = -1,
+                        index: int = -1) -> GeneratedConfig:
+    """Rebuild a configuration from a recorded (or shrunk) tape.
+
+    Any integer sequence is valid (choices reduce modulo their bound;
+    exhausted tapes pad with zeros), so this is total -- the property
+    the shrinker relies on.
+    """
+    source = ChoiceSource.from_choices(choices)
+    family, params = _draw(source)
+    return GeneratedConfig(seed=seed, index=index, family=family,
+                           params=params, choices=tuple(source.choices))
+
+
+# ---------------------------------------------------------------------------
+# Explorable families -> CheckScenario
+# ---------------------------------------------------------------------------
+
+#: Family names for the shared objects of generated scenarios.
+_XSA_PREFIX = "XSA"
+_SA_FAMILY = "SAFE_AG"
+_NAMES_FAMILY = "NAMES"
+_SNAP_FAMILY = "SNAP"
+
+#: Byzantine replacement value -- anything outside the honest inputs.
+BYZ_VALUE = "byz"
+
+
+def _blocking_scenario(cfg: GeneratedConfig) -> CheckScenario:
+    """x-safe-agreement with ``crashes`` victims dying pre-publish.
+
+    Victims crash immediately before their write to the result
+    register -- i.e. *inside* propose, after winning a test&set slot
+    and completing the x_cons chain.  The paper's blocking lemma says
+    the adversary kills the object (deadlocking every survivor stuck
+    in decide) iff it can spend x such crashes, so the scenario's
+    safety property is simply "no deadlock"; the oracle predicts which
+    side holds from ``⌊crashes/x⌋``.
+    """
+    n, x = cfg.params["n"], cfg.params["x"]
+    crashes = cfg.params["crashes"]
+
+    def build():
+        factory = XSafeAgreementFactory(n, x, prefix=_XSA_PREFIX)
+        store = ObjectStore()
+        store.add_all(factory.shared_objects())
+
+        def participant(i):
+            inst = factory.instance("k")
+            yield from inst.propose(i, f"v{i}")
+            decided = yield from inst.decide(i)
+            return decided
+
+        return {i: participant(i) for i in range(n)}, store
+
+    proposals = {f"v{i}" for i in range(n)}
+
+    def check(result: RunResult) -> None:
+        assert not result.deadlocked, \
+            (f"{crashes} crash(es) inside propose blocked "
+             f"x-safe-agreement (x={x}): {result.summary()}")
+        assert len(result.decided_values) <= 1, \
+            f"agreement violated: {sorted(result.decided_values)}"
+        assert result.decided_values <= proposals, \
+            f"validity violated: {sorted(result.decided_values)}"
+
+    crash_plan_factory = None
+    if crashes:
+        def crash_plan_factory():
+            return CrashPlan.before_operation_each(
+                range(crashes), op_on(f"{_XSA_PREFIX}_REG", "write"))
+
+    expected = SolvabilityOracle().blocking(n, x, crashes)
+    return CheckScenario(
+        name=cfg.name,
+        description=(f"[generated] x-safe-agreement n={n} x={x}, "
+                     f"{crashes} crash(es) before publishing; paper "
+                     f"predicts {expected}"),
+        build=build, check=check,
+        crash_plan_factory=crash_plan_factory,
+        max_steps=20 * n,
+        expect_violation=expected.verdict == "violation")
+
+
+def _byzantine_scenario(cfg: GeneratedConfig) -> CheckScenario:
+    """Safe-agreement with one victim's writes value-corrupted.
+
+    The corruption rewrites only the *value* slot of the victim's
+    ``(value, level)`` snapshot entries, preserving the protocol's
+    level structure -- the DPOR-soundness contract of the fault layer.
+    Agreement is value-independent, so the run must still decide one
+    value, drawn from the honest proposals plus the planted one.
+    """
+    n, victim = cfg.params["n"], cfg.params["victim"]
+    persistent = bool(cfg.params["persistent"])
+
+    def build():
+        factory = SafeAgreementFactory(n, family_name=_SA_FAMILY)
+        store = ObjectStore()
+        store.add_all(factory.shared_objects())
+
+        def participant(i):
+            inst = factory.instance("k")
+            yield from inst.propose(i, f"v{i}")
+            decided = yield from inst.decide(i)
+            return decided
+
+        return {i: participant(i) for i in range(n)}, store
+
+    def corrupt(args):
+        key, sim_id, entry = args
+        return (key, sim_id, (BYZ_VALUE, entry[1]))
+
+    def crash_plan_factory():
+        trigger = FaultTrigger(matching=op_on(_SA_FAMILY, "write"),
+                               once=not persistent)
+        return FaultPlan(behaviors={
+            victim: [CorruptWrite(trigger, corrupt=corrupt)]})
+
+    allowed = {f"v{i}" for i in range(n)} | {BYZ_VALUE}
+
+    def check(result: RunResult) -> None:
+        assert not result.deadlocked, \
+            f"value-only faults must not block: {result.summary()}"
+        assert result.decided_pids == set(range(n)), \
+            f"not everyone decided: {result.summary()}"
+        assert len(result.decided_values) == 1, \
+            f"agreement violated: {sorted(result.decided_values)}"
+        assert result.decided_values <= allowed, \
+            f"decided value from nowhere: {sorted(result.decided_values)}"
+
+    return CheckScenario(
+        name=cfg.name,
+        description=(f"[generated] safe-agreement n={n}, p{victim} "
+                     f"publishes corrupted values "
+                     f"({'persistent' if persistent else 'once'}): "
+                     f"agreement must survive"),
+        build=build, check=check,
+        crash_plan_factory=crash_plan_factory,
+        max_steps=8 * n)
+
+
+def _renaming_scenario(cfg: GeneratedConfig) -> CheckScenario:
+    """Test&set slot scan: n processes grab names in {0..M-1}.
+
+    Each process tries slots in increasing order and takes the first
+    test&set it wins.  Exactly one process wins each contested slot,
+    so every run resolves to names exactly {0..n-1}; the namespace
+    bound therefore holds in all schedules iff M >= n, which is the
+    oracle's prediction.
+    """
+    n, namespace = cfg.params["n"], cfg.params["namespace"]
+
+    def build():
+        store = ObjectStore()
+        store.add(TASFamily(_NAMES_FAMILY))
+        tas = ObjectProxy(_NAMES_FAMILY)
+
+        def prog(pid):
+            for slot in range(namespace):
+                won = yield tas.test_and_set(slot)
+                if won:
+                    return slot
+            return None
+
+        return {i: prog(i) for i in range(n)}, store
+
+    def check(result: RunResult) -> None:
+        names = sorted(result.decisions.items())
+        assert result.decided_pids == set(range(n)), \
+            f"renaming is wait-free, yet: {result.summary()}"
+        for pid, name in names:
+            assert name is not None and 0 <= name < namespace, \
+                (f"p{pid} got no name in the M={namespace} "
+                 f"namespace: {names}")
+        assert len({name for _, name in names}) == n, \
+            f"names collide: {names}"
+
+    expected = SolvabilityOracle().renaming(n, namespace)
+    return CheckScenario(
+        name=cfg.name,
+        description=(f"[generated] test&set renaming, n={n} into "
+                     f"M={namespace} names; paper predicts {expected}"),
+        build=build, check=check,
+        max_steps=n * namespace + 4,
+        expect_violation=expected.verdict == "violation")
+
+
+def _snapshot_scenario(cfg: GeneratedConfig) -> CheckScenario:
+    """Write-then-snapshot graded by the k-IS task specification.
+
+    Self-inclusion and containment hold in every run of an atomic
+    snapshot; the k-IS view-size bound ``>= n - k`` additionally
+    survives all crash-free schedules iff ``k >= n - 1`` (a solo
+    snapshotter sees only itself), which is the oracle's prediction.
+    """
+    n, k = cfg.params["n"], cfg.params["k"]
+    inputs = [f"v{i}" for i in range(n)]
+    task = KImmediateSnapshotTask(n, k)
+
+    def build():
+        store = ObjectStore()
+        store.add(SnapshotFamily(_SNAP_FAMILY, n))
+        mem = ObjectProxy(_SNAP_FAMILY)
+
+        def prog(pid):
+            yield mem.write("k", pid, inputs[pid])
+            snap = yield mem.snapshot("k")
+            return tuple((i, entry) for i, entry in enumerate(snap)
+                         if entry is not BOTTOM)
+
+        return {i: prog(i) for i in range(n)}, store
+
+    def check(result: RunResult) -> None:
+        assert result.decided_pids == set(range(n)), \
+            f"snapshot protocol is wait-free, yet: {result.summary()}"
+        violations = task.check_outputs(inputs, result.decisions)
+        assert not violations, f"{task.name}: " + "; ".join(violations)
+
+    expected = SolvabilityOracle().kview(n, k)
+    return CheckScenario(
+        name=cfg.name,
+        description=(f"[generated] one-shot snapshot n={n} vs the "
+                     f"{k}-IS view bound; paper predicts {expected}"),
+        build=build, check=check,
+        max_steps=2 * n + 2,
+        expect_violation=expected.verdict == "violation")
+
+
+_SCENARIO_BUILDERS = {
+    "blocking": _blocking_scenario,
+    "byzantine": _byzantine_scenario,
+    "renaming": _renaming_scenario,
+    "snapshot": _snapshot_scenario,
+}
+
+
+def scenario_for(cfg: GeneratedConfig) -> CheckScenario:
+    """Compile an explorable configuration to a CheckScenario."""
+    builder = _SCENARIO_BUILDERS.get(cfg.family)
+    if builder is None:
+        raise KeyError(
+            f"{cfg.describe()} is not explorable: family "
+            f"{cfg.family!r} executes directly (explorable families: "
+            f"{sorted(EXPLORABLE_FAMILIES)})")
+    return builder(cfg)
+
+
+def generated_scenario(seed: int, index: int) -> CheckScenario:
+    """Resolve ``generated:seed:index`` to its CheckScenario.
+
+    This is the hook :func:`repro.scenarios.build_scenario` calls for
+    the ``generated:`` namespace, which is what lets fork-pool workers
+    rebuild a synthesized scenario from its picklable
+    :class:`~repro.scenarios.ScenarioRef` by (seed, index) alone.
+    Raises ``KeyError`` for non-explorable families.
+    """
+    return scenario_for(generate_config(seed, index))

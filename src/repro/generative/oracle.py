@@ -1,0 +1,155 @@
+"""The solvability oracle: predicted verdicts from the paper's calculus.
+
+The paper's main corollary -- ``ASM(n1,t1,x1) ≃ ASM(n2,t2,x2)`` for
+colorless tasks iff ``⌊t1/x1⌋ = ⌊t2/x2⌋`` -- makes solvability across
+the whole (n, t, x) lattice a *decidable* predicate (the shape "Set
+Consensus Collections are Decidable" mechanizes in general).  This
+module is that predicate in executable form, plus the per-family
+predictions the generative sweep cross-checks against actual
+exploration outcomes:
+
+* k-set agreement is solvable in ASM(n, t, x) iff ``k > ⌊t/x⌋``;
+* an x-safe-agreement object can be *killed* (its deciders blocked)
+  iff the adversary can spend x crashes inside propose, i.e. iff
+  ``⌊c/x⌋ >= 1`` for c crash victims -- the multiplicative phenomenon;
+* tight renaming from test&set resolves n processes into any namespace
+  of at least n names;
+* the k-IS view-size bound holds in every crash-free one-shot
+  write/snapshot run iff ``k >= n - 1``.
+
+The resilience index ``⌊t/x⌋`` is computed through an **injectable**
+``index_fn`` so the mutation-soundness tier can plant an off-by-one
+oracle (``⌈t/x⌉``) and prove the sweep detects it (see
+:mod:`repro.mutants`, mutant ``oracle-ceil-index``, pinned to the
+``sweep`` stage).  Everything downstream of the index routes through
+that one function; the honest default is :func:`floor_index`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Normalized verdict vocabulary shared by predictions and observations.
+PASS, VIOLATION = "pass", "violation"
+SOLVABLE, UNSOLVABLE = "solvable", "unsolvable"
+
+
+def floor_index(t: int, x: int) -> int:
+    """The paper's resilience index ``⌊t/x⌋`` (the honest oracle)."""
+    if t < 0 or x < 1:
+        raise ValueError(f"need t >= 0 and x >= 1, got t={t}, x={x}")
+    return t // x
+
+
+def reference_index(t: int, x: int) -> int:
+    """``⌊t/x⌋`` by repeated subtraction -- an independent route.
+
+    Deliberately shares no code with :func:`floor_index` or
+    :meth:`repro.model.ASM.resilience_index`: the sweep uses it as the
+    cross-check's reference so a planted off-by-one in the oracle
+    cannot cancel out against an identical off-by-one in the ground
+    truth.
+    """
+    if t < 0 or x < 1:
+        raise ValueError(f"need t >= 0 and x >= 1, got t={t}, x={x}")
+    index, remaining = 0, t
+    while remaining >= x:
+        remaining -= x
+        index += 1
+    return index
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One oracle verdict plus the derivation it came from."""
+
+    verdict: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.verdict} ({self.reason})"
+
+
+class SolvabilityOracle:
+    """Per-family predicted verdicts, all routed through ``index_fn``.
+
+    The default ``index_fn`` is :func:`floor_index`; the mutation tier
+    substitutes a ceiling to prove the sweep's cross-check has teeth.
+    """
+
+    def __init__(self,
+                 index_fn: Callable[[int, int], int] = floor_index) -> None:
+        self.index_fn = index_fn
+
+    # -- the corollary ------------------------------------------------
+    def index(self, t: int, x: int) -> int:
+        """The oracle's resilience index for (t, x)."""
+        return self.index_fn(t, x)
+
+    def kset_solvable(self, t: int, x: int, k: int) -> Prediction:
+        """k-set agreement in ASM(·, t, x): solvable iff k > index."""
+        index = self.index(t, x)
+        verdict = SOLVABLE if k > index else UNSOLVABLE
+        return Prediction(verdict,
+                          f"k={k} vs index(t={t},x={x})={index}")
+
+    def equivalent(self, t1: int, x1: int, t2: int, x2: int) -> bool:
+        """Main-corollary equivalence: equal resilience indices."""
+        return self.index(t1, x1) == self.index(t2, x2)
+
+    # -- executable per-family predictions ----------------------------
+    def blocking(self, n: int, x: int, crashes: int) -> Prediction:
+        """Can ``crashes`` mid-propose crashes block x-safe-agreement?
+
+        Killing the object costs the adversary x crashes *inside
+        propose* (paper Lemma 7): a blocking schedule exists iff the
+        victims can own every test&set slot, i.e. iff
+        ``index(crashes, x) >= 1`` -- and someone must survive to be
+        blocked, so additionally ``n > x``.
+        """
+        killable = self.index(crashes, x) >= 1
+        verdict = VIOLATION if (killable and n > x) else PASS
+        return Prediction(
+            verdict,
+            f"index(c={crashes},x={x})={self.index(crashes, x)}, n={n}")
+
+    def byzantine_value_faults(self, n: int, crashes: int) -> Prediction:
+        """Value-only Byzantine rewrites never block safe-agreement.
+
+        DPOR-sound fault plans (see :mod:`repro.runtime.faults`) rewrite
+        values, never control structure, so agreement and termination
+        are those of the healthy protocol under a different input
+        vector: pass iff no crash budget accompanies the rewrites.
+        """
+        verdict = PASS if self.index(crashes, 1) == 0 else VIOLATION
+        return Prediction(verdict, f"value-only faults, {crashes} crashes")
+
+    def renaming(self, n: int, namespace: int) -> Prediction:
+        """Tight renaming from test&set: n processes into M names.
+
+        The slot-scan protocol resolves every run to names exactly
+        {0..n-1}, so the namespace bound holds iff M >= n.
+        """
+        verdict = PASS if namespace >= n else VIOLATION
+        return Prediction(verdict, f"namespace M={namespace} vs n={n}")
+
+    def kview(self, n: int, k: int) -> Prediction:
+        """k-IS view-size bound over crash-free one-shot snapshots.
+
+        The first process to snapshot may have seen only its own write,
+        so views of size >= n - k survive every schedule iff
+        ``n - k <= 1``.
+        """
+        verdict = PASS if n - k <= 1 else VIOLATION
+        return Prediction(verdict, f"min view 1 vs bound n-k={n - k}")
+
+    def message_faults(self, n: int, t: int, faulty_links: int) -> Prediction:
+        """ABD under at most t lagging replicas stays linearizable."""
+        verdict = PASS if faulty_links <= t else VIOLATION
+        return Prediction(verdict,
+                          f"{faulty_links} faulty link(s) vs t={t}")
+
+    def audit_sound(self) -> Prediction:
+        """Shipped footprint declarations are sound (audited)."""
+        return Prediction(PASS, "declared footprints are exact")

@@ -1,0 +1,176 @@
+"""Seeded, replayable choice streams and counterexample shrinking.
+
+The generative sweep (see :mod:`repro.generative.sweep`) must be
+
+* **reproducible** -- the batch synthesized from ``--seed S`` is a pure
+  function of ``S``, bit-for-bit identical across runs, platforms, and
+  job counts; and
+* **shrinkable** -- when a synthesized scenario disagrees with the
+  solvability oracle, the failure must be reduced to a minimal
+  replayable witness.
+
+Both follow from one idea borrowed from Hypothesis: a generator never
+calls a PRNG directly.  It *draws* bounded integers from a
+:class:`ChoiceSource`, which records every value drawn.  The recorded
+sequence fully determines the generated configuration, so
+
+* replaying the sequence regenerates the identical configuration
+  (:meth:`ChoiceSource.from_choices`), and
+* *shrinking* is plain list surgery on integers
+  (:func:`shrink_choices`): delete chunks, lower values toward zero,
+  re-run the predicate, keep whatever still fails.
+
+Values are drawn with :meth:`ChoiceSource.choose`, which reduces a
+replayed or mutated value modulo the requested bound -- every integer
+sequence is therefore a *valid* choice sequence (the generator is
+total), which is what lets the shrinker mutate freely without tracking
+grammar structure.
+
+Seeding is integer-only (``seed * _SEED_STRIDE + index``): seeding
+:class:`random.Random` with an int is stable across processes and
+platforms, unlike hash-based tuple seeding which varies with
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: Multiplier folding (seed, index) into one integer PRNG seed.  Any
+#: two distinct (seed, index) pairs with index below the stride map to
+#: distinct seeds; the stride is a prime far above any realistic batch.
+_SEED_STRIDE = 1_000_003
+
+
+class ChoiceSource:
+    """A stream of bounded integer choices, recorded for replay.
+
+    Exactly one backing mode:
+
+    * *generative* (:meth:`from_seed`): values come from a private
+      ``random.Random`` seeded from ``(seed, index)``;
+    * *replay* (:meth:`from_choices`): values come from a prerecorded
+      sequence, padded with zeros once exhausted (the Hypothesis
+      convention that makes deletion-shrinking total).
+
+    Either way every drawn value is appended to :attr:`choices`, so the
+    recorded tape of a generative run replays to the same configuration.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 prerecorded: Optional[Sequence[int]] = None) -> None:
+        if (rng is None) == (prerecorded is None):
+            raise ValueError("specify exactly one of rng / prerecorded")
+        self._rng = rng
+        self._tape: Tuple[int, ...] = tuple(prerecorded or ())
+        self._cursor = 0
+        self.choices: List[int] = []
+
+    @classmethod
+    def from_seed(cls, seed: int, index: int) -> "ChoiceSource":
+        """The source for configuration ``index`` of batch ``seed``.
+
+        Each configuration gets an *independent* source, so config i
+        never depends on configs 0..i-1: workers and ``--resume`` can
+        regenerate any single configuration from ``(seed, index)``.
+        """
+        if index < 0:
+            raise ValueError("index must be >= 0")
+        return cls(rng=random.Random(seed * _SEED_STRIDE + index))
+
+    @classmethod
+    def from_choices(cls, choices: Sequence[int]) -> "ChoiceSource":
+        """Replay a recorded (or shrunk) choice sequence."""
+        return cls(prerecorded=choices)
+
+    @property
+    def replaying(self) -> bool:
+        """True when backed by a prerecorded tape."""
+        return self._rng is None
+
+    def choose(self, bound: int) -> int:
+        """Draw the next choice in ``[0, bound)`` and record it."""
+        if bound < 1:
+            raise ValueError(f"bound must be >= 1, got {bound}")
+        if self._rng is not None:
+            value = self._rng.randrange(bound)
+        elif self._cursor < len(self._tape):
+            # Reduce modulo the bound: shrunk/mutated tapes stay valid.
+            value = self._tape[self._cursor] % bound
+        else:
+            value = 0  # exhausted tape pads with the minimal choice
+        self._cursor += 1
+        self.choices.append(value)
+        return value
+
+    def pick(self, options: Sequence):
+        """Draw one element of a non-empty sequence."""
+        return options[self.choose(len(options))]
+
+
+def shrink_choices(choices: Sequence[int],
+                   still_fails: Callable[[Sequence[int]], bool],
+                   max_attempts: int = 500) -> Tuple[int, ...]:
+    """Reduce a failing choice sequence to a smaller failing one.
+
+    ``still_fails(candidate)`` re-runs generation + cross-check on the
+    candidate tape and reports whether the failure persists.  Two
+    passes repeat to a fixpoint (or until ``max_attempts`` predicate
+    calls):
+
+    1. **chunk deletion** -- remove spans of halving sizes, preferring
+       the tail (later choices usually encode less structure);
+    2. **value lowering** -- set each element to 0, then halve it
+       toward 0.
+
+    The result is *locally* minimal: no single deletion or lowering
+    step preserves the failure.  Deterministic given a deterministic
+    predicate, so shrunk counterexamples are stable across runs.
+    """
+    current = list(choices)
+    budget = [max_attempts]
+
+    def attempt(candidate: List[int]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return still_fails(candidate)
+
+    improved = True
+    while improved and budget[0] > 0:
+        improved = False
+        # Pass 1: delete chunks, largest first, scanning from the tail.
+        size = len(current)
+        while size >= 1:
+            start = len(current) - size
+            while start >= 0:
+                candidate = current[:start] + current[start + size:]
+                if attempt(candidate):
+                    current = candidate
+                    improved = True
+                    # Re-scan at this size from the (new) tail.
+                    start = min(start, len(current) - size)
+                else:
+                    start -= size
+            size //= 2
+        # Pass 2: lower individual values toward zero.
+        for position in range(len(current)):
+            if current[position] == 0:
+                continue
+            lowered = list(current)
+            lowered[position] = 0
+            if attempt(lowered):
+                current = lowered
+                improved = True
+                continue
+            value = current[position]
+            while value > 1:
+                value //= 2
+                lowered = list(current)
+                lowered[position] = value
+                if attempt(lowered):
+                    current = lowered
+                    improved = True
+                    break
+    return tuple(current)

@@ -1,0 +1,434 @@
+"""The cross-check driver: synthesized configurations vs the oracle.
+
+For each configuration produced by :mod:`repro.generative.generator`
+the driver computes two verdicts and fails loudly when they differ:
+
+* **predicted** -- what the solvability oracle derives from the
+  paper's calculus (``⌊t/x⌋`` routed through its ``index_fn``);
+* **observed** -- what actually happens: exhaustive DPOR exploration
+  for the explorable families, direct execution (lifted k-set runs,
+  ABD histories, footprint audits) or an independent brute-force
+  resilience index for the rest.
+
+A disagreement is shrunk (:func:`repro.generative.source.shrink_choices`)
+to a minimal replayable choice tape, so the report pinpoints the
+smallest configuration on which theory and machine diverge.  The whole
+sweep is budget-aware: a ``timeout`` stops it cleanly between (or
+inside) configurations with a partial result listing completed and
+remaining indices, and a later sweep can ``skip`` already-verified
+indices (``--resume``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms import KSetReadWrite, run_algorithm
+from ..analysis import RegisterSpec, check_linearizable
+from ..analysis.metrics import RunMetrics
+from ..core import simulate_with_xcons
+from ..lint import FootprintViolation, audit_scenario
+from ..messaging import (DelayFault, DropFault, DuplicateFault,
+                         MessageFaultPlan, ReadOp, ReorderFault, WriteOp,
+                         run_abd)
+from ..runtime import (CounterexampleFound, ExplorationInterrupted,
+                       RoundRobinAdversary, SeededRandomAdversary, explore)
+from ..runtime.parallel import explore_parallel
+from ..scenarios import ScenarioRef
+from ..tasks import KSetAgreementTask
+from .generator import GeneratedConfig, config_from_choices, \
+    generate_config, scenario_for
+from .oracle import (PASS, SOLVABLE, UNSOLVABLE, VIOLATION, Prediction,
+                     SolvabilityOracle, reference_index)
+from .source import shrink_choices
+
+
+@dataclass
+class ConfigOutcome:
+    """Predicted vs observed verdict for one configuration.
+
+    All fields are deterministic content (no wall-clock values), so a
+    JSON dump of an outcome is bit-for-bit reproducible across runs
+    and job counts.  ``shrunk_choices``/``shrunk_config`` are filled
+    only for disagreements, after shrinking.
+    """
+
+    config: GeneratedConfig
+    predicted: Prediction
+    observed: str
+    observed_detail: str
+    shrunk_choices: Optional[Tuple[int, ...]] = None
+    shrunk_config: Optional[GeneratedConfig] = None
+
+    @property
+    def agree(self) -> bool:
+        """True when the oracle's verdict matches the observation."""
+        return self.predicted.verdict == self.observed
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable, deterministic outcome record."""
+        record = {
+            "index": self.config.index,
+            "name": self.config.name,
+            "family": self.config.family,
+            "params": dict(sorted(self.config.params.items())),
+            "choices": list(self.config.choices),
+            "predicted": self.predicted.verdict,
+            "predicted_reason": self.predicted.reason,
+            "observed": self.observed,
+            "observed_detail": self.observed_detail,
+            "agree": self.agree,
+        }
+        if self.shrunk_choices is not None:
+            record["shrunk_choices"] = list(self.shrunk_choices)
+            record["shrunk"] = self.shrunk_config.describe()
+        return record
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        mark = "ok " if self.agree else "DISAGREE"
+        return (f"{mark} {self.config.describe()}: predicted "
+                f"{self.predicted}, observed {self.observed} "
+                f"({self.observed_detail})")
+
+
+def _remaining_seconds(deadline: Optional[float]) -> Optional[float]:
+    """Seconds left before ``deadline``; raises when already spent."""
+    if deadline is None:
+        return None
+    remaining = deadline - monotonic()
+    if remaining <= 0:
+        raise ExplorationInterrupted(
+            "timeout", "sweep wall-clock budget exhausted")
+    return remaining
+
+
+# ---------------------------------------------------------------------------
+# Per-family executors: (config, oracle) -> (Prediction, observed, detail)
+# ---------------------------------------------------------------------------
+
+def _execute_calculus(cfg, oracle):
+    """Lattice point: oracle index vs an independent brute floor."""
+    t, x, k = cfg.params["t"], cfg.params["x"], cfg.params["k"]
+    predicted = oracle.kset_solvable(t, x, k)
+    index = reference_index(t, x)
+    observed = SOLVABLE if k > index else UNSOLVABLE
+    return predicted, observed, f"brute-force index(t={t},x={x})={index}"
+
+
+def _execute_construction(cfg, oracle, deadline):
+    """Run the paper's lift: KSetReadWrite through simulate_with_xcons."""
+    x, t_prime = cfg.params["x"], cfg.params["t_prime"]
+    k, n = cfg.params["k"], cfg.params["n"]
+    predicted = oracle.kset_solvable(t_prime, x, k)
+    source = KSetReadWrite(n=n, t=k - 1, k=k)
+    # The lifted model ASM(n', t', x) needs t' < n' and x <= n'.
+    lifted = simulate_with_xcons(source, t_prime=t_prime, x=x,
+                                 n_simulators=max(t_prime + 1, x))
+    inputs = list(range(lifted.n))
+    task = KSetAgreementTask(k)
+    adversaries = [RoundRobinAdversary(),
+                   SeededRandomAdversary(seed=1),
+                   SeededRandomAdversary(seed=2)]
+    for adversary in adversaries:
+        _remaining_seconds(deadline)
+        result = run_algorithm(lifted, inputs, adversary=adversary,
+                               max_steps=2_000_000)
+        verdict = task.validate_run(inputs, result)
+        if not verdict.ok:
+            return (predicted, UNSOLVABLE,
+                    f"{lifted.name} under {adversary!r}: "
+                    f"{verdict.explain()}")
+    return (predicted, SOLVABLE,
+            f"{lifted.name} solved {k}-set agreement under "
+            f"{len(adversaries)} adversaries")
+
+
+#: The ABD workload and the legal message-fault matrix (a healthy
+#: n=3, t=1 ABD tolerates each of these by design -- see
+#: ``tests/messaging/test_faults.py`` and ``docs/fault_injection.md``).
+_ABD_SCRIPTS = ((WriteOp("a"), WriteOp("b")),
+                (ReadOp(), ReadOp()),
+                (ReadOp(), ReadOp()))
+
+
+def _abd_plan(kind: int) -> Optional[MessageFaultPlan]:
+    """Message-fault plan #``kind`` (0 = healthy network)."""
+    if kind == 0:
+        return None
+    fault = {1: DropFault(sender=0, dest=1, occurrence=1),
+             2: DuplicateFault(sender=0, occurrence=2),
+             3: DelayFault(sender=0, dest=2, occurrence=1, not_before=30),
+             4: ReorderFault(sender=0, dest=1, swaps=3)}[kind]
+    return MessageFaultPlan([fault])
+
+
+def _execute_message(cfg, oracle):
+    """ABD under one legal message-fault rule: still linearizable?"""
+    kind, seed = cfg.params["plan"], cfg.params["seed"]
+    predicted = oracle.message_faults(3, 1, faulty_links=min(kind, 1))
+    result, history = run_abd(
+        3, 1, writer=0, scripts=[list(s) for s in _ABD_SCRIPTS],
+        seed=seed, faults=_abd_plan(kind))
+    if result.stalled:
+        return predicted, VIOLATION, f"ABD stalled (plan {kind}, s{seed})"
+    if not check_linearizable(history, RegisterSpec()):
+        return (predicted, VIOLATION,
+                f"history not linearizable (plan {kind}, s{seed})")
+    return (predicted, PASS,
+            f"{len(history)} ops linearizable (plan {kind}, s{seed})")
+
+
+def _execute_audit(cfg, oracle):
+    """Footprint-audit a generated pass-shaped scenario."""
+    base = "snapshot" if cfg.params["base"] == 0 else "renaming"
+    n = cfg.params["n"]
+    params = ({"n": n, "k": n} if base == "snapshot"
+              else {"n": n, "namespace": n})
+    target = GeneratedConfig(seed=cfg.seed, index=cfg.index,
+                             family=base, params=params)
+    scenario = scenario_for(target)
+    predicted = oracle.audit_sound()
+    try:
+        report = audit_scenario(scenario, max_steps=50_000,
+                                perturb=bool(cfg.params["perturb"]))
+    except FootprintViolation as exc:
+        return predicted, VIOLATION, f"unsound footprint: {exc}"
+    return (predicted, PASS,
+            f"{base} audit: {report.runs} runs, "
+            f"{report.audited_ops} ops audited")
+
+
+def _predict_explorable(cfg, oracle) -> Prediction:
+    """The oracle's verdict for an explorable configuration."""
+    params = cfg.params
+    if cfg.family == "blocking":
+        return oracle.blocking(params["n"], params["x"], params["crashes"])
+    if cfg.family == "byzantine":
+        return oracle.byzantine_value_faults(params["n"], 0)
+    if cfg.family == "renaming":
+        return oracle.renaming(params["n"], params["namespace"])
+    return oracle.kview(params["n"], params["k"])
+
+
+def _execute_explorable(cfg, oracle, jobs, deadline):
+    """Exhaustively explore a generated scenario (serial or sharded)."""
+    scenario = scenario_for(cfg)
+    predicted = _predict_explorable(cfg, oracle)
+    try:
+        if jobs is not None and cfg.seed >= 0:
+            stats = explore_parallel(
+                crash_plan_factory=scenario.crash_plan_factory,
+                max_steps=scenario.max_steps,
+                max_runs=scenario.max_runs,
+                jobs=jobs, reduction="dpor",
+                scenario=ScenarioRef(cfg.name),
+                deadline=deadline)
+        else:
+            stats = explore(scenario.build, scenario.check,
+                            crash_plan_factory=scenario.crash_plan_factory,
+                            max_steps=scenario.max_steps,
+                            max_runs=scenario.max_runs,
+                            reduction="dpor",
+                            timeout=_remaining_seconds(deadline))
+    except CounterexampleFound as exc:
+        ce = exc.counterexample
+        return (predicted, VIOLATION,
+                f"{type(ce.error).__name__} on schedule "
+                f"{list(ce.schedule)}")
+    return (predicted, PASS,
+            f"all schedules pass ({stats.complete_runs} complete, "
+            f"{stats.pruned_runs} pruned)")
+
+
+def execute_config(cfg: GeneratedConfig,
+                   oracle: Optional[SolvabilityOracle] = None,
+                   jobs: Optional[int] = None,
+                   deadline: Optional[float] = None) -> ConfigOutcome:
+    """Run one configuration's experiment and compare to the oracle.
+
+    ``jobs`` shards the exploration of explorable families (ignored by
+    direct-execution families, which are already deterministic);
+    ``deadline`` is an absolute ``monotonic()`` budget -- crossing it
+    raises :class:`~repro.runtime.explore.ExplorationInterrupted` with
+    reason ``"timeout"``, which :func:`run_sweep` converts into a
+    partial result.
+    """
+    oracle = oracle or SolvabilityOracle()
+    _remaining_seconds(deadline)
+    if cfg.explorable:
+        predicted, observed, detail = _execute_explorable(
+            cfg, oracle, jobs, deadline)
+    elif cfg.family == "calculus":
+        predicted, observed, detail = _execute_calculus(cfg, oracle)
+    elif cfg.family == "construction":
+        predicted, observed, detail = _execute_construction(
+            cfg, oracle, deadline)
+    elif cfg.family == "message":
+        predicted, observed, detail = _execute_message(cfg, oracle)
+    else:
+        predicted, observed, detail = _execute_audit(cfg, oracle)
+    return ConfigOutcome(config=cfg, predicted=predicted,
+                         observed=observed, observed_detail=detail)
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepResult:
+    """Everything one sweep established (or got through before a budget).
+
+    ``outcomes`` covers exactly the ``completed`` indices, in index
+    order; ``remaining`` lists what a budget interruption left undone
+    (always empty for a full sweep).  ``skipped`` are the indices a
+    resume was told to trust from an earlier sweep.
+    """
+
+    seed: int
+    count: int
+    jobs: Optional[int]
+    outcomes: List[ConfigOutcome] = field(default_factory=list)
+    skipped: Tuple[int, ...] = ()
+    remaining: Tuple[int, ...] = ()
+    interrupted: bool = False
+    interrupt_reason: Optional[str] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def completed(self) -> Tuple[int, ...]:
+        """Indices whose experiment ran to a verdict this sweep."""
+        return tuple(outcome.config.index for outcome in self.outcomes)
+
+    @property
+    def verified(self) -> Tuple[int, ...]:
+        """Completed indices whose verdicts agreed with the oracle."""
+        return tuple(outcome.config.index for outcome in self.outcomes
+                     if outcome.agree)
+
+    @property
+    def disagreements(self) -> List[ConfigOutcome]:
+        """Outcomes where theory and machine diverged."""
+        return [outcome for outcome in self.outcomes
+                if not outcome.agree]
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of completed configurations that agreed (1.0 = all)."""
+        if not self.outcomes:
+            return 1.0
+        return len(self.verified) / len(self.outcomes)
+
+    @property
+    def family_counts(self) -> Dict[str, int]:
+        """Completed configurations per family (sorted by name)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            family = outcome.config.family
+            counts[family] = counts.get(family, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_record(self) -> Dict:
+        """The versioned ``kind="sweep"`` metrics record (a dict).
+
+        Timing values use :data:`repro.analysis.metrics.TIMING_KEYS`
+        names (``wall_seconds``, ``jobs``), so ``deterministic_view``
+        of this record is identical across runs and job counts of the
+        same seed -- the property the golden determinism test pins.
+        """
+        return RunMetrics(
+            kind="sweep", name=f"sweep:seed={self.seed}",
+            data={
+                "seed": self.seed,
+                "count": self.count,
+                "completed": list(self.completed),
+                "verified": list(self.verified),
+                "skipped": list(self.skipped),
+                "remaining": list(self.remaining),
+                "partial": self.interrupted,
+                "interrupt_reason": self.interrupt_reason,
+                "agreement_rate": self.agreement_rate,
+                "families": self.family_counts,
+                "disagreements": [outcome.to_dict() for outcome
+                                  in self.disagreements],
+                "outcomes": [outcome.to_dict()
+                             for outcome in self.outcomes],
+                "jobs": self.jobs if self.jobs else 1,
+                "wall_seconds": self.wall_seconds,
+            }).to_dict()
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        state = "PARTIAL" if self.interrupted else "complete"
+        return (f"sweep seed={self.seed}: {len(self.completed)}/"
+                f"{self.count} configs ({state}), "
+                f"{len(self.disagreements)} disagreement(s), "
+                f"agreement rate {self.agreement_rate:.3f}")
+
+
+def _shrink_outcome(outcome: ConfigOutcome,
+                    oracle: SolvabilityOracle,
+                    deadline: Optional[float],
+                    max_attempts: int) -> None:
+    """Reduce a disagreeing tape to a minimal still-disagreeing one."""
+
+    def still_fails(choices: Sequence[int]) -> bool:
+        candidate = config_from_choices(choices)
+        try:
+            return not execute_config(candidate, oracle,
+                                      deadline=deadline).agree
+        except ExplorationInterrupted:
+            return False  # out of budget: stop improving, keep current
+        except Exception:
+            return False  # malformed candidate cannot be the witness
+    shrunk = shrink_choices(outcome.config.choices, still_fails,
+                            max_attempts=max_attempts)
+    outcome.shrunk_choices = shrunk
+    outcome.shrunk_config = config_from_choices(shrunk)
+
+
+def run_sweep(seed: int, count: int,
+              oracle: Optional[SolvabilityOracle] = None,
+              jobs: Optional[int] = None,
+              timeout: Optional[float] = None,
+              skip: Sequence[int] = (),
+              shrink: bool = True,
+              shrink_attempts: int = 150) -> SweepResult:
+    """Cross-check ``count`` synthesized configurations of batch ``seed``.
+
+    Configurations run in index order; ``skip`` indices (e.g. verified
+    by an earlier, interrupted sweep of the same seed) are not re-run.
+    On ``timeout`` the sweep stops cleanly and the result carries
+    ``interrupted=True`` plus the completed/remaining split; the CLI
+    maps that to exit code 3 and a metrics record flagged
+    ``"partial": true``.  Disagreements are shrunk to minimal
+    replayable tapes unless ``shrink=False``.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    oracle = oracle or SolvabilityOracle()
+    start = monotonic()
+    deadline = start + timeout if timeout else None
+    skip_set = frozenset(skip)
+    result = SweepResult(seed=seed, count=count, jobs=jobs,
+                         skipped=tuple(sorted(skip_set)))
+    pending = [i for i in range(count) if i not in skip_set]
+    for position, index in enumerate(pending):
+        cfg = generate_config(seed, index)
+        try:
+            outcome = execute_config(cfg, oracle, jobs=jobs,
+                                     deadline=deadline)
+        except ExplorationInterrupted as exc:
+            result.interrupted = True
+            result.interrupt_reason = exc.reason
+            result.remaining = tuple(pending[position:])
+            break
+        result.outcomes.append(outcome)
+    if shrink:
+        for outcome in result.disagreements:
+            _shrink_outcome(outcome, oracle, deadline, shrink_attempts)
+    result.wall_seconds = monotonic() - start
+    return result

@@ -15,7 +15,10 @@ catches every one of them:
   (:func:`repro.analysis.linearizability.check_linearizable`) rejects a
   history produced under seeded adversarial delivery;
 * ``audit``    -- the dynamic footprint auditor
-  (:mod:`repro.lint.audit`) catches an unsound footprint declaration.
+  (:mod:`repro.lint.audit`) catches an unsound footprint declaration;
+* ``sweep``    -- the generative corollary sweep
+  (:mod:`repro.generative`) cross-checks synthesized configurations
+  against the solvability oracle and flags the disagreement.
 
 Each :class:`Mutant` pins the stage *expected* to catch it; the
 ``mutation`` pytest tier (``tests/mutation/``) asserts the pinned stage
@@ -35,7 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 #: Detection stages, in the order the harness consults them.
-STAGES = ("explore", "check", "audit")
+STAGES = ("explore", "check", "audit", "sweep")
 
 
 @dataclass(frozen=True)
@@ -466,6 +469,45 @@ def _footprint_underdeclared() -> Optional[str]:
 
 
 # ---------------------------------------------------------------------------
+# oracle mutant (the generative sweep's own soundness)
+# ---------------------------------------------------------------------------
+
+#: The pinned batch the oracle mutant is swept against.  Seed 7's first
+#: dozen configurations include resilience-lattice points with
+#: ``t % x != 0`` (where ceiling and floor differ), which is exactly
+#: where an off-by-one oracle contradicts the machines.  The ``sweep``
+#: pytest tier pins the complementary fact: the *honest* floor oracle
+#: agrees with every observation on this same batch.
+SWEEP_MUTANT_SEED = 7
+SWEEP_MUTANT_COUNT = 12
+
+
+def _ceil_index(t: int, x: int) -> int:
+    """The off-by-one resilience index ``⌈t/x⌉`` (the planted bug)."""
+    return -((-t) // x)
+
+
+def _oracle_ceil_index() -> Optional[str]:
+    """The solvability oracle computes ``⌈t/x⌉`` instead of ``⌊t/x⌋``.
+
+    Every downstream prediction shifts by one whenever x does not
+    divide t -- e.g. k-set agreement with k = ⌊t/x⌋ + 1 is declared
+    impossible although the construction demonstrably solves it.  The
+    exploration/check/audit stages never consult the oracle, so only
+    the generative cross-check can catch this: the sweep compares the
+    mutated predictions against brute-force indices, actual lifted
+    runs, and exhaustive exploration, and reports the disagreement.
+    """
+    from .generative import SolvabilityOracle, run_sweep
+    result = run_sweep(SWEEP_MUTANT_SEED, SWEEP_MUTANT_COUNT,
+                       oracle=SolvabilityOracle(index_fn=_ceil_index),
+                       shrink=False)
+    if result.disagreements:
+        return "sweep"
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Registry + harness
 # ---------------------------------------------------------------------------
 
@@ -494,6 +536,9 @@ MUTANTS: Tuple[Mutant, ...] = (
     Mutant("footprint-underdeclared",
            "operation reads every cell but declares a one-cell footprint",
            "audit", _footprint_underdeclared),
+    Mutant("oracle-ceil-index",
+           "solvability oracle computes ceil(t/x) instead of floor(t/x)",
+           "sweep", _oracle_ceil_index),
 )
 
 

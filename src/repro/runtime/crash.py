@@ -113,6 +113,24 @@ class CrashPlan:
         return cls({pid: CrashPoint(before_matching=predicate,
                                     occurrence=occurrence)})
 
+    @classmethod
+    def before_operation_each(cls, pids: Iterable[int],
+                              predicate: Callable[[Invocation], bool],
+                              occurrence: int = 1) -> "CrashPlan":
+        """Every listed victim crashes before its own matching operation.
+
+        Each victim gets a private :class:`CrashPoint` (match counters
+        are per-point), all sharing the same stateless ``predicate`` --
+        e.g. ``op_on("XSA_REG", "write")`` to crash each victim right
+        before it would publish.  A victim whose execution never reaches
+        a matching operation simply never crashes, which is exactly the
+        semantics the blocking-lemma scenarios need: only processes
+        that *win* ownership can die inside the window that matters.
+        """
+        return cls({pid: CrashPoint(before_matching=predicate,
+                                    occurrence=occurrence)
+                    for pid in pids})
+
     def add(self, pid: int, point: CrashPoint) -> "CrashPlan":
         if pid in self.points:
             raise ValueError(f"pid {pid} already has a crash point")

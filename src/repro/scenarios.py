@@ -258,17 +258,39 @@ SOUND_SCENARIOS: List[str] = [
     "safe-agreement", "adopt-commit", "x-safe-agreement", "queue-2cons"]
 
 
+def _parse_generated_name(name: str) -> Tuple[int, int]:
+    """Split ``generated:SEED:INDEX`` into its integer pair."""
+    try:
+        _, seed_text, index_text = name.split(":")
+        return int(seed_text), int(index_text)
+    except ValueError:
+        raise KeyError(
+            f"malformed generated scenario name {name!r} "
+            f"(expected 'generated:SEED:INDEX')") from None
+
+
 def build_scenario(name: str, n: int = 3, x: int = 2) -> CheckScenario:
     """Rebuild one registry scenario by name (for worker processes).
 
     Scenario ``build``/``check`` callables close over local state and do
-    not pickle; a ``(name, n, x)`` triple does.  Raises ``KeyError`` for
-    unknown names, listing what exists.
+    not pickle; a ``(name, n, x)`` triple does.  Names in the
+    ``generated:SEED:INDEX`` namespace resolve through the generative
+    sweep's grammar (:func:`repro.generative.generated_scenario`) --
+    the synthesized configuration is a pure function of the two
+    integers, so workers rebuild it exactly; the ``n``/``x`` sizing
+    arguments are ignored for that namespace (the tape encodes its own
+    sizes).  Raises ``KeyError`` for unknown names, listing what
+    exists.
     """
+    if name.startswith("generated:"):
+        from .generative import generated_scenario
+        seed, index = _parse_generated_name(name)
+        return generated_scenario(seed, index)
     registry = check_scenarios(n=n, x=x)
     if name not in registry:
         raise KeyError(f"unknown scenario {name!r} "
-                       f"(expected one of {sorted(registry)})")
+                       f"(expected one of {sorted(registry)}, or "
+                       f"'generated:SEED:INDEX')")
     return registry[name]
 
 

@@ -1,5 +1,6 @@
 """Decision-task formalism: colorless/colored tasks and run validation."""
 
+from .immediate_snapshot import KImmediateSnapshotTask, OneShotSnapshotTask
 from .kset_task import ConsensusTask, KSetAgreementTask
 from .renaming import DistinctValuesTask, RenamingTask
 from .task import Task, TaskVerdict
@@ -7,5 +8,6 @@ from .task import Task, TaskVerdict
 __all__ = [
     "ConsensusTask", "KSetAgreementTask",
     "DistinctValuesTask", "RenamingTask",
+    "KImmediateSnapshotTask", "OneShotSnapshotTask",
     "Task", "TaskVerdict",
 ]

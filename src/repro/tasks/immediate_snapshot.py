@@ -1,0 +1,110 @@
+"""Immediate-snapshot task variants (t-resilient k-IS, PAPERS.md).
+
+The *one-shot snapshot* task: each process writes its input and decides
+a **view** -- a set of ``(pid, value)`` pairs -- subject to
+
+* **self-inclusion**: a process's own pair is in its view;
+* **containment**: any two views are ordered by inclusion.
+
+The *k-immediate-snapshot* refinement (from the "t-Resilient
+k-Immediate Snapshot" line of work tracked in PAPERS.md) additionally
+requires every view to carry at least ``n - k`` pairs.  Full immediacy
+(``p in view_q and q in view_p  =>  view_p == view_q``) is a property
+of *immediate*-snapshot protocols, not of atomic snapshots; it is
+checked only when ``immediacy=True`` is requested, so the task can
+grade both protocol families.
+
+These specifications feed the generative sweep
+(:mod:`repro.generative`): the write-then-snapshot protocol satisfies
+self-inclusion + containment in *every* run, while the ``n - k`` size
+bound holds in every crash-free run **iff** ``k >= n - 1`` (the first
+process to snapshot may have seen only its own write) -- an executable
+two-sided prediction the solvability oracle cross-checks against
+exhaustive exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .task import Task
+
+#: A decided view: a tuple of (pid, value) pairs, sorted by pid.
+View = Tuple[Tuple[int, Any], ...]
+
+
+def _as_pairs(view: Any) -> List[Tuple[int, Any]]:
+    """Coerce a decided view into a list of (pid, value) pairs."""
+    try:
+        return [(int(pid), value) for pid, value in view]
+    except (TypeError, ValueError):
+        return []
+
+
+class OneShotSnapshotTask(Task):
+    """Self-inclusion + containment over decided views (colored)."""
+
+    colorless = False
+
+    def __init__(self, n: int, immediacy: bool = False) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.immediacy = immediacy
+        self.name = f"one-shot-snapshot({n})"
+
+    def check_outputs(self, inputs: Sequence[Any],
+                      outputs: Dict[int, Any]) -> List[str]:
+        """Violations of self-inclusion / containment (/ immediacy)."""
+        violations: List[str] = []
+        views: Dict[int, Dict[int, Any]] = {}
+        for pid, decided in sorted(outputs.items()):
+            pairs = _as_pairs(decided)
+            if not pairs:
+                violations.append(
+                    f"p{pid} decided {decided!r}, not a non-empty view "
+                    f"of (pid, value) pairs")
+                continue
+            views[pid] = dict(pairs)
+            if pid not in views[pid]:
+                violations.append(
+                    f"self-inclusion: p{pid}'s view {sorted(views[pid])} "
+                    f"misses its own pair")
+        pids = sorted(views)
+        for i, p in enumerate(pids):
+            for q in pids[i + 1:]:
+                sp, sq = set(views[p].items()), set(views[q].items())
+                if not (sp <= sq or sq <= sp):
+                    violations.append(
+                        f"containment: views of p{p} and p{q} are "
+                        f"incomparable")
+                elif (self.immediacy and p in views[q] and q in views[p]
+                        and sp != sq):
+                    violations.append(
+                        f"immediacy: p{p} and p{q} see each other but "
+                        f"their views differ")
+        return violations
+
+
+class KImmediateSnapshotTask(OneShotSnapshotTask):
+    """One-shot snapshot plus the k-IS view-size bound ``>= n - k``."""
+
+    def __init__(self, n: int, k: int, immediacy: bool = False) -> None:
+        super().__init__(n, immediacy=immediacy)
+        if not 0 <= k <= n:
+            raise ValueError(f"need 0 <= k <= n, got k={k}, n={n}")
+        self.k = k
+        self.name = f"{k}-immediate-snapshot({n})"
+
+    def check_outputs(self, inputs: Sequence[Any],
+                      outputs: Dict[int, Any]) -> List[str]:
+        """One-shot violations plus any view smaller than ``n - k``."""
+        violations = super().check_outputs(inputs, outputs)
+        floor = self.n - self.k
+        for pid, decided in sorted(outputs.items()):
+            pairs = _as_pairs(decided)
+            if pairs and len(pairs) < floor:
+                violations.append(
+                    f"k-view: p{pid}'s view has {len(pairs)} pairs, "
+                    f"the {self.k}-IS bound requires >= {floor}")
+        return violations

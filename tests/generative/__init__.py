@@ -1,0 +1,1 @@
+"""Generative corollary sweep: generator, oracle, and cross-check tier."""

@@ -1,0 +1,105 @@
+"""ChoiceSource: recorded tapes, replay, and the shrinker."""
+
+import pytest
+
+from repro.generative import ChoiceSource, shrink_choices
+
+
+class TestChoiceSource:
+    def test_same_seed_index_same_tape(self):
+        draws_a = [ChoiceSource.from_seed(7, 3).choose(100)
+                   for _ in range(1)]
+        source_a = ChoiceSource.from_seed(7, 3)
+        source_b = ChoiceSource.from_seed(7, 3)
+        tape_a = [source_a.choose(100) for _ in range(20)]
+        tape_b = [source_b.choose(100) for _ in range(20)]
+        assert tape_a == tape_b
+        assert source_a.choices == tape_a
+        assert draws_a[0] == tape_a[0]
+
+    def test_distinct_indices_give_distinct_tapes(self):
+        tapes = set()
+        for index in range(10):
+            source = ChoiceSource.from_seed(7, index)
+            tapes.add(tuple(source.choose(1000) for _ in range(8)))
+        assert len(tapes) == 10
+
+    def test_choices_stay_in_bounds(self):
+        source = ChoiceSource.from_seed(0, 0)
+        for bound in (1, 2, 3, 17):
+            for _ in range(50):
+                assert 0 <= source.choose(bound) < bound
+
+    def test_replay_regenerates_exact_values(self):
+        source = ChoiceSource.from_seed(42, 0)
+        original = [source.choose(50) for _ in range(12)]
+        replayed = ChoiceSource.from_choices(source.choices)
+        assert [replayed.choose(50) for _ in range(12)] == original
+        assert replayed.replaying
+        assert not source.replaying
+
+    def test_replay_reduces_modulo_bound(self):
+        # Mutated tapes with out-of-range values stay valid -- the
+        # totality property the shrinker relies on.
+        replayed = ChoiceSource.from_choices([100, 7])
+        assert replayed.choose(3) == 100 % 3
+        assert replayed.choose(5) == 7 % 5
+
+    def test_exhausted_tape_pads_zero(self):
+        replayed = ChoiceSource.from_choices([1])
+        assert replayed.choose(4) == 1
+        assert replayed.choose(4) == 0
+        assert replayed.choose(9) == 0
+        assert replayed.choices == [1, 0, 0]
+
+    def test_pick_indexes_options(self):
+        source = ChoiceSource.from_choices([2])
+        assert source.pick(["a", "b", "c"]) == "c"
+
+    def test_bad_bound_and_bad_construction_raise(self):
+        with pytest.raises(ValueError):
+            ChoiceSource.from_seed(0, 0).choose(0)
+        with pytest.raises(ValueError):
+            ChoiceSource.from_seed(0, -1)
+        with pytest.raises(ValueError):
+            ChoiceSource()
+
+
+class TestShrinkChoices:
+    def test_shrinks_to_locally_minimal_witness(self):
+        # Failure: some element >= 10 somewhere in the tape.
+        def still_fails(tape):
+            return any(v >= 10 for v in tape)
+
+        shrunk = shrink_choices([3, 50, 7, 12, 9, 40], still_fails)
+        assert still_fails(shrunk)
+        assert len(shrunk) == 1
+        # Value lowering halves toward the boundary.
+        assert shrunk[0] < 20
+
+    def test_shrinking_is_deterministic(self):
+        def still_fails(tape):
+            return sum(tape) >= 25
+
+        first = shrink_choices([9, 9, 9, 9, 9], still_fails)
+        second = shrink_choices([9, 9, 9, 9, 9], still_fails)
+        assert first == second
+        assert still_fails(first)
+
+    def test_respects_attempt_budget(self):
+        calls = []
+
+        def still_fails(tape):
+            calls.append(1)
+            return True
+
+        shrink_choices(list(range(64)), still_fails, max_attempts=10)
+        assert len(calls) <= 10
+
+    def test_non_shrinkable_failure_survives_unchanged(self):
+        target = (5, 6, 7)
+
+        def still_fails(tape):
+            return tuple(tape) == target
+
+        assert shrink_choices(target, still_fails) == target

@@ -1,0 +1,122 @@
+"""The scenario grammar: batches, round-trips, and generated scenarios."""
+
+import pickle
+
+import pytest
+
+from repro.generative import (EXPLORABLE_FAMILIES, FAMILIES,
+                              GeneratedConfig, config_from_choices,
+                              generate_batch, generate_config,
+                              generated_scenario, scenario_for)
+from repro.scenarios import CheckScenario, ScenarioRef, build_scenario
+
+BATCH_SEED, BATCH_COUNT = 7, 200
+
+
+class TestBatchGeneration:
+    def test_batches_are_reproducible(self):
+        assert generate_batch(BATCH_SEED, 50) \
+            == generate_batch(BATCH_SEED, 50)
+
+    def test_configs_are_independent_of_batch_size(self):
+        # --resume and workers regenerate single configs by index, so
+        # config i must not depend on how many neighbours were drawn.
+        long = generate_batch(BATCH_SEED, 50)
+        for i in (0, 7, 49):
+            assert generate_config(BATCH_SEED, i) == long[i]
+
+    def test_every_family_appears_in_the_pinned_batch(self):
+        families = {cfg.family
+                    for cfg in generate_batch(BATCH_SEED, BATCH_COUNT)}
+        assert families == set(FAMILIES)
+
+    def test_params_respect_the_grammar_bounds(self):
+        for cfg in generate_batch(BATCH_SEED, BATCH_COUNT):
+            p = cfg.params
+            if cfg.family == "calculus":
+                assert 0 <= p["t"] <= 12 and 1 <= p["x"] <= 6 \
+                    and 1 <= p["k"] <= 6
+            elif cfg.family == "construction":
+                assert p["k"] >= 1 and p["n"] == p["k"] + 1
+                assert p["t_prime"] // p["x"] == p["k"] - 1
+                assert p["t_prime"] >= 1
+            elif cfg.family == "blocking":
+                assert 2 <= p["n"] <= 3 and 1 <= p["x"] <= p["n"] \
+                    and 0 <= p["crashes"] <= p["n"]
+            elif cfg.family == "renaming":
+                assert 1 <= p["namespace"] <= 2 * p["n"]
+            elif cfg.family == "snapshot":
+                assert 0 <= p["k"] <= p["n"]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_batch(0, -1)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratedConfig(seed=0, index=0, family="nope", params={})
+
+
+class TestChoiceRoundTrip:
+    def test_tape_replay_rebuilds_family_and_params(self):
+        for cfg in generate_batch(BATCH_SEED, 60):
+            rebuilt = config_from_choices(cfg.choices)
+            assert rebuilt.family == cfg.family
+            assert rebuilt.params == cfg.params
+            assert rebuilt.choices == cfg.choices
+            assert rebuilt.seed == -1 and rebuilt.index == -1
+
+    def test_arbitrary_tapes_are_total(self):
+        # Any integer sequence is a valid configuration (modulo
+        # reduction + zero padding) -- the shrinker's contract.
+        for tape in ([], [0], [999], [3, 999, 999, 999, 7]):
+            cfg = config_from_choices(tape)
+            assert cfg.family in FAMILIES
+
+
+class TestGeneratedScenarios:
+    def _explorable(self, count=60):
+        return [cfg for cfg in generate_batch(BATCH_SEED, count)
+                if cfg.explorable]
+
+    def test_explorable_configs_compile_to_scenarios(self):
+        for cfg in self._explorable():
+            scenario = scenario_for(cfg)
+            assert isinstance(scenario, CheckScenario)
+            assert scenario.name == cfg.name
+            assert "[generated]" in scenario.description
+
+    def test_non_explorable_families_raise(self):
+        calculus = next(cfg for cfg in generate_batch(BATCH_SEED, 60)
+                        if cfg.family == "calculus")
+        with pytest.raises(KeyError, match="not explorable"):
+            scenario_for(calculus)
+
+    def test_registry_namespace_resolves_generated_names(self):
+        cfg = self._explorable()[0]
+        scenario = build_scenario(cfg.name)
+        assert scenario.name == cfg.name
+        assert scenario.description \
+            == generated_scenario(cfg.seed, cfg.index).description
+
+    def test_malformed_generated_names_raise_keyerror(self):
+        for name in ("generated:oops", "generated:1:2:3",
+                     "generated:a:b"):
+            with pytest.raises(KeyError, match="malformed"):
+                build_scenario(name)
+
+    def test_scenario_ref_pickles_and_rebuilds(self):
+        # The regression this PR fixes: scenario closures don't pickle,
+        # so workers ship a by-name reference and rebuild from
+        # (seed, index) -- the round-trip must survive a real pickle.
+        cfg = self._explorable()[0]
+        ref = ScenarioRef(cfg.name)
+        clone = pickle.loads(pickle.dumps(ref))
+        scenario = clone.resolve()
+        assert scenario.name == cfg.name
+        programs, store = scenario.build()
+        assert len(programs) == cfg.params["n"]
+
+    def test_explorable_set_matches_builders(self):
+        assert EXPLORABLE_FAMILIES \
+            == {"blocking", "byzantine", "renaming", "snapshot"}

@@ -1,0 +1,99 @@
+"""The solvability oracle against the paper's calculus."""
+
+import pytest
+
+from repro.generative import (Prediction, SolvabilityOracle, floor_index,
+                              reference_index)
+from repro.generative.oracle import (PASS, SOLVABLE, UNSOLVABLE,
+                                     VIOLATION)
+from repro.model import ASM
+
+
+class TestIndexFunctions:
+    def test_floor_matches_reference_across_the_lattice(self):
+        for t in range(0, 30):
+            for x in range(1, 10):
+                assert floor_index(t, x) == reference_index(t, x)
+
+    def test_floor_matches_the_model_resilience_index(self):
+        for t in range(0, 15):
+            for x in range(1, 6):
+                n = max(t + 1, x)
+                assert floor_index(t, x) == \
+                    ASM(n=n, t=t, x=x).resilience_index
+
+    @pytest.mark.parametrize("t,x", [(-1, 1), (0, 0), (3, -2)])
+    def test_invalid_arguments_raise(self, t, x):
+        with pytest.raises(ValueError):
+            floor_index(t, x)
+        with pytest.raises(ValueError):
+            reference_index(t, x)
+
+
+class TestPredictions:
+    def test_kset_threshold_is_exactly_the_index(self):
+        oracle = SolvabilityOracle()
+        for t in range(0, 13):
+            for x in range(1, 7):
+                index = t // x
+                assert oracle.kset_solvable(t, x, index).verdict \
+                    == UNSOLVABLE
+                assert oracle.kset_solvable(t, x, index + 1).verdict \
+                    == SOLVABLE
+
+    def test_equivalence_is_equal_indices(self):
+        oracle = SolvabilityOracle()
+        assert oracle.equivalent(6, 3, 4, 2)       # both index 2
+        assert not oracle.equivalent(6, 3, 6, 2)   # 2 vs 3
+
+    def test_blocking_needs_x_crashes_and_a_survivor(self):
+        oracle = SolvabilityOracle()
+        assert oracle.blocking(3, 2, 1).verdict == PASS     # < x crashes
+        assert oracle.blocking(3, 2, 2).verdict == VIOLATION
+        assert oracle.blocking(2, 2, 2).verdict == PASS     # nobody left
+
+    def test_value_only_byzantine_is_harmless(self):
+        oracle = SolvabilityOracle()
+        assert oracle.byzantine_value_faults(2, 0).verdict == PASS
+        assert oracle.byzantine_value_faults(2, 1).verdict == VIOLATION
+
+    def test_renaming_namespace_bound(self):
+        oracle = SolvabilityOracle()
+        assert oracle.renaming(3, 3).verdict == PASS
+        assert oracle.renaming(3, 2).verdict == VIOLATION
+
+    def test_kview_bound(self):
+        oracle = SolvabilityOracle()
+        assert oracle.kview(3, 2).verdict == PASS
+        assert oracle.kview(3, 1).verdict == VIOLATION
+
+    def test_prediction_renders_its_derivation(self):
+        prediction = SolvabilityOracle().kset_solvable(5, 2, 3)
+        assert isinstance(prediction, Prediction)
+        assert "index(t=5,x=2)=2" in str(prediction)
+
+
+class TestInjectedCeilOracle:
+    """An off-by-one index flips verdicts -- what the mutant plants."""
+
+    @staticmethod
+    def _ceil(t, x):
+        return -((-t) // x)
+
+    def test_ceil_flips_non_multiple_lattice_points(self):
+        honest = SolvabilityOracle()
+        mutated = SolvabilityOracle(index_fn=self._ceil)
+        flipped = [(t, x) for t in range(1, 13) for x in range(2, 7)
+                   if honest.kset_solvable(t, x, t // x + 1).verdict
+                   != mutated.kset_solvable(t, x, t // x + 1).verdict]
+        # Every non-multiple (t, x) point flips at k = floor + 1.
+        assert flipped == [(t, x) for t in range(1, 13)
+                           for x in range(2, 7) if t % x]
+
+    def test_ceil_agrees_on_exact_multiples(self):
+        honest = SolvabilityOracle()
+        mutated = SolvabilityOracle(index_fn=self._ceil)
+        for t in (0, 2, 4, 6):
+            for k in range(1, 5):
+                assert honest.kset_solvable(t, 2, k).verdict \
+                    == mutated.kset_solvable(t, 2, k).verdict

@@ -1,0 +1,238 @@
+"""The ``sweep`` tier: oracle cross-checks over synthesized batches.
+
+Run just this tier with ``pytest -m sweep``; the CLI twin is
+``python -m repro sweep --seed S --count N``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.metrics import (METRICS_SCHEMA_VERSION,
+                                    deterministic_view)
+from repro.generative import (FAMILIES, SolvabilityOracle,
+                              config_from_choices, execute_config,
+                              run_sweep)
+from repro.mutants import (SWEEP_MUTANT_COUNT, SWEEP_MUTANT_SEED,
+                           get_mutant)
+
+pytestmark = pytest.mark.sweep
+
+PINNED_SEED = 7
+
+
+def _ceil(t, x):
+    return -((-t) // x)
+
+
+def _records(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestSweepLibrary:
+    def test_pinned_batch_agrees_everywhere(self):
+        result = run_sweep(PINNED_SEED, 40)
+        assert not result.interrupted
+        assert len(result.outcomes) == 40
+        assert result.disagreements == []
+        assert result.agreement_rate == 1.0
+
+    def test_soak_200_configs_cover_all_families(self):
+        # The acceptance bar: >= 200 synthesized configurations with
+        # 100% oracle/exploration agreement.
+        result = run_sweep(PINNED_SEED, 200)
+        assert not result.interrupted
+        assert len(result.outcomes) == 200
+        assert result.disagreements == []
+        assert set(result.family_counts) == set(FAMILIES)
+
+    def test_outcome_records_are_replayable(self):
+        result = run_sweep(PINNED_SEED, 20)
+        for outcome in result.outcomes:
+            record = outcome.to_dict()
+            replayed = execute_config(
+                config_from_choices(record["choices"]))
+            assert replayed.observed == record["observed"]
+            assert replayed.agree
+
+    def test_timeout_interrupts_with_resume_state(self):
+        interrupted = run_sweep(PINNED_SEED, 200, timeout=0.05)
+        assert interrupted.interrupted
+        assert interrupted.interrupt_reason == "timeout"
+        assert interrupted.remaining
+        assert len(interrupted.outcomes) + len(interrupted.remaining) \
+            + len(interrupted.skipped) == 200
+        # Resuming with the verified indices finishes the batch.
+        resumed = run_sweep(PINNED_SEED, 200,
+                            skip=interrupted.verified)
+        assert not resumed.interrupted
+        assert sorted(resumed.skipped) == sorted(interrupted.verified)
+        assert len(resumed.outcomes) == 200 - len(interrupted.verified)
+
+    def test_sweep_record_shape(self):
+        record = run_sweep(PINNED_SEED, 12).to_record()
+        assert record["schema_version"] == METRICS_SCHEMA_VERSION
+        assert record["kind"] == "sweep"
+        assert record["name"] == f"sweep:seed={PINNED_SEED}"
+        data = record["data"]
+        assert data["partial"] is False
+        assert data["completed"] == list(range(12))
+        assert data["remaining"] == []
+        assert data["agreement_rate"] == 1.0
+        assert len(data["outcomes"]) == 12
+
+
+class TestInjectedDisagreement:
+    """A planted ceil-oracle must be caught and shrunk."""
+
+    def test_ceil_oracle_disagrees_and_shrinks(self):
+        result = run_sweep(PINNED_SEED, 40,
+                           oracle=SolvabilityOracle(index_fn=_ceil))
+        assert result.disagreements
+        witness = result.disagreements[0]
+        assert witness.shrunk_choices is not None
+        assert len(witness.shrunk_choices) <= len(witness.config.choices)
+        # The shrunk tape still reproduces the disagreement under the
+        # mutated oracle -- and agrees under the honest one.
+        shrunk = config_from_choices(witness.shrunk_choices)
+        assert not execute_config(
+            shrunk, oracle=SolvabilityOracle(index_fn=_ceil)).agree
+        assert execute_config(shrunk).agree
+
+    def test_mutant_is_pinned_to_the_sweep_stage(self):
+        assert get_mutant("oracle-ceil-index").detect() == "sweep"
+
+    def test_honest_oracle_is_clean_on_the_mutant_batch(self):
+        # The mutant is only evidence if the same pinned batch agrees
+        # fully under the honest oracle.
+        result = run_sweep(SWEEP_MUTANT_SEED, SWEEP_MUTANT_COUNT,
+                           shrink=False)
+        assert result.disagreements == []
+        assert len(result.outcomes) == SWEEP_MUTANT_COUNT
+
+
+class TestSweepCLI:
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 configs (complete)" in out
+        assert "agreement rate 1.000" in out
+
+    def test_describe_lists_the_batch(self, capsys):
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "4", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert f"generated:{PINNED_SEED}:0" in out
+        assert "choices=" in out
+
+    def test_replay_executes_a_bare_tape(self, capsys):
+        assert main(["sweep", "--replay", "0,1,1"]) == 0
+        out = capsys.readouterr().out
+        assert "calculus" in out
+
+    def test_bad_replay_tape_exits_two(self, capsys):
+        assert main(["sweep", "--replay", "1,banana"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_bad_count_and_jobs_exit_two(self, capsys):
+        assert main(["sweep", "--count", "0"]) == 2
+        assert main(["sweep", "--jobs", "banana"]) == 2
+
+    def test_metrics_out_writes_versioned_record(self, tmp_path):
+        out_path = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "12", "--metrics-out", out_path]) == 0
+        (record,) = _records(out_path)
+        assert record["schema_version"] == METRICS_SCHEMA_VERSION
+        assert record["kind"] == "sweep"
+        assert record["data"]["partial"] is False
+
+    def test_timeout_exits_three_with_partial_record(self, tmp_path,
+                                                     capsys):
+        out_path = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "200", "--timeout", "0.05",
+                     "--metrics-out", out_path]) == 3
+        assert "INTERRUPTED" in capsys.readouterr().err
+        (record,) = _records(out_path)
+        data = record["data"]
+        assert data["partial"] is True
+        assert data["interrupt_reason"] == "timeout"
+        assert data["remaining"]
+        assert len(data["completed"]) + len(data["remaining"]) == 200
+        # Atomic write: no temp droppings next to the record.
+        assert os.listdir(tmp_path) == ["sweep.jsonl"]
+
+    def test_resume_skips_verified_configs(self, tmp_path, capsys):
+        out_path = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "200", "--timeout", "0.05",
+                     "--metrics-out", out_path]) == 3
+        first = _records(out_path)[-1]["data"]
+        capsys.readouterr()
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "200", "--resume", out_path]) == 0
+        out = capsys.readouterr().out
+        assert (f"skipping {len(first['verified'])} "
+                f"verified configuration(s)") in out
+        assert "(complete)" in out
+
+    def test_resume_from_missing_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["sweep", "--resume", missing]) == 2
+        assert "resume" in capsys.readouterr().err
+
+
+@pytest.mark.parallel
+class TestSweepJobs:
+    """Sharded exploration under ``--jobs`` stays deterministic."""
+
+    def test_jobs_sweep_passes(self, capsys):
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "20", "--jobs", "2"]) == 0
+        assert "20/20 configs (complete)" in capsys.readouterr().out
+
+    def test_golden_determinism_across_job_counts(self, tmp_path):
+        # Acceptance bar: same --seed => bit-identical sweep records
+        # (timing stripped) for jobs=1 vs jobs=4.
+        views = {}
+        for jobs in ("1", "4"):
+            out_path = str(tmp_path / f"jobs{jobs}.jsonl")
+            assert main(["sweep", "--seed", "11", "--count", "24",
+                         "--jobs", jobs,
+                         "--metrics-out", out_path]) == 0
+            (record,) = _records(out_path)
+            views[jobs] = json.dumps(deterministic_view(record),
+                                     sort_keys=True)
+        assert views["1"] == views["4"]
+
+
+class TestGeneratedCheckNamespace:
+    """``check`` understands the ``generated:`` namespace."""
+
+    def test_check_list_shows_the_namespace(self, capsys):
+        assert main(["check", "--list"]) == 0
+        assert "generated:S:I" in capsys.readouterr().out
+
+    def test_check_runs_a_generated_scenario(self, capsys):
+        # generated:7:1 is a blocking config with crashes < x: the
+        # oracle predicts pass and exploration must concur.
+        assert main(["check", f"generated:{PINNED_SEED}:1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "[generated]" in out
+
+    def test_check_rejects_malformed_generated_names(self, capsys):
+        assert main(["check", "generated:bogus"]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    @pytest.mark.parallel
+    def test_check_generated_composes_with_jobs(self, capsys):
+        assert main(["check", f"generated:{PINNED_SEED}:1",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "jobs=2" in out

@@ -16,7 +16,7 @@ PACKAGES = [
     "repro", "repro.runtime", "repro.memory", "repro.objects",
     "repro.agreement", "repro.bg", "repro.core", "repro.algorithms",
     "repro.tasks", "repro.analysis", "repro.detectors", "repro.sync",
-    "repro.messaging",
+    "repro.messaging", "repro.generative",
 ]
 
 
