@@ -1,0 +1,92 @@
+"""Static footprint analysis: whole-tree inference cost and coverage.
+
+The F501 pass abstractly interprets every ``op_*`` handler of every
+shared-object class in the tree and checks the inferred read/write
+footprints against the declared ones (docs/static_analysis.md) -- the
+static half of the DPOR soundness pin, complementing the dynamic
+auditor.  Reproduced claims:
+
+* **coverage** -- the pass analyzes every shared-object class under
+  ``src/repro`` and ``benchmarks``, evaluates the declared footprint of
+  nearly every operation, and widens (whole-instance fallback) only
+  where inference genuinely cannot pin a key;
+* **cleanliness** -- the shipped tree has zero unsuppressed findings
+  (the same pin as ``tests/lint/test_self_lint.py``, measured here);
+* **cost** -- whole-tree inference runs in seconds, cheap enough to be
+  a default lint stage rather than an opt-in audit.
+"""
+
+import os
+import time
+
+from repro.lint import discover_files, lint_paths, select_rules
+from repro.lint.footprints import FootprintUnderApproximation
+from repro.lint.infer import clear_caches
+
+from .harness import header, write_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TARGETS = [os.path.join(REPO_ROOT, "src", "repro"),
+           os.path.join(REPO_ROOT, "benchmarks")]
+
+
+def test_footprint_rule_bench(benchmark):
+    """Time the F501 pass alone over the memory subsystem (the densest
+    shared-object population in the tree)."""
+    memory = [os.path.join(REPO_ROOT, "src", "repro", "memory")]
+
+    def run():
+        clear_caches()
+        return lint_paths(memory, rules=select_rules(["F501"]))
+
+    violations, errors = benchmark(run)
+    assert errors == []
+    assert violations == []
+
+
+def test_lint_analysis_report():
+    """Whole-tree static analysis; regenerates the results table."""
+    rule = FootprintUnderApproximation()
+    files = discover_files(TARGETS)
+
+    clear_caches()
+    start = time.perf_counter()
+    violations, errors = lint_paths(TARGETS, rules=[rule])
+    elapsed = time.perf_counter() - start
+
+    assert errors == []
+    assert violations == [], "\n".join(v.render() for v in violations)
+    stats = rule.stats
+    assert stats["classes"] > 0
+    assert stats["ops_checked"] > 0
+    evaluated = stats["ops_checked"] - stats["ops_unevaluable"]
+    rate = len(files) / elapsed if elapsed else float("inf")
+
+    lines = header(
+        "Static footprint inference: whole-tree cost and coverage",
+        "Abstract interpretation of every op_* handler under",
+        "src/repro + benchmarks, checked against the declared",
+        "footprints (inferred ⊇ actual and declared ⊇ inferred",
+        "=> the DPOR independence relation is sound).")
+    lines.append(f"files analyzed        : {len(files)}")
+    lines.append(f"shared-object classes : {stats['classes']}")
+    lines.append(f"operations checked    : {stats['ops_checked']}")
+    lines.append(f"  declared evaluable  : {evaluated}")
+    lines.append(f"  widened to whole    : {stats['ops_widened']}")
+    lines.append(f"raw findings          : {stats['findings']}"
+                 f" (all explicitly suppressed)")
+    lines.append(f"unsuppressed findings : {len(violations)}")
+    lines.append(f"inference wall time   : {elapsed:.3f} s")
+    lines.append(f"throughput            : {rate:.0f} files/s")
+    path = write_report(
+        "lint_analysis", lines,
+        data={"files": len(files),
+              "classes": stats["classes"],
+              "ops_checked": stats["ops_checked"],
+              "ops_unevaluable": stats["ops_unevaluable"],
+              "ops_widened": stats["ops_widened"],
+              "raw_findings": stats["findings"],
+              "unsuppressed_findings": len(violations),
+              "inference_seconds": elapsed,
+              "files_per_sec": rate})
+    assert path.endswith("lint_analysis.txt")

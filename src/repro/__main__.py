@@ -19,8 +19,11 @@ Commands:
   docs/observability.md for the schema -- interrupted sweeps emit a
   record flagged ``"partial": true``).
 * ``lint [PATHS]``  -- static protocol-discipline linter over process
-  code (see docs/static_analysis.md); exit 0 = clean, 1 = violations,
-  2 = unparsable/unreadable input.
+  code plus the footprint-soundness pass (see docs/static_analysis.md);
+  exit 0 = clean, 1 = violations, 2 = unparsable/unreadable input.
+  ``--format json`` emits a machine-readable report; ``--baseline FILE``
+  fails only on findings not in the snapshot (``--update-baseline``
+  rewrites it atomically).
 * ``audit NAME``    -- dynamic footprint-soundness audit of a named
   scenario (every executed operation is checked against the footprint
   it declares to DPOR); exit codes mirror ``check``.
@@ -262,12 +265,20 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """Statically lint protocol code (exit 0/1/2 like ``check``)."""
-    from .lint import all_rules, lint_paths, select_rules
+    import json as json_module
+
+    from .lint import (all_rules, filter_baseline, lint_paths,
+                       load_baseline, select_rules, violations_payload,
+                       write_baseline)
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.code} {rule.name:22s} {rule.description}")
         return 0
+    if args.update_baseline and not args.baseline:
+        print("lint: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
     try:
         rules = (select_rules(args.select.split(","))
                  if args.select else None)
@@ -275,14 +286,43 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
     violations, errors = lint_paths(args.paths, rules=rules)
-    for violation in violations:
-        print(violation.render())
-    for error in errors:
-        print(error.render(), file=sys.stderr)
+    if args.update_baseline:
+        if errors:
+            for error in errors:
+                print(error.render(), file=sys.stderr)
+            print("lint: refusing to baseline an unparsable tree",
+                  file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, violations)
+        print(f"lint: baseline written to {args.baseline} "
+              f"({len(violations)} finding(s))")
+        return 0
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError,
+                json_module.JSONDecodeError) as exc:
+            print(f"lint: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        violations, suppressed = filter_baseline(violations, baseline)
+    if args.format == "json":
+        print(json_module.dumps(
+            violations_payload(violations, errors,
+                               baseline_suppressed=suppressed),
+            indent=2, sort_keys=True))
+    else:
+        for violation in violations:
+            print(violation.render())
+        for error in errors:
+            print(error.render(), file=sys.stderr)
+        if suppressed:
+            print(f"lint: {suppressed} baselined finding(s) suppressed")
     if errors:
         return 2
     if violations:
-        print(f"lint: {len(violations)} violation(s)")
+        if args.format != "json":
+            print(f"lint: {len(violations)} violation(s)")
         return 1
     return 0
 
@@ -576,6 +616,14 @@ def main(argv=None) -> int:
                         "(default: all)")
     p.add_argument("--list-rules", action="store_true",
                    help="list registered rules and exit")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="finding output format (default: text)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="accept-current-findings snapshot: only "
+                        "violations not in FILE fail the run")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="(re)write --baseline FILE from the current "
+                        "findings and exit 0")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(

@@ -7,6 +7,10 @@ audit`` and documented in ``docs/static_analysis.md``:
   protocol process code with a pluggable rule registry (discipline
   bypasses, nondeterminism sources, non-descriptor yields, static
   x-port violations);
+* `repro.lint.footprints` (+ `repro.lint.cfg`, `repro.lint.infer`) --
+  the static footprint-soundness pass: yield-point CFGs per protocol
+  generator and abstract interpretation of every ``op_*`` handler,
+  cross-checked against the declared ``footprint()`` (rules F501-F503);
 * `repro.lint.audit` -- a dynamic footprint-soundness auditor that
   validates every executed operation against the read/write footprint
   it declares to the DPOR explorer.
@@ -14,14 +18,17 @@ audit`` and documented in ``docs/static_analysis.md``:
 
 from .audit import (DEFAULT_AUDIT_SEEDS, AuditingStore, AuditReport,
                     FootprintViolation, audit_scenario)
-from .linter import (LintError, discover_files, lint_paths, lint_source,
-                     select_rules)
+from .linter import (LintError, baseline_key, discover_files, filter_baseline,
+                     lint_paths, lint_source, load_baseline, select_rules,
+                     violations_payload, write_baseline)
 from .rules import RULES, LintViolation, ModuleInfo, Rule, all_rules, rule
+from . import footprints  # noqa: F401  (registers F501-F503 in RULES)
 
 __all__ = [
     "DEFAULT_AUDIT_SEEDS", "AuditingStore", "AuditReport",
     "FootprintViolation", "audit_scenario",
-    "LintError", "discover_files", "lint_paths", "lint_source",
-    "select_rules",
+    "LintError", "baseline_key", "discover_files", "filter_baseline",
+    "lint_paths", "lint_source", "load_baseline", "select_rules",
+    "violations_payload", "write_baseline",
     "RULES", "LintViolation", "ModuleInfo", "Rule", "all_rules", "rule",
 ]

@@ -1,0 +1,307 @@
+"""Control-flow graphs over the yield points of protocol generators.
+
+Process code in this library is a Python generator: every shared-memory
+access is one ``yield`` of an operation descriptor, and the scheduler
+interleaves processes *only* at those yields.  The atomic-step structure
+of a protocol is therefore fully described by the control flow between
+its yield points -- which yields can execute at all, and which yield can
+follow which.  This module builds that graph statically:
+
+* nodes are the generator's ``yield`` / ``yield from`` expressions plus
+  the synthetic :data:`ENTRY` and :data:`EXIT`;
+* edges follow the statement-level control flow (sequencing, branches,
+  loops, ``return`` / ``raise`` / ``break`` / ``continue``), with
+  internal junction nodes for loop heads;
+* nested ``def`` / ``lambda`` bodies are excluded -- each nested
+  function is its own process-code scope, exactly as the lint rules
+  treat them.
+
+Reachability is deliberately **over-approximated** (every branch is
+considered takeable, exception edges are coarse): a yield reported
+unreachable really cannot execute, while spurious "reachable" verdicts
+only make the downstream rules (`repro.lint.footprints`) quieter, never
+wrong.  The one recognised exception is the *dead-yield generator
+marker* -- ``return value`` directly followed by a bare ``yield``, the
+idiom for "this function is a generator that decides immediately" --
+which :func:`marker_yields` identifies so rules can exempt it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+#: Synthetic entry node of every CFG.
+ENTRY = "<entry>"
+#: Synthetic exit node (normal return, raise, or falling off the end).
+EXIT = "<exit>"
+
+#: A CFG node: a yield expression, a junction, or ENTRY/EXIT.
+Node = Union[str, ast.expr, "Junction"]
+
+
+class Junction:
+    """An internal merge/loop-head node (carries no operation)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"<junction:{self.label}>"
+
+
+def _own_scope_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function scopes."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _stmt_yields(stmt: ast.stmt,
+                 skip: Tuple[type, ...] = ()) -> List[ast.expr]:
+    """Yield/YieldFrom expressions in one statement's own expressions.
+
+    ``skip`` names child-statement attributes to ignore (a compound
+    statement's nested bodies are walked by the builder itself).
+    """
+    found: List[ast.expr] = []
+    stack: List[ast.AST] = []
+    for name, value in ast.iter_fields(stmt):
+        if name in skip:
+            continue
+        if isinstance(value, ast.AST):
+            stack.append(value)
+        elif isinstance(value, list):
+            stack.extend(v for v in value if isinstance(v, ast.AST))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.stmt)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            found.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    found.sort(key=lambda n: (n.lineno, n.col_offset))
+    return found
+
+
+def marker_yields(func: ast.AST) -> Set[ast.expr]:
+    """Bare yields directly after a ``return`` (the generator marker).
+
+    ``return value`` followed by a dead ``yield`` is the sanctioned
+    idiom for a generator that decides without taking a step; the yield
+    is unreachable *by design* and rules must not flag it.
+    """
+    markers: Set[ast.expr] = set()
+    for node in _own_scope_walk(func):
+        for stmts in (getattr(node, "body", None),
+                      getattr(node, "orelse", None),
+                      getattr(node, "finalbody", None)):
+            if not isinstance(stmts, list):
+                continue
+            for prev, cur in zip(stmts, stmts[1:]):
+                if (isinstance(prev, ast.Return)
+                        and isinstance(cur, ast.Expr)
+                        and isinstance(cur.value, ast.Yield)
+                        and cur.value.value is None):
+                    markers.add(cur.value)
+    return markers
+
+
+class GeneratorCFG:
+    """The yield-point control-flow graph of one generator function."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        #: Every yield expression in the function's own scope, in
+        #: source order (reachable or not).
+        self.yields: List[ast.expr] = []
+        self._succ: Dict[int, Set[Node]] = {}
+        self._nodes: Dict[int, Node] = {}
+        self._reachable: Optional[Set[int]] = None
+
+    # -- construction helpers (used by the builder only) ---------------
+    def _add_edge(self, src: Node, dst: Node) -> None:
+        self._nodes.setdefault(id(src), src)
+        self._nodes.setdefault(id(dst), dst)
+        self._succ.setdefault(id(src), set()).add(dst)
+
+    def _connect(self, frontier: Set[Node], dst: Node) -> None:
+        for src in frontier:
+            self._add_edge(src, dst)
+
+    # -- queries -------------------------------------------------------
+    def successors(self, node: Node) -> Set[Node]:
+        return set(self._succ.get(id(node), ()))
+
+    def reachable_nodes(self) -> Set[int]:
+        """ids of nodes reachable from ENTRY (cached)."""
+        if self._reachable is None:
+            seen: Set[int] = set()
+            stack: List[Node] = [ENTRY]
+            while stack:
+                node = stack.pop()
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                stack.extend(self._succ.get(id(node), ()))
+            self._reachable = seen
+        return self._reachable
+
+    def is_reachable(self, node: Node) -> bool:
+        if node is ENTRY:
+            return True
+        return id(node) in self.reachable_nodes()
+
+    def unreachable_yields(self) -> List[ast.expr]:
+        """Yields no execution can reach, markers included."""
+        reachable = self.reachable_nodes()
+        return [y for y in self.yields if id(y) not in reachable]
+
+    def yield_successors(self, node: Node) -> Set[Node]:
+        """The yields (or EXIT) that can execute next after ``node``.
+
+        Junctions are traversed transparently: the result contains only
+        yield expressions and :data:`EXIT` -- the view of the protocol
+        the scheduler actually sees, one atomic step to the next.
+        """
+        result: Set[Node] = set()
+        seen: Set[int] = set()
+        stack: List[Node] = list(self.successors(node))
+        while stack:
+            current = stack.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            if current is EXIT or isinstance(current,
+                                             (ast.Yield, ast.YieldFrom)):
+                result.add(current)
+                continue
+            stack.extend(self.successors(current))
+        return result
+
+
+class _Builder:
+    """Continuation-style CFG builder over one function body."""
+
+    def __init__(self, cfg: GeneratorCFG) -> None:
+        self.cfg = cfg
+        #: (continue_target, break_frontier) per enclosing loop.
+        self.loops: List[Tuple[Node, Set[Node]]] = []
+
+    # ------------------------------------------------------------------
+    def chain(self, yields: List[ast.expr],
+              frontier: Set[Node]) -> Set[Node]:
+        """Wire a statement's yields in evaluation order."""
+        for y in yields:
+            self.cfg.yields.append(y)
+            self.cfg._connect(frontier, y)
+            frontier = {y}
+        return frontier
+
+    def build_body(self, body: List[ast.stmt],
+                   frontier: Set[Node]) -> Set[Node]:
+        for stmt in body:
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    # ------------------------------------------------------------------
+    def build_stmt(self, stmt: ast.stmt,
+                   frontier: Set[Node]) -> Set[Node]:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return frontier
+        if isinstance(stmt, ast.If):
+            frontier = self.chain(_stmt_yields(
+                stmt, skip=("body", "orelse")), frontier)
+            after = self.build_body(stmt.body, set(frontier))
+            after |= self.build_body(stmt.orelse, set(frontier))
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            frontier = self.chain(_stmt_yields(stmt, skip=("body",)),
+                                  frontier)
+            return self.build_body(stmt.body, frontier)
+        # Simple statements: wire any yields, then terminators.
+        frontier = self.chain(_stmt_yields(stmt), frontier)
+        if isinstance(stmt, ast.Return):
+            cfg._connect(frontier, EXIT)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            cfg._connect(frontier, EXIT)
+            return set()
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1][1].update(frontier)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                cfg._connect(frontier, self.loops[-1][0])
+            return set()
+        return frontier
+
+    # ------------------------------------------------------------------
+    def _build_loop(self, stmt: ast.stmt,
+                    frontier: Set[Node]) -> Set[Node]:
+        cfg = self.cfg
+        head = Junction(f"loop@{stmt.lineno}")
+        if isinstance(stmt, ast.While):
+            cfg._connect(frontier, head)
+            test_end = self.chain(_stmt_yields(
+                stmt, skip=("body", "orelse")), {head})
+            body_entry = test_end
+            always_true = (isinstance(stmt.test, ast.Constant)
+                           and bool(stmt.test.value))
+            exit_frontier = set() if always_true else set(test_end)
+        else:  # For/AsyncFor: iterable evaluated once, then the head.
+            iter_end = self.chain(_stmt_yields(
+                stmt, skip=("body", "orelse")), frontier)
+            cfg._connect(iter_end, head)
+            body_entry = {head}
+            exit_frontier = {head}
+        breaks: Set[Node] = set()
+        self.loops.append((head, breaks))
+        body_end = self.build_body(stmt.body, set(body_entry))
+        self.loops.pop()
+        cfg._connect(body_end, head)
+        exit_frontier |= breaks
+        if stmt.orelse:
+            exit_frontier = self.build_body(stmt.orelse, exit_frontier)
+        return exit_frontier
+
+    def _build_try(self, stmt: ast.Try,
+                   frontier: Set[Node]) -> Set[Node]:
+        # Coarse exception edges: a handler may be entered from the
+        # statement's entry or from anywhere the body reached.  This
+        # over-approximates reachability, which is the safe direction.
+        body_end = self.build_body(stmt.body, set(frontier))
+        after = set(body_end)
+        for handler in stmt.handlers:
+            after |= self.build_body(handler.body,
+                                     set(frontier) | set(body_end))
+        if stmt.orelse:
+            after |= self.build_body(stmt.orelse, set(body_end))
+        if stmt.finalbody:
+            after = self.build_body(stmt.finalbody, after)
+        return after
+
+
+def build_cfg(func: ast.AST) -> GeneratorCFG:
+    """Build the yield-point CFG of one (generator) function."""
+    cfg = GeneratorCFG(func)
+    builder = _Builder(cfg)
+    frontier = builder.build_body(list(func.body), {ENTRY})
+    cfg._connect(frontier, EXIT)
+    return cfg

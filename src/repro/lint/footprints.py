@@ -1,0 +1,193 @@
+"""Footprint-soundness lint rules (F5xx): the static half of the audit.
+
+PR 2 added the *dynamic* footprint auditor (`repro.lint.audit`): it
+state-diffs executed operations against their declared footprints, but
+only on schedules that actually run, so a lying declaration in a
+rarely-taken branch survives until some exploration happens to take it
+-- and until then DPOR silently prunes real interleavings.  These rules
+close the gap statically, over **all** paths, at lint time:
+
+* **F501 footprint-under-approximation** -- abstract interpretation of
+  every ``op_*`` handler (`repro.lint.infer`) derives the set of state
+  locations the handler may read/write; any access the class's declared
+  ``footprint()`` does not cover is reported.  The soundness chain is:
+  inferred ⊇ actual accesses (the interpreter over-approximates), so
+  declared ⊇ inferred ⇒ declared ⊇ actual ⇒ the DPOR independence
+  relation is sound.
+* **F502 unreachable-yield** -- the yield-point CFG (`repro.lint.cfg`)
+  proves a yield can never execute: a dropped operation (the sanctioned
+  ``return``-then-bare-``yield`` generator marker is exempt).
+* **F503 conflicting-op-without-yield-boundary** -- a yielded proxy
+  invocation whose arguments contain *another* invocation on the same
+  object: the two conflicting operations share one atomic step and the
+  inner descriptor never reaches the scheduler.
+
+All three ride the standard machinery: the :data:`~repro.lint.rules.RULES`
+registry, ``# lint: ignore[CODE]`` suppressions, and the CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from .cfg import build_cfg, marker_yields
+from .infer import analyze_module_classes
+from .rules import LintViolation, ModuleInfo, Rule, rule
+
+
+# ---------------------------------------------------------------------------
+# F501: declared footprint does not cover the inferred one
+# ---------------------------------------------------------------------------
+
+@rule
+class FootprintUnderApproximation(Rule):
+    code = "F501"
+    name = "footprint-under-approximation"
+    description = (
+        "An op_* handler may touch state its declared footprint() "
+        "omits; an under-approximated footprint makes the DPOR "
+        "independence relation unsound (real interleavings are "
+        "silently pruned).")
+
+    def __init__(self) -> None:
+        #: Accumulated over every module this instance checks
+        #: (consumed by bench_lint_analysis).
+        self.stats = {"classes": 0, "ops_checked": 0,
+                      "ops_unevaluable": 0, "ops_widened": 0,
+                      "findings": 0}
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for analysis in analyze_module_classes(module):
+            self.stats["classes"] += 1
+            for check in analysis.checks:
+                if check.declared is None:
+                    self.stats["ops_unevaluable"] += 1
+                    continue
+                self.stats["ops_checked"] += 1
+                if check.effects is not None and check.effects.widened:
+                    self.stats["ops_widened"] += 1
+                # Suppression comments go on the handler's def line when
+                # the handler lives here, else on the class header.
+                node: ast.AST = (check.fdef if check.defined_here
+                                 else analysis.classdef)
+                where = ("" if check.defined_here else
+                         f" (inherited by {analysis.classdef.name})")
+                for access in check.uncovered_writes:
+                    self.stats["findings"] += 1
+                    yield self.violation(
+                        module, node,
+                        f"{analysis.classdef.name}.{check.op}{where} may "
+                        f"write {access.render()} but the declared "
+                        f"footprint ({check.declared.render()}) does not "
+                        f"cover it; an undeclared write unsoundifies "
+                        f"DPOR pruning")
+                for access in check.uncovered_reads:
+                    self.stats["findings"] += 1
+                    yield self.violation(
+                        module, node,
+                        f"{analysis.classdef.name}.{check.op}{where} may "
+                        f"read {access.render()} but the declared "
+                        f"footprint ({check.declared.render()}) does not "
+                        f"cover it; an undeclared read unsoundifies "
+                        f"DPOR pruning")
+
+
+# ---------------------------------------------------------------------------
+# F502: a yield no control-flow path can reach
+# ---------------------------------------------------------------------------
+
+@rule
+class UnreachableYield(Rule):
+    code = "F502"
+    name = "unreachable-yield"
+    description = (
+        "A protocol generator contains a yield that no control-flow "
+        "path from the function entry can reach: the operation is "
+        "dead (dropped step), usually a refactoring leftover.  The "
+        "return-then-bare-yield generator marker is exempt.")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for func in module.generator_functions():
+            cfg = build_cfg(func)
+            markers = marker_yields(func)
+            for node in cfg.unreachable_yields():
+                if node in markers:
+                    continue
+                kind = ("yield from"
+                        if isinstance(node, ast.YieldFrom) else "yield")
+                yield self.violation(
+                    module, node,
+                    f"unreachable '{kind}' in protocol generator "
+                    f"'{func.name}': no path from the function entry "
+                    f"reaches this step, so the operation never "
+                    f"executes")
+
+
+# ---------------------------------------------------------------------------
+# F503: two conflicting ops fused into one atomic step
+# ---------------------------------------------------------------------------
+
+@rule
+class ConflictingOpWithoutBoundary(Rule):
+    code = "F503"
+    name = "conflicting-op-without-yield-boundary"
+    description = (
+        "A yielded invocation's arguments contain another invocation "
+        "on the same object: the two conflicting operations share one "
+        "atomic yield boundary, and the inner Invocation descriptor is "
+        "passed as data instead of reaching the scheduler.")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for func in module.generator_functions():
+            cfg = build_cfg(func)
+            for node in cfg.yields:
+                if not isinstance(node, ast.Yield) or node.value is None:
+                    continue
+                yield from self._check_yield(module, node)
+
+    def _check_yield(self, module: ModuleInfo,
+                     node: ast.Yield) -> Iterator[LintViolation]:
+        outer = node.value
+        if not (isinstance(outer, ast.Call)
+                and isinstance(outer.func, ast.Attribute)):
+            return
+        base = _dotted_name(outer.func.value)
+        if base is None:
+            return
+        for inner in _nested_calls(outer):
+            if not isinstance(inner.func, ast.Attribute):
+                continue
+            if _dotted_name(inner.func.value) != base:
+                continue
+            yield self.violation(
+                module, node,
+                f"yield of '{base}.{outer.func.attr}(...)' embeds "
+                f"'{base}.{inner.func.attr}(...)' in its arguments: "
+                f"two conflicting operations on '{base}' share one "
+                f"atomic step and the inner Invocation never reaches "
+                f"the scheduler; yield it as its own step first")
+
+
+def _dotted_name(expr: ast.expr) -> Optional[str]:
+    """Render Name / Name-attribute chains ('mem', 'state.MEM')."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _dotted_name(expr.value)
+        return None if base is None else f"{base}.{expr.attr}"
+    return None
+
+
+def _nested_calls(outer: ast.Call) -> Iterator[ast.Call]:
+    """Calls nested in a call's arguments (lambdas excluded: deferred)."""
+    stack: List[ast.AST] = list(outer.args)
+    stack.extend(kw.value for kw in outer.keywords)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,1305 @@
+"""Static footprint inference for shared-object operation handlers.
+
+The DPOR explorer prunes interleavings using each object's *declared*
+:meth:`~repro.memory.base.SharedObject.footprint`; the whole stack is
+sound only if every declaration over-approximates what the handler
+actually touches.  This module proves that relation statically, without
+executing a single schedule:
+
+1. resolve each class's base chain across modules (pure AST loading via
+   ``importlib.util.find_spec`` -- nothing is imported or executed);
+2. evaluate the class's effective ``footprint()`` declaration per
+   operation into a set of *abstract key paths*;
+3. abstractly interpret the ``op_*`` handler body, recording every read
+   and write of ``self`` state at the finest key that is still sound --
+   a literal, an ``args[i]`` position, or the caller's ``pid`` -- and
+   **widening to an unknown key** (covered only by a declared
+   :data:`~repro.runtime.ops.WHOLE`) whenever the key is computed;
+4. check that every inferred access is covered by a declared path.
+
+The inferred footprint over-approximates the handler's *observable*
+accesses: all branches are unioned (no path sensitivity), unknown keys
+widen, and unknown attribute or method effects degrade to
+whole-instance access.  Reads follow the same observational semantics
+as the dynamic auditor's poison-and-replay: a value the handler loads
+but never lets influence its result or the final state is not a read,
+and lazily materializing default-shaped state (the family
+``audit_default`` idiom) is not a write.
+
+Attributes listed in a class's ``AUDIT_EXCLUDE`` -- instrumentation
+counters and static configuration, already outside the dynamic
+auditor's state view -- are likewise outside the inferred footprint.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import os
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple)
+
+from .rules import ModuleInfo
+
+# ---------------------------------------------------------------------------
+# Abstract keys and access paths
+# ---------------------------------------------------------------------------
+
+
+class _SentinelKey:
+    """A singleton abstract key (WHOLE / UNKNOWN / PID)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+#: The declared wildcard key (covers every key).
+WHOLE_KEY = _SentinelKey("*")
+#: A key the analysis could not pin down (widened: only WHOLE covers it,
+#: and as a declared key it covers nothing).
+UNKNOWN_KEY = _SentinelKey("?")
+#: The invoking process id (``pid``), a port-derived key.
+PID_KEY = _SentinelKey("pid")
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A literal key (``self.cells[0]`` -> ``Lit(0)``)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Arg:
+    """The i-th operation argument used as a key (0-based, pid excluded)."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"args[{self.index}]"
+
+
+#: A key path addresses nested state: ``(Arg(0), Lit(3))`` is instance
+#: ``args[0]``, entry 3.  Declared footprint keys flatten to paths too.
+Path = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One inferred state access: ``self.<attr>`` at ``path``.
+
+    ``attr`` is informational (shown in messages); coverage is checked
+    on the path alone, because declared footprint keys address object
+    state through the ``audit_state`` location scheme, not through
+    attribute names.  ``attr == "*"`` means the analysis degraded to
+    whole-instance access.
+    """
+
+    attr: str
+    path: Path
+
+    def render(self) -> str:
+        return "self." + self.attr + "".join(
+            f"[{key!r}]" for key in self.path)
+
+
+def flatten_key(key: Any) -> Path:
+    """Flatten an abstract key (possibly a tuple) into a path."""
+    if isinstance(key, tuple):
+        out: List[Any] = []
+        for element in key:
+            out.extend(flatten_key(element))
+        return tuple(out)
+    return (key,)
+
+
+def render_path(path: Path) -> str:
+    if not path:
+        return "()"
+    return "(" + ", ".join(repr(k) for k in path) + ")"
+
+
+# -- coverage ---------------------------------------------------------------
+
+def _key_covers(declared: Any, access: Any) -> bool:
+    if declared is WHOLE_KEY:
+        return True
+    if declared is UNKNOWN_KEY or access is UNKNOWN_KEY:
+        return False
+    if access is WHOLE_KEY:
+        return False
+    return declared == access
+
+
+def _path_covers(declared: Path, access: Path) -> bool:
+    for d_key, a_key in zip(declared, access):
+        if not _key_covers(d_key, a_key):
+            return False
+    if len(access) >= len(declared):
+        return True
+    # The access addresses a *coarser* location than the declaration
+    # (e.g. the whole instance vs. a per-entry key): covered only if the
+    # remaining declared components are wildcards.
+    return all(key is WHOLE_KEY for key in declared[len(access):])
+
+
+def path_covered(access: Path, declared: Set[Path]) -> bool:
+    """Is one inferred access path covered by a declared key set?"""
+    return any(_path_covers(d, access) for d in declared)
+
+
+# ---------------------------------------------------------------------------
+# Cross-module class resolution (AST only, nothing imported)
+# ---------------------------------------------------------------------------
+
+#: module name -> (tree, path) or None when unloadable.
+_MODULE_CACHE: Dict[str, Optional[Tuple[ast.Module, str]]] = {}
+
+#: Base names that terminate a chain without reaching SharedObject.
+_STOP_BASES = {"object", "ABC", "ABCMeta", "Exception", "Generic",
+               "Protocol", "Enum", "NamedTuple"}
+
+
+def clear_caches() -> None:
+    """Drop the cross-module AST cache (tests that write temp modules)."""
+    _MODULE_CACHE.clear()
+
+
+def _module_name_for(path: str) -> Tuple[Optional[str], bool]:
+    """Dotted module name of a file path, walking up ``__init__.py``.
+
+    Returns ``(name, is_package)``; ``(None, False)`` for non-files
+    (e.g. ``<string>`` sources), which simply disables relative-import
+    resolution for that module.
+    """
+    if not path.endswith(".py") or not os.path.exists(path):
+        return None, False
+    path = os.path.abspath(path)
+    dirname, base = os.path.split(path)
+    is_package = base == "__init__.py"
+    parts = [] if is_package else [base[:-3]]
+    while os.path.exists(os.path.join(dirname, "__init__.py")):
+        dirname, pkg = os.path.split(dirname)
+        parts.insert(0, pkg)
+    if not parts:
+        return None, False
+    return ".".join(parts), is_package
+
+
+def _load_module(modname: str) -> Optional[Tuple[ast.Module, str]]:
+    if modname in _MODULE_CACHE:
+        return _MODULE_CACHE[modname]
+    result: Optional[Tuple[ast.Module, str]] = None
+    try:
+        spec = importlib.util.find_spec(modname)
+        origin = getattr(spec, "origin", None)
+        if origin and origin.endswith(".py"):
+            with open(origin, "r", encoding="utf-8") as handle:
+                result = (ast.parse(handle.read(), filename=origin), origin)
+    except Exception:
+        result = None
+    _MODULE_CACHE[modname] = result
+    return result
+
+
+class _ModuleCtx:
+    """Symbol tables of one module: classes and import bindings."""
+
+    def __init__(self, tree: ast.Module, path: str) -> None:
+        self.tree = tree
+        self.path = path
+        self.modname, self.is_package = _module_name_for(path)
+        self.classes: Dict[str, ast.ClassDef] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self.classes.setdefault(node.name, node)
+        #: local name -> (module, attr-or-None)
+        self.imports: Dict[str, Tuple[str, Optional[str]]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.imports[bound] = (target, None)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = (base, alias.name)
+
+    def _resolve_from(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        if self.modname is None:
+            return None
+        parts = self.modname.split(".")
+        if not self.is_package:
+            parts = parts[:-1]
+        if node.level > 1:
+            if node.level - 1 > len(parts):
+                return None
+            parts = parts[:len(parts) - (node.level - 1)]
+        if not parts:
+            return None
+        return ".".join(parts + ([node.module] if node.module else []))
+
+
+_CTX_CACHE: Dict[int, _ModuleCtx] = {}
+
+
+def _ctx_for(tree: ast.Module, path: str) -> _ModuleCtx:
+    ctx = _CTX_CACHE.get(id(tree))
+    if ctx is None or ctx.path != path:
+        ctx = _ModuleCtx(tree, path)
+        _CTX_CACHE[id(tree)] = ctx
+    return ctx
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus the module context it lives in."""
+
+    classdef: ast.ClassDef
+    ctx: _ModuleCtx
+
+    @property
+    def name(self) -> str:
+        return self.classdef.name
+
+
+@dataclass
+class ClassModel:
+    """A class's resolved base chain and effective static attributes."""
+
+    chain: List[ClassInfo]          # the class itself first
+    is_shared: bool                 # chain reaches SharedObject
+    fully_resolved: bool            # no base was unresolvable
+    oracle: bool
+    readonly: Set[str]
+    audit_exclude: Set[str]
+
+    def find_method(self, name: str,
+                    start: int = 0) -> Optional[Tuple[ast.FunctionDef, int]]:
+        for index in range(start, len(self.chain)):
+            for node in self.chain[index].classdef.body:
+                if isinstance(node, ast.FunctionDef) and node.name == name:
+                    return node, index
+        return None
+
+    def op_names(self) -> List[str]:
+        seen: Set[str] = set()
+        out: List[str] = []
+        for info in self.chain:
+            for node in info.classdef.body:
+                if (isinstance(node, ast.FunctionDef)
+                        and node.name.startswith("op_")
+                        and node.name not in seen):
+                    seen.add(node.name)
+                    out.append(node.name)
+        return out
+
+
+def _resolve_base(expr: ast.expr, ctx: _ModuleCtx
+                  ) -> Tuple[str, Optional[ClassInfo]]:
+    """Resolve one base-class expression.
+
+    Returns ``(verdict, info)`` where verdict is ``"shared"`` (reached
+    SharedObject), ``"stop"`` (object/ABC/...), ``"class"`` (resolved,
+    ``info`` set), or ``"unknown"``.
+    """
+    if isinstance(expr, ast.Name):
+        name = expr.id
+        if name == "SharedObject":
+            return "shared", None
+        if name in _STOP_BASES:
+            return "stop", None
+        local = ctx.classes.get(name)
+        if local is not None:
+            return "class", ClassInfo(local, ctx)
+        binding = ctx.imports.get(name)
+        if binding is not None:
+            module, attr = binding
+            return _lookup_in_module(module, attr or name)
+        return "unknown", None
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.attr == "SharedObject":
+            return "shared", None
+        binding = ctx.imports.get(expr.value.id)
+        if binding is not None and binding[1] is None:
+            return _lookup_in_module(binding[0], expr.attr)
+        return "unknown", None
+    if isinstance(expr, ast.Subscript):  # Generic[...] style
+        return "stop", None
+    return "unknown", None
+
+
+def _lookup_in_module(modname: str,
+                      classname: str) -> Tuple[str, Optional[ClassInfo]]:
+    if classname == "SharedObject":
+        return "shared", None
+    if classname in _STOP_BASES:
+        return "stop", None
+    loaded = _load_module(modname)
+    if loaded is None:
+        return "unknown", None
+    tree, path = loaded
+    ctx = _ctx_for(tree, path)
+    classdef = ctx.classes.get(classname)
+    if classdef is None:
+        # Re-exported name: follow one level of import indirection.
+        binding = ctx.imports.get(classname)
+        if binding is not None:
+            return _lookup_in_module(binding[0], binding[1] or classname)
+        return "unknown", None
+    return "class", ClassInfo(classdef, ctx)
+
+
+def build_model(classdef: ast.ClassDef, module: ModuleInfo) -> ClassModel:
+    """Resolve a class's base chain and effective static attributes."""
+    ctx = _ctx_for(module.tree, module.path)
+    chain: List[ClassInfo] = []
+    seen: Set[Tuple[str, str]] = set()
+    state = {"shared": False, "resolved": True}
+
+    def visit(info: ClassInfo) -> None:
+        key = (info.ctx.path, info.name)
+        if key in seen:
+            return
+        seen.add(key)
+        chain.append(info)
+        for base in info.classdef.bases:
+            verdict, base_info = _resolve_base(base, info.ctx)
+            if verdict == "shared":
+                state["shared"] = True
+            elif verdict == "class" and base_info is not None:
+                visit(base_info)
+            elif verdict == "unknown":
+                state["resolved"] = False
+
+    visit(ClassInfo(classdef, ctx))
+    model = ClassModel(
+        chain=chain, is_shared=state["shared"],
+        fully_resolved=state["resolved"],
+        oracle=_effective_flag(chain, "oracle"),
+        readonly=set(), audit_exclude=set())
+    model.readonly = _effective_str_set(chain, "READONLY", set())
+    model.audit_exclude = _effective_str_set(
+        chain, "AUDIT_EXCLUDE", {"name", "ports"})
+    return model
+
+
+def _class_assign(classdef: ast.ClassDef, attr: str) -> Optional[ast.expr]:
+    for node in classdef.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == attr:
+                    return node.value
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and node.target.id == attr):
+            return node.value
+    return None
+
+
+def _effective_flag(chain: List[ClassInfo], attr: str) -> bool:
+    for info in chain:
+        value = _class_assign(info.classdef, attr)
+        if isinstance(value, ast.Constant):
+            return bool(value.value)
+    return False
+
+
+def _effective_str_set(chain: List[ClassInfo], attr: str,
+                       base_default: Set[str]) -> Set[str]:
+    def from_index(index: int) -> Set[str]:
+        for i in range(index, len(chain)):
+            value = _class_assign(chain[i].classdef, attr)
+            if value is not None:
+                result = _eval_set_expr(value, attr,
+                                        lambda: from_index(i + 1))
+                # Unresolvable annotation: fall back to the base default
+                # (conservatively *small* -- more accesses recorded).
+                return result if result is not None else set(base_default)
+        return set(base_default)
+    return from_index(0)
+
+
+def _eval_set_expr(expr: ast.expr, attr: str,
+                   inherited: Callable[[], Set[str]]) -> Optional[Set[str]]:
+    if isinstance(expr, ast.Set):
+        values = set()
+        for element in expr.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None
+            values.add(element.value)
+        return values
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id in {"frozenset", "set"}:
+        if not expr.args:
+            return set()
+        return _eval_set_expr(expr.args[0], attr, inherited)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        left = _eval_set_expr(expr.left, attr, inherited)
+        right = _eval_set_expr(expr.right, attr, inherited)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(expr, ast.Attribute) and expr.attr == attr:
+        return inherited()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Declared-footprint evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Declared:
+    """A declared footprint as abstract key paths."""
+
+    reads: Set[Path] = field(default_factory=set)
+    writes: Set[Path] = field(default_factory=set)
+
+    def render(self) -> str:
+        reads = ", ".join(sorted(render_path(p) for p in self.reads)) or "-"
+        writes = ", ".join(sorted(render_path(p)
+                                  for p in self.writes)) or "-"
+        return f"reads {{{reads}}} writes {{{writes}}}"
+
+
+class _Super:
+    """Marker: the footprint body delegated to super().footprint()."""
+
+
+_SUPER = _Super()
+
+
+def declared_footprint(model: ClassModel, op: str) -> Optional[Declared]:
+    """Evaluate the effective declared footprint of one operation.
+
+    Follows ``super().footprint(...)`` delegation up the chain; the
+    chain ends at SharedObject's conservative default (READONLY methods
+    read WHOLE, everything else reads and writes WHOLE).  Returns None
+    when the declaration is not statically evaluable.
+    """
+    method = op[len("op_"):]
+    start = 0
+    while True:
+        found = model.find_method("footprint", start)
+        if found is None:
+            return _default_declared(model, method)
+        fdef, index = found
+        result = _eval_footprint_body(fdef, method)
+        if result is _SUPER:
+            start = index + 1
+            continue
+        return result
+
+
+def _default_declared(model: ClassModel, method: str) -> Declared:
+    whole = {(WHOLE_KEY,)}
+    if method in model.readonly:
+        return Declared(reads=set(whole))
+    return Declared(reads=set(whole), writes=set(whole))
+
+
+def _eval_footprint_body(fdef: ast.FunctionDef, method: str):
+    """Interpret a footprint() body for one concrete method name."""
+    env: Dict[str, Any] = {}
+
+    def eval_key(expr: ast.expr) -> Any:
+        if isinstance(expr, ast.Constant):
+            return Lit(expr.value)
+        if isinstance(expr, ast.Name):
+            if expr.id == "pid":
+                return PID_KEY
+            if expr.id == "WHOLE":
+                return WHOLE_KEY
+            if expr.id in env:
+                return env[expr.id]
+            return UNKNOWN_KEY
+        if isinstance(expr, ast.Attribute) and expr.attr == "WHOLE":
+            return WHOLE_KEY
+        if isinstance(expr, ast.Subscript) and \
+                isinstance(expr.value, ast.Name) and expr.value.id == "args":
+            index = expr.slice
+            if isinstance(index, ast.Constant) and \
+                    isinstance(index.value, int):
+                return Arg(index.value)
+            return UNKNOWN_KEY
+        if isinstance(expr, ast.Tuple):
+            return tuple(eval_key(e) for e in expr.elts)
+        if isinstance(expr, ast.IfExp):
+            body = eval_key(expr.body)
+            orelse = eval_key(expr.orelse)
+            return body if body == orelse else UNKNOWN_KEY
+        return UNKNOWN_KEY
+
+    def eval_return(expr: ast.expr):
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        if isinstance(func, ast.Attribute):
+            # super().footprint(...) -> delegate up the chain.
+            if (func.attr == "footprint" and isinstance(func.value, ast.Call)
+                    and isinstance(func.value.func, ast.Name)
+                    and func.value.func.id == "super"):
+                return _SUPER
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "Footprint"
+                    and func.attr in {"read", "write", "readwrite"}):
+                key = (eval_key(expr.args[1]) if len(expr.args) > 1
+                       else WHOLE_KEY)
+                path = flatten_key(key)
+                if func.attr == "read":
+                    return Declared(reads={path})
+                if func.attr == "write":
+                    return Declared(writes={path})
+                return Declared(reads={path}, writes={path})
+        return None
+
+    def run(body: Sequence[ast.stmt]):
+        for stmt in body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                env[stmt.targets[0].id] = eval_key(stmt.value)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is None:
+                    return None
+                return eval_return(stmt.value)
+            elif isinstance(stmt, ast.If):
+                match = _branch_matches(stmt.test, method)
+                if match is True:
+                    result = run(stmt.body)
+                    if result is not None:
+                        return result
+                elif match is False:
+                    if stmt.orelse:
+                        result = run(stmt.orelse)
+                        if result is not None:
+                            return result
+                else:
+                    return None  # not statically evaluable
+            elif isinstance(stmt, (ast.Expr, ast.Pass, ast.Import,
+                                   ast.ImportFrom)):
+                continue
+            else:
+                return None
+        return None
+
+    return run(fdef.body)
+
+
+def _branch_matches(test: ast.expr, method: str) -> Optional[bool]:
+    """Does ``test`` select ``method``?
+
+    Recognizes ``method == "lit"`` comparisons, possibly conjoined with
+    arity guards (``and args`` / ``and len(args) >= k``), which are
+    assumed satisfied -- the runtime always invokes operations with
+    their full argument list.  Returns None when no method comparison
+    is found (the branch is not statically decidable).
+    """
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        verdicts = [_branch_matches(v, method) for v in test.values]
+        known = [v for v in verdicts if v is not None]
+        if not known:
+            return None
+        return all(known)
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.ops[0], ast.Eq) \
+            and isinstance(test.left, ast.Name) \
+            and test.left.id == "method" \
+            and isinstance(test.comparators[0], ast.Constant):
+        return test.comparators[0].value == method
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.ops[0], ast.In) \
+            and isinstance(test.left, ast.Name) \
+            and test.left.id == "method" \
+            and isinstance(test.comparators[0], (ast.Set, ast.Tuple,
+                                                 ast.List)):
+        values = []
+        for element in test.comparators[0].elts:
+            if not isinstance(element, ast.Constant):
+                return None
+            values.append(element.value)
+        return method in values
+    return None  # arity guards etc.: treated as "assume true" by caller
+
+
+# ---------------------------------------------------------------------------
+# Handler abstract interpretation
+# ---------------------------------------------------------------------------
+
+
+class _SentinelValue:
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+#: The receiver object itself.
+SELF = _SentinelValue("<self>")
+#: A default-shaped value (BOTTOM, None, fresh empty containers):
+#: storing one is lazy materialization, not a semantic write.
+DEFAULTISH = _SentinelValue("<default>")
+
+
+@dataclass(frozen=True)
+class KeyVal:
+    """An abstract value usable as a key."""
+
+    key: Any
+
+
+@dataclass(frozen=True)
+class StateRef:
+    """A reference into ``self.<attr>`` state, not yet observed.
+
+    Navigation (subscripts, ``.get``) extends the path without recording
+    a read; the read is recorded when the referenced value is *consumed*
+    (returned, compared, iterated, passed to an opaque call, ...) --
+    the same observational semantics the dynamic auditor's
+    poison-and-replay pass detects.
+    """
+
+    attr: str
+    path: Path
+
+
+@dataclass(frozen=True)
+class BoundMethod:
+    """``self.<name>`` where name is a method of the class chain."""
+
+    name: str
+
+
+#: Mapping-style navigation that returns a sub-reference without
+#: consuming the container.
+_NAV_METHODS = {"get"}
+#: Methods that mutate the referenced container in place.
+_MUTATOR_METHODS = {"append", "appendleft", "add", "remove", "discard",
+                    "pop", "popleft", "popitem", "extend", "update",
+                    "insert", "clear", "sort", "reverse", "push",
+                    "setdefault"}
+#: Methods that observe without mutating (consume the reference).
+_READER_METHODS = {"keys", "values", "items", "copy", "count", "index",
+                   "__contains__"}
+
+_MAX_INLINE_DEPTH = 6
+
+
+@dataclass
+class Effects:
+    reads: Set[Access] = field(default_factory=set)
+    writes: Set[Access] = field(default_factory=set)
+    #: True when an effect had to degrade to whole-instance access.
+    widened: bool = False
+
+
+def infer_op_effects(model: ClassModel, op: str) -> Optional[Effects]:
+    """Abstractly interpret one operation handler of a class chain."""
+    found = model.find_method(op)
+    if found is None:
+        return None
+    fdef, index = found
+    interp = _AbstractInterp(model)
+    interp.run_method(fdef, index, _handler_args(fdef),
+                      consume_returns=True)
+    return interp.effects
+
+
+def _handler_args(fdef: ast.FunctionDef) -> List[Any]:
+    """Abstract values for an op handler's parameters (after self)."""
+    count = len(fdef.args.args) - 1  # drop self
+    values: List[Any] = []
+    for position in range(count):
+        if position == 0:
+            values.append(KeyVal(PID_KEY))
+        else:
+            values.append(KeyVal(Arg(position - 1)))
+    return values
+
+
+def _key_of(value: Any) -> Any:
+    if isinstance(value, KeyVal):
+        return value.key
+    return UNKNOWN_KEY
+
+
+def _is_default_expr(expr: ast.expr) -> bool:
+    """Is this expression default-shaped (⊥, None, fresh containers)?"""
+    if isinstance(expr, ast.Constant):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in {"BOTTOM", "None", "MISSING_STATE"}
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        return all(_is_default_expr(e) for e in expr.elts)
+    if isinstance(expr, ast.Dict):
+        return all(_is_default_expr(e) for e in expr.values
+                   if e is not None)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mult):
+        return (_is_default_expr(expr.left)
+                or _is_default_expr(expr.right))
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in {"set", "dict", "list", "frozenset",
+                                "tuple"} and not expr.args
+    return False
+
+
+def _join_values(a: Any, b: Any) -> Any:
+    if a == b:
+        return a
+    if a is DEFAULTISH and isinstance(b, StateRef):
+        return b
+    if b is DEFAULTISH and isinstance(a, StateRef):
+        return a
+    return KeyVal(UNKNOWN_KEY)
+
+
+class _AbstractInterp:
+    """Branch-union abstract interpreter over op handler bodies."""
+
+    def __init__(self, model: ClassModel) -> None:
+        self.model = model
+        self.effects = Effects()
+        self._callstack: List[Tuple[str, int]] = []
+
+    # -- effect recording ----------------------------------------------
+    def _read(self, ref: StateRef) -> None:
+        self.effects.reads.add(Access(ref.attr, ref.path))
+
+    def _write(self, attr: str, path: Path) -> None:
+        self.effects.writes.add(Access(attr, path))
+
+    def _readwrite(self, ref: StateRef) -> None:
+        self._read(ref)
+        self._write(ref.attr, ref.path)
+
+    def _widen_whole(self) -> None:
+        """Unknown effect on self: degrade to whole-instance access."""
+        self.effects.widened = True
+        self.effects.reads.add(Access("*", ()))
+        self.effects.writes.add(Access("*", ()))
+
+    def _consume(self, value: Any) -> None:
+        if isinstance(value, StateRef):
+            self._read(value)
+
+    # -- method driving ------------------------------------------------
+    def run_method(self, fdef: ast.FunctionDef, chain_index: int,
+                   args: List[Any], consume_returns: bool = False) -> Any:
+        """Interpret one method body; returns the abstract return value.
+
+        ``consume_returns`` marks the top-level handler: its return
+        value leaves the object (the scheduler hands it to the process),
+        so returned state references count as reads.
+        """
+        # The recursion guard keys on (name, chain slot), not the bare
+        # name: ``super().op_x(...)`` from an overriding ``op_x`` is
+        # delegation, not recursion.
+        frame = (fdef.name, chain_index)
+        if frame in self._callstack or \
+                len(self._callstack) >= _MAX_INLINE_DEPTH:
+            self._widen_whole()
+            return KeyVal(UNKNOWN_KEY)
+        self._callstack.append(frame)
+        try:
+            env: Dict[str, Any] = {"self": SELF}
+            params = fdef.args.args[1:]
+            for position, param in enumerate(params):
+                if position < len(args):
+                    env[param.arg] = args[position]
+                else:
+                    env[param.arg] = KeyVal(UNKNOWN_KEY)
+            if fdef.args.vararg is not None:
+                env[fdef.args.vararg.arg] = KeyVal(UNKNOWN_KEY)
+            returns: List[Any] = []
+            self._run_body(fdef.body, env, chain_index, returns)
+            if consume_returns:
+                for value in returns:
+                    self._consume(value)
+            if not returns:
+                return DEFAULTISH
+            result = returns[0]
+            for other in returns[1:]:
+                result = _join_values(result, other)
+            return result
+        finally:
+            self._callstack.pop()
+
+    def _run_body(self, body: Sequence[ast.stmt], env: Dict[str, Any],
+                  chain_index: int, returns: List[Any]) -> None:
+        for stmt in body:
+            self._run_stmt(stmt, env, chain_index, returns)
+
+    # -- statements ----------------------------------------------------
+    def _run_stmt(self, stmt: ast.stmt, env: Dict[str, Any],
+                  chain_index: int, returns: List[Any]) -> None:
+        ev = lambda node, consume=True: self._eval(  # noqa: E731
+            node, env, chain_index, consume)
+        if isinstance(stmt, ast.Expr):
+            ev(stmt.value)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            if stmt.value is None:
+                return
+            value = ev(stmt.value, consume=False)
+            if _is_default_expr(stmt.value):
+                value = DEFAULTISH
+            for target in targets:
+                self._assign(target, value, stmt.value, env, chain_index)
+        elif isinstance(stmt, ast.AugAssign):
+            ev(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Attribute):
+                base = ev(target.value, consume=False)
+                if base is SELF and \
+                        target.attr not in self.model.audit_exclude:
+                    ref = StateRef(target.attr, ())
+                    self._readwrite(ref)
+            elif isinstance(target, ast.Subscript):
+                base = ev(target.value, consume=False)
+                key = _key_of(ev(target.slice, consume=True))
+                if isinstance(base, StateRef):
+                    self._readwrite(StateRef(
+                        base.attr, base.path + flatten_key(key)))
+        elif isinstance(stmt, ast.Return):
+            # Not consumed here: an inlined callee's return value is
+            # observed (or not) at the *call site*; the top-level
+            # handler's returns are consumed by infer_op_effects.
+            value = (ev(stmt.value, consume=False)
+                     if stmt.value is not None else DEFAULTISH)
+            returns.append(value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                ev(stmt.exc)
+        elif isinstance(stmt, ast.If):
+            ev(stmt.test)
+            branch_env = dict(env)
+            self._run_body(stmt.body, branch_env, chain_index, returns)
+            else_env = dict(env)
+            self._run_body(stmt.orelse, else_env, chain_index, returns)
+            for name in set(branch_env) | set(else_env):
+                left = branch_env.get(name, env.get(name))
+                right = else_env.get(name, env.get(name))
+                if left is None or right is None:
+                    continue
+                env[name] = _join_values(left, right)
+        elif isinstance(stmt, (ast.While,)):
+            ev(stmt.test)
+            self._run_body(stmt.body, env, chain_index, returns)
+            self._run_body(stmt.orelse, env, chain_index, returns)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            ev(stmt.iter)
+            self._bind_names(stmt.target, KeyVal(UNKNOWN_KEY), env)
+            self._run_body(stmt.body, env, chain_index, returns)
+            self._run_body(stmt.orelse, env, chain_index, returns)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                ev(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_names(item.optional_vars,
+                                     KeyVal(UNKNOWN_KEY), env)
+            self._run_body(stmt.body, env, chain_index, returns)
+        elif isinstance(stmt, ast.Try):
+            self._run_body(stmt.body, env, chain_index, returns)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env[handler.name] = KeyVal(UNKNOWN_KEY)
+                self._run_body(handler.body, env, chain_index, returns)
+            self._run_body(stmt.orelse, env, chain_index, returns)
+            self._run_body(stmt.finalbody, env, chain_index, returns)
+        elif isinstance(stmt, ast.Assert):
+            ev(stmt.test)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    base = ev(target.value, consume=False)
+                    key = _key_of(ev(target.slice))
+                    if isinstance(base, StateRef):
+                        self._readwrite(StateRef(
+                            base.attr, base.path + flatten_key(key)))
+        # Pass/Break/Continue/defs/imports: no shared-state effect.
+
+    def _assign(self, target: ast.expr, value: Any, value_node: ast.expr,
+                env: Dict[str, Any], chain_index: int) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        # Storing into object state consumes the stored value.
+        if isinstance(target, ast.Attribute):
+            base = self._eval(target.value, env, chain_index, False)
+            self._consume(value)
+            if base is SELF:
+                if target.attr not in self.model.audit_exclude:
+                    self._write(target.attr, ())
+            elif isinstance(base, StateRef):
+                self._readwrite(base)
+            return
+        if isinstance(target, ast.Subscript):
+            base = self._eval(target.value, env, chain_index, False)
+            key = _key_of(self._eval(target.slice, env, chain_index, True))
+            self._consume(value)
+            if isinstance(base, StateRef):
+                if value is DEFAULTISH or _is_default_expr(value_node):
+                    return  # lazy materialization (audit_default idiom)
+                self._write(base.attr, base.path + flatten_key(key))
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            self._consume(value)
+            for element in target.elts:
+                self._assign(element, KeyVal(UNKNOWN_KEY), value_node,
+                             env, chain_index)
+
+    def _bind_names(self, target: ast.expr, value: Any,
+                    env: Dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+            children = (target.elts if not isinstance(target, ast.Starred)
+                        else [target.value])
+            for child in children:
+                self._bind_names(child, value, env)
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, node: ast.expr, env: Dict[str, Any],
+              chain_index: int, consume: bool) -> Any:
+        value = self._eval_inner(node, env, chain_index)
+        if consume:
+            self._consume(value)
+        return value
+
+    def _eval_inner(self, node: ast.expr, env: Dict[str, Any],
+                    chain_index: int) -> Any:
+        ev = lambda n, consume=True: self._eval(  # noqa: E731
+            n, env, chain_index, consume)
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return DEFAULTISH
+            return KeyVal(Lit(node.value))
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in {"BOTTOM", "None", "MISSING_STATE"}:
+                return DEFAULTISH
+            if node.id == "WHOLE":
+                return KeyVal(WHOLE_KEY)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.Attribute):
+            base = ev(node.value, consume=False)
+            if base is SELF:
+                if self.model.find_method(node.attr) is not None:
+                    return BoundMethod(node.attr)
+                if node.attr in self.model.audit_exclude:
+                    return KeyVal(UNKNOWN_KEY)
+                return StateRef(node.attr, ())
+            if isinstance(base, StateRef):
+                if node.attr in (_NAV_METHODS | _MUTATOR_METHODS
+                                 | _READER_METHODS):
+                    # Resolved at the enclosing Call; standing alone it
+                    # observes the container.
+                    return base
+                self._read(base)
+                return KeyVal(UNKNOWN_KEY)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.Subscript):
+            base = ev(node.value, consume=False)
+            key = _key_of(ev(node.slice))
+            if isinstance(base, StateRef):
+                return StateRef(base.attr, base.path + flatten_key(key))
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, chain_index)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node, env, chain_index)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                ev(value)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.UnaryOp):
+            ev(node.operand)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.BinOp):
+            ev(node.left)
+            ev(node.right)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.IfExp):
+            ev(node.test)
+            return _join_values(ev(node.body, consume=False),
+                                ev(node.orelse, consume=False))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            keys = []
+            for element in node.elts:
+                value = ev(element)
+                keys.append(_key_of(value))
+            if isinstance(node, ast.Tuple) and keys and \
+                    all(k is not UNKNOWN_KEY for k in keys):
+                return KeyVal(tuple(keys))
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    ev(key)
+            for value in node.values:
+                ev(value)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                             ast.DictComp)):
+            for comp in node.generators:
+                ev(comp.iter)
+                self._bind_names(comp.target, KeyVal(UNKNOWN_KEY), env)
+                for cond in comp.ifs:
+                    ev(cond)
+            if isinstance(node, ast.DictComp):
+                ev(node.key)
+                ev(node.value)
+            else:
+                ev(node.elt)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    ev(value.value)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.FormattedValue):
+            ev(node.value)
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.Starred):
+            return ev(node.value, consume=False)
+        if isinstance(node, ast.Lambda):
+            return KeyVal(UNKNOWN_KEY)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    ev(part)
+            return KeyVal(UNKNOWN_KEY)
+        return KeyVal(UNKNOWN_KEY)
+
+    def _eval_compare(self, node: ast.Compare, env: Dict[str, Any],
+                      chain_index: int) -> Any:
+        ev = lambda n, consume=True: self._eval(  # noqa: E731
+            n, env, chain_index, consume)
+        # "x is None" / "x is not None" is a presence check on a lazily
+        # materialized reference, not an observation of shared state
+        # (mirrors the auditor's audit_default semantics).
+        if len(node.ops) == 1 and isinstance(node.ops[0],
+                                             (ast.Is, ast.IsNot)):
+            comparand = node.comparators[0]
+            if isinstance(comparand, ast.Constant) and \
+                    comparand.value is None:
+                ev(node.left, consume=False)
+                return KeyVal(UNKNOWN_KEY)
+        operands = [node.left] + list(node.comparators)
+        ops = list(node.ops)
+        # Membership: the container is read at the probed key.
+        for position, op in enumerate(ops):
+            if isinstance(op, (ast.In, ast.NotIn)):
+                probe = ev(operands[position])
+                container = ev(operands[position + 1], consume=False)
+                if isinstance(container, StateRef):
+                    self._read(StateRef(
+                        container.attr,
+                        container.path + flatten_key(_key_of(probe))))
+                operands[position] = None
+                operands[position + 1] = None
+        for operand in operands:
+            if operand is not None:
+                ev(operand)
+        return KeyVal(UNKNOWN_KEY)
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, Any],
+                   chain_index: int) -> Any:
+        ev = lambda n, consume=True: self._eval(  # noqa: E731
+            n, env, chain_index, consume)
+        func = node.func
+
+        def eval_args() -> List[Any]:
+            values = [ev(arg, consume=False) for arg in node.args]
+            for kw in node.keywords:
+                ev(kw.value, consume=False)
+            return values
+
+        def consume_args() -> None:
+            for arg in node.args:
+                ev(arg)
+            for kw in node.keywords:
+                ev(kw.value)
+
+        # super().method(...) -> inline starting past the current class.
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Call) and \
+                isinstance(func.value.func, ast.Name) and \
+                func.value.func.id == "super":
+            found = self.model.find_method(func.attr, chain_index + 1)
+            if found is None:
+                self._widen_whole()
+                consume_args()
+                return KeyVal(UNKNOWN_KEY)
+            fdef, index = found
+            return self.run_method(fdef, index, eval_args())
+
+        if isinstance(func, ast.Attribute):
+            base = ev(func.value, consume=False)
+            if base is SELF:
+                found = self.model.find_method(func.attr)
+                if found is None:
+                    # Unknown self-method: unknown effect on the object.
+                    self._widen_whole()
+                    consume_args()
+                    return KeyVal(UNKNOWN_KEY)
+                fdef, index = found
+                return self.run_method(fdef, index, eval_args())
+            if isinstance(base, StateRef):
+                return self._eval_ref_method(base, func.attr, node, env,
+                                             chain_index)
+            consume_args()
+            return KeyVal(UNKNOWN_KEY)
+
+        # Plain calls (builtins, constructors, exceptions): arguments
+        # are observed; no self-state effect.
+        if isinstance(func, ast.Name) and func.id == "isinstance":
+            for arg in node.args:
+                ev(arg, consume=False)
+            return KeyVal(UNKNOWN_KEY)
+        consume_args()
+        return KeyVal(UNKNOWN_KEY)
+
+    def _eval_ref_method(self, ref: StateRef, method: str, node: ast.Call,
+                         env: Dict[str, Any], chain_index: int) -> Any:
+        ev = lambda n, consume=True: self._eval(  # noqa: E731
+            n, env, chain_index, consume)
+        if method == "get":
+            key = _key_of(ev(node.args[0])) if node.args else UNKNOWN_KEY
+            default = (ev(node.args[1], consume=False)
+                       if len(node.args) > 1 else DEFAULTISH)
+            sub = StateRef(ref.attr, ref.path + flatten_key(key))
+            if default is DEFAULTISH or isinstance(default, StateRef):
+                return _join_values(sub, default) if \
+                    isinstance(default, StateRef) else sub
+            return sub
+        if method == "setdefault":
+            key = _key_of(ev(node.args[0])) if node.args else UNKNOWN_KEY
+            sub = StateRef(ref.attr, ref.path + flatten_key(key))
+            default_node = node.args[1] if len(node.args) > 1 else None
+            if default_node is not None and \
+                    not _is_default_expr(default_node):
+                ev(default_node)
+                self._read(sub)
+                self._write(sub.attr, sub.path)
+            return sub
+        if method in _MUTATOR_METHODS:
+            for arg in node.args:
+                ev(arg)
+            self._readwrite(ref)
+            return KeyVal(UNKNOWN_KEY)
+        if method in _READER_METHODS:
+            for arg in node.args:
+                ev(arg)
+            self._read(ref)
+            return KeyVal(UNKNOWN_KEY)
+        # Unknown method on a state reference: conservative read+write.
+        for arg in node.args:
+            ev(arg)
+        self._readwrite(ref)
+        return KeyVal(UNKNOWN_KEY)
+
+
+# ---------------------------------------------------------------------------
+# Per-class analysis entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OpCheck:
+    """The inferred-vs-declared comparison for one operation."""
+
+    op: str
+    fdef: ast.FunctionDef
+    defined_here: bool              # op defined in the linted module
+    declared: Optional[Declared]    # None: not statically evaluable
+    effects: Optional[Effects]
+    uncovered_reads: List[Access] = field(default_factory=list)
+    uncovered_writes: List[Access] = field(default_factory=list)
+
+
+@dataclass
+class ClassAnalysis:
+    classdef: ast.ClassDef
+    model: ClassModel
+    checks: List[OpCheck] = field(default_factory=list)
+
+
+def analyze_module_classes(module: ModuleInfo) -> List[ClassAnalysis]:
+    """Run footprint inference over every shared-object class that the
+    module itself defines or refines (own ``op_*``, ``footprint`` or
+    ``READONLY``); oracle objects (failure detectors) are exempt, like
+    in the dynamic auditor."""
+    analyses: List[ClassAnalysis] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _defines_footprint_surface(node):
+            continue
+        model = build_model(node, module)
+        if not model.is_shared or model.oracle:
+            continue
+        analysis = ClassAnalysis(classdef=node, model=model)
+        for op in model.op_names():
+            found = model.find_method(op)
+            if found is None:
+                continue
+            fdef, index = found
+            declared = declared_footprint(model, op)
+            check = OpCheck(
+                op=op, fdef=fdef,
+                defined_here=(model.chain[index].ctx.path == module.path),
+                declared=declared, effects=None)
+            if declared is not None:
+                effects = infer_op_effects(model, op)
+                check.effects = effects
+                if effects is not None:
+                    declared_read = declared.reads
+                    declared_write = declared.writes
+                    check.uncovered_reads = sorted(
+                        (a for a in effects.reads
+                         if not path_covered(a.path, declared_read)),
+                        key=lambda a: (a.attr, repr(a.path)))
+                    check.uncovered_writes = sorted(
+                        (a for a in effects.writes
+                         if not path_covered(a.path, declared_write)),
+                        key=lambda a: (a.attr, repr(a.path)))
+            analysis.checks.append(check)
+        analyses.append(analysis)
+    return analyses
+
+
+def _defines_footprint_surface(classdef: ast.ClassDef) -> bool:
+    for node in classdef.body:
+        if isinstance(node, ast.FunctionDef) and (
+                node.name.startswith("op_") or node.name == "footprint"):
+            return True
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "READONLY":
+                    return True
+    return False

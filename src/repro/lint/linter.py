@@ -11,15 +11,23 @@ selected subset) and filters the findings through suppression comments:
 Unparsable or unreadable files are reported as :class:`LintError`
 findings, which the CLI maps to exit code 2 (mirroring the ``check``
 command's budget/error exit).
+
+Baselines: ``write_baseline`` snapshots the current findings (atomic
+write), ``filter_baseline`` subtracts them from a later run so only
+*new* violations fail the build.  Baseline entries are keyed on
+``(path, code, message)`` occurrence counts, not line numbers, so
+unrelated edits that shift lines do not churn the file.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import os
 import re
+from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .rules import LintViolation, ModuleInfo, Rule, all_rules
 
@@ -104,6 +112,99 @@ def lint_paths(paths: Sequence[str],
                                           f"(line {exc.lineno})"))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations, errors
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable output and accept-current-findings baselines
+# ---------------------------------------------------------------------------
+
+#: Version of the JSON emitter / baseline file schema.
+LINT_SCHEMA_VERSION = 1
+
+
+def violations_payload(violations: Sequence[LintViolation],
+                       errors: Sequence[LintError] = (),
+                       baseline_suppressed: int = 0) -> dict:
+    """The ``--format json`` document for one lint run."""
+    return {
+        "schema_version": LINT_SCHEMA_VERSION,
+        "kind": "lint_report",
+        "violations": [
+            {"code": v.code, "rule": v.rule, "path": v.path,
+             "line": v.line, "col": v.col + 1, "message": v.message}
+            for v in violations],
+        "errors": [{"path": e.path, "message": e.message}
+                   for e in errors],
+        "summary": {
+            "violations": len(violations),
+            "errors": len(errors),
+            "baseline_suppressed": baseline_suppressed,
+            "by_code": dict(sorted(Counter(
+                v.code for v in violations).items())),
+        },
+    }
+
+
+def baseline_key(violation: LintViolation) -> Tuple[str, str, str]:
+    """The line-insensitive identity a baseline entry matches on."""
+    return (violation.path.replace(os.sep, "/"), violation.code,
+            violation.message)
+
+
+def write_baseline(path: str,
+                   violations: Sequence[LintViolation]) -> None:
+    """Atomically snapshot the current findings as a baseline file."""
+    from ..analysis.metrics import atomic_write_text
+    counts = Counter(baseline_key(v) for v in violations)
+    document = {
+        "schema_version": LINT_SCHEMA_VERSION,
+        "kind": "lint_baseline",
+        "findings": [
+            {"path": key[0], "code": key[1], "message": key[2],
+             "count": count}
+            for key, count in sorted(counts.items())],
+    }
+    atomic_write_text(path, json.dumps(document, indent=2,
+                                       sort_keys=True) + "\n")
+
+
+def load_baseline(path: str) -> Dict[Tuple[str, str, str], int]:
+    """Parse a baseline file into its occurrence-count map.
+
+    Raises ValueError on a malformed document (wrong kind/schema).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or \
+            document.get("kind") != "lint_baseline":
+        raise ValueError(f"{path}: not a lint baseline file")
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for entry in document.get("findings", []):
+        key = (str(entry["path"]), str(entry["code"]),
+               str(entry["message"]))
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def filter_baseline(violations: Sequence[LintViolation],
+                    baseline: Dict[Tuple[str, str, str], int]
+                    ) -> Tuple[List[LintViolation], int]:
+    """Subtract baselined findings; returns (new_violations, suppressed).
+
+    Each baseline entry absorbs up to ``count`` identical findings; any
+    excess occurrence (or a finding not in the baseline at all) is new.
+    """
+    remaining = dict(baseline)
+    kept: List[LintViolation] = []
+    suppressed = 0
+    for violation in violations:
+        key = baseline_key(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(violation)
+    return kept, suppressed
 
 
 def _apply_suppressions(module: ModuleInfo,

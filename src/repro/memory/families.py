@@ -32,6 +32,10 @@ class SnapshotFamily(SharedObject):
 
     consensus_number = 1
     READONLY = frozenset({"snapshot", "read"})
+    #: Static configuration, not shared state (audit_state exposes the
+    #: per-instance cells only); the footprint analyzer ignores these.
+    AUDIT_EXCLUDE = SharedObject.AUDIT_EXCLUDE | frozenset(
+        {"size", "enforce_owner"})
 
     def __init__(self, name: str, size: int,
                  enforce_owner: bool = True) -> None:
@@ -205,6 +209,11 @@ class XConsFamily(SharedObject):
     """
 
     READONLY = frozenset({"peek"})
+    #: SET_LIST is the statically-agreed subset table (fixed at
+    #: construction, identical for every process), not shared mutable
+    #: state; the footprint analyzer ignores reads of it.
+    AUDIT_EXCLUDE = SharedObject.AUDIT_EXCLUDE | frozenset(
+        {"subsets", "consensus_number"})
 
     def __init__(self, name: str, subsets: Sequence[Sequence[int]]) -> None:
         super().__init__(name, None)

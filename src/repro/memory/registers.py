@@ -22,6 +22,11 @@ class AtomicRegister(SharedObject):
 
     consensus_number = 1
     READONLY = frozenset({"read"})
+    #: writer is static configuration, write_count instrumentation:
+    #: neither is shared protocol state (audit_state exposes only
+    #: self.value), so the footprint analyzer ignores accesses to them.
+    AUDIT_EXCLUDE = SharedObject.AUDIT_EXCLUDE | frozenset(
+        {"writer", "write_count"})
 
     def __init__(self, name: str, initial: Any = BOTTOM,
                  writer: Optional[int] = None,
@@ -72,6 +77,11 @@ class RegisterArray(SharedObject):
 
     consensus_number = 1
     READONLY = frozenset({"read"})
+    #: Static configuration (fixed at construction), not shared state:
+    #: audit_state exposes only the cells, and the footprint analyzer
+    #: treats reads of these as footprint-free.
+    AUDIT_EXCLUDE = SharedObject.AUDIT_EXCLUDE | frozenset(
+        {"size", "single_writer"})
 
     def __init__(self, name: str, size: int, initial: Any = BOTTOM,
                  single_writer: bool = False) -> None:

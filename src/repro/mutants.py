@@ -8,6 +8,9 @@ minimal, realistic transcription error in one of the repo's agreement
 or register protocols -- and asserts that at least one detection stage
 catches every one of them:
 
+* ``lint``     -- the static footprint analyzer
+  (:mod:`repro.lint.footprints`) flags an under-declared footprint
+  from source alone, without executing a single schedule;
 * ``explore``  -- exhaustive schedule exploration
   (:func:`repro.runtime.explore.explore` with DPOR) fails the
   scenario's safety property on some interleaving;
@@ -38,7 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 #: Detection stages, in the order the harness consults them.
-STAGES = ("explore", "check", "audit", "sweep")
+STAGES = ("lint", "explore", "check", "audit", "sweep")
 
 
 @dataclass(frozen=True)
@@ -435,7 +438,10 @@ def _footprint_underdeclared() -> Optional[str]:
     class LyingRegisterArray(RegisterArray):
         READONLY = RegisterArray.READONLY | frozenset({"total"})
 
-        def op_total(self, pid: int) -> int:
+        # The under-declaration below is the planted bug itself; the
+        # static pass flags it too, but this mutant pins the *dynamic*
+        # auditor's ability to catch it at runtime.
+        def op_total(self, pid: int) -> int:  # lint: ignore[F501]
             return sum(1 for cell in self.cells if cell == 1)
 
         def footprint(self, pid, method, args):
@@ -465,6 +471,55 @@ def _footprint_underdeclared() -> Optional[str]:
         audit_scenario(scenario, max_steps=64)
     except FootprintViolation:
         return "audit"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# static footprint mutant (the lint pass's own soundness)
+# ---------------------------------------------------------------------------
+
+#: The planted source the ``lint`` stage must flag.  ``op_swap`` writes
+#: the addressed cell *and* status cell 0, but the declaration drops
+#: the second write: DPOR would wrongly commute two swaps on distinct
+#: cells.  Kept as source text so detection is purely static -- the
+#: class is never instantiated and no schedule is ever executed.
+FOOTPRINT_DROP_WRITE_SOURCE = '''\
+"""Planted mutant: a swap whose declaration drops its status write."""
+
+from repro.memory.registers import RegisterArray
+from repro.runtime.ops import Footprint
+
+
+class DroppedWriteRegisterArray(RegisterArray):
+    """Register array whose swap also updates shared status cell 0."""
+
+    def op_swap(self, pid, index, value):
+        self._check_index(index)
+        old = self.cells[index]
+        self.cells[index] = value
+        self.cells[0] = pid
+        return old
+
+    def footprint(self, pid, method, args):
+        if method == "swap" and args:
+            # MUTANT: the write to status cell 0 is dropped.
+            return Footprint.readwrite(self.name, args[0])
+        return super().footprint(pid, method, args)
+'''
+
+
+def _footprint_drop_write() -> Optional[str]:
+    """A swap operation writes a fixed status cell on top of the
+    addressed one, but its footprint declares only the addressed cell.
+    The program is correct and the declaration covers every *declared*
+    conflict the scenario exhibits, so nothing dynamic need fail; the
+    static analyzer alone proves the handler can write ``cells[0]``
+    while the declaration never mentions it."""
+    from .lint import lint_source
+    findings = lint_source(FOOTPRINT_DROP_WRITE_SOURCE,
+                           path="footprint_drop_write_mutant.py")
+    if any(violation.code == "F501" for violation in findings):
+        return "lint"
     return None
 
 
@@ -536,6 +591,9 @@ MUTANTS: Tuple[Mutant, ...] = (
     Mutant("footprint-underdeclared",
            "operation reads every cell but declares a one-cell footprint",
            "audit", _footprint_underdeclared),
+    Mutant("footprint-drop-write",
+           "swap writes a status cell its declared footprint never mentions",
+           "lint", _footprint_drop_write),
     Mutant("oracle-ceil-index",
            "solvability oracle computes ceil(t/x) instead of floor(t/x)",
            "sweep", _oracle_ceil_index),

@@ -2,8 +2,10 @@
 
 Every planted bug here must be caught: the *static* bugs (discipline
 bypass, nondeterminism, literal yields, oversized port sets) by the
-linter's rules, and the *dynamic* bugs (the lying-footprint objects at
-the bottom) by the footprint auditor's state diff / perturbation replay.
+linter's rules, and the lying-footprint objects at the bottom both
+*statically* (the F501 footprint-inference pass proves each declaration
+under-approximates its handler) and *dynamically* (the footprint
+auditor's state diff / perturbation replay catches them at runtime).
 This module is parsed by the linter and imported by the audit tests; it
 is never linted as part of the repo self-lint.
 """

@@ -1,0 +1,386 @@
+"""Static footprint inference: the F501/F502/F503 rules.
+
+Three fixture groups (positive, suppressed, clean) per rule, the
+registry-wide static-vs-dynamic agreement pin, and the ``--format
+json`` / ``--baseline`` CLI surface.  The agreement test is the
+soundness contract of the whole analyzer: on every registry scenario
+the static pass says the shipped declarations are sound *and* the
+dynamic auditor confirms it on executed schedules -- the two oracles
+must never disagree on code the repo actually runs.
+"""
+
+import inspect
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.__main__ import main
+from repro.lint import (audit_scenario, lint_paths, lint_source,
+                        load_baseline, select_rules)
+from repro.runtime import RoundRobinAdversary
+from repro.scenarios import check_scenarios
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+BROKEN = os.path.join(FIXTURES, "broken_protocol.py")
+
+
+def lint(source, codes=None, **kwargs):
+    rules = select_rules(codes) if codes is not None else None
+    return lint_source(textwrap.dedent(source), rules=rules, **kwargs)
+
+
+def found_codes(violations):
+    return [v.code for v in violations]
+
+
+# --------------------------------------------------------------------------
+# F501: footprint under-approximation
+# --------------------------------------------------------------------------
+
+class TestUnderApproximation:
+    def test_dropped_write_flagged(self):
+        found = lint("""
+            from repro.memory.registers import RegisterArray
+            from repro.runtime.ops import Footprint
+
+            class StatusArray(RegisterArray):
+                def op_swap(self, pid, index, value):
+                    old = self.cells[index]
+                    self.cells[index] = value
+                    self.cells[0] = pid
+                    return old
+
+                def footprint(self, pid, method, args):
+                    if method == "swap" and args:
+                        return Footprint.readwrite(self.name, args[0])
+                    return super().footprint(pid, method, args)
+        """, codes=["F501"])
+        assert found_codes(found) == ["F501"]
+        assert "op_swap" in found[0].message
+        assert "write" in found[0].message
+        assert "cells[0]" in found[0].message
+
+    def test_undeclared_read_flagged(self):
+        # A "blind" write that observes the prior value: the exact
+        # lie the dynamic auditor's poison-and-replay catches, proven
+        # here without executing anything.
+        found = lint("""
+            from repro.memory.registers import AtomicRegister
+
+            class PeekingRegister(AtomicRegister):
+                def op_write(self, pid, value):
+                    if self.value is None:
+                        self.value = value
+                    else:
+                        self.value = (self.value, value)
+        """, codes=["F501"])
+        assert found_codes(found) == ["F501"]
+        assert "read" in found[0].message
+
+    def test_whole_key_declaration_covers_everything(self):
+        # The default SharedObject footprint is whole-object
+        # read/write: no handler can escape it.
+        assert lint("""
+            from repro.memory.base import SharedObject
+
+            class Blob(SharedObject):
+                def __init__(self, name):
+                    super().__init__(name, None)
+                    self.data = {}
+
+                def op_put(self, pid, key, value):
+                    self.data[key] = value
+
+                def op_sum(self, pid):
+                    return sum(self.data.values())
+        """, codes=["F501"]) == []
+
+    def test_honest_per_cell_declaration_clean(self):
+        assert lint("""
+            from repro.memory.registers import RegisterArray
+            from repro.runtime.ops import Footprint
+
+            class TaggedArray(RegisterArray):
+                def op_tag(self, pid, index, tag):
+                    self._check_index(index)
+                    self.cells[index] = (tag, self.cells[index])
+
+                def footprint(self, pid, method, args):
+                    if method == "tag" and args:
+                        return Footprint.readwrite(self.name, args[0])
+                    return super().footprint(pid, method, args)
+        """, codes=["F501"]) == []
+
+    def test_super_delegation_is_not_recursion(self):
+        # An override that post-processes via super() must not widen
+        # to whole-instance access (delegation, not recursion).
+        assert lint("""
+            from repro.memory.registers import RegisterArray
+
+            class CountingArray(RegisterArray):
+                def op_write(self, pid, index, value):
+                    super().op_write(pid, index, value)
+        """, codes=["F501"]) == []
+
+    def test_suppression_comment_respected(self):
+        assert lint("""
+            from repro.memory.registers import AtomicRegister
+
+            class PeekingRegister(AtomicRegister):
+                def op_write(self, pid, value):  # lint: ignore[F501]
+                    prior = self.value
+                    self.value = (prior, value)
+        """, codes=["F501"]) == []
+
+    def test_inherited_op_reported_at_subclass(self):
+        # The lie lives in the subclass's footprint override; the
+        # handler it under-declares is inherited.
+        found = lint("""
+            from repro.memory.registers import RegisterArray
+            from repro.runtime.ops import Footprint
+
+            class NarrowedArray(RegisterArray):
+                def footprint(self, pid, method, args):
+                    if method == "write" and args:
+                        return Footprint.read(self.name, args[0])
+                    return super().footprint(pid, method, args)
+        """, codes=["F501"])
+        assert found
+        assert all(v.code == "F501" for v in found)
+        assert any("inherited" in v.message for v in found)
+
+    def test_fixture_lying_classes_all_flagged(self):
+        violations, errors = lint_paths([BROKEN],
+                                        rules=select_rules(["F501"]))
+        assert errors == []
+        flagged = {v.message.split(".")[0] for v in violations}
+        assert flagged == {"LeakyRegisterArray", "SpyingRegister",
+                          "UnderdeclaredSnapshotArray"}
+
+
+# --------------------------------------------------------------------------
+# F502: unreachable yield
+# --------------------------------------------------------------------------
+
+class TestUnreachableYield:
+    def test_yield_after_return_flagged(self):
+        found = lint("""
+            def prog(reg):
+                yield reg.read(0)
+                return
+                yield reg.read(1)
+        """, codes=["F502"])
+        assert found_codes(found) == ["F502"]
+        assert found[0].line == 5
+
+    def test_yield_after_infinite_loop_flagged(self):
+        found = lint("""
+            def prog(reg):
+                while True:
+                    yield reg.read(0)
+                yield reg.write(0, 1)
+        """, codes=["F502"])
+        assert found_codes(found) == ["F502"]
+
+    def test_generator_marker_idiom_exempt(self):
+        # ``return`` followed by a bare ``yield`` is the standard way
+        # to make an empty protocol body a generator -- same exemption
+        # Y301 grants it.
+        assert lint("""
+            def no_op(reg):
+                return
+                yield
+        """, codes=["F502"]) == []
+
+    def test_break_keeps_tail_reachable(self):
+        assert lint("""
+            def prog(reg):
+                while True:
+                    value = yield reg.read(0)
+                    if value is not None:
+                        break
+                yield reg.write(0, 1)
+        """, codes=["F502"]) == []
+
+    def test_branchy_control_flow_clean(self):
+        assert lint("""
+            def prog(reg, pid):
+                if pid == 0:
+                    yield reg.write(0, pid)
+                else:
+                    for peer in range(3):
+                        yield reg.read(peer)
+                yield reg.write(1, pid)
+        """, codes=["F502"]) == []
+
+    def test_suppression_comment_respected(self):
+        assert lint("""
+            def prog(reg):
+                yield reg.read(0)
+                return
+                yield reg.read(1)  # lint: ignore[F502]
+        """, codes=["F502"]) == []
+
+
+# --------------------------------------------------------------------------
+# F503: conflicting ops without a yield boundary
+# --------------------------------------------------------------------------
+
+class TestConflictingOpsOneStep:
+    def test_nested_same_object_call_flagged(self):
+        found = lint("""
+            def prog(arr):
+                yield arr.write(0, arr.read(1))
+        """, codes=["F503"])
+        assert found_codes(found) == ["F503"]
+        assert "arr" in found[0].message
+
+    def test_distinct_objects_clean(self):
+        assert lint("""
+            def prog(arr, other):
+                yield arr.write(0, other.read(1))
+        """, codes=["F503"]) == []
+
+    def test_lambda_defers_execution(self):
+        assert lint("""
+            def prog(sched, arr):
+                yield sched.spin(lambda: arr.read(0))
+        """, codes=["F503"]) == []
+
+    def test_sequential_yields_clean(self):
+        assert lint("""
+            def prog(arr):
+                value = yield arr.read(1)
+                yield arr.write(0, value)
+        """, codes=["F503"]) == []
+
+    def test_suppression_comment_respected(self):
+        assert lint("""
+            def prog(arr):
+                yield arr.write(0, arr.read(1))  # lint: ignore[F503]
+        """, codes=["F503"]) == []
+
+
+# --------------------------------------------------------------------------
+# Static-vs-dynamic agreement: the analyzer's soundness contract
+# --------------------------------------------------------------------------
+
+@pytest.mark.lint
+class TestStaticDynamicAgreement:
+    """Static says sound ==> the dynamic auditor finds no violation.
+
+    For every registry scenario: F501-lint the defining module of each
+    shared object the scenario's store actually contains (static pass,
+    no schedule executed), then replay the scenario under the auditing
+    store.  Both oracles must report the declarations sound.
+    """
+
+    @pytest.mark.parametrize("name", sorted(check_scenarios()))
+    def test_registry_scenario_statically_and_dynamically_sound(
+            self, name):
+        scenario = check_scenarios(n=3, x=2)[name]
+        _, store = scenario.build()
+        files = sorted({inspect.getfile(type(obj)) for obj in store})
+        assert files, f"scenario {name} has an empty store"
+        violations, errors = lint_paths(files,
+                                        rules=select_rules(["F501"]))
+        assert errors == []
+        assert violations == [], "\n".join(
+            v.render() for v in violations)
+        report = audit_scenario(scenario,
+                                adversaries=[RoundRobinAdversary()])
+        assert report.audited_ops > 0
+
+
+# --------------------------------------------------------------------------
+# CLI: --format json and --baseline
+# --------------------------------------------------------------------------
+
+ONE_BUG = """\
+def prog(reg):
+    yield reg.read(0)
+    return
+    yield reg.read(1)
+"""
+
+TWO_BUGS = ONE_BUG + """\
+
+def prog2(arr):
+    yield arr.write(0, arr.read(1))
+"""
+
+
+class TestLintJsonFormat:
+    def test_json_report_shape(self, capsys):
+        assert main(["lint", BROKEN, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "lint_report"
+        assert doc["schema_version"] == 1
+        assert doc["summary"]["violations"] == len(doc["violations"])
+        assert doc["summary"]["by_code"]["F501"] == 3
+        first = doc["violations"][0]
+        assert set(first) == {"code", "rule", "path", "line", "col",
+                              "message"}
+
+    def test_json_clean_run(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def prog(reg):\n    yield reg.read(0)\n")
+        assert main(["lint", str(clean), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["violations"] == []
+        assert doc["summary"]["violations"] == 0
+
+
+class TestLintBaseline:
+    def test_update_then_rerun_is_clean(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", BROKEN, "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        doc = json.loads(open(baseline).read())
+        assert doc["kind"] == "lint_baseline"
+        assert doc["findings"]
+        # Every current finding is absorbed by the snapshot.
+        assert main(["lint", BROKEN, "--baseline", baseline]) == 0
+        assert "baselined finding(s) suppressed" in \
+            capsys.readouterr().out
+
+    def test_new_violation_escapes_baseline(self, tmp_path, capsys):
+        proto = tmp_path / "proto.py"
+        proto.write_text(ONE_BUG)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(proto), "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        assert main(["lint", str(proto), "--baseline", baseline]) == 0
+        proto.write_text(TWO_BUGS)
+        capsys.readouterr()
+        assert main(["lint", str(proto), "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        # Only the *new* finding is reported; the baselined one stays
+        # suppressed.
+        assert "F503" in out
+        assert "F502" not in out
+
+    def test_load_baseline_roundtrip(self, tmp_path):
+        proto = tmp_path / "proto.py"
+        proto.write_text(ONE_BUG)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(proto), "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        counts = load_baseline(baseline)
+        assert sum(counts.values()) == 1
+        ((path, code, _message),) = counts
+        assert code == "F502"
+        assert "\\" not in path  # baseline keys are os-independent
+
+    def test_update_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", BROKEN, "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "something-else"}')
+        assert main(["lint", BROKEN, "--baseline", str(bad)]) == 2
+        assert "baseline" in capsys.readouterr().err

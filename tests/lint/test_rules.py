@@ -218,10 +218,13 @@ class TestFixtureFile:
             [os.path.join(FIXTURES, "broken_protocol.py")])
         assert errors == []
         found = set(codes(violations))
-        assert found == {"D101", "N201", "Y301", "X401"}
+        assert found == {"D101", "N201", "Y301", "X401", "F501"}
         # Two discipline bypasses, three nondeterminism sources, two bad
-        # yields, two oversized port sets.
-        assert len(codes(violations)) == 9
+        # yields, two oversized port sets -- plus one F501 per
+        # lying-footprint class: the "dynamic" bugs at the bottom of the
+        # fixture are in fact provable from source alone.
+        assert len(codes(violations)) == 12
+        assert codes(violations).count("F501") == 3
 
     def test_repo_protocol_dirs_are_clean(self):
         violations, errors = lint_paths([
