@@ -199,13 +199,15 @@ def cmd_check(args: argparse.Namespace) -> int:
                     max_steps=max_steps, max_runs=max_runs,
                     jobs=jobs, reduction=reduction,
                     scenario=ScenarioRef(name, n=args.n, x=args.x),
-                    metrics=metrics, deadline=deadline)
+                    metrics=metrics, deadline=deadline,
+                    state_cache=not args.no_state_cache)
             else:
                 stats = explore(sc.build, sc.check,
                                 crash_plan_factory=sc.crash_plan_factory,
                                 max_steps=max_steps, max_runs=max_runs,
                                 reduction=reduction, metrics=metrics,
-                                timeout=args.timeout or None)
+                                timeout=args.timeout or None,
+                                state_cache=not args.no_state_cache)
         except CounterexampleFound as exc:
             print(f"[{name}] PROPERTY VIOLATED ({exc.stats})")
             print(exc.counterexample.describe())
@@ -592,6 +594,11 @@ def main(argv=None) -> int:
     p.add_argument("--naive", action="store_true",
                    help="disable partial-order reduction (enumerate "
                         "every interleaving)")
+    p.add_argument("--no-state-cache", action="store_true",
+                   help="disable the DPOR state cache (escape hatch: "
+                        "re-execute every schedule prefix instead of "
+                        "folding already-expanded states; see "
+                        "docs/performance.md)")
     p.add_argument("--jobs", default=None, metavar="N",
                    help="shard exploration across N worker processes "
                         "('auto' = cpu count); run counts are identical "

@@ -37,8 +37,10 @@ from typing import Any, Dict, Iterable, List, Optional
 #: Bump on any change to the key set or meaning of emitted records.
 #: v2 added ``partial`` / ``interrupt_reason`` (graceful degradation
 #: under ``--timeout`` / ``--max-runs`` budgets, see
-#: ``docs/fault_injection.md``).
-METRICS_SCHEMA_VERSION = 2
+#: ``docs/fault_injection.md``).  v3 added ``cache_hits`` /
+#: ``cache_skipped_runs`` (the DPOR state cache, see
+#: ``docs/performance.md``).
+METRICS_SCHEMA_VERSION = 3
 
 #: The wall-clock phases of a sharded exploration, in execution order.
 #: Serial engines report their whole walk as ``shard_execution`` (a
@@ -49,9 +51,12 @@ PHASES = ("frontier_expansion", "shard_execution", "merge", "shrink")
 #: and worker-topology facts, which legitimately differ between runs of
 #: the same exploration (``jobs`` included -- it is the knob under test
 #: in the jobs=1 vs jobs=N differential).
+#: ``cache_hits`` / ``cache_skipped_runs`` are stripped too: the state
+#: cache is per shard (to keep merged ExplorationStats jobs-invariant),
+#: so its hit counts depend on the shard topology, i.e. on ``jobs``.
 TIMING_KEYS = frozenset({
     "phases", "wall_seconds", "runs_per_sec", "busy_seconds",
-    "workers", "jobs",
+    "workers", "jobs", "cache_hits", "cache_skipped_runs",
 })
 
 
@@ -164,6 +169,8 @@ class ExplorationMetrics:
         self.peak_frontier_size = 0
         self.sleep_set_hits = 0
         self.sleep_set_checks = 0
+        self.cache_hits = 0
+        self.cache_skipped_runs = 0
         self.ddmin_replays = 0
         self.violation: Optional[Dict[str, Any]] = None
         # Timing / worker topology (stripped by deterministic_view).
@@ -189,6 +196,8 @@ class ExplorationMetrics:
             return
         self.sleep_set_hits += counters.get("sleep_hits", 0)
         self.sleep_set_checks += counters.get("sleep_checks", 0)
+        self.cache_hits += counters.get("cache_hits", 0)
+        self.cache_skipped_runs += counters.get("cache_skipped_runs", 0)
         self.ddmin_replays += counters.get("ddmin_replays", 0)
         self.peak_frontier_size = max(self.peak_frontier_size,
                                       counters.get("peak_frontier", 0))
@@ -304,6 +313,8 @@ class ExplorationMetrics:
             "sleep_set_hits": self.sleep_set_hits,
             "sleep_set_checks": self.sleep_set_checks,
             "sleep_set_hit_rate": self.sleep_set_hit_rate,
+            "cache_hits": self.cache_hits,
+            "cache_skipped_runs": self.cache_skipped_runs,
             "ddmin_replays": self.ddmin_replays,
             "violation": self.violation,
             "jobs": self.jobs,

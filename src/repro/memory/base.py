@@ -186,6 +186,25 @@ class SharedObject(ABC):
         """
         return MISSING_STATE
 
+    # -- state-fingerprint hook ----------------------------------------
+    #: Footprints must be pure functions of ``(pid, method, args)`` for
+    #: a fixed object configuration; the DPOR engine memoizes them per
+    #: exploration on that assumption.  An object whose footprint
+    #: depends on mutable state must set this to False to opt out.
+    FOOTPRINT_PURE: bool = True
+
+    def fingerprint_state(self) -> dict:
+        """Location -> value map hashed into the DPOR state fingerprint.
+
+        Defaults to :meth:`audit_state` -- the audited view *is* the
+        semantically observable state, so the state cache
+        (:mod:`repro.runtime.fingerprint`) reuses it.  Override only
+        when an object carries run-relevant state the audit view elides;
+        entries equal to :meth:`audit_default` are normalised away, so
+        lazily materialising a default never changes the fingerprint.
+        """
+        return self.audit_state()
+
     def __repr__(self) -> str:
         ports = "all" if self.ports is None else sorted(self.ports)
         return (f"{type(self).__name__}({self.name!r}, ports={ports}, "

@@ -53,6 +53,17 @@ class ObjectStore:
     def get(self, name: str) -> Optional[SharedObject]:
         return self._objects.get(name)
 
+    def shared_objects(self) -> Dict[str, SharedObject]:
+        """Name -> object view for state fingerprinting.
+
+        The DPOR state cache (:mod:`repro.runtime.fingerprint`)
+        canonicalises every object here, sorted by name, so the
+        fingerprint is independent of registration order.  ``op_count``
+        is observability instrumentation and deliberately *not* part of
+        the fingerprint; check callbacks must not depend on it.
+        """
+        return self._objects
+
     # ------------------------------------------------------------------
     def apply(self, pid: int, inv: Invocation) -> Any:
         obj = self[inv.obj]

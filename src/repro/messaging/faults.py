@@ -172,6 +172,18 @@ class MessageFaultPlan:
                 return [replace(env, not_before=rule.not_before)]
         return [env]
 
+    def fingerprint_state(self) -> tuple:
+        """Complete run-scoped state, for state fingerprinting
+        (:mod:`repro.runtime.fingerprint`): rule configuration,
+        occurrence/swap counters, the holdback buffer, and the fired
+        tallies.  Two plans mid-run that would treat the next send
+        differently never share a fingerprint."""
+        return (self.faults, self.crashes, tuple(self._seen),
+                tuple(self._swaps_done),
+                tuple(sorted(self._held.items())),
+                (self.dropped, self.duplicated, self.delayed,
+                 self.reordered))
+
     def drain(self) -> List[Envelope]:
         """Force-release every held (reorder) envelope, in rule order.
 

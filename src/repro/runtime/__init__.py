@@ -14,6 +14,7 @@ from .dpor import (Counterexample, CounterexampleFound, explore_dpor,
                    replay_schedule, shrink_schedule)
 from .explore import (ExplorationInterrupted, ExplorationStats,
                       ShardViolation, explore)
+from .fingerprint import Fingerprinter
 from .faults import (ArbitraryPropose, CorruptWrite, FaultBehavior,
                      FaultPlan, FaultTrigger, StaleReadReplay,
                      byzantine_writer)
@@ -35,6 +36,7 @@ __all__ = [
     "replay_schedule", "shrink_schedule",
     "ExplorationInterrupted", "ExplorationStats", "ShardViolation",
     "explore",
+    "Fingerprinter",
     "ArbitraryPropose", "CorruptWrite", "FaultBehavior", "FaultPlan",
     "FaultTrigger", "StaleReadReplay", "byzantine_writer",
     "explore_parallel", "fork_available", "resolve_jobs", "run_pool",

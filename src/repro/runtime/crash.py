@@ -76,6 +76,14 @@ class CrashPoint:
         """
         self._matches_seen = 0
 
+    def fingerprint_state(self) -> tuple:
+        """Configuration plus mutable trigger state, for the DPOR state
+        fingerprint (:mod:`repro.runtime.fingerprint`): two system
+        states whose crash points have seen different match counts must
+        never share a fingerprint."""
+        return (self.own_step, self.before_matching, self.occurrence,
+                self._matches_seen)
+
 
 class CrashPlan:
     """Maps victim pids to crash points.
@@ -160,6 +168,22 @@ class CrashPlan:
         """Reset every crash point's per-run state (match counters)."""
         for point in self.points.values():
             point.reset()
+
+    # -- state-fingerprint hooks ---------------------------------------
+    def fingerprint_state(self) -> tuple:
+        """Canonicalisable view of the plan: per-victim point state,
+        sorted by pid (see :mod:`repro.runtime.fingerprint`)."""
+        return tuple(sorted(
+            (pid, point.fingerprint_state())
+            for pid, point in self.points.items()))
+
+    def fingerprint_step_pids(self) -> frozenset:
+        """Pids whose own-step counters this plan's behaviour depends
+        on.  Only ``own_step`` victims are step-sensitive; predicate
+        points key on operation matches, whose counters
+        :meth:`fingerprint_state` already pins."""
+        return frozenset(pid for pid, point in self.points.items()
+                         if point.own_step is not None)
 
     def __repr__(self) -> str:
         return f"CrashPlan({self.points!r})"

@@ -125,6 +125,14 @@ class FaultTrigger:
         self._eval_key = None
         self._eval_hit = False
 
+    def fingerprint_state(self) -> tuple:
+        """Configuration plus every mutable field, for the DPOR state
+        fingerprint: trigger states that would fire differently on the
+        next step must never compare equal."""
+        return (self.own_step, self.matching, self.occurrence, self.once,
+                self._matches_seen, self._latched, self._eval_key,
+                self._eval_hit)
+
 
 class FaultBehavior:
     """One Byzantine behavior attached to a victim pid.
@@ -147,6 +155,14 @@ class FaultBehavior:
 
     def reset(self) -> None:
         self.trigger.reset()
+
+    def fingerprint_state(self) -> tuple:
+        """Behavior identity plus its complete mutable state (trigger
+        counters and, via ``vars``, any subclass state such as
+        :class:`StaleReadReplay`'s per-site cache)."""
+        extra = {k: v for k, v in vars(self).items() if k != "trigger"}
+        return (type(self).__qualname__, self.trigger.fingerprint_state(),
+                extra)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.trigger!r})"
@@ -258,6 +274,19 @@ class FaultPlan(CrashPlan):
         for items in self.behaviors.values():
             for behavior in items:
                 behavior.reset()
+
+    # -- state-fingerprint hooks ---------------------------------------
+    def fingerprint_state(self) -> tuple:
+        """Crash-point state plus per-pid behavior state, sorted."""
+        return (super().fingerprint_state(), tuple(sorted(
+            (pid, tuple(b.fingerprint_state() for b in items))
+            for pid, items in self.behaviors.items())))
+
+    def fingerprint_step_pids(self) -> frozenset:
+        """Behavior triggers are consulted with the victim's own step
+        counter on every step, so every behavior pid is step-sensitive
+        (on top of the crash plan's ``own_step`` victims)."""
+        return super().fingerprint_step_pids() | frozenset(self.behaviors)
 
     # -- scheduler hooks -----------------------------------------------
     def rewrite_invocation(self, pid: int, steps_taken: int,

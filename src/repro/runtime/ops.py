@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, FrozenSet, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Invocation:
     """One atomic operation on a named shared object."""
 
@@ -99,7 +99,7 @@ def _keys_overlap(k1: Any, k2: Any) -> bool:
     return k1 == k2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Footprint:
     """The shared-memory read and write sets of one atomic step.
 
@@ -174,7 +174,7 @@ def conflicts(a: Footprint, b: Footprint) -> bool:
             or _locations_overlap(a.reads, b.writes))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpinOp:
     """A busy-wait step: re-apply ``invocation`` until ``predicate`` holds.
 

@@ -486,7 +486,8 @@ def explore_parallel(build: Optional[Builder] = None,
                      scenario=None,
                      fault_plan: Optional[Dict[int, str]] = None,
                      metrics: Optional[Any] = None,
-                     deadline: Optional[float] = None
+                     deadline: Optional[float] = None,
+                     state_cache: bool = True
                      ) -> ExplorationStats:
     """Sharded exhaustive exploration across a worker pool.
 
@@ -519,6 +520,12 @@ def explore_parallel(build: Optional[Builder] = None,
     statistics merged from the frontier and every shard that reported
     back, so the caller can emit a partial record instead of losing the
     coverage already paid for.
+
+    ``state_cache`` (DPOR only) enables each shard's prefix-equivalence
+    state cache.  Caches are strictly *per shard* -- a worker never sees
+    hits against a sibling shard's subtrees -- so shard statistics, and
+    therefore the merged result, stay identical for ``jobs=1`` and
+    ``jobs=N`` with the cache on exactly as with it off.
     """
     if scenario is not None and (build is None or check is None):
         resolved = scenario.resolve()
@@ -584,7 +591,7 @@ def explore_parallel(build: Optional[Builder] = None,
                     b, c, crash_plan_factory=cpf, max_steps=max_steps,
                     max_runs=max_runs, prefix=prefix, root_sleep=sleep,
                     collect=True, counters=shard_counters,
-                    deadline=deadline)
+                    deadline=deadline, state_cache=state_cache)
             else:
                 shard_stats = _explore_naive(b, c, cpf, max_steps,
                                              max_runs, root=prefix,

@@ -30,7 +30,7 @@ class ProcessStatus(enum.Enum):
 NO_DECISION = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessHandle:
     """Scheduler-side state of one process."""
 

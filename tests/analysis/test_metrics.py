@@ -27,34 +27,36 @@ from repro.analysis.metrics import (METRICS_SCHEMA_VERSION, PHASES,
 from repro.runtime import ExplorationStats, explore
 from repro.scenarios import check_scenarios
 
-#: The golden exploration-record schema, version 2 (v1 plus the
-#: ``partial`` / ``interrupt_reason`` pair added for budget-interrupted
-#: sweeps).  Adding, removing, or renaming a key is a schema change:
-#: bump METRICS_SCHEMA_VERSION and update this fixture (and
+#: The golden exploration-record schema, version 3 (v2 plus the
+#: ``cache_hits`` / ``cache_skipped_runs`` pair added for the DPOR
+#: state cache).  Adding, removing, or renaming a key is a schema
+#: change: bump METRICS_SCHEMA_VERSION and update this fixture (and
 #: docs/observability.md) deliberately.
-EXPLORATION_KEYS_V2 = [
+EXPLORATION_KEYS_V3 = [
     "schema_version", "kind", "scenario", "engine", "outcome",
     "partial", "interrupt_reason",
     "complete_runs", "truncated_runs", "total_runs", "pruned_runs",
     "prune_ratio", "max_depth_seen", "shard_count",
     "peak_frontier_size", "sleep_set_hits", "sleep_set_checks",
-    "sleep_set_hit_rate", "ddmin_replays", "violation",
+    "sleep_set_hit_rate", "cache_hits", "cache_skipped_runs",
+    "ddmin_replays", "violation",
     "jobs", "phases", "wall_seconds", "runs_per_sec", "workers",
 ]
 
-#: Deterministic subset: everything minus the timing/worker keys.
-DETERMINISTIC_KEYS_V2 = [key for key in EXPLORATION_KEYS_V2
+#: Deterministic subset: everything minus the timing/worker keys (the
+#: cache counters count as topology-dependent: the cache is per shard).
+DETERMINISTIC_KEYS_V3 = [key for key in EXPLORATION_KEYS_V3
                          if key not in TIMING_KEYS]
 
 
 @pytest.mark.metrics
 class TestGoldenSchema:
-    def test_schema_version_is_two(self):
-        assert METRICS_SCHEMA_VERSION == 2
+    def test_schema_version_is_three(self):
+        assert METRICS_SCHEMA_VERSION == 3
 
     def test_exploration_record_key_set_is_pinned(self):
         record = ExplorationMetrics(scenario="s").finalize().to_dict()
-        assert list(record) == EXPLORATION_KEYS_V2
+        assert list(record) == EXPLORATION_KEYS_V3
         assert record["schema_version"] == METRICS_SCHEMA_VERSION
         assert record["kind"] == "exploration"
 
@@ -66,7 +68,7 @@ class TestGoldenSchema:
                 max_steps=sc.max_steps, reduction="dpor", jobs=2,
                 metrics=metrics)
         record = json.loads(json.dumps(metrics.finalize().to_dict()))
-        assert list(record) == EXPLORATION_KEYS_V2
+        assert list(record) == EXPLORATION_KEYS_V3
         assert record["total_runs"] == (record["complete_runs"]
                                         + record["truncated_runs"])
         assert record["phases"].keys() == set(PHASES)
@@ -92,7 +94,7 @@ class TestGoldenSchema:
     def test_deterministic_view_strips_exactly_timing_and_workers(self):
         record = ExplorationMetrics(scenario="s").finalize().to_dict()
         view = deterministic_view(record)
-        assert list(view) == DETERMINISTIC_KEYS_V2
+        assert list(view) == DETERMINISTIC_KEYS_V3
         # Nested timing keys are stripped too (audit data records).
         nested = {"data": {"wall_seconds": 1.0, "runs": 8,
                            "inner": [{"busy_seconds": 2.0, "ok": 1}]}}

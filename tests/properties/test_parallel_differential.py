@@ -37,6 +37,27 @@ def test_dpor_jobs1_equals_jobs4(name):
         f"{name} verdict must not be depth-bounded: {serial}"
 
 
+@pytest.mark.parametrize("name", ["adopt-commit", "queue-2cons"])
+def test_dpor_jobs_and_state_cache_are_orthogonal(name):
+    # The state cache (docs/performance.md) folds subtrees per shard,
+    # so its counters are worker-topology-dependent -- but the merged
+    # ExplorationStats must stay identical across every combination of
+    # jobs and cache mode.  Registry scenarios are exact-match
+    # workloads (the no-op-plant hit rule), so raw run counts agree,
+    # not just the deterministic view.
+    sc = check_scenarios(n=3)[name]
+    baseline = explore(sc.build, sc.check,
+                       crash_plan_factory=sc.crash_plan_factory,
+                       max_steps=sc.max_steps, max_runs=sc.max_runs,
+                       reduction="dpor", jobs=1, state_cache=False)
+    for jobs in (1, 4):
+        cached = explore(sc.build, sc.check,
+                         crash_plan_factory=sc.crash_plan_factory,
+                         max_steps=sc.max_steps, max_runs=sc.max_runs,
+                         reduction="dpor", jobs=jobs, state_cache=True)
+        assert cached == baseline, f"jobs={jobs}"
+
+
 @pytest.mark.parametrize("name", ["queue-2cons", "adopt-commit"])
 def test_naive_jobs1_equals_jobs4(name):
     # Naive sharding partitions the tree exactly; cross-check the naive

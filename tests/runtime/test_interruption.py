@@ -40,3 +40,47 @@ class TestInterruption:
                     max_steps=scenario.max_steps, max_runs=2,
                     reduction="dpor", jobs=2)
         assert info.value.reason == "max_runs"
+
+    def test_warm_cache_interrupt_emits_valid_partial_record(self):
+        # The state cache must not break budget interruption: when the
+        # budget fires after the cache has already folded subtrees, the
+        # partial metrics record is still emitted, still schema v3, and
+        # carries the cache counters accumulated so far.
+        from repro.analysis.metrics import (METRICS_SCHEMA_VERSION,
+                                            ExplorationMetrics)
+
+        scenario = build_scenario("adopt-commit")
+        metrics = ExplorationMetrics(scenario="adopt-commit",
+                                     engine="dpor")
+        with pytest.raises(ExplorationInterrupted) as info:
+            explore(scenario.build, scenario.check,
+                    max_steps=scenario.max_steps, max_runs=40,
+                    reduction="dpor", state_cache=True, metrics=metrics)
+        metrics.record_interrupted(info.value.reason, info.value.stats)
+        record = metrics.finalize().to_dict()
+        assert record["schema_version"] == METRICS_SCHEMA_VERSION
+        assert record["outcome"] == "interrupted"
+        assert record["partial"] is True
+        assert record["interrupt_reason"] == "max_runs"
+        assert record["total_runs"] == 40
+        assert record["cache_hits"] > 0, \
+            "budget chosen so the cache is warm when it fires"
+        assert record["cache_skipped_runs"] > 0
+
+    def test_timeout_with_cache_enabled_still_emits_record(self):
+        # Same pinning for the wall-clock budget (`check --timeout`):
+        # the record path works however early the deadline fires.
+        from repro.analysis.metrics import ExplorationMetrics
+
+        scenario = build_scenario("adopt-commit")
+        metrics = ExplorationMetrics(scenario="adopt-commit",
+                                     engine="dpor")
+        with pytest.raises(ExplorationInterrupted) as info:
+            explore(scenario.build, scenario.check,
+                    max_steps=scenario.max_steps, timeout=1e-9,
+                    reduction="dpor", state_cache=True, metrics=metrics)
+        metrics.record_interrupted(info.value.reason, info.value.stats)
+        record = metrics.finalize().to_dict()
+        assert record["outcome"] == "interrupted"
+        assert record["interrupt_reason"] == "timeout"
+        assert record["partial"] is True
