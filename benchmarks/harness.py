@@ -64,7 +64,10 @@ def write_report(name: str, lines: Iterable[str],
     """
     lines = list(lines)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    atomic_write_text(path, "\n".join(lines) + "\n")
+    # Reports are regenerated on every bench run and nothing resumes
+    # from them, so they opt out of the fsync pair durable writes pay
+    # (atomicity -- old table or new, never torn -- is kept).
+    atomic_write_text(path, "\n".join(lines) + "\n", durable=False)
     write_json(name, lines=lines, data=data)
     return path
 
@@ -82,7 +85,8 @@ def write_json(name: str, lines: Sequence[str],
         })
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     return atomic_write_text(
-        path, json.dumps(record.to_dict(), indent=2) + "\n")
+        path, json.dumps(record.to_dict(), indent=2) + "\n",
+        durable=False)
 
 
 def cost_row(label: str, result: RunResult) -> str:

@@ -119,8 +119,10 @@ def _emit_metrics(records, show_table: bool,
 
 def cmd_check(args: argparse.Namespace) -> int:
     """Exhaustively check one named scenario (or ``all`` sound ones)."""
+    import os
+
     from .runtime import (CounterexampleFound, ExplorationInterrupted,
-                          explore)
+                          FrontierMismatch, FrontierStore, explore)
     from .runtime.parallel import explore_parallel
     from .scenarios import SOUND_SCENARIOS, ScenarioRef, check_scenarios
 
@@ -128,6 +130,15 @@ def cmd_check(args: argparse.Namespace) -> int:
     if jobs_error is not None:
         print(f"check: {jobs_error}", file=sys.stderr)
         return 2
+    checkpoint_path = args.checkpoint or args.resume
+    if args.checkpoint and args.resume:
+        print("check: --checkpoint and --resume are mutually exclusive "
+              "(--resume continues the store it names)", file=sys.stderr)
+        return 2
+    if checkpoint_path and jobs is None:
+        # Durability is a property of the sharded engine; jobs=1 keeps
+        # serial-speed execution while the frontier store journals it.
+        jobs = 1
     scenarios = check_scenarios(n=args.n, x=args.x)
     if args.list or args.scenario in (None, "list"):
         if args.scenario is None and not args.list:
@@ -158,6 +169,15 @@ def cmd_check(args: argparse.Namespace) -> int:
               f"'--list' or one of: {', '.join(scenarios)}",
               file=sys.stderr)
         return 2
+
+    if checkpoint_path and len(names) != 1:
+        print("check: --checkpoint/--resume journal exactly one "
+              "scenario per store (not 'all')", file=sys.stderr)
+        return 2
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        # --checkpoint starts a fresh exploration; continuing an
+        # existing store is what --resume is for.
+        os.unlink(args.checkpoint)
 
     reduction = "naive" if args.naive else "dpor"
     collect_metrics = args.metrics or args.metrics_out
@@ -194,13 +214,26 @@ def cmd_check(args: argparse.Namespace) -> int:
                 # deadline, valid across fork on Linux.
                 deadline = (monotonic() + args.timeout
                             if args.timeout else None)
+                frontier = None
+                if checkpoint_path:
+                    frontier = FrontierStore(checkpoint_path)
+                    if args.resume and not frontier.exists():
+                        # A kill can land before the header write;
+                        # starting fresh makes resume total over every
+                        # interruption point.
+                        print(f"[{name}] no frontier store at "
+                              f"{checkpoint_path}; starting fresh")
+                    elif args.resume:
+                        print(f"[{name}] resuming from "
+                              f"{checkpoint_path}")
                 stats = explore_parallel(
                     crash_plan_factory=sc.crash_plan_factory,
                     max_steps=max_steps, max_runs=max_runs,
                     jobs=jobs, reduction=reduction,
                     scenario=ScenarioRef(name, n=args.n, x=args.x),
                     metrics=metrics, deadline=deadline,
-                    state_cache=not args.no_state_cache)
+                    state_cache=not args.no_state_cache,
+                    frontier=frontier)
             else:
                 stats = explore(sc.build, sc.check,
                                 crash_plan_factory=sc.crash_plan_factory,
@@ -247,6 +280,13 @@ def cmd_check(args: argparse.Namespace) -> int:
                 metrics.record_interrupted(exc.reason, exc.stats)
                 settle_metrics()
             exit_code = max(exit_code, 3)
+            continue
+        except FrontierMismatch as exc:
+            # Resuming under a different configuration would merge
+            # statistics from two different state spaces; reject like
+            # a mismatched sweep --resume seed (exit 2).
+            print(f"[{name}] RESUME REJECTED: {exc}", file=sys.stderr)
+            exit_code = max(exit_code, 2)
             continue
         except RuntimeError as exc:
             print(f"[{name}] BUDGET EXCEEDED: {exc}", file=sys.stderr)
@@ -433,13 +473,23 @@ def cmd_mutants(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _sweep_resume_skip(path: str, seed: int):
-    """Indices an earlier sweep of ``seed`` verified; (skip, error)."""
+def _sweep_resume_skip(path: str, seed: int, count: int):
+    """Indices an earlier sweep of ``seed`` verified; (skip, error).
+
+    The synthesized batch is a pure function of ``(seed, count,
+    GENERATOR_VERSION)``, so all three are validated against the
+    partial record -- resuming under a different count (or a different
+    grammar build) would re-derive a different configuration set and
+    silently skip the wrong indices.  Records predating the
+    ``generator_version`` field are accepted as current.
+    """
     import json
     import os
+
+    from .generative import GENERATOR_VERSION
     if not os.path.exists(path):
         return None, f"resume file {path!r} does not exist"
-    verified = None
+    data = None
     with open(path) as handle:
         for line in handle:
             if not line.strip():
@@ -447,11 +497,25 @@ def _sweep_resume_skip(path: str, seed: int):
             record = json.loads(line)
             if (record.get("kind") == "sweep"
                     and record.get("data", {}).get("seed") == seed):
-                verified = record["data"].get("verified", [])
-    if verified is None:
+                data = record["data"]
+    if data is None:
         return None, (f"no sweep record for seed {seed} in {path!r} "
                       f"(a resume must reuse the original --seed)")
-    return verified, None
+    stored_count = data.get("count")
+    if stored_count != count:
+        return None, (f"sweep record for seed {seed} in {path!r} was "
+                      f"written with --count {stored_count}, not "
+                      f"--count {count} (a resume must reuse the "
+                      f"original --count; the batch is a pure function "
+                      f"of seed and count)")
+    stored_version = data.get("generator_version", GENERATOR_VERSION)
+    if stored_version != GENERATOR_VERSION:
+        return None, (f"sweep record for seed {seed} in {path!r} was "
+                      f"written by generator grammar version "
+                      f"{stored_version}; this build is version "
+                      f"{GENERATOR_VERSION}, so the synthesized batch "
+                      f"may differ -- rerun without --resume")
+    return data.get("verified", []), None
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -488,7 +552,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     skip = ()
     if args.resume:
-        skip, resume_error = _sweep_resume_skip(args.resume, args.seed)
+        skip, resume_error = _sweep_resume_skip(args.resume, args.seed,
+                                                args.count)
         if resume_error is not None:
             print(f"sweep: {resume_error}", file=sys.stderr)
             return 2
@@ -603,6 +668,19 @@ def main(argv=None) -> int:
                    help="shard exploration across N worker processes "
                         "('auto' = cpu count); run counts are identical "
                         "for every N")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal the exploration to a durable frontier "
+                        "store at PATH (fresh store; overwrites an "
+                        "existing one -- see --resume), so a killed run "
+                        "can continue; implies --jobs 1 unless --jobs "
+                        "is given (see docs/resumable_exploration.md)")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="continue an interrupted --checkpoint "
+                        "exploration from the frontier store at PATH; "
+                        "the store's configuration fingerprint must "
+                        "match this invocation (exit 2 otherwise), and "
+                        "final statistics are bit-for-bit identical to "
+                        "an uninterrupted run")
     p.add_argument("--metrics", action="store_true",
                    help="print a per-scenario observability summary "
                         "(phases, prune/sleep rates, runs/sec)")

@@ -75,12 +75,46 @@ def deterministic_view(record: Any) -> Any:
     return record
 
 
-def atomic_write_text(path: str, text: str) -> str:
+def fsync_directory(directory: str) -> None:
+    """``fsync`` a directory so a just-renamed entry survives a crash.
+
+    ``os.replace`` makes a rename atomic with respect to *readers*, but
+    the new directory entry itself lives in the page cache until the
+    directory inode is flushed -- after a power loss the file can be
+    missing entirely even though the rename returned.  Platforms whose
+    directories cannot be opened or fsynced (some network filesystems)
+    degrade silently: atomicity still holds, only crash-durability of
+    the rename is lost.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - platform-specific degradation
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific degradation
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, durable: bool = True) -> str:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 
     An interrupted writer leaves either the old file or the new one,
     never a truncated hybrid -- required for every report that other
     documents embed or other tools parse.
+
+    With ``durable=True`` (the default) the write is also *crash*-safe:
+    the temp file is fsynced before the rename and the directory after
+    it, so once this function returns the new content survives a host
+    crash or power loss.  Atomicity alone (the pre-fix behaviour) only
+    protects against a crashed *writer* -- the rename could still be
+    sitting unflushed in the page cache, leaving an empty or missing
+    file after a machine crash, which is fatal for checkpoints other
+    runs resume from.  ``durable=False`` opts back out for hot-loop
+    emitters (e.g. benchmark report twins regenerated on every run)
+    where an extra pair of fsyncs per write is pure overhead.
     """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -89,7 +123,12 @@ def atomic_write_text(path: str, text: str) -> str:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        if durable:
+            fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)
@@ -99,10 +138,12 @@ def atomic_write_text(path: str, text: str) -> str:
     return path
 
 
-def write_jsonl(path: str, records: Iterable[Dict[str, Any]]) -> str:
+def write_jsonl(path: str, records: Iterable[Dict[str, Any]],
+                durable: bool = True) -> str:
     """Atomically write one JSON object per line (JSON-lines)."""
     lines = [json.dumps(record, sort_keys=False) for record in records]
-    return atomic_write_text(path, "\n".join(lines) + "\n" if lines else "")
+    return atomic_write_text(path, "\n".join(lines) + "\n" if lines else "",
+                             durable=durable)
 
 
 @dataclass

@@ -16,9 +16,10 @@ Entry points: ``python -m repro sweep --seed S --count N`` and the
 ``sweep``-marked pytest tier; see ``docs/generative_sweep.md``.
 """
 
-from .generator import (EXPLORABLE_FAMILIES, FAMILIES, GeneratedConfig,
-                        config_from_choices, generate_batch,
-                        generate_config, generated_scenario, scenario_for)
+from .generator import (EXPLORABLE_FAMILIES, FAMILIES, GENERATOR_VERSION,
+                        GeneratedConfig, config_from_choices,
+                        generate_batch, generate_config,
+                        generated_scenario, scenario_for)
 from .oracle import (Prediction, SolvabilityOracle, floor_index,
                      reference_index)
 from .source import ChoiceSource, shrink_choices
@@ -27,7 +28,8 @@ from .sweep import ConfigOutcome, SweepResult, execute_config, run_sweep
 __all__ = [
     "ChoiceSource", "shrink_choices",
     "Prediction", "SolvabilityOracle", "floor_index", "reference_index",
-    "EXPLORABLE_FAMILIES", "FAMILIES", "GeneratedConfig",
+    "EXPLORABLE_FAMILIES", "FAMILIES", "GENERATOR_VERSION",
+    "GeneratedConfig",
     "config_from_choices", "generate_batch", "generate_config",
     "generated_scenario", "scenario_for",
     "ConfigOutcome", "SweepResult", "execute_config", "run_sweep",

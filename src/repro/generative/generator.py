@@ -43,6 +43,13 @@ from ..tasks import KImmediateSnapshotTask
 from .oracle import SolvabilityOracle
 from .source import ChoiceSource
 
+#: Version of the choice-tape grammar.  A batch is a pure function of
+#: ``(seed, count, GENERATOR_VERSION)``: any change to the family
+#: wheel, the per-family decoders, or the choice layout must bump this,
+#: so ``sweep --resume`` can refuse to skip indices whose meaning
+#: shifted between builds.
+GENERATOR_VERSION = 1
+
 #: Families whose experiment is exhaustive schedule exploration; only
 #: these resolve through the ``generated:`` scenario namespace.
 EXPLORABLE_FAMILIES = frozenset(

@@ -38,8 +38,8 @@ from ..runtime import (CounterexampleFound, ExplorationInterrupted,
 from ..runtime.parallel import explore_parallel
 from ..scenarios import ScenarioRef
 from ..tasks import KSetAgreementTask
-from .generator import GeneratedConfig, config_from_choices, \
-    generate_config, scenario_for
+from .generator import GENERATOR_VERSION, GeneratedConfig, \
+    config_from_choices, generate_config, scenario_for
 from .oracle import (PASS, SOLVABLE, UNSOLVABLE, VIOLATION, Prediction,
                      SolvabilityOracle, reference_index)
 from .source import shrink_choices
@@ -344,6 +344,7 @@ class SweepResult:
             data={
                 "seed": self.seed,
                 "count": self.count,
+                "generator_version": GENERATOR_VERSION,
                 "completed": list(self.completed),
                 "verified": list(self.verified),
                 "skipped": list(self.skipped),

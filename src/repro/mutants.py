@@ -24,7 +24,11 @@ catches every one of them:
   against the solvability oracle and flags the disagreement;
 * ``cache``    -- the state-cache differential (cache-on vs cache-off
   DPOR, see ``docs/performance.md``) detects an unsound fingerprint by
-  the divergence of its deterministic exploration outcome.
+  the divergence of its deterministic exploration outcome;
+* ``resume``   -- the checkpoint/resume differential (interrupted vs
+  uninterrupted exploration, see ``docs/resumable_exploration.md``)
+  detects an unsound frontier-store resume by the divergence of the
+  resumed statistics from the single-run reference.
 
 Each :class:`Mutant` pins the stage *expected* to catch it; the
 ``mutation`` pytest tier (``tests/mutation/``) asserts the pinned stage
@@ -44,7 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 #: Detection stages, in the order the harness consults them.
-STAGES = ("lint", "explore", "check", "audit", "sweep", "cache")
+STAGES = ("lint", "explore", "check", "audit", "sweep", "cache", "resume")
 
 
 @dataclass(frozen=True)
@@ -654,6 +658,53 @@ def _oracle_ceil_index() -> Optional[str]:
 
 
 # ---------------------------------------------------------------------------
+# resume mutant (the frontier store's own soundness)
+# ---------------------------------------------------------------------------
+
+def _resume_drop_completed_shard() -> Optional[str]:
+    """A resume whose pending set re-includes a shard the journal has
+    already settled.  The coordinator merges prior journaled completions
+    with every fresh outcome, so the re-executed shard's statistics are
+    folded *twice* -- exactly the corruption an unsound ``--resume``
+    produces -- and the resumed run no longer equals the uninterrupted
+    reference.  Exploration, checking, and auditing never read the
+    journal, so only the ``resume`` differential can catch this.
+    """
+    import os
+    import tempfile
+
+    from .runtime.frontier import FrontierStore
+    from .runtime.parallel import explore_parallel
+    from .scenarios import check_scenarios
+
+    scenario = check_scenarios(n=3)["adopt-commit"]
+
+    class DropCompletedShard(FrontierStore):
+        """MUTANT: treats the first settled shard as still pending."""
+
+        def pending_indices(self, total):
+            pending = super().pending_indices(total)
+            if self.completed:
+                pending.append(min(self.completed))
+                pending.sort()
+            return pending
+
+    reference = explore_parallel(scenario.build, scenario.check, jobs=1,
+                                 max_steps=scenario.max_steps)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "frontier.jsonl")
+        explore_parallel(scenario.build, scenario.check, jobs=1,
+                         max_steps=scenario.max_steps,
+                         frontier=FrontierStore(path))
+        resumed = explore_parallel(scenario.build, scenario.check, jobs=1,
+                                   max_steps=scenario.max_steps,
+                                   frontier=DropCompletedShard(path))
+    if resumed != reference:
+        return "resume"
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Registry + harness
 # ---------------------------------------------------------------------------
 
@@ -692,6 +743,10 @@ MUTANTS: Tuple[Mutant, ...] = (
            "state fingerprint skips one shared field, merging distinct "
            "states",
            "cache", _fingerprint_ignore_field),
+    Mutant("resume-drop-completed-shard",
+           "frontier resume re-grants a shard the journal already "
+           "settled, double-merging its statistics",
+           "resume", _resume_drop_completed_shard),
 )
 
 

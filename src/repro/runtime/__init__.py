@@ -18,6 +18,8 @@ from .fingerprint import Fingerprinter
 from .faults import (ArbitraryPropose, CorruptWrite, FaultBehavior,
                      FaultPlan, FaultTrigger, StaleReadReplay,
                      byzantine_writer)
+from .frontier import FrontierMismatch, FrontierStore
+from .lease import Lease, LeaseTable
 from .parallel import (explore_parallel, fork_available, resolve_jobs,
                        run_pool)
 from .ops import (EMPTY_FOOTPRINT, SPIN_FAILED, WHOLE, Footprint,
@@ -39,6 +41,8 @@ __all__ = [
     "Fingerprinter",
     "ArbitraryPropose", "CorruptWrite", "FaultBehavior", "FaultPlan",
     "FaultTrigger", "StaleReadReplay", "byzantine_writer",
+    "FrontierMismatch", "FrontierStore",
+    "Lease", "LeaseTable",
     "explore_parallel", "fork_available", "resolve_jobs", "run_pool",
     "EMPTY_FOOTPRINT", "SPIN_FAILED", "WHOLE", "Footprint",
     "Invocation", "LocalOp", "ObjectProxy", "SpinOp", "conflicts",

@@ -340,7 +340,8 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             prefix_factor: Optional[int] = None,
             metrics: Optional[Any] = None,
             timeout: Optional[float] = None,
-            state_cache: bool = True) -> ExplorationStats:
+            state_cache: bool = True,
+            frontier: Optional[Any] = None) -> ExplorationStats:
     """Exhaustively check every schedule of the system built by ``build``.
 
     ``build()`` must return a fresh ``(programs, store)`` pair each call
@@ -385,10 +386,22 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
     ``state_cache`` (default on) enables the DPOR prefix-equivalence
     state cache (see ``docs/performance.md``); it is ignored by the
     naive engine.  The CLI exposes it as ``check --no-state-cache``.
+
+    ``frontier`` is an optional
+    :class:`repro.runtime.frontier.FrontierStore` making the
+    exploration durable and resumable (see
+    ``docs/resumable_exploration.md``).  Checkpointing is a property of
+    the *sharded* engine -- its frontier is the unit of durability --
+    so ``frontier`` requires an explicit ``jobs`` value (``jobs=1``
+    checkpoints a serial-speed run).
     """
     if reduction not in ("naive", "dpor"):
         raise ValueError(f"unknown reduction {reduction!r} "
                          f"(expected 'naive' or 'dpor')")
+    if frontier is not None and jobs is None:
+        raise ValueError(
+            "frontier checkpointing requires the sharded engine; pass "
+            "an explicit jobs value (jobs=1 for serial-speed execution)")
     deadline = monotonic() + timeout if timeout is not None else None
     if jobs is not None:
         from .parallel import DEFAULT_PREFIX_FACTOR, explore_parallel
@@ -398,7 +411,7 @@ def explore(build: Callable[[], Tuple[Dict[int, Generator], Any]],
             reduction=reduction,
             prefix_factor=prefix_factor or DEFAULT_PREFIX_FACTOR,
             metrics=metrics, deadline=deadline,
-            state_cache=state_cache)
+            state_cache=state_cache, frontier=frontier)
     if reduction == "dpor":
         from .dpor import explore_dpor
         return explore_dpor(build, check,

@@ -48,6 +48,8 @@ from .dpor import (Counterexample, CounterexampleFound, _explore_core,
 from .explore import (ExplorationInterrupted, ExplorationStats,
                       ShardViolation, _explore_naive, _max_runs_interrupt,
                       _past_deadline, _run_prefix, _timeout_interrupt)
+from .lease import (DEFAULT_HEARTBEAT_INTERVAL, DEFAULT_LEASE_TIMEOUT,
+                    LeaseTable)
 from .ops import conflicts
 from .run import RunResult
 
@@ -79,6 +81,21 @@ _RETRY_MAX_ATTEMPTS = 3
 #: (0.05s, 0.1s, ... capped).  Module-level so tests can shrink them.
 _RETRY_BACKOFF_BASE = 0.05
 _RETRY_BACKOFF_CAP = 1.0
+
+#: Lease timeout / heartbeat interval for the coordinator/worker split
+#: (see :mod:`repro.runtime.lease`).  A worker renews its shard's lease
+#: on every heartbeat; a lease that lapses (SIGKILLed, SIGSTOPped, or
+#: otherwise silent worker) has its shard re-granted.  Module-level so
+#: tests can shrink both.
+_LEASE_TIMEOUT = DEFAULT_LEASE_TIMEOUT
+_HEARTBEAT_INTERVAL = DEFAULT_HEARTBEAT_INTERVAL
+
+#: Times a shard may be re-granted to another worker (after a lapsed
+#: lease or a dead holder) before the coordinator falls back to the
+#: in-process retry ladder.  Bounds the damage of a *deterministically*
+#: worker-killing shard: each re-grant costs one worker, the in-process
+#: fallback costs none.
+_REGRANT_MAX = 2
 
 
 def fork_available() -> bool:
@@ -152,7 +169,9 @@ def _run_task(runner: Callable[[Any], Any], payload: Any,
 
 def _worker_loop(task_conn, result_conn,
                  runner: Callable[[Any], Any],
-                 fault_plan: Optional[Dict[int, str]]) -> None:
+                 fault_plan: Optional[Dict[int, str]],
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+                 ) -> None:
     """Worker main: drain the private task pipe until the sentinel.
 
     The worker pickles each outcome itself and ships opaque bytes; a
@@ -162,12 +181,27 @@ def _worker_loop(task_conn, result_conn,
     shared ``mp.Queue`` would hang survivors if a worker died holding
     its write lock).
 
-    The test-only ``fault_plan`` entry ``-1: "sigstop"`` makes the
-    worker SIGSTOP itself *on receiving the shutdown sentinel* -- a
-    simulated wedged worker that exercises the coordinator's
-    join/terminate/kill teardown escalation without ever stalling task
-    traffic.
+    While a task runs, a per-task heartbeat thread sends
+    ``("heartbeat", idx)`` frames every ``heartbeat_interval`` seconds;
+    the coordinator renews the task's lease on each one, so only a
+    worker that stops making *any* progress (died, SIGSTOPped, wedged
+    in a non-Python call) lets its lease lapse.  Heartbeat and result
+    frames share the pipe under a lock, so a result can never interleave
+    with a beat mid-frame.
+
+    Test-only ``fault_plan`` entries: ``-1: "sigstop"`` makes the
+    worker SIGSTOP itself *on receiving the shutdown sentinel* (the
+    teardown-escalation fixture); a per-task ``"sigstop"`` makes it
+    stop *before* the first heartbeat of that task -- a worker wedged
+    mid-shard, observable only through lease expiry.
     """
+    import threading
+    send_lock = threading.Lock()
+
+    def send_frame(blob: bytes) -> None:
+        with send_lock:
+            result_conn.send_bytes(blob)
+
     while True:
         item = task_conn.recv()
         if item is None:
@@ -178,15 +212,32 @@ def _worker_loop(task_conn, result_conn,
             return
         idx, payload = item
         fault = (fault_plan or {}).get(idx)
-        outcome, seconds = _run_task(runner, payload, fault,
-                                     in_worker=True)
+        if "sigstop" in set((fault or "").split(",")):
+            import signal
+            os.kill(os.getpid(), signal.SIGSTOP)
+        stop = threading.Event()
+
+        def beat(task_idx: int = idx) -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    send_frame(pickle.dumps(("heartbeat", task_idx)))
+                except (OSError, ValueError):
+                    return  # coordinator gone; the worker is doomed too
+        pulse = threading.Thread(target=beat, daemon=True)
+        pulse.start()
+        try:
+            outcome, seconds = _run_task(runner, payload, fault,
+                                         in_worker=True)
+        finally:
+            stop.set()
+            pulse.join()
         try:
             blob = pickle.dumps((idx, outcome, seconds))
         except Exception as exc:  # noqa: BLE001 - unpicklable result
             blob = pickle.dumps(
                 (idx, (None, f"unpicklable task result: "
                              f"{type(exc).__name__}: {exc}"), seconds))
-        result_conn.send_bytes(blob)
+        send_frame(blob)
 
 
 class _Worker:
@@ -194,13 +245,15 @@ class _Worker:
 
     __slots__ = ("wid", "proc", "task_conn", "result_conn", "inflight")
 
-    def __init__(self, wid: int, ctx, runner, fault_plan) -> None:
+    def __init__(self, wid: int, ctx, runner, fault_plan,
+                 heartbeat_interval: float) -> None:
         self.wid = wid
         task_recv, self.task_conn = ctx.Pipe(duplex=False)
         self.result_conn, result_send = ctx.Pipe(duplex=False)
         self.proc = ctx.Process(
             target=_worker_loop,
-            args=(task_recv, result_send, runner, fault_plan),
+            args=(task_recv, result_send, runner, fault_plan,
+                  heartbeat_interval),
             daemon=True)
         self.proc.start()
         # Close the child's ends in the coordinator so EOF is observable
@@ -214,32 +267,46 @@ def run_pool(payloads: Sequence[Any],
              runner: Callable[[Any], Any],
              jobs: int,
              fault_plan: Optional[Dict[int, str]] = None,
-             task_log: Optional[List[Dict[str, Any]]] = None
+             task_log: Optional[List[Dict[str, Any]]] = None,
+             deadline: Optional[float] = None,
+             on_grant: Optional[Callable[[int, int], None]] = None,
+             on_settle: Optional[Callable[[int, Any], None]] = None
              ) -> List[Tuple[Any, Optional[str]]]:
     """Run ``runner(payload)`` for every payload on up to ``jobs`` forks.
 
     Returns one ``(value, error_message_or_None)`` outcome per payload,
     in payload order.  Degrades to in-process execution when ``jobs <=
     1``, there is at most one payload, or the platform lacks ``fork``.
-    Each worker owns private task/result pipes, so when a worker dies
-    (observed as EOF on its result pipe) the coordinator knows exactly
-    which task it held and re-executes it in-process -- sound because
-    tasks are deterministic.  ``fault_plan`` maps payload index to an
-    injected fault kind (tests only; see :func:`_run_task`).
+    ``fault_plan`` maps payload index to an injected fault kind (tests
+    only; see :func:`_run_task` and :func:`_worker_loop`).
 
-    A failed task -- a dead worker's orphan or a worker-reported error
-    -- is retried in-process up to ``_RETRY_MAX_ATTEMPTS`` times with
-    capped exponential backoff between attempts
-    (``_RETRY_BACKOFF_BASE`` doubling up to ``_RETRY_BACKOFF_CAP``), so
-    a transiently-failing shard recovers instead of aborting the whole
-    exploration; the last error is surfaced when every attempt fails.
-    The degraded (in-process) pool keeps single-shot execution: there
-    is no worker boundary for a transient fault to hide behind.
+    Tasks are handed out under **leases** (:mod:`repro.runtime.lease`):
+    each grant expires after ``_LEASE_TIMEOUT`` seconds unless renewed
+    by the worker's heartbeat frames.  A lease that lapses -- the
+    holder died (also observed immediately as EOF on its private result
+    pipe), was SIGSTOPped, or wedged -- gets its task re-granted to a
+    free live worker, up to ``_REGRANT_MAX`` times, then falls back to
+    the coordinator's in-process retry ladder.  Re-execution in any
+    venue is sound because tasks are deterministic; a late result from
+    a presumed-dead holder is deduplicated (first settle wins).
 
-    ``task_log``, when given, receives one ``{"index", "worker",
-    "seconds"}`` entry per executed task (metrics only); worker ``-1``
-    is the coordinator process itself (degraded pools and orphaned-task
-    recovery).
+    A failed task -- an orphan with no worker left to take it or a
+    worker-reported error -- is retried in-process up to
+    ``_RETRY_MAX_ATTEMPTS`` times with capped exponential backoff
+    between attempts (``_RETRY_BACKOFF_BASE`` doubling up to
+    ``_RETRY_BACKOFF_CAP``).  Each backoff is clamped to the remaining
+    ``deadline`` budget, and a ladder that reaches the deadline raises
+    :class:`~repro.runtime.explore.ExplorationInterrupted` instead of
+    sleeping past it.  The degraded (in-process) pool keeps single-shot
+    execution: there is no worker boundary for a transient fault to
+    hide behind.
+
+    ``on_grant(idx, wid)`` / ``on_settle(idx, outcome)`` are optional
+    observer hooks, fired for every grant (worker ``-1`` = the
+    coordinator itself) and exactly once per settled outcome -- the
+    frontier store journals through them.  ``task_log``, when given,
+    receives one ``{"index", "worker", "seconds"}`` entry per executed
+    task (metrics only).
 
     Teardown never leaks children: each worker gets ``_JOIN_TIMEOUT``
     seconds to exit after the sentinel, is SIGTERMed and re-joined on
@@ -259,10 +326,14 @@ def run_pool(payloads: Sequence[Any],
     if jobs <= 1 or n <= 1 or not fork_available():
         outcomes = []
         for i, p in enumerate(payloads):
+            if on_grant is not None:
+                on_grant(i, -1)
             outcome, seconds = _run_task(runner, p,
                                          (fault_plan or {}).get(i),
                                          in_worker=False)
             log_task(i, -1, seconds)
+            if on_settle is not None:
+                on_settle(i, outcome)
             outcomes.append(outcome)
         return outcomes
 
@@ -270,7 +341,9 @@ def run_pool(payloads: Sequence[Any],
     pending = list(range(n))          # task indices not yet handed out
     outcomes: List[Optional[Tuple[Any, Optional[str]]]] = [None] * n
     done = 0
-    workers = [_Worker(wid, ctx, runner, fault_plan)
+    leases = LeaseTable(timeout=_LEASE_TIMEOUT)
+    regrants: Dict[int, int] = {}     # worker re-executions per task
+    workers = [_Worker(wid, ctx, runner, fault_plan, _HEARTBEAT_INTERVAL)
                for wid in range(min(jobs, n))]
     live = list(workers)
 
@@ -278,6 +351,9 @@ def run_pool(payloads: Sequence[Any],
         if pending and worker.inflight is None:
             idx = pending.pop(0)
             worker.inflight = idx
+            leases.grant(idx, worker.wid)
+            if on_grant is not None:
+                on_grant(idx, worker.wid)
             worker.task_conn.send((idx, payloads[idx]))
 
     def settle(idx: int, outcome) -> None:
@@ -285,17 +361,33 @@ def run_pool(payloads: Sequence[Any],
         if outcomes[idx] is None:
             outcomes[idx] = outcome
             done += 1
+            leases.release(idx)
+            if on_settle is not None:
+                on_settle(idx, outcome)
 
     def recover(idx: int, last_error: Optional[str] = None) -> None:
         # In-process re-execution of a failed task: up to
         # _RETRY_MAX_ATTEMPTS attempts with capped exponential backoff
         # between them (tasks are deterministic modulo infrastructure
         # faults, so a retry that succeeds is as good as a worker run).
-        from time import sleep
+        from time import monotonic, sleep
         for attempt in range(1, _RETRY_MAX_ATTEMPTS + 1):
             if attempt > 1:
-                sleep(min(_RETRY_BACKOFF_BASE * (2 ** (attempt - 2)),
-                          _RETRY_BACKOFF_CAP))
+                backoff = min(_RETRY_BACKOFF_BASE * (2 ** (attempt - 2)),
+                              _RETRY_BACKOFF_CAP)
+                if deadline is not None:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        # The wall-clock budget is gone: surface the
+                        # interrupt instead of sleeping past it (the
+                        # caller merges whatever coverage it holds).
+                        raise ExplorationInterrupted(
+                            "timeout",
+                            f"wall-clock budget exhausted while "
+                            f"retrying task {idx} (last error: "
+                            f"{last_error})")
+                    backoff = min(backoff, remaining)
+                sleep(backoff)
             outcome, seconds = _run_task(runner, payloads[idx],
                                          (fault_plan or {}).get(idx),
                                          in_worker=False,
@@ -307,6 +399,21 @@ def run_pool(payloads: Sequence[Any],
             last_error = outcome[1]
         settle(idx, (None, last_error))
 
+    def redispatch(idx: int) -> None:
+        # The task's lease lapsed or its holder died.  Hand it to a
+        # free live worker while the re-grant budget lasts; otherwise
+        # run it in-process *now* -- queueing it with no free worker
+        # could wait forever on a pool whose every member is wedged.
+        if outcomes[idx] is not None:
+            return
+        free = [w for w in live if w.inflight is None]
+        if regrants.get(idx, 0) < _REGRANT_MAX and free:
+            regrants[idx] = regrants.get(idx, 0) + 1
+            pending.insert(0, idx)
+            assign(free[0])
+        else:
+            recover(idx)
+
     try:
         for worker in live:
             assign(worker)
@@ -316,23 +423,47 @@ def run_pool(payloads: Sequence[Any],
                     recover(idx)
                 pending.clear()
                 break
+            for lease in leases.expired():
+                # The holder may be wedged or merely silent; either
+                # way it stopped heartbeating for a whole lease
+                # window.  Leave its inflight mark (a late result is
+                # deduplicated by settle) and move the shard on.
+                leases.release(lease.shard)
+                redispatch(lease.shard)
+            if done >= n:
+                break
             ready = mp.connection.wait(
                 [w.result_conn for w in live], timeout=_POLL_INTERVAL)
             conns = {id(w.result_conn): w for w in live}
             for conn in ready:
                 worker = conns[id(conn)]
                 try:
-                    idx, outcome, seconds = pickle.loads(
-                        conn.recv_bytes())
+                    frame = pickle.loads(conn.recv_bytes())
                 except (EOFError, OSError):
-                    # Worker died mid-task: retire it, rerun its task.
+                    # Worker died mid-task: retire it, release its
+                    # lease, and move its task to a surviving worker
+                    # (or in-process) via the same re-grant path a
+                    # lapsed lease takes.
                     live.remove(worker)
-                    if (worker.inflight is not None
-                            and outcomes[worker.inflight] is None):
-                        recover(worker.inflight)
+                    if worker.inflight is not None:
+                        idx = worker.inflight
+                        if leases.holder(idx) == worker.wid:
+                            # Only redispatch if the corpse still held
+                            # the lease -- after an expiry the task is
+                            # already granted (or settled) elsewhere.
+                            leases.release(idx)
+                            redispatch(idx)
                     continue
+                if frame[0] == "heartbeat":
+                    leases.renew(frame[1], worker.wid)
+                    continue
+                idx, outcome, seconds = frame
                 log_task(idx, worker.wid, seconds)
-                if outcome[1] is not None:
+                if outcomes[idx] is not None:
+                    # Late duplicate from a presumed-lost holder whose
+                    # task was already re-executed elsewhere.
+                    pass
+                elif outcome[1] is not None:
                     # Worker-reported failure: walk the retry ladder
                     # before surfacing it (the worker stays usable).
                     recover(idx, last_error=outcome[1])
@@ -487,7 +618,8 @@ def explore_parallel(build: Optional[Builder] = None,
                      fault_plan: Optional[Dict[int, str]] = None,
                      metrics: Optional[Any] = None,
                      deadline: Optional[float] = None,
-                     state_cache: bool = True
+                     state_cache: bool = True,
+                     frontier: Optional[Any] = None
                      ) -> ExplorationStats:
     """Sharded exhaustive exploration across a worker pool.
 
@@ -526,6 +658,19 @@ def explore_parallel(build: Optional[Builder] = None,
     hits against a sibling shard's subtrees -- so shard statistics, and
     therefore the merged result, stay identical for ``jobs=1`` and
     ``jobs=N`` with the cache on exactly as with it off.
+
+    ``frontier`` is an optional
+    :class:`repro.runtime.frontier.FrontierStore`.  When given, the
+    exploration is **durable**: a fresh store records the expansion
+    result and shard list in its header, every completed shard is
+    journaled (fsynced) as it settles, and an existing store is loaded
+    instead of re-expanding -- only the shards its journal has not
+    settled are re-executed, and the journaled completions are merged
+    back in.  Because :meth:`ExplorationStats.merge` is commutative and
+    shards are deterministic, a resumed run's final statistics are
+    bit-for-bit identical to an uninterrupted run's.  The store's
+    fingerprint is validated against this call's configuration
+    (:class:`repro.runtime.frontier.FrontierMismatch` on divergence).
     """
     if scenario is not None and (build is None or check is None):
         resolved = scenario.resolve()
@@ -542,12 +687,41 @@ def explore_parallel(build: Optional[Builder] = None,
     use_sleep = reduction == "dpor"
     target = prefix_factor * max(_FRONTIER_BASE, os.cpu_count() or 1, jobs)
     from time import perf_counter
-    counters: Optional[Dict[str, Any]] = {} if metrics is not None else None
+    # The frontier store needs the expansion counters even when no
+    # metrics collector is attached at checkpoint time -- a later
+    # resume may attach one.
+    counters: Optional[Dict[str, Any]] = (
+        {} if (metrics is not None or frontier is not None) else None)
+    # Everything that fixes which state space is explored and how it is
+    # sharded; a resume under any other value would merge statistics
+    # from a different exploration (jobs is deliberately absent -- the
+    # sharding contract makes it irrelevant to the result).
+    fingerprint = {
+        "scenario": ([scenario.name, scenario.n, scenario.x]
+                     if scenario is not None else None),
+        "max_steps": max_steps,
+        "max_runs": max_runs,
+        "reduction": reduction,
+        "prefix_factor": prefix_factor,
+        "state_cache": bool(state_cache),
+    }
     phase_start = perf_counter()
-    stats, shards = _expand_frontier(build, check, crash_plan_factory,
-                                     max_steps, max_runs, target,
-                                     use_sleep, counters=counters,
-                                     deadline=deadline)
+    prior_completed: Dict[int, Tuple[ExplorationStats, Dict[str, Any]]] = {}
+    if frontier is not None and frontier.exists():
+        frontier.load()
+        frontier.validate(fingerprint)
+        stats = frontier.expansion_stats
+        shards = frontier.shards
+        if counters is not None:
+            counters.update(frontier.expansion_counters)
+        prior_completed = dict(frontier.completed)
+    else:
+        stats, shards = _expand_frontier(build, check, crash_plan_factory,
+                                         max_steps, max_runs, target,
+                                         use_sleep, counters=counters,
+                                         deadline=deadline)
+        if frontier is not None:
+            frontier.begin(fingerprint, stats, counters or {}, shards)
     if metrics is not None:
         metrics.record_phase("frontier_expansion",
                              perf_counter() - phase_start)
@@ -603,23 +777,70 @@ def explore_parallel(build: Optional[Builder] = None,
                     exc.reason)
         return shard_stats, shard_counters
 
+    def fold_counters(shard_counters: Dict[str, Any]) -> None:
+        if counters is None:
+            return
+        for key, delta in shard_counters.items():
+            if key == "peak_frontier":
+                counters[key] = max(counters.get(key, 0), delta)
+            else:
+                counters[key] = counters.get(key, 0) + delta
+
+    # Journaled completions from the store's previous life merge first
+    # (shard order); merge() is commutative, so the order relative to
+    # this run's fresh outcomes cannot matter -- but merging them *now*
+    # means an interrupt below still reports their coverage.
+    for shard_idx in sorted(prior_completed):
+        prior_stats, prior_counters = prior_completed[shard_idx]
+        stats = stats.merge(prior_stats)
+        fold_counters(prior_counters)
+    pending = (frontier.pending_indices(len(shards))
+               if frontier is not None else list(range(len(shards))))
+    pool_payloads = [shards[i] for i in pending]
+
+    on_grant = on_settle = None
+    if frontier is not None:
+        def on_grant(pool_idx: int, wid: int) -> None:
+            frontier.record_grant(pending[pool_idx], wid)
+
+        def on_settle(pool_idx: int, outcome) -> None:
+            value, error = outcome
+            # Only fully-explored shards are durable facts; errored or
+            # budget-interrupted shards stay pending for the next life.
+            if error is None and value is not None and len(value) == 2:
+                frontier.record_completion(pending[pool_idx],
+                                           value[0], value[1])
+
     task_log: Optional[List[Dict[str, Any]]] = \
         [] if metrics is not None else None
     phase_start = perf_counter()
-    outcomes = run_pool(shards, run_shard, jobs, fault_plan=fault_plan,
-                        task_log=task_log)
+    try:
+        outcomes = run_pool(pool_payloads, run_shard, jobs,
+                            fault_plan=fault_plan, task_log=task_log,
+                            deadline=deadline, on_grant=on_grant,
+                            on_settle=on_settle)
+    except ExplorationInterrupted:
+        # The pool's retry ladder ran out of wall clock; re-raise with
+        # the coverage merged so far (expansion plus any journaled
+        # completions).
+        if frontier is not None:
+            frontier.close()
+        raise _timeout_interrupt(stats)
     if metrics is not None:
         metrics.record_phase("shard_execution",
                              perf_counter() - phase_start)
         metrics.record_worker_tasks(task_log)
+    if frontier is not None:
+        frontier.close()
     phase_start = perf_counter()
     interrupt_reason: Optional[str] = None
-    for idx, outcome in enumerate(outcomes):
+    for pool_idx, outcome in enumerate(outcomes):
         value, error = outcome
+        shard_idx = pending[pool_idx]
         if error is not None:
             raise RuntimeError(
-                f"parallel exploration failed on shard {idx} "
-                f"(prefix {list(shards[idx][0])}): {error}")
+                f"parallel exploration failed on shard {shard_idx} "
+                f"(prefix {list(shards[shard_idx][0])}): {error}")
         if len(value) == 3:
             # An interrupted shard: merge its partial statistics, then
             # surface the first (by shard order) interruption reason.
@@ -629,12 +850,7 @@ def explore_parallel(build: Optional[Builder] = None,
         else:
             shard_stats, shard_counters = value
         stats = stats.merge(shard_stats)
-        if counters is not None:
-            for key, delta in shard_counters.items():
-                if key == "peak_frontier":
-                    counters[key] = max(counters.get(key, 0), delta)
-                else:
-                    counters[key] = counters.get(key, 0) + delta
+        fold_counters(shard_counters)
     if metrics is not None:
         metrics.record_phase("merge", perf_counter() - phase_start)
         metrics.record_stats(stats)

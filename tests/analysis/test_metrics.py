@@ -186,6 +186,62 @@ class TestAtomicEmission:
 
 
 @pytest.mark.metrics
+class TestDurability:
+    """Crash-durability of atomic writes, pinned at the syscall level.
+
+    Atomicity (temp file + rename) only protects against a crashed
+    *writer*; durability against a host crash additionally needs the
+    temp file fsynced before the rename and the directory fsynced after
+    it.  These tests spy on ``os.fsync``/``os.replace`` inside the
+    metrics module and pin the exact sequence, so the fix can never
+    silently regress to rename-only.
+    """
+
+    @staticmethod
+    def _spy_events(monkeypatch, tmp_path):
+        import stat
+
+        import repro.analysis.metrics as metrics_mod
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            is_dir = stat.S_ISDIR(os.fstat(fd).st_mode)
+            events.append(("fsync", "dir" if is_dir else "file"))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace",))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(metrics_mod.os, "fsync", spy_fsync)
+        monkeypatch.setattr(metrics_mod.os, "replace", spy_replace)
+        return events
+
+    def test_durable_write_fsyncs_file_then_renames_then_dir(
+            self, tmp_path, monkeypatch):
+        events = self._spy_events(monkeypatch, tmp_path)
+        atomic_write_text(str(tmp_path / "ckpt.json"), "state\n")
+        assert events == [("fsync", "file"), ("replace",),
+                          ("fsync", "dir")]
+
+    def test_durable_is_the_default(self, tmp_path, monkeypatch):
+        events = self._spy_events(monkeypatch, tmp_path)
+        write_jsonl(str(tmp_path / "runs.jsonl"), [{"a": 1}])
+        assert ("fsync", "file") in events
+        assert ("fsync", "dir") in events
+
+    def test_opt_out_skips_every_fsync_but_stays_atomic(
+            self, tmp_path, monkeypatch):
+        events = self._spy_events(monkeypatch, tmp_path)
+        target = tmp_path / "bench.txt"
+        atomic_write_text(str(target), "fast\n", durable=False)
+        assert events == [("replace",)]
+        assert target.read_text() == "fast\n"
+        assert os.listdir(tmp_path) == ["bench.txt"]
+
+
+@pytest.mark.metrics
 class TestRendering:
     def test_table_has_one_row_per_record_plus_header(self):
         exploration = ExplorationMetrics(scenario="sa").finalize()

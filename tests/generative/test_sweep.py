@@ -186,6 +186,65 @@ class TestSweepCLI:
         assert main(["sweep", "--resume", missing]) == 2
         assert "resume" in capsys.readouterr().err
 
+    def _partial_record(self, tmp_path):
+        out_path = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "200", "--timeout", "0.05",
+                     "--metrics-out", out_path]) == 3
+        return out_path
+
+    def test_resume_validates_count(self, tmp_path, capsys):
+        # The batch is a pure function of (seed, count, generator
+        # version): resuming 200 verified indices into a --count 120
+        # batch would skip the wrong configurations, silently.
+        out_path = self._partial_record(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "120", "--resume", out_path]) == 2
+        err = capsys.readouterr().err
+        assert "--count 200" in err
+        assert "original --count" in err
+
+    def test_resume_validates_generator_version(self, tmp_path, capsys):
+        out_path = self._partial_record(tmp_path)
+        records = _records(out_path)
+        for record in records:
+            if record.get("kind") == "sweep":
+                record["data"]["generator_version"] = 999
+        with open(out_path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        capsys.readouterr()
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "200", "--resume", out_path]) == 2
+        err = capsys.readouterr().err
+        assert "grammar version 999" in err
+        assert "rerun without --resume" in err
+
+    def test_record_predating_version_field_is_accepted(self, tmp_path,
+                                                        capsys):
+        # Records written before the generator_version field existed
+        # resume as if current -- the field's absence is not a mismatch.
+        out_path = self._partial_record(tmp_path)
+        records = _records(out_path)
+        for record in records:
+            if record.get("kind") == "sweep":
+                record["data"].pop("generator_version")
+        with open(out_path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        capsys.readouterr()
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "200", "--resume", out_path]) == 0
+
+    def test_sweep_record_carries_generator_version(self, tmp_path):
+        from repro.generative import GENERATOR_VERSION
+        out_path = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", "--seed", str(PINNED_SEED),
+                     "--count", "12", "--metrics-out", out_path]) == 0
+        (record,) = _records(out_path)
+        assert record["data"]["generator_version"] == GENERATOR_VERSION
+
 
 @pytest.mark.parallel
 class TestSweepJobs:

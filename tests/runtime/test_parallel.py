@@ -19,6 +19,12 @@ def _square(x):
     return x * x
 
 
+def _sleep_then_square(x):
+    from time import sleep
+    sleep(x)
+    return 0
+
+
 class TestResolveJobs:
     def test_none_means_one(self):
         assert resolve_jobs(None) == 1
@@ -264,3 +270,85 @@ class TestRetryLadder:
         outcomes = run_pool([1, 2], _square, jobs=2,
                             fault_plan={0: "flaky"})
         assert outcomes == [(1, None), (4, None)]
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_backoff_is_clamped_to_remaining_deadline(self, monkeypatch):
+        # Bugfix regression: the ladder used to sleep the full computed
+        # backoff even when the wall-clock budget had almost none of it
+        # left.  With a 30s base and ~1.5s of budget, a clamped retry
+        # finishes in seconds; the old code slept straight through the
+        # deadline.
+        from time import monotonic
+
+        from repro.runtime import parallel
+        monkeypatch.setattr(parallel, "_RETRY_BACKOFF_BASE", 30.0)
+        start = monotonic()
+        outcomes = run_pool([1, 2], _square, jobs=2,
+                            fault_plan={0: "flaky"},
+                            deadline=start + 1.5)
+        assert outcomes == [(1, None), (4, None)]
+        assert monotonic() - start < 10.0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_exhausted_deadline_raises_timeout_not_oversleep(
+            self, monkeypatch):
+        # A ladder that reaches the deadline must surface the budget
+        # interrupt immediately -- never start another multi-second
+        # backoff first.
+        from time import monotonic
+
+        from repro.runtime import parallel
+        from repro.runtime.explore import ExplorationInterrupted
+        monkeypatch.setattr(parallel, "_RETRY_BACKOFF_BASE", 30.0)
+        start = monotonic()
+        with pytest.raises(ExplorationInterrupted) as excinfo:
+            run_pool([1, 2], _square, jobs=2,
+                     fault_plan={0: "flaky"},
+                     deadline=start - 1.0)
+        assert excinfo.value.reason == "timeout"
+        assert "retrying task 0" in str(excinfo.value)
+        assert monotonic() - start < 10.0
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestLeaseRecovery:
+    """A wedged worker's lease lapses and its task is re-granted.
+
+    ``fault_plan={0: "sigstop"}`` makes the worker SIGSTOP itself on
+    receipt of task 0, *before* its first heartbeat: no EOF ever
+    arrives (the process is alive), so only lease expiry can free the
+    task.  Timeouts are shrunk so expiry happens in milliseconds.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fast_leases(self, monkeypatch):
+        from repro.runtime import parallel
+        monkeypatch.setattr(parallel, "_LEASE_TIMEOUT", 0.5)
+        monkeypatch.setattr(parallel, "_HEARTBEAT_INTERVAL", 0.1)
+        monkeypatch.setattr(parallel, "_JOIN_TIMEOUT", 0.2)
+
+    def test_stopped_worker_task_is_regranted_to_a_live_one(self):
+        grants = []
+        task_log = []
+        outcomes = run_pool([1, 2, 3], _square, jobs=2,
+                            fault_plan={0: "sigstop"},
+                            task_log=task_log,
+                            on_grant=lambda idx, wid: grants.append(
+                                (idx, wid)))
+        assert outcomes == [(1, None), (4, None), (9, None)]
+        # Task 0 was granted at least twice: once to the worker that
+        # wedged, then again after its lease lapsed.
+        assert len([g for g in grants if g[0] == 0]) >= 2
+        # The result for task 0 came from an executed task, not the
+        # stopped holder (which never reports).
+        executed = [entry for entry in task_log if entry["index"] == 0]
+        assert len(executed) == 1
+
+    def test_heartbeats_keep_a_slow_task_leased(self):
+        # A healthy-but-slow task must NOT be re-granted: its worker's
+        # heartbeats renew the lease well past the raw timeout.
+        task_log = []
+        outcomes = run_pool([0.9, 0.0], _sleep_then_square, jobs=2,
+                            task_log=task_log)
+        assert outcomes == [(0, None), (0, None)]
+        assert len(task_log) == 2  # every task executed exactly once
