@@ -39,6 +39,16 @@ Commands:
   its shrunk minimal witness), 2 = configuration error, 3 = the
   ``--timeout`` budget interrupted the sweep (partial record emitted,
   resumable via ``--resume``).
+* ``serve``         -- coordinate one scenario's exhaustive check over
+  a TCP shard service (``--bind HOST:PORT``): remote ``worker``
+  processes execute frontier shards under the lease protocol, the
+  coordinator degrades to in-process execution when none are around,
+  and ``--checkpoint``/``--resume`` make the run durable exactly like
+  ``check`` (see docs/distributed_exploration.md).  Exit codes mirror
+  ``check``.
+* ``worker``        -- join a shard server (``--connect HOST:PORT``)
+  with ``--jobs`` worker sessions; exit 0 when the run ends (even if
+  the coordinator vanishes mid-run), 2 if it was never reachable.
 * ``demo``          -- a one-minute tour (runs the quickstart scenario).
 """
 
@@ -217,13 +227,28 @@ def cmd_check(args: argparse.Namespace) -> int:
                 frontier = None
                 if checkpoint_path:
                     frontier = FrontierStore(checkpoint_path)
-                    if args.resume and not frontier.exists():
-                        # A kill can land before the header write;
-                        # starting fresh makes resume total over every
-                        # interruption point.
-                        print(f"[{name}] no frontier store at "
-                              f"{checkpoint_path}; starting fresh")
-                    elif args.resume:
+                    if args.resume:
+                        # A resume names a store the user believes
+                        # exists; silently starting fresh would hide a
+                        # typo'd path (or a lost disk) behind a full
+                        # re-exploration.  Reject missing and
+                        # unreadable stores exactly like a fingerprint
+                        # mismatch: loudly, exit 2.
+                        if not frontier.exists():
+                            print(f"[{name}] RESUME REJECTED: no "
+                                  f"frontier store at "
+                                  f"{checkpoint_path}", file=sys.stderr)
+                            exit_code = max(exit_code, 2)
+                            continue
+                        try:
+                            frontier.load()
+                        except (OSError, ValueError) as exc:
+                            print(f"[{name}] RESUME REJECTED: "
+                                  f"unreadable frontier store "
+                                  f"{checkpoint_path}: {exc}",
+                                  file=sys.stderr)
+                            exit_code = max(exit_code, 2)
+                            continue
                         print(f"[{name}] resuming from "
                               f"{checkpoint_path}")
                 stats = explore_parallel(
@@ -589,6 +614,233 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(value: str, flag: str):
+    """Parse a ``HOST:PORT`` flag value; returns ((host, port), error)."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        return None, (f"{flag} wants HOST:PORT, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        return None, (f"{flag} wants a numeric port, got {port_text!r}")
+    if not 0 <= port <= 65535:
+        return None, f"{flag} port out of range: {port}"
+    return (host, port), None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Coordinate one scenario's exploration over a TCP shard service.
+
+    Binds ``--bind HOST:PORT`` (port 0 = ephemeral; the bound address
+    is printed as ``[serve] listening on HOST:PORT`` before any shard
+    runs), serves frontier shards to ``python -m repro worker``
+    clients, and degrades to in-process execution when no workers show
+    up (or all of them vanish).  Exit codes mirror ``check``: 0 pass,
+    1 violation, 2 configuration error, 3 budget interrupt.  With
+    ``--checkpoint``/``--resume`` the run is durable exactly like
+    ``check --checkpoint`` -- the store fingerprint excludes the
+    transport, so a killed ``serve`` resumes under a plain ``check
+    --resume`` and vice versa.
+    """
+    import os
+
+    from .runtime import (CounterexampleFound, ExplorationInterrupted,
+                          FrontierMismatch, FrontierStore)
+    from .runtime.netshard import ShardServer
+    from .runtime.parallel import explore_parallel
+    from .scenarios import ScenarioRef, check_scenarios
+
+    bind, bind_error = _parse_hostport(args.bind, "--bind")
+    if bind_error is not None:
+        print(f"serve: {bind_error}", file=sys.stderr)
+        return 2
+    checkpoint_path = args.checkpoint or args.resume
+    if args.checkpoint and args.resume:
+        print("serve: --checkpoint and --resume are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    scenarios = check_scenarios(n=args.n, x=args.x)
+    name = args.scenario
+    if name not in scenarios:
+        if name.startswith("generated:"):
+            from .scenarios import build_scenario
+            try:
+                scenarios[name] = build_scenario(name)
+            except KeyError as exc:
+                print(f"serve: {exc.args[0]}", file=sys.stderr)
+                return 2
+        else:
+            print(f"unknown scenario {name!r}; try 'check --list'",
+                  file=sys.stderr)
+            return 2
+    sc = scenarios[name]
+    max_steps = args.max_steps or sc.max_steps
+    max_runs = args.max_runs or sc.max_runs
+
+    frontier = None
+    if checkpoint_path:
+        frontier = FrontierStore(checkpoint_path)
+        if args.resume:
+            if not frontier.exists():
+                print(f"[{name}] RESUME REJECTED: no frontier store "
+                      f"at {checkpoint_path}", file=sys.stderr)
+                return 2
+            try:
+                frontier.load()
+            except (OSError, ValueError) as exc:
+                print(f"[{name}] RESUME REJECTED: unreadable frontier "
+                      f"store {checkpoint_path}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"[{name}] resuming from {checkpoint_path}")
+        elif os.path.exists(args.checkpoint):
+            os.unlink(args.checkpoint)
+
+    state_cache = not args.no_state_cache
+    server = ShardServer(
+        bind[0], bind[1],
+        config={"scenario": name, "n": args.n, "x": args.x,
+                "max_steps": max_steps, "max_runs": max_runs,
+                "reduction": "dpor", "state_cache": state_cache},
+        lease_timeout=args.lease_timeout,
+        solo_after=args.solo_after,
+        announce=lambda host, port: print(
+            f"[serve] listening on {host}:{port}", flush=True))
+
+    collect_metrics = args.metrics or args.metrics_out
+    metrics = None
+    records = []
+    if collect_metrics:
+        from time import perf_counter
+
+        from .analysis.metrics import ExplorationMetrics
+        metrics = ExplorationMetrics(scenario=name, engine="dpor",
+                                     jobs=1)
+        wall_start = perf_counter()
+
+    def settle_metrics():
+        if metrics is not None:
+            metrics.record_network(server.tallies)
+            records.append(metrics.finalize(
+                perf_counter() - wall_start).to_dict())
+            _emit_metrics(records, args.metrics, args.metrics_out)
+
+    from time import monotonic
+    deadline = monotonic() + args.timeout if args.timeout else None
+    print(f"[{name}] {sc.description}")
+    print(f"[{name}] serving shards (dpor, max_steps={max_steps}, "
+          f"max_runs={max_runs}) ...", flush=True)
+    try:
+        stats = explore_parallel(
+            crash_plan_factory=sc.crash_plan_factory,
+            max_steps=max_steps, max_runs=max_runs, jobs=1,
+            reduction="dpor",
+            scenario=ScenarioRef(name, n=args.n, x=args.x),
+            metrics=metrics, deadline=deadline,
+            state_cache=state_cache, frontier=frontier, pool=server)
+    except CounterexampleFound as exc:
+        print(f"[{name}] PROPERTY VIOLATED ({exc.stats})")
+        print(exc.counterexample.describe())
+        if metrics is not None:
+            if exc.stats is not None:
+                metrics.record_stats(exc.stats)
+            metrics.record_violation(
+                error_type=type(exc.counterexample.error).__name__,
+                prefix=exc.counterexample.prefix,
+                schedule=exc.counterexample.schedule)
+            if not metrics.ddmin_replays:
+                metrics.ddmin_replays = exc.counterexample.ddmin_attempts
+            settle_metrics()
+        return 1
+    except ExplorationInterrupted as exc:
+        print(f"[{name}] INTERRUPTED ({exc.reason}): {exc}",
+              file=sys.stderr)
+        if metrics is not None:
+            metrics.record_interrupted(exc.reason, exc.stats)
+            settle_metrics()
+        return 3
+    except FrontierMismatch as exc:
+        print(f"[{name}] RESUME REJECTED: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"[{name}] BUDGET EXCEEDED: {exc}", file=sys.stderr)
+        if metrics is not None:
+            metrics.record_budget_exceeded()
+            settle_metrics()
+        return 2
+    settle_metrics()
+    tallies = server.tallies
+    print(f"[serve] {tallies['remote_shards']} shard(s) remote, "
+          f"{tallies['inprocess_shards']} in-process, "
+          f"{tallies['reconnects']} reconnect(s), "
+          f"{tallies['stale_rejections']} stale rejection(s)")
+    if stats.truncated_runs:
+        print(f"[{name}] PASSED up to depth {max_steps} "
+              f"(bounded: {stats})")
+    else:
+        print(f"[{name}] PASSED: {stats}")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Join a shard server as a remote worker (``--jobs`` threads).
+
+    Each thread is an independent :class:`~repro.runtime.netshard.
+    ShardWorker` session: it connects with jittered backoff, rebuilds
+    the announced scenario by name, and serves shards until the
+    coordinator finishes.  Exit 0 when the run ended normally (even if
+    the coordinator vanished mid-run -- a worker is expendable by
+    design); exit 2 only when the server was never reachable.
+    """
+    import threading
+
+    from .runtime.netshard import ShardWorker, WorkerUnavailable
+
+    connect, connect_error = _parse_hostport(args.connect, "--connect")
+    if connect_error is not None:
+        print(f"worker: {connect_error}", file=sys.stderr)
+        return 2
+    jobs, jobs_error = _resolve_jobs_arg(args.jobs or "1")
+    if jobs_error is not None:
+        print(f"worker: {jobs_error}", file=sys.stderr)
+        return 2
+
+    workers = []
+    for i in range(jobs):
+        suffix = f"-{i}" if jobs > 1 else ""
+        workers.append(ShardWorker(
+            connect[0], connect[1],
+            name=f"{args.name}{suffix}" if args.name else None,
+            rpc_timeout=args.rpc_timeout,
+            connect_attempts=args.connect_attempts))
+    results: dict = {}
+
+    def serve_one(worker) -> None:
+        try:
+            results[worker.name] = worker.run()
+        except WorkerUnavailable as exc:
+            results[worker.name] = exc
+
+    threads = [threading.Thread(target=serve_one, args=(w,))
+               for w in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    unreachable = [r for r in results.values()
+                   if isinstance(r, WorkerUnavailable)]
+    completed = sum(r for r in results.values() if isinstance(r, int))
+    retries = sum(w.tallies["retries"] for w in workers)
+    reconnects = sum(w.tallies["reconnects"] for w in workers)
+    print(f"[worker] {completed} shard(s) completed across {jobs} "
+          f"session(s), {retries} RPC retr(ies), "
+          f"{reconnects} reconnect(s)")
+    if unreachable and len(unreachable) == len(workers):
+        print(f"worker: {unreachable[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """A one-minute tour of the headline result."""
     from .algorithms import KSetReadWrite, run_algorithm
@@ -785,6 +1037,78 @@ def main(argv=None) -> int:
                    help="write the sweep's JSON-lines run record to "
                         "PATH (atomic; required for --resume)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="coordinate a scenario check over a TCP shard service")
+    p.add_argument("scenario",
+                   help="scenario name (or generated:SEED:INDEX)")
+    p.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="address to listen on (default 127.0.0.1:0; "
+                        "port 0 picks an ephemeral port, printed as "
+                        "'[serve] listening on HOST:PORT')")
+    p.add_argument("--n", type=int, default=3,
+                   help="process count for sized scenarios (default 3)")
+    p.add_argument("--x", type=int, default=2,
+                   help="consensus number x for x-safe-agreement "
+                        "(default 2)")
+    p.add_argument("--max-steps", type=int, default=0,
+                   help="override the scenario's depth bound")
+    p.add_argument("--max-runs", type=int, default=0,
+                   help="override the scenario's run budget")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="wall-clock budget; on expiry the run stops "
+                        "cleanly and exits 3")
+    p.add_argument("--no-state-cache", action="store_true",
+                   help="disable the DPOR state cache (workers follow "
+                        "via the announced config)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal the exploration to a durable frontier "
+                        "store at PATH (fresh store); a killed serve "
+                        "resumes via --resume here or via plain "
+                        "'check --resume' -- the store is "
+                        "transport-agnostic")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="continue an interrupted checkpointed run from "
+                        "the frontier store at PATH (exit 2 if the "
+                        "store is missing, unreadable, or fingerprint-"
+                        "mismatched)")
+    p.add_argument("--lease-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="seconds a shard lease survives without a "
+                        "heartbeat before re-grant (default 10)")
+    p.add_argument("--solo-after", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="seconds to wait for a first worker before "
+                        "executing shards in-process (default 5)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print an observability summary (includes the "
+                        "per-connection net tallies)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the JSON-lines run record to PATH "
+                        "(atomic; 'net' key carries transport tallies)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a shard server as a remote exploration worker")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="shard server address (from '[serve] listening "
+                        "on HOST:PORT')")
+    p.add_argument("--jobs", default=None, metavar="N",
+                   help="worker sessions to run in this process "
+                        "('auto' = cpu count; default 1)")
+    p.add_argument("--name", default=None,
+                   help="stable worker name prefix (reconnections "
+                        "re-identify by name; default host-pid based)")
+    p.add_argument("--rpc-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="per-RPC frame deadline (default 10)")
+    p.add_argument("--connect-attempts", type=int, default=10,
+                   help="connect attempts (jittered capped backoff) "
+                        "before giving up (default 10)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("demo", help="one-minute tour")
     p.set_defaults(func=cmd_demo)

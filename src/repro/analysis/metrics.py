@@ -39,8 +39,10 @@ from typing import Any, Dict, Iterable, List, Optional
 #: under ``--timeout`` / ``--max-runs`` budgets, see
 #: ``docs/fault_injection.md``).  v3 added ``cache_hits`` /
 #: ``cache_skipped_runs`` (the DPOR state cache, see
-#: ``docs/performance.md``).
-METRICS_SCHEMA_VERSION = 3
+#: ``docs/performance.md``).  v4 added ``net`` (socket-transport
+#: frame/retry/reconnect tallies from ``python -m repro serve``, see
+#: ``docs/distributed_exploration.md``).
+METRICS_SCHEMA_VERSION = 4
 
 #: The wall-clock phases of a sharded exploration, in execution order.
 #: Serial engines report their whole walk as ``shard_execution`` (a
@@ -54,9 +56,14 @@ PHASES = ("frontier_expansion", "shard_execution", "merge", "shrink")
 #: ``cache_hits`` / ``cache_skipped_runs`` are stripped too: the state
 #: cache is per shard (to keep merged ExplorationStats jobs-invariant),
 #: so its hit counts depend on the shard topology, i.e. on ``jobs``.
+#: ``net`` is stripped for the same reason: which worker served which
+#: shard over which connection (and how many frames or retries that
+#: took) is transport topology, never exploration content -- the
+#: ``network`` differential demands serial == fork-pool == socket runs
+#: be identical after the strip.
 TIMING_KEYS = frozenset({
     "phases", "wall_seconds", "runs_per_sec", "busy_seconds",
-    "workers", "jobs", "cache_hits", "cache_skipped_runs",
+    "workers", "jobs", "cache_hits", "cache_skipped_runs", "net",
 })
 
 
@@ -218,6 +225,9 @@ class ExplorationMetrics:
         self.phases: Dict[str, float] = {name: 0.0 for name in PHASES}
         self.wall_seconds = 0.0
         self.workers: List[Dict[str, Any]] = []
+        # Socket-transport tallies (``serve`` runs only; also stripped
+        # by deterministic_view -- frames and retries are topology).
+        self.net: Dict[str, Any] = {}
 
     # -- interface the runtime engines call (duck-typed) ---------------
 
@@ -251,6 +261,18 @@ class ExplorationMetrics:
         self.truncated_runs = stats.truncated_runs
         self.pruned_runs = stats.pruned_runs
         self.max_depth_seen = stats.max_depth_seen
+
+    def record_network(self, tallies: Dict[str, Any]) -> None:
+        """Record socket-transport tallies from a ``serve`` run.
+
+        ``tallies`` is :attr:`repro.runtime.netshard.ShardServer.
+        tallies`: total and per-connection frame counts, reconnects,
+        stale-completion rejections, re-grants, and the remote vs
+        in-process shard split.  Pure transport observability --
+        :func:`deterministic_view` strips it along with the other
+        topology fields.
+        """
+        self.net = dict(tallies)
 
     def record_worker_tasks(self, task_log: Iterable[Dict[str, Any]]
                             ) -> None:
@@ -363,6 +385,7 @@ class ExplorationMetrics:
             "wall_seconds": self.wall_seconds,
             "runs_per_sec": self.runs_per_sec,
             "workers": [dict(row) for row in self.workers],
+            "net": dict(self.net),
         }
 
 

@@ -28,7 +28,12 @@ catches every one of them:
 * ``resume``   -- the checkpoint/resume differential (interrupted vs
   uninterrupted exploration, see ``docs/resumable_exploration.md``)
   detects an unsound frontier-store resume by the divergence of the
-  resumed statistics from the single-run reference.
+  resumed statistics from the single-run reference;
+* ``network``  -- the socket-transport differential (serial vs
+  socket-served exploration, see ``docs/distributed_exploration.md``)
+  detects an unsound shard server -- one that trusts the transport
+  more than the lease protocol allows -- by the divergence of the
+  served statistics from the serial reference.
 
 Each :class:`Mutant` pins the stage *expected* to catch it; the
 ``mutation`` pytest tier (``tests/mutation/``) asserts the pinned stage
@@ -48,7 +53,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 #: Detection stages, in the order the harness consults them.
-STAGES = ("lint", "explore", "check", "audit", "sweep", "cache", "resume")
+STAGES = ("lint", "explore", "check", "audit", "sweep", "cache",
+          "resume", "network")
 
 
 @dataclass(frozen=True)
@@ -705,6 +711,84 @@ def _resume_drop_completed_shard() -> Optional[str]:
 
 
 # ---------------------------------------------------------------------------
+# netshard mutant (the shard server's own soundness)
+# ---------------------------------------------------------------------------
+
+def _netshard_accept_stale_result() -> Optional[str]:
+    """The shard server applies a completion frame from an expired
+    lease holder.
+
+    Within one run the damage is invisible -- shards are deterministic,
+    so a stale holder's stats equal the new holder's -- but the lease
+    check is the server's *only* defence against frames the transport
+    replays from a previous incarnation of the run: a delayed,
+    duplicated completion from an earlier exploration (different
+    configuration, same shard index, same port) carries statistics
+    from a different state space.  The honest server rejects it
+    because the sender no longer holds the lease; the mutant folds the
+    alien statistics into the merge, and the served outcome diverges
+    from the serial reference -- exactly the comparison the ``network``
+    differential tier (and nothing else in the pipeline) performs.
+    """
+    from .runtime.explore import ExplorationStats
+    from .runtime.frontier import stats_to_dict
+    from .runtime.netshard import ShardServer
+    from .runtime.parallel import explore_parallel
+    from .scenarios import check_scenarios
+
+    scenario = check_scenarios(n=3)["adopt-commit"]
+
+    class AcceptStaleResult(ShardServer):
+        """MUTANT: trusts any completion for a still-open shard."""
+
+        def _accept_completion(self, shard, worker_id):
+            return shard not in self._completed
+
+    def run_with(server_cls):
+        # Drive the protocol core directly (no sockets): one worker
+        # joins, gets a grant, lets its lease lapse, and then -- as a
+        # replaying network would -- delivers a completion carrying
+        # statistics from some other exploration.  The coordinator
+        # finishes the real work in-process either way.
+        server = server_cls(config={})
+
+        def scripted_pool(payloads, runner, jobs, fault_plan=None,
+                          task_log=None, deadline=None, on_grant=None,
+                          on_settle=None):
+            server.begin(payloads, runner, on_grant=on_grant,
+                         on_settle=on_settle, task_log=task_log,
+                         deadline=deadline)
+            welcome = server.handle_message(
+                {"type": "hello", "worker": "replayed"}, now=0.0)
+            wid = welcome["worker_id"]
+            grant = server.handle_message(
+                {"type": "request", "worker_id": wid}, now=0.0)
+            shard = grant["shard"]
+            server.tick(now=1e9)  # the holder's lease lapses
+            alien = ExplorationStats(complete_runs=999,
+                                     max_depth_seen=42)
+            server.handle_message(
+                {"type": "complete", "worker_id": wid, "shard": shard,
+                 "stats": stats_to_dict(alien), "counters": {}},
+                now=1e9)
+            while not server.done:
+                server.run_one_inprocess()
+            return server.outcomes
+
+        return explore_parallel(scenario.build, scenario.check, jobs=1,
+                                max_steps=scenario.max_steps,
+                                pool=scripted_pool)
+
+    reference = explore_parallel(scenario.build, scenario.check, jobs=1,
+                                 max_steps=scenario.max_steps)
+    if run_with(ShardServer) != reference:
+        return None  # the honest server must match; the harness is off
+    if run_with(AcceptStaleResult) != reference:
+        return "network"
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Registry + harness
 # ---------------------------------------------------------------------------
 
@@ -747,6 +831,10 @@ MUTANTS: Tuple[Mutant, ...] = (
            "frontier resume re-grants a shard the journal already "
            "settled, double-merging its statistics",
            "resume", _resume_drop_completed_shard),
+    Mutant("netshard-accept-stale-result",
+           "shard server applies a completion frame from an expired "
+           "lease holder",
+           "network", _netshard_accept_stale_result),
 )
 
 

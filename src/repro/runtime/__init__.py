@@ -20,8 +20,10 @@ from .faults import (ArbitraryPropose, CorruptWrite, FaultBehavior,
                      byzantine_writer)
 from .frontier import FrontierMismatch, FrontierStore
 from .lease import Lease, LeaseTable
-from .parallel import (explore_parallel, fork_available, resolve_jobs,
-                       run_pool)
+from .netshard import (ChaosProxy, ServerGone, ShardServer, ShardWorker,
+                       WorkerUnavailable, backoff_delay)
+from .parallel import (execute_shard, explore_parallel, fork_available,
+                       resolve_jobs, run_pool)
 from .ops import (EMPTY_FOOTPRINT, SPIN_FAILED, WHOLE, Footprint,
                   Invocation, LocalOp, ObjectProxy, SpinOp, conflicts,
                   indexed_proxy, spin, wait_until)
@@ -29,6 +31,9 @@ from .process import NO_DECISION, ProcessHandle, ProcessStatus
 from .run import RunResult, run_processes
 from .scheduler import ScheduleError, Scheduler, SchedulerOutcome
 from .trace import Event, EventKind, Trace
+from .wire import (BadMagic, ChecksumMismatch, ConnectionClosed,
+                   FrameTooLarge, FrameTruncated, VersionMismatch,
+                   WireError, WireTimeout)
 
 __all__ = [
     "Adversary", "PriorityAdversary", "RoundRobinAdversary",
@@ -43,7 +48,10 @@ __all__ = [
     "FaultTrigger", "StaleReadReplay", "byzantine_writer",
     "FrontierMismatch", "FrontierStore",
     "Lease", "LeaseTable",
-    "explore_parallel", "fork_available", "resolve_jobs", "run_pool",
+    "ChaosProxy", "ServerGone", "ShardServer", "ShardWorker",
+    "WorkerUnavailable", "backoff_delay",
+    "execute_shard", "explore_parallel", "fork_available", "resolve_jobs",
+    "run_pool",
     "EMPTY_FOOTPRINT", "SPIN_FAILED", "WHOLE", "Footprint",
     "Invocation", "LocalOp", "ObjectProxy", "SpinOp", "conflicts",
     "indexed_proxy", "spin", "wait_until",
@@ -51,4 +59,6 @@ __all__ = [
     "RunResult", "run_processes",
     "ScheduleError", "Scheduler", "SchedulerOutcome",
     "Event", "EventKind", "Trace",
+    "BadMagic", "ChecksumMismatch", "ConnectionClosed", "FrameTooLarge",
+    "FrameTruncated", "VersionMismatch", "WireError", "WireTimeout",
 ]

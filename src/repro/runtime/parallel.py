@@ -601,6 +601,54 @@ def _expand_frontier(build: Builder,
 
 
 # ---------------------------------------------------------------------------
+# Shard execution (shared by pool workers and remote netshard workers).
+# ---------------------------------------------------------------------------
+
+def execute_shard(build: Builder,
+                  check: Callable[[RunResult], None],
+                  crash_plan_factory=None,
+                  *,
+                  prefix: Tuple[int, ...],
+                  sleep: frozenset,
+                  max_steps: int = 24,
+                  max_runs: int = 200_000,
+                  reduction: str = "dpor",
+                  state_cache: bool = True,
+                  deadline: Optional[float] = None):
+    """Explore one frontier shard; the unit of work every venue runs.
+
+    This is the exact computation a fork-pool worker, the in-process
+    fallback, and a remote :class:`repro.runtime.netshard.ShardWorker`
+    perform for a ``(prefix, sleep_set)`` shard -- one function, so
+    "where a shard ran" can never change what it computed.  Returns
+    ``(stats, counters)`` for a completed shard, or ``(partial_stats,
+    counters, reason)`` when the budget interrupted it (the partial
+    coverage rides back instead of being lost).  Violations are
+    *collected* into the statistics, never raised.
+    """
+    shard_counters: Dict[str, Any] = {}
+    try:
+        if reduction == "dpor":
+            shard_stats = _explore_core(
+                build, check, crash_plan_factory=crash_plan_factory,
+                max_steps=max_steps, max_runs=max_runs, prefix=prefix,
+                root_sleep=sleep, collect=True,
+                counters=shard_counters, deadline=deadline,
+                state_cache=state_cache)
+        else:
+            shard_stats = _explore_naive(build, check,
+                                         crash_plan_factory, max_steps,
+                                         max_runs, root=prefix,
+                                         collect=True,
+                                         counters=shard_counters,
+                                         deadline=deadline)
+    except ExplorationInterrupted as exc:
+        return (exc.stats or ExplorationStats(), shard_counters,
+                exc.reason)
+    return shard_stats, shard_counters
+
+
+# ---------------------------------------------------------------------------
 # The coordinator.
 # ---------------------------------------------------------------------------
 
@@ -619,7 +667,8 @@ def explore_parallel(build: Optional[Builder] = None,
                      metrics: Optional[Any] = None,
                      deadline: Optional[float] = None,
                      state_cache: bool = True,
-                     frontier: Optional[Any] = None
+                     frontier: Optional[Any] = None,
+                     pool: Optional[Callable[..., List[Any]]] = None
                      ) -> ExplorationStats:
     """Sharded exhaustive exploration across a worker pool.
 
@@ -671,6 +720,17 @@ def explore_parallel(build: Optional[Builder] = None,
     bit-for-bit identical to an uninterrupted run's.  The store's
     fingerprint is validated against this call's configuration
     (:class:`repro.runtime.frontier.FrontierMismatch` on divergence).
+
+    ``pool`` substitutes the execution venue: any callable with
+    :func:`run_pool`'s signature (``(payloads, runner, jobs, *,
+    fault_plan, task_log, deadline, on_grant, on_settle) ->
+    outcomes``).  The network shard service passes a
+    :class:`repro.runtime.netshard.ShardServer` here, so frontier
+    expansion, durable journaling, deterministic merging and ddmin
+    shrinking are the same code whichever transport executed the
+    shards.  The venue is deliberately absent from the checkpoint
+    fingerprint, exactly like ``jobs``: a socket-served checkpoint
+    resumes under a plain ``check --resume`` and vice versa.
     """
     if scenario is not None and (build is None or check is None):
         resolved = scenario.resolve()
@@ -758,24 +818,10 @@ def explore_parallel(build: Optional[Builder] = None,
         # merge them before re-raising.
         prefix, sleep = payload
         b, c, cpf = shard_context()
-        shard_counters: Dict[str, Any] = {}
-        try:
-            if use_sleep:
-                shard_stats = _explore_core(
-                    b, c, crash_plan_factory=cpf, max_steps=max_steps,
-                    max_runs=max_runs, prefix=prefix, root_sleep=sleep,
-                    collect=True, counters=shard_counters,
-                    deadline=deadline, state_cache=state_cache)
-            else:
-                shard_stats = _explore_naive(b, c, cpf, max_steps,
-                                             max_runs, root=prefix,
-                                             collect=True,
-                                             counters=shard_counters,
-                                             deadline=deadline)
-        except ExplorationInterrupted as exc:
-            return (exc.stats or ExplorationStats(), shard_counters,
-                    exc.reason)
-        return shard_stats, shard_counters
+        return execute_shard(b, c, cpf, prefix=prefix, sleep=sleep,
+                             max_steps=max_steps, max_runs=max_runs,
+                             reduction=reduction,
+                             state_cache=state_cache, deadline=deadline)
 
     def fold_counters(shard_counters: Dict[str, Any]) -> None:
         if counters is None:
@@ -814,11 +860,12 @@ def explore_parallel(build: Optional[Builder] = None,
     task_log: Optional[List[Dict[str, Any]]] = \
         [] if metrics is not None else None
     phase_start = perf_counter()
+    pool_fn = pool if pool is not None else run_pool
     try:
-        outcomes = run_pool(pool_payloads, run_shard, jobs,
-                            fault_plan=fault_plan, task_log=task_log,
-                            deadline=deadline, on_grant=on_grant,
-                            on_settle=on_settle)
+        outcomes = pool_fn(pool_payloads, run_shard, jobs,
+                           fault_plan=fault_plan, task_log=task_log,
+                           deadline=deadline, on_grant=on_grant,
+                           on_settle=on_settle)
     except ExplorationInterrupted:
         # The pool's retry ladder ran out of wall clock; re-raise with
         # the coverage merged so far (expansion plus any journaled

@@ -27,12 +27,12 @@ from repro.analysis.metrics import (METRICS_SCHEMA_VERSION, PHASES,
 from repro.runtime import ExplorationStats, explore
 from repro.scenarios import check_scenarios
 
-#: The golden exploration-record schema, version 3 (v2 plus the
-#: ``cache_hits`` / ``cache_skipped_runs`` pair added for the DPOR
-#: state cache).  Adding, removing, or renaming a key is a schema
-#: change: bump METRICS_SCHEMA_VERSION and update this fixture (and
+#: The golden exploration-record schema, version 4 (v3 plus the ``net``
+#: transport-tally block added for the socket shard service).  Adding,
+#: removing, or renaming a key is a schema change: bump
+#: METRICS_SCHEMA_VERSION and update this fixture (and
 #: docs/observability.md) deliberately.
-EXPLORATION_KEYS_V3 = [
+EXPLORATION_KEYS_V4 = [
     "schema_version", "kind", "scenario", "engine", "outcome",
     "partial", "interrupt_reason",
     "complete_runs", "truncated_runs", "total_runs", "pruned_runs",
@@ -40,23 +40,24 @@ EXPLORATION_KEYS_V3 = [
     "peak_frontier_size", "sleep_set_hits", "sleep_set_checks",
     "sleep_set_hit_rate", "cache_hits", "cache_skipped_runs",
     "ddmin_replays", "violation",
-    "jobs", "phases", "wall_seconds", "runs_per_sec", "workers",
+    "jobs", "phases", "wall_seconds", "runs_per_sec", "workers", "net",
 ]
 
-#: Deterministic subset: everything minus the timing/worker keys (the
-#: cache counters count as topology-dependent: the cache is per shard).
-DETERMINISTIC_KEYS_V3 = [key for key in EXPLORATION_KEYS_V3
+#: Deterministic subset: everything minus the timing/worker/transport
+#: keys (the cache counters count as topology-dependent: the cache is
+#: per shard; the ``net`` tallies are pure transport observability).
+DETERMINISTIC_KEYS_V4 = [key for key in EXPLORATION_KEYS_V4
                          if key not in TIMING_KEYS]
 
 
 @pytest.mark.metrics
 class TestGoldenSchema:
-    def test_schema_version_is_three(self):
-        assert METRICS_SCHEMA_VERSION == 3
+    def test_schema_version_is_four(self):
+        assert METRICS_SCHEMA_VERSION == 4
 
     def test_exploration_record_key_set_is_pinned(self):
         record = ExplorationMetrics(scenario="s").finalize().to_dict()
-        assert list(record) == EXPLORATION_KEYS_V3
+        assert list(record) == EXPLORATION_KEYS_V4
         assert record["schema_version"] == METRICS_SCHEMA_VERSION
         assert record["kind"] == "exploration"
 
@@ -68,7 +69,7 @@ class TestGoldenSchema:
                 max_steps=sc.max_steps, reduction="dpor", jobs=2,
                 metrics=metrics)
         record = json.loads(json.dumps(metrics.finalize().to_dict()))
-        assert list(record) == EXPLORATION_KEYS_V3
+        assert list(record) == EXPLORATION_KEYS_V4
         assert record["total_runs"] == (record["complete_runs"]
                                         + record["truncated_runs"])
         assert record["phases"].keys() == set(PHASES)
@@ -94,7 +95,7 @@ class TestGoldenSchema:
     def test_deterministic_view_strips_exactly_timing_and_workers(self):
         record = ExplorationMetrics(scenario="s").finalize().to_dict()
         view = deterministic_view(record)
-        assert list(view) == DETERMINISTIC_KEYS_V3
+        assert list(view) == DETERMINISTIC_KEYS_V4
         # Nested timing keys are stripped too (audit data records).
         nested = {"data": {"wall_seconds": 1.0, "runs": 8,
                            "inner": [{"busy_seconds": 2.0, "ok": 1}]}}

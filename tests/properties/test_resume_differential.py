@@ -150,12 +150,28 @@ class TestKillResumeDifferential:
 
 
 class TestResumeCLIContract:
-    def test_resume_missing_store_starts_fresh(self, tmp_path, capsys):
+    def test_resume_missing_store_is_rejected(self, tmp_path, capsys):
+        # ISSUE 10 satellite: --resume names a checkpoint the operator
+        # expects to exist.  Silently starting fresh would discard the
+        # progress they thought they were continuing; reject loudly.
         store = str(tmp_path / "never-written.jsonl")
         assert main(["check", "queue-2cons", "--resume", store,
-                     "--jobs", "1"]) == 0
-        assert "no frontier store" in capsys.readouterr().out
-        assert os.path.exists(store)  # ... and checkpoints as it goes
+                     "--jobs", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "RESUME REJECTED" in err
+        assert "no frontier store" in err
+        assert not os.path.exists(store)  # rejected, not recreated
+
+    def test_resume_unreadable_store_is_rejected(self, tmp_path, capsys):
+        # A corrupt or torn store must produce the same loud rejection,
+        # never a traceback.
+        store = tmp_path / "garbage.jsonl"
+        store.write_text("not a frontier header\n")
+        assert main(["check", "queue-2cons", "--resume", str(store),
+                     "--jobs", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "RESUME REJECTED" in err
+        assert "unreadable frontier store" in err
 
     def test_mismatched_fingerprint_is_rejected(self, tmp_path, capsys):
         store = str(tmp_path / "frontier.jsonl")

@@ -1,0 +1,217 @@
+"""Frame codec failure modes: every malformed input is a typed, prompt error.
+
+ISSUE 10 satellite: a truncated length prefix, a checksum mismatch, an
+oversize frame and a protocol-version mismatch must each raise their
+dedicated :class:`~repro.runtime.wire.WireError` subclass -- and a read
+from a peer that stops mid-frame must fail by deadline rather than hang.
+"""
+
+import socket
+import struct
+import threading
+from time import monotonic
+
+import pytest
+
+from repro.runtime import wire
+from repro.runtime.wire import (BadMagic, ChecksumMismatch, ConnectionClosed,
+                                FrameTooLarge, FrameTruncated,
+                                VersionMismatch, WireError, WireTimeout,
+                                encode_frame, recv_frame, send_frame,
+                                split_frames, try_decode)
+
+
+def _socketpair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def _header(magic=wire.MAGIC, version=wire.WIRE_VERSION, length=0, crc=0):
+    return struct.Struct("!4sBII").pack(magic, version, length, crc)
+
+
+class TestRoundTrip:
+    def test_encode_decode_round_trip(self):
+        body = {"type": "grant", "shard": 3, "prefix": [1, 2], "sleep": []}
+        frame = encode_frame(body)
+        decoded, consumed = try_decode(frame)
+        assert decoded == body
+        assert consumed == len(frame)
+
+    def test_encoding_is_deterministic(self):
+        body = {"b": 1, "a": 2, "nested": {"z": 0, "y": 1}}
+        assert encode_frame(body) == encode_frame(body)
+        # Key order in the source dict must not matter.
+        assert encode_frame({"a": 2, "b": 1, "nested": {"y": 1, "z": 0}}) \
+            == encode_frame(body)
+
+    def test_socket_round_trip(self):
+        a, b = _socketpair()
+        try:
+            body = {"type": "heartbeat", "shard": 7}
+            send_frame(a, body, deadline=monotonic() + 5.0)
+            assert recv_frame(b, deadline=monotonic() + 5.0) == body
+        finally:
+            a.close()
+            b.close()
+
+
+class TestTruncation:
+    def test_truncated_length_prefix_over_socket(self):
+        """EOF after a partial header is FrameTruncated, not a hang."""
+        a, b = _socketpair()
+        try:
+            a.sendall(_header(length=64)[:6])  # 6 of 13 header bytes
+            a.close()
+            with pytest.raises(FrameTruncated):
+                recv_frame(b, deadline=monotonic() + 5.0)
+        finally:
+            b.close()
+
+    def test_truncated_payload_over_socket(self):
+        frame = encode_frame({"type": "hello", "worker": "w"})
+        a, b = _socketpair()
+        try:
+            a.sendall(frame[:-4])  # whole header, partial payload
+            a.close()
+            with pytest.raises(FrameTruncated):
+                recv_frame(b, deadline=monotonic() + 5.0)
+        finally:
+            b.close()
+
+    def test_clean_eof_between_frames_is_connection_closed(self):
+        a, b = _socketpair()
+        try:
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                recv_frame(b, deadline=monotonic() + 5.0)
+        finally:
+            b.close()
+
+    def test_partial_buffer_is_not_an_error(self):
+        """try_decode on a frame prefix asks for more bytes, quietly."""
+        frame = encode_frame({"type": "idle"})
+        for cut in (0, 1, wire.HEADER_SIZE - 1, wire.HEADER_SIZE,
+                    len(frame) - 1):
+            assert try_decode(frame[:cut]) is None
+
+
+class TestChecksum:
+    def test_corrupted_payload_is_checksum_mismatch(self):
+        frame = bytearray(encode_frame({"type": "ok", "renewed": True}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ChecksumMismatch):
+            try_decode(bytes(frame))
+
+    def test_corrupted_payload_over_socket(self):
+        frame = bytearray(encode_frame({"type": "ok", "renewed": True}))
+        frame[wire.HEADER_SIZE] ^= 0x55
+        a, b = _socketpair()
+        try:
+            a.sendall(bytes(frame))
+            with pytest.raises(ChecksumMismatch):
+                recv_frame(b, deadline=monotonic() + 5.0)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestOversizeAndVersion:
+    def test_oversize_header_rejected_before_payload(self):
+        """A hostile length field fails from the header alone."""
+        with pytest.raises(FrameTooLarge):
+            try_decode(_header(length=wire.MAX_FRAME_BYTES + 1))
+
+    def test_oversize_encode_refused(self, monkeypatch):
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"blob": "x" * 1024})
+
+    def test_version_mismatch(self):
+        frame = bytearray(encode_frame({"type": "idle"}))
+        frame[4] = wire.WIRE_VERSION + 1  # version byte follows the magic
+        with pytest.raises(VersionMismatch):
+            try_decode(bytes(frame))
+
+    def test_bad_magic(self):
+        with pytest.raises(BadMagic):
+            try_decode(_header(magic=b"HTTP", length=0))
+
+    def test_non_object_payload_rejected(self):
+        import json
+        import zlib
+        payload = json.dumps([1, 2, 3]).encode()
+        frame = _header(length=len(payload),
+                        crc=zlib.crc32(payload)) + payload
+        with pytest.raises(WireError):
+            try_decode(frame)
+
+
+class TestDeadline:
+    def test_stalled_read_fires_deadline(self):
+        """A peer that sends half a frame then stalls cannot hang us."""
+        a, b = _socketpair()
+        try:
+            a.sendall(_header(length=64))  # promises 64 bytes, sends none
+            start = monotonic()
+            with pytest.raises(WireTimeout):
+                recv_frame(b, deadline=monotonic() + 0.2)
+            assert monotonic() - start < 2.0
+        finally:
+            a.close()
+            b.close()
+
+    def test_expired_deadline_fails_immediately(self):
+        a, b = _socketpair()
+        try:
+            with pytest.raises(WireTimeout):
+                recv_frame(b, deadline=monotonic() - 1.0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_stalled_header_read_fires_deadline(self):
+        """Even the 13-byte header read honours the deadline."""
+        a, b = _socketpair()
+        try:
+            a.sendall(_header(length=0)[:3])
+            start = monotonic()
+            with pytest.raises(WireTimeout):
+                recv_frame(b, deadline=monotonic() + 0.2)
+            assert monotonic() - start < 2.0
+        finally:
+            a.close()
+            b.close()
+
+
+class TestSplitFrames:
+    def test_splits_concatenated_frames(self):
+        f1 = encode_frame({"type": "request", "worker_id": 1})
+        f2 = encode_frame({"type": "heartbeat", "shard": 0})
+        tail = f1[: wire.HEADER_SIZE + 2]
+        frames, rest = split_frames(f1 + f2 + tail)
+        assert frames == [f1, f2]
+        assert rest == tail
+
+    def test_non_protocol_bytes_pass_through(self):
+        blob = b"GET / HTTP/1.1\r\n\r\n"
+        frames, rest = split_frames(blob)
+        assert frames == []
+        assert rest == blob
+
+    def test_content_agnostic(self):
+        """Corrupt payloads still split on boundaries (chaos proxy path)."""
+        frame = bytearray(encode_frame({"type": "ok"}))
+        frame[-1] ^= 0xFF  # checksum now wrong; boundaries still valid
+        frames, rest = split_frames(bytes(frame))
+        assert frames == [bytes(frame)]
+        assert rest == b""
+
+
+class TestErrorTaxonomy:
+    def test_every_failure_is_a_wire_error(self):
+        for exc in (FrameTruncated, ConnectionClosed, ChecksumMismatch,
+                    FrameTooLarge, VersionMismatch, BadMagic, WireTimeout):
+            assert issubclass(exc, WireError)
